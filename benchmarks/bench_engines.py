@@ -1,0 +1,75 @@
+"""Ablation: traced reference engine vs vectorised engine throughput.
+
+Quantifies the cost of per-access tracing (the security apparatus) against
+the numpy engine, and verifies both engines emit identical outputs — the
+justification for benchmarking on the vector engine while proving security
+properties on the traced one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.join import oblivious_join
+from repro.memory.tracer import HashSink, NullSink, Tracer
+from repro.vector.join import vector_oblivious_join
+from repro.workloads.generators import balanced_output
+
+from conftest import SCALE, fmt_table, report
+
+SIZES = [128, 512, 2048 * SCALE]
+
+
+def test_engine_throughput_comparison(benchmark):
+    rows = []
+    for n in SIZES:
+        w = balanced_output(n, seed=n)
+
+        start = time.perf_counter()
+        traced = oblivious_join(w.left, w.right, tracer=Tracer(NullSink()))
+        t_traced = time.perf_counter() - start
+
+        start = time.perf_counter()
+        oblivious_join(w.left, w.right, tracer=Tracer(HashSink()))
+        t_hashed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vec_pairs, _ = vector_oblivious_join(w.left, w.right)
+        t_vector = time.perf_counter() - start
+
+        assert traced.pairs == [tuple(p) for p in vec_pairs.tolist()]
+        rows.append(
+            [
+                n,
+                f"{t_traced:.3f}s",
+                f"{t_hashed:.3f}s",
+                f"{t_vector:.4f}s",
+                f"{t_traced / t_vector:.0f}x",
+            ]
+        )
+    text = fmt_table(
+        ["n", "traced (null sink)", "traced (sha256)", "vector", "speedup"], rows
+    )
+    report("engines", text)
+
+    w = balanced_output(SIZES[-1], seed=0)
+    start = time.perf_counter()
+    oblivious_join(w.left, w.right)
+    t_traced = time.perf_counter() - start
+    start = time.perf_counter()
+    vector_oblivious_join(w.left, w.right)
+    t_vector = time.perf_counter() - start
+    assert t_vector < t_traced
+
+    small = balanced_output(512, seed=1)
+    benchmark(lambda: vector_oblivious_join(small.left, small.right))
+
+
+def test_hash_sink_overhead(benchmark):
+    """The §6.1 hashing apparatus must not distort measurements beyond ~10x."""
+    w = balanced_output(512, seed=2)
+
+    def run_hashed():
+        oblivious_join(w.left, w.right, tracer=Tracer(HashSink()))
+
+    benchmark(run_hashed)

@@ -1,0 +1,88 @@
+"""Figure 7 reproduction: the visualised input-independent access pattern.
+
+Joins two size-4 tables into 8 output rows (the paper's exact setting),
+renders the full memory trace as a time x index raster (text + PGM saved
+under benchmarks/out/), and re-runs the §6.1 experiment: around 5 manually
+constructed test classes whose members must produce byte-identical logs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.viz import rasterize, render_text, write_pgm
+from repro.core.join import oblivious_join
+from repro.memory.monitor import run_logged, verify_oblivious
+
+from conftest import OUT_DIR, report
+
+#: Five test classes for n1 = n2 = 4 (as in §6.1: "around 5" classes for
+#: small n).  Members of a class share (n1, n2, m); classes differ in m.
+CLASSES = {
+    "m=8 (4 groups of 1x2)": [
+        ([(k, k) for k in range(4)], [(k, v) for k in range(4) for v in (0, 1)]),
+        ([(k, 9) for k in range(4)], [(k, v) for k in range(4) for v in (7, 8)]),
+    ],
+    # NOTE: "four 1x1 groups" and "one 2x2 group + fill" have the SAME class
+    # parameters (n1, n2, m) = (4, 4, 4), so per the paper's definition they
+    # belong to ONE class and must trace identically — the strongest form of
+    # the experiment, since their group structure differs completely.
+    "m=4 (1x1 groups AND one 2x2 group)": [
+        ([(k, 0) for k in range(4)], [(k, 1) for k in range(4)]),
+        ([(k + 10, 5) for k in range(4)], [(k + 10, 6) for k in range(4)]),
+        ([(0, 1), (0, 2), (8, 0), (9, 0)], [(0, 3), (0, 4), (18, 0), (19, 0)]),
+        ([(5, 9), (5, 8), (1, 0), (2, 0)], [(5, 7), (5, 6), (11, 0), (12, 0)]),
+    ],
+    "m=16 (one 4x4 group)": [
+        ([(0, d) for d in range(4)], [(0, d) for d in range(4)]),
+        ([(3, d + 9) for d in range(4)], [(3, d) for d in range(4)]),
+    ],
+    "m=0 (disjoint keys)": [
+        ([(k, 0) for k in range(4)], [(k + 100, 0) for k in range(4)]),
+        ([(k + 50, 3) for k in range(4)], [(k + 200, 1) for k in range(4)]),
+    ],
+}
+
+
+def test_fig7_render_and_trace_equality(benchmark):
+    left = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    right = [(0, 5), (0, 6), (1, 7), (1, 8)]  # m = 4... widen to m=8:
+    right = [(k, v) for k in range(4) for v in (0, 1)]  # m = 8
+    events, result = run_logged(
+        lambda t: oblivious_join(left, right, tracer=t)
+    )
+    assert result.m == 8
+    raster = rasterize(events, width=100, height=40)
+    text = render_text(raster)
+    write_pgm(raster, str(OUT_DIR / "fig7_access_pattern.pgm"))
+    report(
+        "fig7_access_pattern",
+        f"join of 4x4 tables into m=8, {len(events)} public accesses\n"
+        "(time ->, memory v; '░'=read, '█'=write)\n\n" + text,
+    )
+
+    for name, members in CLASSES.items():
+        logs = [
+            run_logged(lambda t, lr=lr: oblivious_join(lr[0], lr[1], tracer=t))[0]
+            for lr in members
+        ]
+        assert all(log == logs[0] for log in logs[1:]), name
+
+    benchmark(lambda: run_logged(lambda t: oblivious_join(left, right, tracer=t)))
+
+
+def test_fig7_classes_with_different_m_diverge(benchmark):
+    """Sanity for the experiment design: traces are a function of the class,
+    so classes with different m must NOT share a trace."""
+    digests = {}
+    for name, members in CLASSES.items():
+        program = lambda t, lr=members[0]: oblivious_join(lr[0], lr[1], tracer=t)
+        from repro.memory.monitor import run_hashed
+
+        digests[name], _, _ = run_hashed(program)
+    assert len(set(digests.values())) == len(digests)
+
+    inputs = CLASSES["m=8 (4 groups of 1x2)"]
+    benchmark(
+        lambda: verify_oblivious(
+            lambda t, lr: oblivious_join(lr[0], lr[1], tracer=t), inputs, require=True
+        )
+    )

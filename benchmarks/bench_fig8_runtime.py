@@ -1,0 +1,101 @@
+"""Figure 8 reproduction: runtime vs input size, all four series.
+
+Two complementary regenerations:
+
+1. **Measured on this machine** — the vector engine (our "prototype") vs
+   the vectorised insecure sort-merge join over a size sweep; reported with
+   the oblivious-overhead factor per size.
+2. **Simulated SGX** — the calibrated enclave cost model evaluated at the
+   paper's sizes (10^5..10^6), printing all four series next to the
+   paper's endpoint values and checking the series ordering and ratios.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.enclave.costmodel import PAPER_RUNTIME_AT_1M, EnclaveCostModel
+from repro.vector.baseline import vector_sort_merge_join
+from repro.vector.join import vector_oblivious_join
+from repro.workloads.generators import balanced_output
+
+from conftest import SCALE, fmt_table, report
+
+MEASURED_SWEEP = [2**12, 2**13, 2**14, 2**15, 2**16 * SCALE]
+PAPER_SWEEP = [100_000, 250_000, 500_000, 750_000, 1_000_000]
+
+
+def _measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_fig8_measured_series(benchmark):
+    rows = []
+    for n in MEASURED_SWEEP:
+        w = balanced_output(n, seed=n)
+        t_obliv = _measure(lambda: vector_oblivious_join(w.left, w.right))
+        t_insecure = _measure(lambda: vector_sort_merge_join(w.left, w.right))
+        rows.append(
+            [n, f"{t_obliv:.3f}", f"{t_insecure:.4f}", f"{t_obliv / t_insecure:.0f}x"]
+        )
+    text = "vector engine (this machine):\n" + fmt_table(
+        ["n", "oblivious join (s)", "insecure merge (s)", "overhead"], rows
+    )
+    report("fig8_measured", text)
+
+    # Shape: the oblivious join must be polylog-factor slower, not asymptotically
+    # worse: overhead at the top size stays within a constant*log^2 band.
+    w = balanced_output(MEASURED_SWEEP[-1], seed=0)
+    slow = _measure(lambda: vector_oblivious_join(w.left, w.right))
+    fast = _measure(lambda: vector_sort_merge_join(w.left, w.right))
+    assert 5 < slow / fast < 5000
+
+    small = balanced_output(2**13, seed=1)
+    benchmark(lambda: vector_oblivious_join(small.left, small.right))
+
+
+def test_fig8_simulated_sgx_series(benchmark):
+    model = EnclaveCostModel()
+    series = model.figure8_series(PAPER_SWEEP)
+    rows = []
+    for i, n in enumerate(PAPER_SWEEP):
+        rows.append(
+            [
+                n,
+                f"{series['insecure_sort_merge'][i]:.3f}",
+                f"{series['prototype'][i]:.2f}",
+                f"{series['sgx'][i]:.2f}",
+                f"{series['sgx_transformed'][i]:.2f}",
+            ]
+        )
+    point = model.figure8_point(10**6)
+    comparison = fmt_table(
+        ["series", "paper @1e6 (s)", "model @1e6 (s)"],
+        [
+            [k, PAPER_RUNTIME_AT_1M[k], f"{point[k]:.2f}"]
+            for k in ("insecure_sort_merge", "prototype", "sgx", "sgx_transformed")
+        ],
+    )
+    text = (
+        "calibrated enclave model (paper sizes):\n"
+        + fmt_table(["n", "insecure", "prototype", "sgx", "sgx transformed"], rows)
+        + "\n\npaper-vs-model endpoints:\n"
+        + comparison
+        + f"\n\nEPC paging knee at n ~ {model.epc_knee_input_size():,}"
+    )
+    report("fig8_simulated_sgx", text)
+
+    for i in range(len(PAPER_SWEEP)):
+        assert (
+            series["insecure_sort_merge"][i]
+            < series["prototype"][i]
+            < series["sgx"][i]
+            < series["sgx_transformed"][i]
+        )
+    ratio = point["sgx"] / point["prototype"]
+    paper_ratio = PAPER_RUNTIME_AT_1M["sgx"] / PAPER_RUNTIME_AT_1M["prototype"]
+    assert abs(ratio - paper_ratio) / paper_ratio < 0.05
+
+    benchmark(lambda: model.figure8_series(PAPER_SWEEP))

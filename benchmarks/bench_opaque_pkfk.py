@@ -1,0 +1,94 @@
+"""§6.2's Opaque comparison, on equal footing.
+
+The paper notes Opaque's SGX implementation runs ~5x slower than theirs at
+n = 10^6 despite solving only the PK-FK special case (and on better
+hardware).  A like-for-like hardware comparison is impossible here, so this
+bench asks the question our substrate *can* answer: inside one engine, what
+does the general Algorithm 1 cost versus the Opaque-style PK-FK join on the
+workloads Opaque supports?  (Opaque-style wins modestly — it exploits the
+PK-FK restriction — which makes the paper's measured 5x *deficit* for the
+real Opaque system the notable result.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.opaque_join import opaque_pkfk_join
+from repro.core.join import oblivious_join
+from repro.enclave.costmodel import PAPER_OPAQUE_SLOWDOWN
+from repro.memory.tracer import CountSink, Tracer
+from repro.workloads.generators import pk_fk
+
+from conftest import SCALE, fmt_table, report
+
+SWEEP = [128, 256, 512, 1024 * SCALE]
+
+
+def _events(run) -> int:
+    sink = CountSink()
+    run(Tracer(sink))
+    return sink.total
+
+
+def test_opaque_comparison(benchmark):
+    rows = []
+    for n in SWEEP:
+        w = pk_fk(n // 2, n // 2, seed=n)
+        ours_ops = _events(lambda t, w=w: oblivious_join(w.left, w.right, tracer=t))
+        opaque_ops = _events(
+            lambda t, w=w: opaque_pkfk_join(w.left, w.right, tracer=t)
+        )
+        start = time.perf_counter()
+        ours_result = oblivious_join(w.left, w.right)
+        ours_time = time.perf_counter() - start
+        start = time.perf_counter()
+        opaque_result = opaque_pkfk_join(w.left, w.right)
+        opaque_time = time.perf_counter() - start
+        assert sorted(ours_result.pairs) == sorted(opaque_result)
+        rows.append(
+            [
+                n,
+                ours_ops,
+                opaque_ops,
+                f"{ours_ops / opaque_ops:.2f}x",
+                f"{ours_time:.3f}s",
+                f"{opaque_time:.3f}s",
+            ]
+        )
+    text = (
+        "PK-FK workload (the only case Opaque supports):\n"
+        + fmt_table(
+            ["n", "ours (accesses)", "opaque-style", "ratio", "ours t", "opaque t"],
+            rows,
+        )
+        + f"\n\npaper's measured result: real Opaque is ~{PAPER_OPAQUE_SLOWDOWN:.0f}x"
+        " SLOWER than the paper's general join at n=1e6 —\n"
+        "algorithmically the PK-FK specialisation is cheaper (above), so the"
+        " 5x is implementation overhead, not asymptotics."
+    )
+    report("opaque_pkfk", text)
+
+    # In-engine shape: the specialised join does at most ~2x fewer accesses,
+    # same asymptotic class — consistent with Table 1's identical rows.
+    w = pk_fk(256, 256, seed=1)
+    ours_ops = _events(lambda t: oblivious_join(w.left, w.right, tracer=t))
+    opaque_ops = _events(lambda t: opaque_pkfk_join(w.left, w.right, tracer=t))
+    assert 1.0 < ours_ops / opaque_ops < 4.0
+
+    benchmark(lambda: opaque_pkfk_join(w.left, w.right))
+
+
+def test_opaque_loses_generality_not_speed(benchmark):
+    """Outside PK-FK, Opaque's algorithm is simply inapplicable — the
+    restriction in Table 1's limitations column."""
+    import pytest
+
+    from repro.errors import InputError
+
+    general = [(1, 1), (1, 2)], [(1, 5), (1, 6)]
+    result = oblivious_join(*general)
+    assert result.m == 4
+    with pytest.raises(InputError):
+        opaque_pkfk_join(*general)
+    benchmark(lambda: oblivious_join(*general))

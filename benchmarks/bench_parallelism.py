@@ -1,0 +1,58 @@
+"""§6.2's parallelism remark, quantified: circuit depth of the join.
+
+The paper: "almost all parts of our algorithm are amenable to
+parallelization since they heavily rely on sorting networks, whose depth is
+O(log^2 n).  The only exception is the sequence of O(m log m) operations
+[the routing scans]... these operations account for a negligibly small
+fraction of the total runtime."  This bench computes the critical path of
+Algorithm 1 across sizes and checks both halves of the claim: sort depth
+grows polylogarithmically, and the sequential remainder is exactly the
+routing + linear scans.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.counts import total_comparisons_exact
+from repro.analysis.depth import depth_series, join_depth
+
+from conftest import fmt_table, report
+
+SIZES = [2**10, 2**14, 2**18, 2**20]
+
+
+def test_parallel_depth_profile(benchmark):
+    rows = []
+    for n, breakdown in depth_series(SIZES):
+        work = total_comparisons_exact(n // 2, n // 2, n // 2)
+        rows.append(
+            [
+                n,
+                breakdown.sort_depth,
+                breakdown.routing_depth + breakdown.scan_depth,
+                f"{breakdown.parallel_fraction:.1%}",
+                f"{work / breakdown.total:.1f}",
+            ]
+        )
+    text = (
+        fmt_table(
+            ["n", "sort depth (parallel)", "sequential depth",
+             "parallel share of path", "work / critical path"],
+            rows,
+        )
+        + "\n\n(sort depth is O(log^2 n); the sequential tail is the routing"
+        "\n scans + linear passes the paper calls 'negligibly small' in work"
+        "\n — Table 3 confirms the work share; this table gives the depth view)"
+    )
+    report("parallelism_depth", text)
+
+    # Sort depth must grow ~log^2 n while sequential depth grows ~n.
+    first = join_depth(SIZES[0] // 2, SIZES[0] // 2, SIZES[0] // 2)
+    last = join_depth(SIZES[-1] // 2, SIZES[-1] // 2, SIZES[-1] // 2)
+    size_ratio = SIZES[-1] / SIZES[0]
+    log_ratio = (math.log2(SIZES[-1]) / math.log2(SIZES[0])) ** 2
+    assert last.sort_depth / first.sort_depth < 2 * log_ratio
+    assert last.scan_depth / first.scan_depth > size_ratio / 2
+
+    benchmark(lambda: depth_series(SIZES))

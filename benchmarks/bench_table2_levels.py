@@ -1,0 +1,48 @@
+"""Table 2 reproduction: the obliviousness-level taxonomy, regenerated.
+
+Table 2 is a classification, not a measurement; this bench regenerates the
+matrix from the security model, classifies every algorithm in the repo, and
+benchmarks the empirical level-II verification (the trace-hash experiment)
+that backs the classification of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.join import oblivious_join
+from repro.memory.monitor import run_hashed
+from repro.security import KNOWN_PROFILES, Level, render_table2
+from repro.workloads.generators import matched_class
+
+from conftest import fmt_table, report
+
+
+def test_table2_matrix_and_classification(benchmark):
+    rows = [
+        [name, str(profile.level()) if profile.level() else "not oblivious"]
+        for name, profile in sorted(KNOWN_PROFILES.items())
+    ]
+    text = render_table2()
+    text += "\n\nAlgorithm classification:\n"
+    text += fmt_table(["program", "level"], rows)
+    report("table2_levels", text)
+
+    assert KNOWN_PROFILES["oblivious_join"].level() is Level.II
+    assert KNOWN_PROFILES["oblivious_join_transformed"].level() is Level.III
+    assert KNOWN_PROFILES["sort_merge_join"].level() is None
+
+    benchmark(render_table2)
+
+
+def test_table2_level2_verification_cost(benchmark):
+    """Benchmark the §6.1 experiment that justifies the level-II cell."""
+    inputs = matched_class(8, 8, seed=2)
+
+    def verify():
+        hashes = {
+            run_hashed(lambda t, w=w: oblivious_join(w.left, w.right, tracer=t))[0]
+            for w in inputs
+        }
+        assert len(hashes) == 1
+        return hashes
+
+    benchmark(verify)

@@ -1,0 +1,37 @@
+"""Shared benchmark helpers.
+
+Every bench prints the table/figure it regenerates and also writes it to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can cite stable artifacts.
+``REPRO_BENCH_SCALE`` (default 1) multiplies sweep sizes for beefier runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def fmt_table(headers: list[str], rows: list[list], widths: list[int] | None = None) -> str:
+    """Plain-text table formatting used by all bench reports."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = widths or [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(items):
+        return "  ".join(str(x).ljust(w) for x, w in zip(items, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)

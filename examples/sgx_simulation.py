@@ -1,0 +1,55 @@
+"""Scenario: predicting enclave deployment cost with the Figure 8 model.
+
+Without SGX hardware, the calibrated cost model answers the questions the
+paper's Figure 8 answers: what does obliviousness cost at a given scale,
+what does the enclave add on top, and where does the EPC paging knee bite?
+
+Usage::
+
+    python examples/sgx_simulation.py [max_n]
+"""
+
+import sys
+
+from repro.enclave import PAPER_RUNTIME_AT_1M, EnclaveCostModel
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 4_000_000
+    model = EnclaveCostModel()
+
+    sizes = []
+    n = 125_000
+    while n <= max_n:
+        sizes.append(n)
+        n *= 2
+
+    series = model.figure8_series(sizes)
+    knee = model.epc_knee_input_size()
+
+    print(f"{'n':>12s} {'insecure':>10s} {'prototype':>10s} {'sgx':>10s} "
+          f"{'sgx+xform':>10s} {'epc':>5s}")
+    for i, n in enumerate(sizes):
+        footprint = model.footprint_bytes(n // 2, n // 2, n // 2)
+        paged = "page" if footprint > model.epc.capacity_bytes else "fits"
+        print(
+            f"{n:>12,d} {series['insecure_sort_merge'][i]:>10.3f} "
+            f"{series['prototype'][i]:>10.2f} {series['sgx'][i]:>10.2f} "
+            f"{series['sgx_transformed'][i]:>10.2f} {paged:>5s}"
+        )
+
+    print(f"\nEPC ({model.epc.capacity_bytes // (1024 * 1024)} MiB) knee at n ~ {knee:,}")
+    print("paper endpoints at n = 1,000,000:")
+    point = model.figure8_point(1_000_000)
+    for variant, paper_seconds in PAPER_RUNTIME_AT_1M.items():
+        print(
+            f"  {variant:22s} paper {paper_seconds:6.2f}s   model {point[variant]:6.2f}s"
+        )
+
+    # The headline overhead ratio the paper reports (~78x at n=1e6).
+    overhead = point["prototype"] / point["insecure_sort_merge"]
+    print(f"\noblivious-vs-insecure overhead at n=1e6: {overhead:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — a reproduction of "Efficient Oblivious Database Joins" (VLDB'20).
+
+The package implements Krastnikov, Kerschbaum and Stebila's oblivious
+equi-join algorithm end to end: the traced reference engine whose
+public-memory access pattern is provably input-independent, a vectorised
+numpy engine for benchmark-scale runs, the Table 1 baselines, the Figure 6
+type system, an SGX cost model for the Figure 8 series, and a small
+oblivious relational layer.
+
+Quickstart::
+
+    from repro import oblivious_join
+    result = oblivious_join([(1, 10), (2, 20)], [(1, 77), (1, 78)])
+    result.pairs   # [(10, 77), (10, 78)]
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import analysis, baselines, core, db, enclave, memory, obliv, security
+from . import typesys, vector, workloads
+from .core.aggregate import GroupAggregate, oblivious_group_by, oblivious_join_aggregate
+from .core.join import JoinResult, oblivious_join
+from .core.multiway import MultiwayResult, oblivious_multiway_join
+from .db.query import ObliviousEngine
+from .db.table import DBTable
+from .errors import (
+    CapacityError,
+    EnclaveError,
+    InjectivityError,
+    InputError,
+    ObliviousnessError,
+    ReproError,
+    SchemaError,
+    TraceMismatchError,
+    TypingError,
+)
+from .memory.monitor import verify_oblivious
+from .memory.tracer import CountSink, HashSink, ListSink, Tracer
+from .vector.join import vector_oblivious_join
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "db",
+    "enclave",
+    "memory",
+    "obliv",
+    "security",
+    "typesys",
+    "vector",
+    "workloads",
+    "GroupAggregate",
+    "oblivious_group_by",
+    "oblivious_join_aggregate",
+    "JoinResult",
+    "oblivious_join",
+    "MultiwayResult",
+    "oblivious_multiway_join",
+    "ObliviousEngine",
+    "DBTable",
+    "CapacityError",
+    "EnclaveError",
+    "InjectivityError",
+    "InputError",
+    "ObliviousnessError",
+    "ReproError",
+    "SchemaError",
+    "TraceMismatchError",
+    "TypingError",
+    "verify_oblivious",
+    "CountSink",
+    "HashSink",
+    "ListSink",
+    "Tracer",
+    "vector_oblivious_join",
+    "__version__",
+]

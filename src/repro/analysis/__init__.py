@@ -1,0 +1,40 @@
+"""Evaluation support: count formulas, complexity fits, trace rasters."""
+
+from .complexity import MODELS, Fit, best_fit, fit_model, loglog_slope
+from .depth import DepthBreakdown, depth_series, join_depth
+from .counts import (
+    Table3Row,
+    bitonic_comparisons_exact,
+    bitonic_comparisons_paper,
+    nested_loop_comparisons,
+    routing_comparisons_exact,
+    sort_merge_operations,
+    table3_analytic,
+    total_comparisons_exact,
+    total_comparisons_paper,
+)
+from .viz import TraceRaster, rasterize, render_text, write_pgm
+
+__all__ = [
+    "MODELS",
+    "Fit",
+    "best_fit",
+    "fit_model",
+    "loglog_slope",
+    "DepthBreakdown",
+    "depth_series",
+    "join_depth",
+    "Table3Row",
+    "bitonic_comparisons_exact",
+    "bitonic_comparisons_paper",
+    "nested_loop_comparisons",
+    "routing_comparisons_exact",
+    "sort_merge_operations",
+    "table3_analytic",
+    "total_comparisons_exact",
+    "total_comparisons_paper",
+    "TraceRaster",
+    "rasterize",
+    "render_text",
+    "write_pgm",
+]

@@ -1,0 +1,74 @@
+"""Empirical complexity fitting for the Table 1 reproduction.
+
+Table 1 is a complexity table; since we cannot print a proof, the bench
+measures operation counts over a size sweep and *fits* them against the
+candidate growth models, reporting which model explains each algorithm best
+— `O(n log^2 n)` for our join, `O(n^2)`-ish for the oblivious nested loop,
+`O(n log n)` for the insecure sort-merge, and so on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+MODELS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "n": lambda n: n,
+    "n log n": lambda n: n * np.log2(np.maximum(n, 2)),
+    "n log^2 n": lambda n: n * np.log2(np.maximum(n, 2)) ** 2,
+    "n^1.5": lambda n: n ** 1.5,
+    "n^2": lambda n: n ** 2,
+}
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A scaling fit: best-matching model and goodness measures."""
+
+    model: str
+    scale: float
+    relative_error: float
+    loglog_slope: float
+
+
+def loglog_slope(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) against log(size)."""
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(values, dtype=float))
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def fit_model(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    model: Callable[[np.ndarray], np.ndarray],
+) -> tuple[float, float]:
+    """Best scale ``c`` for ``values ~ c * model(sizes)`` and its rel. error."""
+    n = np.asarray(sizes, dtype=float)
+    y = np.asarray(values, dtype=float)
+    basis = model(n)
+    scale = float((basis @ y) / (basis @ basis))
+    predicted = scale * basis
+    error = float(np.sqrt(np.mean(((predicted - y) / y) ** 2)))
+    return scale, error
+
+
+def best_fit(sizes: Sequence[float], values: Sequence[float]) -> Fit:
+    """Pick the growth model with the smallest relative error."""
+    best_name = ""
+    best_scale = 0.0
+    best_error = math.inf
+    for name, model in MODELS.items():
+        scale, error = fit_model(sizes, values, model)
+        if error < best_error:
+            best_name, best_scale, best_error = name, scale, error
+    return Fit(
+        model=best_name,
+        scale=best_scale,
+        relative_error=best_error,
+        loglog_slope=loglog_slope(sizes, values),
+    )

@@ -1,0 +1,123 @@
+"""Analytic operation-count formulas behind Table 3.
+
+The paper states a bitonic sort on ``n`` elements performs roughly
+``n (log2 n)^2 / 4`` comparisons and charges the join's components as:
+
+=====================  =========================
+initial sorts on TC    ``n (log2 n)^2 / 2``
+o.d. sorts on T1, T2   ``n1 (log2 n1)^2 / 2``   (for n1 = n2)
+o.d. routing           ``2 m log2 m``
+align sort on S2       ``m (log2 m)^2 / 4``
+total (m ≈ n1 = n2)    ``n (log2 n)^2 + n log2 n``
+=====================  =========================
+
+We provide both these closed-form approximations and the *exact* counts of
+the concrete networks this library builds (which pad to powers of two), so
+the Table 3 bench can print paper formula vs exact vs measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..obliv.bitonic import comparison_count as _bitonic_exact
+from ..obliv.bitonic import next_power_of_two
+from ..obliv.routing import largest_hop
+
+
+def log2(x: float) -> float:
+    """log base 2 with the convention log2(x <= 1) = 0 (count formulas)."""
+    return math.log2(x) if x > 1 else 0.0
+
+
+def bitonic_comparisons_exact(n: int) -> int:
+    """Exact comparator count of our padded bitonic sort on ``n`` elements."""
+    if n <= 1:
+        return 0
+    return _bitonic_exact(next_power_of_two(n))
+
+
+def bitonic_comparisons_paper(n: int) -> float:
+    """The paper's ``n (log2 n)^2 / 4`` approximation."""
+    return n * log2(n) ** 2 / 4
+
+
+def routing_comparisons_exact(size: int, m: int) -> int:
+    """Exact slot count of the routing network over a ``size``-cell array."""
+    total = 0
+    hop = largest_hop(m)
+    while hop >= 1:
+        total += max(size - hop, 0)
+        hop //= 2
+    return total
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One component row: paper formula value and exact network count."""
+
+    component: str
+    paper_estimate: float
+    exact: int
+
+
+def table3_analytic(n1: int, n2: int, m: int) -> list[Table3Row]:
+    """Per-component comparison counts for given table sizes.
+
+    Mirrors the accounting of Table 3.  The "exact" column counts the
+    comparators of the concrete padded networks this library runs:
+
+    * initial sorts: two bitonic sorts of size ``n = n1 + n2``;
+    * o.d. sorts: the extended distributions sort arrays of size
+      ``max(n1, m)`` and ``max(n2, m)``;
+    * o.d. routing: ``O(m log m)`` hop slots over each of those arrays;
+    * align sort: one bitonic sort of size ``m``.
+    """
+    n = n1 + n2
+    size1 = max(n1, m)
+    size2 = max(n2, m)
+    return [
+        Table3Row(
+            "initial sorts on TC",
+            n * log2(n) ** 2 / 2,
+            2 * bitonic_comparisons_exact(n),
+        ),
+        Table3Row(
+            "o.d. on T1, T2 (sort)",
+            n1 * log2(n1) ** 2 / 2,
+            bitonic_comparisons_exact(size1) + bitonic_comparisons_exact(size2),
+        ),
+        Table3Row(
+            "o.d. on T1, T2 (route)",
+            2 * m * log2(m),
+            routing_comparisons_exact(size1, m) + routing_comparisons_exact(size2, m),
+        ),
+        Table3Row(
+            "align sort on S2",
+            m * log2(m) ** 2 / 4,
+            bitonic_comparisons_exact(m),
+        ),
+    ]
+
+
+def total_comparisons_paper(n: int) -> float:
+    """Paper's total for the balanced case m ≈ n1 = n2 = n/2."""
+    return n * log2(n) ** 2 + n * log2(n)
+
+
+def total_comparisons_exact(n1: int, n2: int, m: int) -> int:
+    """Exact total comparator count across all components."""
+    return sum(row.exact for row in table3_analytic(n1, n2, m))
+
+
+def sort_merge_operations(n1: int, n2: int, m: int) -> float:
+    """Cost unit count for the insecure sort-merge join: ``m' log2 m'``."""
+    m_prime = n1 + n2 + m
+    return m_prime * log2(m_prime)
+
+
+def nested_loop_comparisons(n1: int, n2: int) -> float:
+    """Pair scan plus compaction of the trivial oblivious join."""
+    pairs = n1 * n2
+    return pairs + routing_comparisons_exact(pairs, pairs)

@@ -1,0 +1,82 @@
+"""Circuit-depth accounting for the join — the §6.2 parallelism remark.
+
+The paper notes that "almost all parts of our algorithm are amenable to
+parallelization since they heavily rely on sorting networks, whose depth is
+O(log^2 n)", the only sequential exception being the `O(m log m)` routing
+scans (which contribute a negligible share of work, Table 3).  This module
+computes the parallel critical path of the whole join: bitonic stages
+count as depth `log k (log k + 1) / 2` for size-k sorts, each routing
+phase is a sequential scan, and linear passes are sequential.
+
+These numbers quantify the claim: the *sort* depth grows polylogarithmically
+while the sequential scans grow linearly — so a parallel implementation is
+scan-bound, exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..obliv.bitonic import network_depth, next_power_of_two
+from ..obliv.routing import largest_hop
+
+
+@dataclass(frozen=True)
+class DepthBreakdown:
+    """Critical-path contributions of the join's stages (in primitive ops)."""
+
+    sort_depth: int
+    routing_depth: int
+    scan_depth: int
+
+    @property
+    def total(self) -> int:
+        return self.sort_depth + self.routing_depth + self.scan_depth
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Share of the critical path spent in (parallelisable) sorts."""
+        return self.sort_depth / self.total if self.total else 0.0
+
+
+def _sort_depth(size: int) -> int:
+    return network_depth(next_power_of_two(size)) if size > 1 else 0
+
+
+def _routing_scan_depth(size: int, m: int) -> int:
+    """The routing network's inner loops are sequential: sum of scan lengths."""
+    total = 0
+    hop = largest_hop(m)
+    while hop >= 1:
+        total += max(size - hop, 0)
+        hop //= 2
+    return total
+
+
+def join_depth(n1: int, n2: int, m: int) -> DepthBreakdown:
+    """Critical path of Algorithm 1 on a machine with unbounded comparators.
+
+    Sorts contribute their network depth (parallel); the routing phases and
+    the linear passes (augment scans, prefix sums, fill-down, align index,
+    zip) are sequential.
+    """
+    n = n1 + n2
+    size1 = max(n1, m)
+    size2 = max(n2, m)
+    sort_depth = (
+        2 * _sort_depth(n)  # augment sorts
+        + max(_sort_depth(size1), _sort_depth(size2))  # expansions run in parallel
+        + _sort_depth(m)  # align sort
+    )
+    routing_depth = max(
+        _routing_scan_depth(size1, m), _routing_scan_depth(size2, m)
+    )
+    scan_depth = 2 * n + n1 + n2 + 3 * m  # fill-dims (2 passes), prefix, fill, align, zip
+    return DepthBreakdown(
+        sort_depth=sort_depth, routing_depth=routing_depth, scan_depth=scan_depth
+    )
+
+
+def depth_series(sizes: list[int]) -> list[tuple[int, DepthBreakdown]]:
+    """Depth breakdown for balanced joins (m ~ n1 = n2 = n/2) per size."""
+    return [(n, join_depth(n // 2, n // 2, n // 2)) for n in sizes]

@@ -1,0 +1,99 @@
+"""Access-pattern visualisation — the Figure 7 reproduction.
+
+The paper's Figure 7 plots the join's full memory trace for two size-4
+tables joining into 8 rows: time on the horizontal axis, memory index on
+the vertical, light shading for reads and dark for writes.  Given a
+recorded event list we rebuild the same raster, as printable text and as a
+portable graymap (PGM) file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memory.tracer import READ, TraceEvent
+
+
+@dataclass
+class TraceRaster:
+    """A time x memory grid of access intensities.
+
+    ``reads`` and ``writes`` hold per-cell access counts; rows are memory
+    (array-offset) buckets, columns are time buckets.
+    """
+
+    reads: np.ndarray
+    writes: np.ndarray
+    array_offsets: dict[int, int]
+    total_cells: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.reads.shape
+
+
+def _layout(events: list[TraceEvent]) -> tuple[dict[int, int], int]:
+    """Stack arrays into one global address space (registration order)."""
+    sizes: dict[int, int] = {}
+    for _op, array_id, index in events:
+        sizes[array_id] = max(sizes.get(array_id, 0), index + 1)
+    offsets: dict[int, int] = {}
+    total = 0
+    for array_id in sorted(sizes):
+        offsets[array_id] = total
+        total += sizes[array_id]
+    return offsets, total
+
+
+def rasterize(
+    events: list[TraceEvent],
+    width: int = 120,
+    height: int = 48,
+) -> TraceRaster:
+    """Bucket an event list into a ``height x width`` access raster."""
+    offsets, total_cells = _layout(events)
+    reads = np.zeros((height, width), dtype=np.int64)
+    writes = np.zeros((height, width), dtype=np.int64)
+    if not events or total_cells == 0:
+        return TraceRaster(reads, writes, offsets, total_cells)
+    duration = len(events)
+    for t, (op, array_id, index) in enumerate(events):
+        col = min(t * width // duration, width - 1)
+        address = offsets[array_id] + index
+        row = min(address * height // total_cells, height - 1)
+        if op == READ:
+            reads[row, col] += 1
+        else:
+            writes[row, col] += 1
+    return TraceRaster(reads, writes, offsets, total_cells)
+
+
+def render_text(raster: TraceRaster) -> str:
+    """ASCII art: ``.`` = untouched, ``░`` = reads, ``█`` = writes touch."""
+    rows = []
+    for r in range(raster.shape[0]):
+        chars = []
+        for c in range(raster.shape[1]):
+            if raster.writes[r, c]:
+                chars.append("█")
+            elif raster.reads[r, c]:
+                chars.append("░")
+            else:
+                chars.append(".")
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def write_pgm(raster: TraceRaster, path: str) -> None:
+    """Save the raster as a (max-value 2) PGM: 0 blank, 1 read, 2 write."""
+    height, width = raster.shape
+    grid = np.zeros((height, width), dtype=np.int64)
+    grid[raster.reads > 0] = 1
+    grid[raster.writes > 0] = 2
+    lines = [f"P2\n{width} {height}\n2"]
+    for row in grid:
+        lines.append(" ".join(str(v) for v in row))
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(lines) + "\n")

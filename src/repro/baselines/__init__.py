@@ -1,0 +1,14 @@
+"""Comparator algorithms from Table 1 of the paper (plus a test oracle)."""
+
+from .hash_join import hash_join, join_multiset
+from .nested_loop import nested_loop_join
+from .opaque_join import opaque_pkfk_join
+from .sort_merge import sort_merge_join
+
+__all__ = [
+    "hash_join",
+    "join_multiset",
+    "nested_loop_join",
+    "opaque_pkfk_join",
+    "sort_merge_join",
+]

@@ -1,0 +1,33 @@
+"""Non-oblivious hash join — the fast correctness oracle.
+
+Not part of the paper's comparison table, but every serious join test suite
+needs an independent reference implementation; the property-based tests
+check the oblivious join against this one on randomly generated tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def hash_join(
+    left: list[tuple[int, int]],
+    right: list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """Equi-join via build + probe; returns ``(d1, d2)`` pairs (unordered)."""
+    buckets: dict[int, list[int]] = defaultdict(list)
+    for j, d in left:
+        buckets[j].append(d)
+    out: list[tuple[int, int]] = []
+    for j, d2 in right:
+        for d1 in buckets.get(j, ()):
+            out.append((d1, d2))
+    return out
+
+
+def join_multiset(
+    left: list[tuple[int, int]],
+    right: list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """The join as a canonically sorted list — the oracle used in tests."""
+    return sorted(hash_join(left, right))

@@ -1,0 +1,65 @@
+"""The trivial oblivious nested-loop join — Table 1's quadratic comparator.
+
+§4.2 notes that an `O(n1·n2 log^2(n1·n2))` oblivious join is trivially
+obtained from a nested-loop join: compare every pair at fixed positions,
+write a match-or-null to a quadratic scratch table, and compact the real
+outputs to the front.  (Agrawal et al.'s "sovereign join" has the same
+`O(n1·n2)` pair-scan core; their output handling was shown insecure in
+[27], which is exactly what the null-padding + compaction here repairs.)
+
+Every access — the pair scan and the compaction — is input-independent, so
+this baseline is *secure* but asymptotically hopeless; the Table 1 bench
+shows the crossover against Algorithm 1 at tiny input sizes.
+"""
+
+from __future__ import annotations
+
+from ..memory.public import PublicArray
+from ..memory.tracer import Tracer
+from ..obliv.compact import compact_by_routing
+from ..obliv.network import NetworkStats
+
+
+def nested_loop_join(
+    left: list[tuple[int, int]],
+    right: list[tuple[int, int]],
+    tracer: Tracer | None = None,
+    stats: NetworkStats | None = None,
+) -> list[tuple[int, int]]:
+    """Oblivious quadratic equi-join; returns ``(d1, d2)`` pairs.
+
+    Access pattern depends only on ``(n1, n2)`` — the scratch table has a
+    cell per pair and the compaction is oblivious; even the output length is
+    only revealed at the end (better than Algorithm 1 needs!), at the price
+    of quadratic work.
+    """
+    tracer = tracer or Tracer()
+    n1 = len(left)
+    n2 = len(right)
+    if n1 == 0 or n2 == 0:
+        return []
+    a = PublicArray(list(left), name="NL1", tracer=tracer)
+    b = PublicArray(list(right), name="NL2", tracer=tracer)
+    scratch = PublicArray(n1 * n2, name="NLpairs", tracer=tracer)
+
+    with tracer.phase("nested:scan"):
+        for i in range(n1):
+            j1, d1 = a.read(i)
+            for k in range(n2):
+                j2, d2 = b.read(k)
+                # Both branches write the same cell: match or null marker.
+                if j1 == j2:
+                    scratch.write(i * n2 + k, (d1, d2))
+                else:
+                    scratch.write(i * n2 + k, None)
+                if stats is not None:
+                    stats.comparisons += 1
+
+    with tracer.phase("nested:compact"):
+        m = compact_by_routing(scratch, lambda c: c is None, stats=stats)
+
+    out = []
+    with tracer.phase("nested:emit"):
+        for i in range(m):
+            out.append(scratch.read(i))
+    return out

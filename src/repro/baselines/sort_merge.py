@@ -1,0 +1,67 @@
+"""The standard (non-oblivious) sort-merge join — Table 1's first row.
+
+This is the `O(m' log m')` classic the paper benchmarks against in Figure 8
+(the "insecure sort-merge" series) and uses in its introduction to explain
+the leakage problem: at every merge step the adversary learns which input
+entries are read and whether they matched (an output write follows).
+
+The merge phase runs over traced :class:`~repro.memory.public.PublicArray`s
+so the leakage is *demonstrable*: ``repro.memory.distinguishing_events``
+pinpoints the first data-dependent access, and the adversary demo in
+``examples/adversary_view.py`` reconstructs group structure from the trace.
+The sorting step stands in for a regular in-place sort (it is non-oblivious
+anyway and its trace is not the interesting part).
+"""
+
+from __future__ import annotations
+
+from ..memory.public import PublicArray
+from ..memory.tracer import Tracer
+
+
+def sort_merge_join(
+    left: list[tuple[int, int]],
+    right: list[tuple[int, int]],
+    tracer: Tracer | None = None,
+) -> list[tuple[int, int]]:
+    """Classic sort-merge equi-join; returns ``(d1, d2)`` pairs.
+
+    Handles duplicate join values on both sides with the standard
+    block-rescan: when a run of equal keys is found on both sides, the right
+    run is rescanned for every left entry in the run.
+    """
+    tracer = tracer or Tracer()
+    a = PublicArray(sorted(left), name="SM1", tracer=tracer)
+    b = PublicArray(sorted(right), name="SM2", tracer=tracer)
+    out: list[tuple[int, int]] = []
+    output = PublicArray(len(left) * len(right) + 1, name="SMout", tracer=tracer)
+
+    n1 = len(a)
+    n2 = len(b)
+    i = 0
+    k = 0
+    cursor = 0
+    with tracer.phase("merge"):
+        while i < n1 and k < n2:
+            j1, d1 = a.read(i)
+            j2, d2 = b.read(k)
+            if j1 < j2:
+                i += 1
+            elif j1 > j2:
+                k += 1
+            else:
+                # Equal keys: scan the whole right-side run for this left row.
+                run = k
+                while run < n2:
+                    j2r, d2r = b.read(run)
+                    if j2r != j1:
+                        break
+                    output.write(cursor, (d1, d2r))
+                    out.append((d1, d2r))
+                    cursor += 1
+                    run += 1
+                i += 1
+                # The right pointer only advances once the left run ends.
+                if i < n1 and a.read(i)[0] != j1:
+                    k = run
+    return out

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``join``     oblivious equi-join of two CSV files
+``verify``   run the §6.1 trace-equality experiment and print the hashes
+``trace``    print a Figure-7-style access-pattern raster for a small join
+``predict``  Figure-8 enclave cost predictions for a given input size
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from .analysis.viz import rasterize, render_text
+from .core.join import oblivious_join
+from .db.query import ObliviousEngine
+from .db.schema import Schema
+from .db.table import DBTable
+from .enclave.costmodel import EnclaveCostModel
+from .memory.monitor import run_hashed, run_logged
+from .workloads.generators import matched_class
+
+
+def _infer_table(path: str) -> DBTable:
+    """Load a headered CSV, inferring int columns when every value parses."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise SystemExit(f"{path}: empty file")
+    header, data = rows[0], rows[1:]
+
+    def is_int(col: int) -> bool:
+        try:
+            for row in data:
+                int(row[col])
+        except (ValueError, IndexError):
+            return False
+        return True
+
+    specs = [
+        f"{name}:{'int' if is_int(i) else 'str'}" for i, name in enumerate(header)
+    ]
+    schema = Schema.of(*specs)
+    typed = [
+        tuple(
+            int(value) if column.type == "int" else value
+            for value, column in zip(row, schema.columns)
+        )
+        for row in data
+    ]
+    return DBTable(schema, typed)
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    left = _infer_table(args.left)
+    right = _infer_table(args.right)
+    engine = ObliviousEngine()
+    result = engine.join(left, right, on=(args.left_on, args.right_on))
+    writer = csv.writer(sys.stdout if args.output == "-" else open(args.output, "w", newline=""))
+    writer.writerow(result.schema.names())
+    for row in result.rows:
+        writer.writerow(row)
+    print(f"m = {len(result)} rows", file=sys.stderr)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    inputs = matched_class(args.n1, args.n2, seed=args.seed)
+    hashes = []
+    for workload in inputs:
+        digest, count, _ = run_hashed(
+            lambda t, w=workload: oblivious_join(w.left, w.right, tracer=t)
+        )
+        hashes.append(digest)
+        print(f"{workload.name:10s} (n1={workload.n1}, n2={workload.n2}, "
+              f"m={workload.m}): {digest[:40]}... [{count} accesses]")
+    if len(set(hashes)) == 1:
+        print("OBLIVIOUS: all trace hashes in the class are identical")
+        return 0
+    print("VIOLATION: trace hashes differ within one input class")
+    return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    half = max(args.n // 2, 1)
+    left = [(k, k) for k in range(half)]
+    right = [(k, k + 100) for k in range(half)]
+    events, result = run_logged(
+        lambda t: oblivious_join(left, right, tracer=t)
+    )
+    raster = rasterize(events, width=args.width, height=args.height)
+    print(f"join {half}x{half} -> m={result.m}: {len(events)} accesses")
+    print(render_text(raster))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = EnclaveCostModel()
+    point = model.figure8_point(args.n)
+    print(f"predicted runtimes at n = {args.n:,} (m ~ n1 = n2 = n/2):")
+    for variant, seconds in point.items():
+        print(f"  {variant:22s} {seconds:10.3f} s")
+    knee = model.epc_knee_input_size()
+    print(f"EPC paging knee at n ~ {knee:,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Oblivious database joins (VLDB 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    join = sub.add_parser("join", help="oblivious equi-join of two CSV files")
+    join.add_argument("left")
+    join.add_argument("right")
+    join.add_argument("--left-on", required=True, help="left join column")
+    join.add_argument("--right-on", required=True, help="right join column")
+    join.add_argument("--output", default="-", help="output CSV ('-' = stdout)")
+    join.set_defaults(func=_cmd_join)
+
+    verify = sub.add_parser("verify", help="trace-equality experiment (§6.1)")
+    verify.add_argument("--n1", type=int, default=8)
+    verify.add_argument("--n2", type=int, default=8)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(func=_cmd_verify)
+
+    trace = sub.add_parser("trace", help="Figure-7-style access raster")
+    trace.add_argument("--n", type=int, default=8, help="total input size")
+    trace.add_argument("--width", type=int, default=100)
+    trace.add_argument("--height", type=int, default=30)
+    trace.set_defaults(func=_cmd_trace)
+
+    predict = sub.add_parser("predict", help="Figure-8 enclave predictions")
+    predict.add_argument("--n", type=int, default=1_000_000)
+    predict.set_defaults(func=_cmd_predict)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Algorithm 5: align the expanded S2 with S1.
+
+After expansion, group blocks in S2 hold each T2 entry as ``α1`` contiguous
+copies; S1 holds each T1 entry as ``α2`` contiguous copies.  For the final
+zip to enumerate every pair of the group's Cartesian product, the k-th copy
+of the r-th T2 entry must land at in-block position ``k·α2 + r`` — i.e. the
+block is transposed from copy-major to entry-major order.  With ``q`` the
+0-based position of an entry inside its block, the destination is::
+
+    ii = floor(q / α1) + (q mod α1) · α2
+
+**Erratum note.** Algorithm 5 in the paper prints the formula with α1 and α2
+exchanged (``q/α2`` and ``·α1``); that version mismatches the paper's own
+Figure 5 and §5.4 prose (which, as the worked example shows, rename α1 to
+mean "the block size of S1" = our α2).  In the α1/α2 convention fixed in
+§4.4 — α1 = group count in T1, α2 = group count in T2 — the correct formula
+is the one above; ``tests/test_align.py`` pins both the Figure 5 example and
+randomized cross-checks against the naive join.
+
+The in-block position ``q`` is a local-memory counter reset at group
+boundaries (like the counter of Algorithm 2), and the reorder itself is one
+bitonic sort by ``(j, ii)``.
+"""
+
+from __future__ import annotations
+
+from ..memory.local import LocalContext
+from ..memory.public import PublicArray
+from ..memory.tracer import Tracer
+from ..obliv.bitonic import bitonic_sort
+from ..obliv.compare import SortSpec, attr_key
+from ..obliv.network import NetworkStats
+
+#: Final reordering of S2: by join value, then by alignment index.
+SPEC_J_II = SortSpec(attr_key("j"), attr_key("ii"))
+
+
+def compute_alignment_indices(
+    table: PublicArray, local: LocalContext | None = None
+) -> None:
+    """Store each entry's alignment destination in its ``ii`` attribute."""
+    local = local or LocalContext()
+    with local.slot(2):
+        prev_j = None
+        q = 0
+        for i in range(len(table)):
+            e = table.read(i).copy()
+            if prev_j is None or e.j != prev_j:
+                prev_j = e.j
+                q = 0
+            else:
+                q += 1
+            e.ii = (q // e.a1) + (q % e.a1) * e.a2
+            table.write(i, e)
+
+
+def align_table(
+    s2: PublicArray,
+    tracer: Tracer,
+    stats: NetworkStats | None = None,
+    local: LocalContext | None = None,
+) -> None:
+    """Reorder ``s2`` in place so row i matches row i of S1 (Algorithm 5)."""
+    with tracer.phase("align:index"):
+        compute_alignment_indices(s2, local=local)
+    with tracer.phase("align:sort(j,ii)"):
+        bitonic_sort(s2, SPEC_J_II, stats=stats)

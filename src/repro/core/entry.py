@@ -1,0 +1,158 @@
+"""Database entry layout used by the traced join engine.
+
+The paper's tables hold pairs ``(j, d)`` — a join-attribute value and a data
+value — progressively augmented with the group dimensions ``α1, α2``
+(Alg. 2), a destination index ``f`` (Alg. 3/4), and an alignment index
+``ii`` (Alg. 5).  :class:`Entry` carries all of these in one fixed-shape
+record, the unit in which the algorithm reads and writes public memory
+("local memory on the order of the size of one database entry", §4.3).
+
+Entries are plain mutable records; algorithm code follows the discipline of
+copying before mutating (``entry.copy()``), mirroring the paper's
+``e <-? T[i]; ...; T[i] <-? e`` pattern where ``e`` lives in local memory.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..memory.encryption import Codec
+
+
+class Entry:
+    """One (augmented) database entry.
+
+    Attributes
+    ----------
+    j / d:
+        Join-attribute and data-attribute values (dictionary-encoded ints at
+        this layer; :mod:`repro.db` maps richer types onto them).
+    tid:
+        Originating table id (1 or 2) used during augmentation.
+    a1 / a2:
+        Group dimensions α1, α2 (how many entries of the entry's join value
+        appear in T1 / T2).
+    f:
+        0-based destination index for oblivious distribution; -1 when unset.
+    ii:
+        Alignment index of Algorithm 5; -1 when unset.
+    null:
+        True for ∅ (dummy/discarded) entries.
+    """
+
+    __slots__ = ("j", "d", "tid", "a1", "a2", "f", "ii", "null")
+
+    def __init__(
+        self,
+        j: int = 0,
+        d: int = 0,
+        tid: int = 0,
+        a1: int = 0,
+        a2: int = 0,
+        f: int = -1,
+        ii: int = -1,
+        null: bool = False,
+    ) -> None:
+        self.j = j
+        self.d = d
+        self.tid = tid
+        self.a1 = a1
+        self.a2 = a2
+        self.f = f
+        self.ii = ii
+        self.null = null
+
+    @classmethod
+    def make_null(cls) -> "Entry":
+        """A fresh ∅ entry (all-zero payload, null flag set)."""
+        return cls(null=True)
+
+    def copy(self) -> "Entry":
+        clone = Entry.__new__(Entry)
+        clone.j = self.j
+        clone.d = self.d
+        clone.tid = self.tid
+        clone.a1 = self.a1
+        clone.a2 = self.a2
+        clone.f = self.f
+        clone.ii = self.ii
+        clone.null = self.null
+        return clone
+
+    @property
+    def is_null(self) -> bool:
+        return self.null
+
+    def as_pair(self) -> tuple[int, int]:
+        return (self.j, self.d)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return (
+            self.j == other.j
+            and self.d == other.d
+            and self.tid == other.tid
+            and self.a1 == other.a1
+            and self.a2 == other.a2
+            and self.f == other.f
+            and self.ii == other.ii
+            and self.null == other.null
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - entries rarely hashed
+        return hash((self.j, self.d, self.tid, self.null))
+
+    def __repr__(self) -> str:
+        if self.null:
+            return "Entry(∅)"
+        extras = []
+        if self.tid:
+            extras.append(f"tid={self.tid}")
+        if self.a1 or self.a2:
+            extras.append(f"a1={self.a1}, a2={self.a2}")
+        if self.f >= 0:
+            extras.append(f"f={self.f}")
+        if self.ii >= 0:
+            extras.append(f"ii={self.ii}")
+        suffix = (", " + ", ".join(extras)) if extras else ""
+        return f"Entry(j={self.j}, d={self.d}{suffix})"
+
+
+def entries_from_pairs(pairs, tid: int = 0) -> list[Entry]:
+    """Build entry records from an iterable of ``(j, d)`` pairs."""
+    return [Entry(j=j, d=d, tid=tid) for j, d in pairs]
+
+
+def pairs_from_entries(entries) -> list[tuple[int, int]]:
+    """Extract ``(j, d)`` pairs, skipping null entries."""
+    return [(e.j, e.d) for e in entries if not e.null]
+
+
+class EntryCodec(Codec):
+    """Fixed-width binary codec so entries can live encrypted at rest.
+
+    Every entry of every table encrypts to the same ciphertext length, so
+    cell sizes leak nothing about contents.
+    """
+
+    _STRUCT = struct.Struct("<qqqqqqqB")
+    WIDTH = _STRUCT.size
+
+    def encode(self, value) -> bytes:
+        if value is None:
+            value = Entry.make_null()
+        return self._STRUCT.pack(
+            value.j,
+            value.d,
+            value.tid,
+            value.a1,
+            value.a2,
+            value.f,
+            value.ii,
+            1 if value.null else 0,
+        )
+
+    def decode(self, data: bytes):
+        j, d, tid, a1, a2, f, ii, null = self._STRUCT.unpack(data)
+        return Entry(j=j, d=d, tid=tid, a1=a1, a2=a2, f=f, ii=ii, null=bool(null))

@@ -1,0 +1,98 @@
+"""Multi-way equi-joins via cascaded binary oblivious joins (§7).
+
+The paper leaves compound queries as future work; the natural composition —
+folding a sequence of binary oblivious joins left to right — is implemented
+here.  Each step is the full Algorithm 1, so every intermediate access
+pattern stays oblivious; what *is* revealed is each intermediate result
+size (the same deliberate leak as ``m`` for a single join, compounded once
+per step — callers who need to hide intermediate sizes must pad upstream).
+
+Rows are tuples; the payload threaded through the integer-only core engine
+is an index into a row catalogue kept in (untraced) client memory, mirroring
+how a real deployment would pass opaque record handles through the oblivious
+operator while the payload bytes travel alongside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InputError
+from ..memory.tracer import Tracer
+from .join import JoinResult, oblivious_join
+
+
+@dataclass
+class MultiwayResult:
+    """Result of a cascade of binary oblivious joins."""
+
+    rows: list[tuple]
+    intermediate_sizes: list[int]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _encode(rows: list[tuple], key_column: int) -> list[tuple[int, int]]:
+    pairs = []
+    for index, row in enumerate(rows):
+        key = row[key_column]
+        if not isinstance(key, int):
+            raise InputError(
+                f"join keys must be dictionary-encoded ints, got {type(key).__name__}"
+            )
+        pairs.append((key, index))
+    return pairs
+
+
+def oblivious_multiway_join(
+    tables: list[list[tuple]],
+    keys: list[tuple[int, int]],
+    tracer: Tracer | None = None,
+) -> MultiwayResult:
+    """Join ``tables[0] ⋈ tables[1] ⋈ ... ⋈ tables[k]`` pairwise.
+
+    Parameters
+    ----------
+    tables:
+        Row tuples per table; every column that serves as a join key must be
+        an int (use :class:`repro.db.encoding.DictionaryEncoder` for other
+        types).
+    keys:
+        For each of the ``k`` join steps, ``(left_column, right_column)``:
+        ``left_column`` indexes the *accumulated* row (all columns of the
+        tables joined so far, concatenated), ``right_column`` indexes the
+        next table's row.
+
+    Returns
+    -------
+    MultiwayResult
+        Concatenated row tuples plus the (revealed) size after every step.
+    """
+    if len(tables) < 2:
+        raise InputError("a multiway join needs at least two tables")
+    if len(keys) != len(tables) - 1:
+        raise InputError(
+            f"{len(tables)} tables need {len(tables) - 1} key specs, got {len(keys)}"
+        )
+    tracer = tracer or Tracer()
+
+    accumulated = list(tables[0])
+    sizes: list[int] = []
+    for step, next_table in enumerate(tables[1:]):
+        left_col, right_col = keys[step]
+        if accumulated and not 0 <= left_col < len(accumulated[0]):
+            raise InputError(f"left key column {left_col} out of range at step {step}")
+        if next_table and not 0 <= right_col < len(next_table[0]):
+            raise InputError(f"right key column {right_col} out of range at step {step}")
+        result: JoinResult = oblivious_join(
+            _encode(accumulated, left_col),
+            _encode(list(next_table), right_col),
+            tracer=tracer,
+        )
+        accumulated = [
+            accumulated[left_index] + tuple(next_table[right_index])
+            for left_index, right_index in result.pairs
+        ]
+        sizes.append(result.m)
+    return MultiwayResult(rows=accumulated, intermediate_sizes=sizes)

@@ -1,0 +1,85 @@
+"""Per-phase instrumentation for the join pipeline (feeds Table 3).
+
+The paper's Table 3 breaks the algorithm's cost into four components
+(initial sorts on TC, the sorts inside the two oblivious distributions, the
+routing passes, and the align sort) and reports both comparison counts and
+each component's share of total runtime.  :class:`JoinCounters` collects
+exactly that: a :class:`~repro.obliv.network.NetworkStats` per named phase
+plus wall-clock time per phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..obliv.network import NetworkStats
+
+#: Canonical phase names used by the join pipeline.
+PHASE_AUGMENT_SORT1 = "augment_sort1"
+PHASE_AUGMENT_SORT2 = "augment_sort2"
+PHASE_FILL_DIMS = "fill_dimensions"
+PHASE_EXPAND1_SORT = "expand1_sort"
+PHASE_EXPAND1_ROUTE = "expand1_route"
+PHASE_EXPAND2_SORT = "expand2_sort"
+PHASE_EXPAND2_ROUTE = "expand2_route"
+PHASE_ALIGN_SORT = "align_sort"
+PHASE_LINEAR = "linear_passes"
+
+#: Table 3 groupings: paper row -> contributing phases.
+TABLE3_GROUPS = {
+    "initial sorts on TC": (PHASE_AUGMENT_SORT1, PHASE_AUGMENT_SORT2),
+    "o.d. on T1, T2 (sort)": (PHASE_EXPAND1_SORT, PHASE_EXPAND2_SORT),
+    "o.d. on T1, T2 (route)": (PHASE_EXPAND1_ROUTE, PHASE_EXPAND2_ROUTE),
+    "align sort on S2": (PHASE_ALIGN_SORT,),
+}
+
+
+@dataclass
+class JoinCounters:
+    """Comparison counts and wall time, keyed by pipeline phase."""
+
+    stats_by_phase: dict[str, NetworkStats] = field(default_factory=dict)
+    seconds_by_phase: dict[str, float] = field(default_factory=dict)
+
+    def stats(self, phase: str) -> NetworkStats:
+        """The (auto-created) counter bundle for ``phase``."""
+        if phase not in self.stats_by_phase:
+            self.stats_by_phase[phase] = NetworkStats()
+        return self.stats_by_phase[phase]
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        """Accumulate wall-clock time spent in the block under ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds_by_phase[phase] = (
+                self.seconds_by_phase.get(phase, 0.0) + elapsed
+            )
+
+    def comparisons(self, phase: str) -> int:
+        stats = self.stats_by_phase.get(phase)
+        return stats.comparisons if stats else 0
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(s.comparisons for s in self.stats_by_phase.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_phase.values())
+
+    def table3_rows(self) -> list[tuple[str, int, float]]:
+        """(component, comparisons, runtime share) rows in Table 3's layout."""
+        total_time = self.total_seconds or 1.0
+        rows = []
+        for label, phases in TABLE3_GROUPS.items():
+            comparisons = sum(self.comparisons(p) for p in phases)
+            seconds = sum(self.seconds_by_phase.get(p, 0.0) for p in phases)
+            rows.append((label, comparisons, seconds / total_time))
+        return rows

@@ -1,0 +1,61 @@
+"""Oblivious DISTINCT and UNION — further sorting-network operators.
+
+§3.5 of the paper observes that most database operators are easy to make
+oblivious by direct application of sorting networks; these two are the
+canonical examples: sort, mark adjacent duplicates in one linear pass
+(dummy-writing every cell), compact.  Both reveal only input sizes and the
+(deliberately public) distinct count.
+"""
+
+from __future__ import annotations
+
+from ..memory.public import PublicArray
+from ..memory.tracer import Tracer
+from ..obliv.bitonic import bitonic_sort
+from ..obliv.compact import compact_by_routing
+from ..obliv.compare import identity_key, spec
+from ..obliv.network import NetworkStats
+
+_IDENTITY = spec(identity_key())
+
+
+def oblivious_distinct(
+    values: list,
+    tracer: Tracer | None = None,
+    stats: NetworkStats | None = None,
+) -> list:
+    """Distinct values of ``values``, ascending, with an oblivious trace.
+
+    Sort (`O(n log^2 n)`), one scan replacing each duplicate-of-previous
+    with a null marker (every cell rewritten), compact (`O(n log n)`).
+    """
+    tracer = tracer or Tracer()
+    n = len(values)
+    if n == 0:
+        return []
+    array = PublicArray(list(values), name="DST", tracer=tracer)
+    with tracer.phase("distinct:sort"):
+        bitonic_sort(array, _IDENTITY, stats=stats)
+    sentinel = object()
+    with tracer.phase("distinct:mark"):
+        previous = sentinel
+        for i in range(n):
+            value = array.read(i)
+            if previous is not sentinel and value == previous:
+                array.write(i, sentinel)
+            else:
+                array.write(i, value)
+                previous = value
+    with tracer.phase("distinct:compact"):
+        count = compact_by_routing(array, lambda v: v is sentinel, stats=stats)
+    return [array.read(i) for i in range(count)]
+
+
+def oblivious_union(
+    left: list,
+    right: list,
+    tracer: Tracer | None = None,
+    stats: NetworkStats | None = None,
+) -> list:
+    """Set union (duplicates removed) with an oblivious trace."""
+    return oblivious_distinct(list(left) + list(right), tracer=tracer, stats=stats)

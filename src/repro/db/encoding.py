@@ -1,0 +1,48 @@
+"""Dictionary encoding: mapping rich column values onto engine integers.
+
+The oblivious core operates on int64 join keys and payloads (fixed-width
+cells are what make "one entry" a meaningful unit of local memory).  A
+:class:`DictionaryEncoder` maps arbitrary hashable column values to dense
+integer codes and back, the standard columnar-database technique.
+
+The mapping is *not* order-preserving — equality joins and grouping only
+need consistency — so ORDER BY over encoded columns decodes before
+comparing (see :mod:`repro.db.query`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import InputError
+
+
+class DictionaryEncoder:
+    """Assigns dense integer codes to values, first-seen order."""
+
+    def __init__(self) -> None:
+        self._code_of: dict[Hashable, int] = {}
+        self._value_of: list[Hashable] = []
+
+    def encode(self, value: Hashable) -> int:
+        """Code for ``value``, allocating a fresh one on first sight."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._value_of)
+            self._code_of[value] = code
+            self._value_of.append(value)
+        return code
+
+    def encode_many(self, values) -> list[int]:
+        return [self.encode(v) for v in values]
+
+    def decode(self, code: int) -> Hashable:
+        if not 0 <= code < len(self._value_of):
+            raise InputError(f"unknown dictionary code {code}")
+        return self._value_of[code]
+
+    def __len__(self) -> int:
+        return len(self._value_of)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._code_of

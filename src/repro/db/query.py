@@ -1,0 +1,174 @@
+"""Oblivious query operators over :class:`~repro.db.table.DBTable`.
+
+An :class:`ObliviousEngine` wires the relational layer to the oblivious
+core: join keys are dictionary-encoded to ints, row payloads travel through
+the oblivious operators as opaque handles (indices into the client-side row
+catalogue), and every data-dependent rearrangement happens inside a traced
+oblivious primitive.  What the adversary sees is the primitives' traces —
+determined by table sizes and (deliberately revealed) result sizes only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.aggregate import oblivious_group_by, oblivious_join_aggregate
+from ..core.join import oblivious_join
+from ..errors import SchemaError
+from ..memory.public import PublicArray
+from ..memory.tracer import Tracer
+from ..obliv.bitonic import bitonic_sort
+from ..obliv.compact import compact_by_routing
+from ..obliv.compare import SortKey, SortSpec
+from .encoding import DictionaryEncoder
+from .schema import Schema
+from .table import DBTable, require_int_column
+
+
+class ObliviousEngine:
+    """Executes relational operators with oblivious access patterns."""
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer or Tracer()
+        self.encoder = DictionaryEncoder()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _encode_key(self, table: DBTable, column: str) -> list[int]:
+        index = table.schema.index(column)
+        ctype = table.schema.column(column).type
+        if ctype == "int":
+            return [row[index] for row in table.rows]
+        return [self.encoder.encode(row[index]) for row in table.rows]
+
+    # -- operators ----------------------------------------------------------
+
+    def join(
+        self,
+        left: DBTable,
+        right: DBTable,
+        on: tuple[str, str],
+        prefixes: tuple[str, str] = ("l", "r"),
+    ) -> DBTable:
+        """Oblivious equi-join of two tables on ``on = (left_col, right_col)``.
+
+        The result contains all columns of both inputs (clashing names get
+        dotted prefixes).  Core algorithm: the paper's Algorithm 1.
+        """
+        left_keys = self._encode_key(left, on[0])
+        right_keys = self._encode_key(right, on[1])
+        pairs_left = list(zip(left_keys, range(len(left))))
+        pairs_right = list(zip(right_keys, range(len(right))))
+        result = oblivious_join(pairs_left, pairs_right, tracer=self.tracer)
+        schema = left.schema.concat(right.schema, prefixes)
+        rows = [
+            left.rows[li] + right.rows[ri] for li, ri in result.pairs
+        ]
+        return DBTable(schema, rows)
+
+    def filter(self, table: DBTable, predicate: Callable[[tuple], bool]) -> DBTable:
+        """Oblivious selection: mark-and-compact, revealing only the count.
+
+        ``predicate`` is evaluated on rows held in local memory; the public
+        trace is one linear pass plus an oblivious compaction.
+        """
+        n = len(table)
+        if n == 0:
+            return DBTable(table.schema, [])
+        cells = PublicArray(n, name="FILTER", tracer=self.tracer)
+        for i, row in enumerate(table.rows):
+            cells.write(i, i if predicate(row) else None)
+        count = compact_by_routing(cells, lambda c: c is None)
+        kept = [table.rows[cells.read(i)] for i in range(count)]
+        return DBTable(table.schema, kept)
+
+    def order_by(self, table: DBTable, columns: list[tuple[str, bool]]) -> DBTable:
+        """Oblivious ORDER BY via a bitonic sort of row handles."""
+        n = len(table)
+        if n <= 1:
+            return DBTable(table.schema, table.rows)
+        indices = [table.schema.index(name) for name, _ in columns]
+        cells = PublicArray(n, name="ORDER", tracer=self.tracer)
+        for i, row in enumerate(table.rows):
+            cells.write(i, row)
+        spec = SortSpec(
+            *(
+                SortKey(getter=lambda r, _i=idx: r[_i], ascending=asc, name=name)
+                for (name, asc), idx in zip(columns, indices)
+            )
+        )
+        bitonic_sort(cells, spec)
+        return DBTable(table.schema, cells.snapshot())
+
+    def group_by(
+        self, table: DBTable, key: str, value: str
+    ) -> DBTable:
+        """Oblivious GROUP BY ``key`` with count/sum/min/max over ``value``."""
+        require_int_column(table, value)
+        keys = self._encode_key(table, key)
+        value_index = table.schema.index(value)
+        pairs = [(k, row[value_index]) for k, row in zip(keys, table.rows)]
+        groups = oblivious_group_by(pairs, tracer=self.tracer)
+        key_type = table.schema.column(key).type
+        schema = Schema.of(
+            f"{key}:{key_type}", "count:int", f"sum_{value}:int",
+            f"min_{value}:int", f"max_{value}:int",
+        )
+        rows = []
+        for g in groups:
+            key_value = g.j if key_type == "int" else self.encoder.decode(g.j)
+            rows.append((key_value, g.count1, g.sum_d1, g.min_d1, g.max_d1))
+        return DBTable(schema, rows)
+
+    def join_aggregate(
+        self,
+        left: DBTable,
+        right: DBTable,
+        on: tuple[str, str],
+        values: tuple[str, str],
+    ) -> DBTable:
+        """Grouped aggregates over a join *without* materialising it (§7).
+
+        Returns per-key: the joined-pair count, SUM of each side's value
+        over the joined rows, and SUM of their product — all computed in
+        `O(n log^2 n)` independent of the join size.
+        """
+        left_keys = self._encode_key(left, on[0])
+        right_keys = self._encode_key(right, on[1])
+        lv = require_int_column(left, values[0])
+        rv = require_int_column(right, values[1])
+        pairs_left = [(k, row[lv]) for k, row in zip(left_keys, left.rows)]
+        pairs_right = [(k, row[rv]) for k, row in zip(right_keys, right.rows)]
+        groups = oblivious_join_aggregate(pairs_left, pairs_right, tracer=self.tracer)
+        key_type = left.schema.column(on[0]).type
+        schema = Schema.of(
+            f"{on[0]}:{key_type}", "pairs:int",
+            f"sum_{values[0]}:int", f"sum_{values[1]}:int", "sum_product:int",
+        )
+        rows = []
+        for g in groups:
+            key_value = g.j if key_type == "int" else self.encoder.decode(g.j)
+            rows.append(
+                (key_value, g.pair_count, g.join_sum_d1, g.join_sum_d2,
+                 g.join_sum_product)
+            )
+        return DBTable(schema, rows)
+
+    def multiway_join(
+        self,
+        tables: list[DBTable],
+        on: list[tuple[str, str]],
+    ) -> DBTable:
+        """Left-deep cascade of oblivious joins (§7): ``t0 ⋈ t1 ⋈ ...``.
+
+        ``on[k] = (accumulated_col, next_col)`` names the key columns for
+        step k; accumulated column names follow :meth:`join`'s prefixing.
+        """
+        if len(tables) < 2 or len(on) != len(tables) - 1:
+            raise SchemaError("need k tables and k-1 key column pairs")
+        current = tables[0]
+        for step, next_table in enumerate(tables[1:]):
+            current = self.join(
+                current, next_table, on[step], prefixes=(f"t{step}", f"t{step + 1}")
+            )
+        return current

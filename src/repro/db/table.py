@@ -1,0 +1,103 @@
+"""In-memory tables for the mini relational engine."""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Iterator
+
+from ..errors import SchemaError
+from .schema import Column, Schema
+
+
+class DBTable:
+    """An immutable-ish list of typed rows under a schema."""
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple] = ()) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        for row in rows:
+            row = tuple(row)
+            schema.validate_row(row)
+            self.rows.append(row)
+
+    @classmethod
+    def from_rows(cls, specs: list[str], rows: Iterable[tuple]) -> "DBTable":
+        """Build a table with ``Schema.of(*specs)``."""
+        return cls(Schema.of(*specs), rows)
+
+    @classmethod
+    def from_csv(cls, path: str, specs: list[str]) -> "DBTable":
+        """Load a headered CSV, coercing columns per the schema."""
+        schema = Schema.of(*specs)
+        rows = []
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for record in reader:
+                row = tuple(
+                    int(record[c.name]) if c.type == "int" else str(record[c.name])
+                    for c in schema.columns
+                )
+                rows.append(row)
+        return cls(schema, rows)
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        index = self.schema.index(name)
+        return [row[index] for row in self.rows]
+
+    def project(self, names: list[str]) -> "DBTable":
+        """Keep only the named columns (in the given order)."""
+        indices = [self.schema.index(n) for n in names]
+        schema = Schema([self.schema.columns[i] for i in indices])
+        return DBTable(schema, [tuple(row[i] for i in indices) for row in self.rows])
+
+    def rename(self, mapping: dict[str, str]) -> "DBTable":
+        """A copy with columns renamed per ``mapping``."""
+        columns = [
+            Column(mapping.get(c.name, c.name), c.type) for c in self.schema.columns
+        ]
+        return DBTable(Schema(columns), self.rows)
+
+    def head(self, count: int = 5) -> list[tuple]:
+        return self.rows[:count]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DBTable):
+            return NotImplemented
+        return self.schema == other.schema and sorted(self.rows) == sorted(other.rows)
+
+    def pretty(self, limit: int = 10) -> str:
+        """A fixed-width text rendering (for examples and docs)."""
+        names = self.schema.names()
+        shown = [tuple(str(v) for v in row) for row in self.rows[:limit]]
+        widths = [
+            max(len(name), *(len(r[i]) for r in shown)) if shown else len(name)
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in shown:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"DBTable({self.schema!r}, rows={len(self.rows)})"
+
+
+def require_int_column(table: DBTable, name: str) -> int:
+    """Index of an int column, with a schema-aware error."""
+    column = table.schema.column(name)
+    if column.type != "int":
+        raise SchemaError(
+            f"column {name!r} must be int for this operation, is {column.type}"
+        )
+    return table.schema.index(name)

@@ -1,0 +1,18 @@
+"""SGX enclave simulation: EPC paging and calibrated runtime prediction."""
+
+from .costmodel import (
+    PAPER_OPAQUE_SLOWDOWN,
+    PAPER_RUNTIME_AT_1M,
+    VARIANTS,
+    EnclaveCostModel,
+)
+from .epc import MIB, EPCModel
+
+__all__ = [
+    "PAPER_OPAQUE_SLOWDOWN",
+    "PAPER_RUNTIME_AT_1M",
+    "VARIANTS",
+    "EnclaveCostModel",
+    "MIB",
+    "EPCModel",
+]

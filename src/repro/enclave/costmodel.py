@@ -1,0 +1,138 @@
+"""Calibrated SGX runtime model — the Figure 8 substitute for real hardware.
+
+We have no SGX machine, so the three hardware series of Figure 8 (C++
+prototype, SGX version, transformed SGX version) are *simulated*: the
+analytic operation counts of :mod:`repro.analysis.counts` are converted to
+seconds with per-variant cost factors calibrated against the paper's
+measured endpoints at n = 10^6 on an i5-7300U @ 2.6 GHz:
+
+=================  ========  =============================
+variant            paper t    derived factor
+prototype          2.35 s     ~15.4 cycles / comparison
+sgx                5.67 s     2.41x prototype
+sgx_transformed    6.30 s     2.68x prototype
+insecure merge     0.03 s     ~2.5 cycles / merge step
+=================  ========  =============================
+
+Because the model is calibrated at a single point and evaluated across the
+sweep, agreement at 10^6 is by construction — the *reproduction content* is
+the shape across sizes and the relative ordering of the series, which the
+bench compares against the paper's curves at every other size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.counts import (
+    sort_merge_operations,
+    total_comparisons_exact,
+    total_comparisons_paper,
+)
+from ..errors import EnclaveError
+from .epc import EPCModel
+
+#: Paper-reported Figure 8 endpoints at n = 10^6 (m ~ n1 = n2 = n/2).
+PAPER_RUNTIME_AT_1M = {
+    "prototype": 2.35,
+    "sgx": 5.67,
+    "sgx_transformed": 6.30,
+    "insecure_sort_merge": 0.03,
+}
+
+#: Opaque's SGX implementation is reported ~5x slower at n = 10^6 (§6.2).
+PAPER_OPAQUE_SLOWDOWN = 5.0
+
+VARIANTS = ("prototype", "sgx", "sgx_transformed")
+
+
+def _calibrate_cycles_per_comparison(clock_hz: float) -> float:
+    n = 10**6
+    comparisons = total_comparisons_paper(n)
+    return PAPER_RUNTIME_AT_1M["prototype"] * clock_hz / comparisons
+
+
+@dataclass
+class EnclaveCostModel:
+    """Predicts wall-clock seconds for each Figure 8 series."""
+
+    clock_hz: float = 2.6e9
+    entry_bytes: int = 24
+    epc: EPCModel = field(default_factory=EPCModel)
+    cycles_per_comparison: float = 0.0
+    cycles_per_merge_step: float = 0.0
+    variant_factors: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise EnclaveError("clock rate must be positive")
+        if not self.cycles_per_comparison:
+            self.cycles_per_comparison = _calibrate_cycles_per_comparison(self.clock_hz)
+        if not self.cycles_per_merge_step:
+            ops = sort_merge_operations(500_000, 500_000, 500_000)
+            self.cycles_per_merge_step = (
+                PAPER_RUNTIME_AT_1M["insecure_sort_merge"] * self.clock_hz / ops
+            )
+        if not self.variant_factors:
+            base = PAPER_RUNTIME_AT_1M["prototype"]
+            self.variant_factors = {
+                "prototype": 1.0,
+                "sgx": PAPER_RUNTIME_AT_1M["sgx"] / base,
+                "sgx_transformed": PAPER_RUNTIME_AT_1M["sgx_transformed"] / base,
+            }
+
+    def footprint_bytes(self, n1: int, n2: int, m: int) -> int:
+        """§6.2's space bound: ``max(n1, m) + max(n2, m)`` entries."""
+        return (max(n1, m) + max(n2, m)) * self.entry_bytes
+
+    def predict_join_seconds(
+        self, n1: int, n2: int, m: int, variant: str = "prototype"
+    ) -> float:
+        """Predicted runtime of the oblivious join for one Figure 8 series.
+
+        SGX variants additionally pay the EPC paging slowdown once the
+        §6.2 footprint exceeds the page cache.
+        """
+        if variant not in self.variant_factors:
+            raise EnclaveError(
+                f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        comparisons = total_comparisons_exact(n1, n2, m)
+        seconds = comparisons * self.cycles_per_comparison / self.clock_hz
+        seconds *= self.variant_factors[variant]
+        if variant != "prototype":
+            seconds *= self.epc.slowdown(self.footprint_bytes(n1, n2, m))
+        return seconds
+
+    def predict_sort_merge_seconds(self, n1: int, n2: int, m: int) -> float:
+        """Predicted runtime of the insecure sort-merge baseline."""
+        ops = sort_merge_operations(n1, n2, m)
+        return ops * self.cycles_per_merge_step / self.clock_hz
+
+    def figure8_point(self, n: int) -> dict[str, float]:
+        """All four series at total input size ``n`` (m ~ n1 = n2 = n/2)."""
+        n1 = n2 = m = n // 2
+        return {
+            "prototype": self.predict_join_seconds(n1, n2, m, "prototype"),
+            "sgx": self.predict_join_seconds(n1, n2, m, "sgx"),
+            "sgx_transformed": self.predict_join_seconds(n1, n2, m, "sgx_transformed"),
+            "insecure_sort_merge": self.predict_sort_merge_seconds(n1, n2, m),
+        }
+
+    def figure8_series(self, sizes: list[int]) -> dict[str, list[float]]:
+        """The full sweep: variant -> predicted seconds per size."""
+        series: dict[str, list[float]] = {
+            "prototype": [], "sgx": [], "sgx_transformed": [], "insecure_sort_merge": [],
+        }
+        for n in sizes:
+            point = self.figure8_point(n)
+            for key, value in point.items():
+                series[key].append(value)
+        return series
+
+    def epc_knee_input_size(self) -> int:
+        """Smallest total n (m ~ n/2) whose footprint exceeds the EPC."""
+        n = 2
+        while self.footprint_bytes(n // 2, n // 2, n // 2) <= self.epc.capacity_bytes:
+            n *= 2
+        return n

@@ -1,0 +1,57 @@
+"""Enclave Page Cache (EPC) paging model.
+
+SGX enclaves get ~93 MiB of protected memory; when an enclave's working set
+exceeds it, pages are (expensively) encrypted and swapped by the kernel.
+The paper's §6.2 anticipates "a drop in performance for input sizes where
+the EPC size is insufficient"; its measured range (n <= 10^6, ~24 MB of
+entries) stays inside the EPC, so Figure 8 shows no knee.  This model
+reproduces both regimes: a flat cost inside the EPC and a growing penalty
+once the footprint spills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EnclaveError
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EPCModel:
+    """Deterministic paging-slowdown model.
+
+    ``penalty`` is the slowdown multiplier for an access that misses the
+    EPC.  With a uniformly-touched footprint ``F`` and capacity ``C``, the
+    expected multiplier is ``1`` for ``F <= C`` and
+    ``1 + penalty * (1 - C/F)`` beyond — the miss probability of a random
+    probe into an LRU-resident fraction ``C/F``.
+    """
+
+    capacity_bytes: int = 93 * MIB
+    page_bytes: int = 4096
+    penalty: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.page_bytes <= 0:
+            raise EnclaveError("EPC capacity and page size must be positive")
+        if self.penalty < 0:
+            raise EnclaveError("paging penalty cannot be negative")
+
+    def resident_fraction(self, footprint_bytes: int) -> float:
+        """Fraction of a uniformly-accessed footprint resident in the EPC."""
+        if footprint_bytes <= self.capacity_bytes:
+            return 1.0
+        return self.capacity_bytes / footprint_bytes
+
+    def slowdown(self, footprint_bytes: int) -> float:
+        """Expected per-access multiplier for the given working-set size."""
+        if footprint_bytes < 0:
+            raise EnclaveError(f"negative footprint: {footprint_bytes}")
+        miss = 1.0 - self.resident_fraction(footprint_bytes)
+        return 1.0 + self.penalty * miss
+
+    def pages(self, footprint_bytes: int) -> int:
+        """Number of EPC pages the footprint occupies."""
+        return -(-footprint_bytes // self.page_bytes)

@@ -1,0 +1,60 @@
+"""Memory substrate: traced public arrays, local registers, encryption.
+
+This package models the abstract RAM machine of the paper's §3.1: public
+memory the adversary can observe (addresses only, contents encrypted) and a
+constant amount of protected local memory.
+"""
+
+from .encryption import Ciphertext, Codec, IntCodec, ProbabilisticEncryptor
+from .local import LocalContext, oblivious_max, oblivious_min, oblivious_select
+from .monitor import (
+    ObliviousnessReport,
+    distinguishing_events,
+    first_divergence,
+    run_hashed,
+    run_logged,
+    verify_oblivious,
+)
+from .public import PublicArray
+from .tracer import (
+    READ,
+    WRITE,
+    CountSink,
+    HashSink,
+    ListSink,
+    NullSink,
+    TeeSink,
+    TraceEvent,
+    Tracer,
+    TraceSink,
+    hash_events,
+)
+
+__all__ = [
+    "Ciphertext",
+    "Codec",
+    "IntCodec",
+    "ProbabilisticEncryptor",
+    "LocalContext",
+    "oblivious_max",
+    "oblivious_min",
+    "oblivious_select",
+    "ObliviousnessReport",
+    "distinguishing_events",
+    "first_divergence",
+    "run_hashed",
+    "run_logged",
+    "verify_oblivious",
+    "PublicArray",
+    "READ",
+    "WRITE",
+    "CountSink",
+    "HashSink",
+    "ListSink",
+    "NullSink",
+    "TeeSink",
+    "TraceEvent",
+    "Tracer",
+    "TraceSink",
+    "hash_events",
+]

@@ -1,0 +1,100 @@
+"""Probabilistic encryption of public-memory cells.
+
+§3.1 of the paper assumes the adversary "cannot infer anything about the
+individual contents of individual cells of public memory, as well as whether
+the contents of a cell match a previous value", achieved with a probabilistic
+encryption scheme.  This module simulates such a scheme so the repository can
+*demonstrate* the assumption rather than merely state it: every write
+produces a fresh ciphertext (fresh nonce), so identical plaintexts written
+twice are indistinguishable at rest.
+
+The cipher is a SHA-256-based stream cipher (counter-mode keystream over
+``key || nonce || block``).  It is deliberately dependency-free — the point
+is behavioural fidelity (fresh randomisation per write, correct round-trip),
+not cryptographic review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+from ..errors import InputError
+
+_BLOCK = 32
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """An encrypted cell value: public nonce plus masked payload."""
+
+    nonce: bytes
+    payload: bytes
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hashlib.sha256(key + nonce + counter.to_bytes(8, "little")).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+class ProbabilisticEncryptor:
+    """Encrypts byte strings with a fresh nonce per call.
+
+    Parameters
+    ----------
+    key:
+        Secret key; generated randomly when omitted.
+    nonce_source:
+        Callable returning 16 fresh bytes; defaults to ``os.urandom``.
+        Tests may inject a deterministic source.
+    """
+
+    def __init__(self, key: bytes | None = None, nonce_source=None) -> None:
+        self.key = key if key is not None else os.urandom(32)
+        if not self.key:
+            raise InputError("encryption key must be non-empty")
+        self._nonce_source = nonce_source or (lambda: os.urandom(16))
+
+    def encrypt(self, plaintext: bytes) -> Ciphertext:
+        nonce = self._nonce_source()
+        stream = _keystream(self.key, nonce, len(plaintext))
+        payload = bytes(p ^ s for p, s in zip(plaintext, stream))
+        return Ciphertext(nonce=nonce, payload=payload)
+
+    def decrypt(self, ciphertext: Ciphertext) -> bytes:
+        stream = _keystream(self.key, ciphertext.nonce, len(ciphertext.payload))
+        return bytes(c ^ s for c, s in zip(ciphertext.payload, stream))
+
+
+class Codec:
+    """Object <-> bytes codec used by encrypted :class:`PublicArray` cells."""
+
+    def encode(self, value) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes):
+        raise NotImplementedError
+
+
+class IntCodec(Codec):
+    """Fixed-width signed 64-bit integer codec (``None`` encodes separately)."""
+
+    WIDTH = 9
+
+    def encode(self, value) -> bytes:
+        if value is None:
+            return b"\x00" + b"\x00" * 8
+        return b"\x01" + int(value).to_bytes(8, "little", signed=True)
+
+    def decode(self, data: bytes):
+        if data[0] == 0:
+            return None
+        return int.from_bytes(data[1:9], "little", signed=True)

@@ -1,0 +1,76 @@
+"""Local (protected) memory model and branchless selection helpers.
+
+The paper's algorithm needs only "a constant amount of local memory on the
+order of the size of a single database entry" (§4.3) — registers holding one
+or two entries plus a handful of counters.  :class:`LocalContext` lets the
+algorithms *declare* their local working set so tests can assert the
+constant-size claim mechanically (high-water mark independent of input size).
+
+The module also provides arithmetic (branchless) selection helpers used to
+express level-III-style straight-line conditionals, mirroring §3.4's
+``x <- y*secret + z*(1-secret)`` transformation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import CapacityError
+
+
+class LocalContext:
+    """Tracks how many entry-sized local slots an algorithm holds live.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of simultaneously-live slots; ``None`` means
+        unenforced (only the high-water mark is recorded).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self._live = 0
+        self.peak = 0
+
+    @contextmanager
+    def slot(self, count: int = 1) -> Iterator[None]:
+        """Reserve ``count`` entry-sized local slots for the block's duration."""
+        self._live += count
+        self.peak = max(self.peak, self._live)
+        if self.capacity is not None and self._live > self.capacity:
+            self._live -= count
+            raise CapacityError(
+                f"local memory over capacity: {self._live + count} slots"
+                f" requested, capacity {self.capacity}"
+            )
+        try:
+            yield
+        finally:
+            self._live -= count
+
+    @property
+    def live(self) -> int:
+        return self._live
+
+
+def oblivious_select(condition: bool | int, if_true: int, if_false: int) -> int:
+    """Branch-free ``if_true if condition else if_false`` for integers.
+
+    Computes ``if_false ^ ((if_true ^ if_false) & -c)`` with ``c ∈ {0, 1}``,
+    the standard constant-time selection idiom; this is the §3.4 rewrite of a
+    data-dependent conditional assignment.
+    """
+    c = -int(bool(condition))
+    return if_false ^ ((if_true ^ if_false) & c)
+
+
+def oblivious_min(a: int, b: int) -> int:
+    """Branch-free minimum of two integers."""
+    return oblivious_select(a < b, a, b)
+
+
+def oblivious_max(a: int, b: int) -> int:
+    """Branch-free maximum of two integers."""
+    return oblivious_select(a < b, b, a)

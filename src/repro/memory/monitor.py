@@ -1,0 +1,111 @@
+"""Adversary view: empirical obliviousness verification (§6.1).
+
+The paper verifies obliviousness empirically by running the program on
+different inputs from the same *test class* — same ``(n1, n2)`` and same
+output size ``m`` — and checking that the memory-access logs (or their
+rolling SHA-256 hashes) are identical.  :func:`verify_oblivious` packages
+that experiment; :class:`ObliviousnessReport` carries the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..errors import TraceMismatchError
+from .tracer import HashSink, ListSink, TraceEvent, Tracer
+
+
+@dataclass
+class ObliviousnessReport:
+    """Outcome of comparing traces across a class of inputs."""
+
+    hashes: list[str]
+    event_counts: list[int]
+    oblivious: bool
+    first_divergence: int | None = None
+    details: str = ""
+    outputs: list = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.oblivious
+
+
+def run_hashed(program: Callable[[Tracer], object]) -> tuple[str, int, object]:
+    """Run ``program`` with a fresh hash-sink tracer.
+
+    Returns ``(trace_hash_hex, event_count, program_output)``.
+    """
+    sink = HashSink()
+    output = program(Tracer(sink))
+    return sink.hexdigest, sink.count, output
+
+
+def run_logged(program: Callable[[Tracer], object]) -> tuple[list[TraceEvent], object]:
+    """Run ``program`` with a fresh list-sink tracer; returns (events, output)."""
+    sink = ListSink()
+    output = program(Tracer(sink))
+    return sink.events, output
+
+
+def first_divergence(a: Sequence[TraceEvent], b: Sequence[TraceEvent]) -> int | None:
+    """Index of the first differing event between two logs, or ``None``."""
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            return i
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def verify_oblivious(
+    program: Callable[[Tracer, object], object],
+    inputs: Iterable,
+    require: bool = False,
+    keep_outputs: bool = False,
+) -> ObliviousnessReport:
+    """Run ``program(tracer, x)`` for every input and compare trace hashes.
+
+    All inputs are expected to belong to one test class (equal sizes and
+    output length); the report says whether every run produced an identical
+    trace.  With ``require=True`` a mismatch raises
+    :class:`~repro.errors.TraceMismatchError` instead of returning a failing
+    report — the mode used by the test suite.
+    """
+    hashes: list[str] = []
+    counts: list[int] = []
+    outputs: list = []
+    for x in inputs:
+        digest, count, output = run_hashed(lambda tracer, x=x: program(tracer, x))
+        hashes.append(digest)
+        counts.append(count)
+        if keep_outputs:
+            outputs.append(output)
+    oblivious = len(set(hashes)) <= 1
+    details = "" if oblivious else f"{len(set(hashes))} distinct trace hashes"
+    report = ObliviousnessReport(
+        hashes=hashes,
+        event_counts=counts,
+        oblivious=oblivious,
+        details=details,
+        outputs=outputs,
+    )
+    if require and not oblivious:
+        raise TraceMismatchError(
+            f"trace hashes diverge across inputs of one class: {sorted(set(hashes))}"
+        )
+    return report
+
+
+def distinguishing_events(
+    program: Callable[[Tracer, object], object], input_a, input_b
+) -> tuple[int | None, list[TraceEvent], list[TraceEvent]]:
+    """Full-log comparison of two runs; returns divergence point and logs.
+
+    This is the fine-grained variant used to *demonstrate leakage* of the
+    non-oblivious baselines: for the insecure sort-merge join the divergence
+    index pinpoints the first data-dependent pointer advance.
+    """
+    events_a, _ = run_logged(lambda t: program(t, input_a))
+    events_b, _ = run_logged(lambda t: program(t, input_b))
+    return first_divergence(events_a, events_b), events_a, events_b

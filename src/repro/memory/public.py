@@ -1,0 +1,136 @@
+"""Public (adversary-visible) memory arrays.
+
+These arrays model the "public memory" of the paper's §3.1 RAM machine: the
+adversary observes *which cells* are read and written (via the tracer) but
+not their contents (modelled by optional probabilistic encryption at rest).
+
+All algorithm code in :mod:`repro.core` and :mod:`repro.obliv` accesses
+tables exclusively through :class:`PublicArray`, mirroring the paper's
+``e <-? T[i]`` / ``T[i] <-? e`` discipline, so the emitted trace is exactly
+the memory trace the security argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import InputError
+from .encryption import Codec, ProbabilisticEncryptor
+from .tracer import Tracer
+
+
+class PublicArray:
+    """A fixed-length array whose every access is reported to a tracer.
+
+    Parameters
+    ----------
+    size_or_values:
+        Either an integer length (cells start as ``None``) or an iterable of
+        initial values.  Initialisation itself is *not* traced: it models
+        the untrusted server already holding the (encrypted) input.
+    name:
+        Human-readable name, used in reports and visualisations.
+    tracer:
+        The :class:`Tracer` to report accesses to.  A private default tracer
+        (null sink) is created when omitted, which keeps small scripts terse.
+    encryptor / codec:
+        When both are given, cells are held encrypted at rest and re-encrypted
+        with a fresh nonce on every write.
+    """
+
+    __slots__ = ("_data", "_id", "_tracer", "_encryptor", "_codec", "name")
+
+    def __init__(
+        self,
+        size_or_values: int | Iterable,
+        name: str = "arr",
+        tracer: Tracer | None = None,
+        encryptor: ProbabilisticEncryptor | None = None,
+        codec: Codec | None = None,
+    ) -> None:
+        if (encryptor is None) != (codec is None):
+            raise InputError("encryptor and codec must be supplied together")
+        self.name = name
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._id = self._tracer.register_array(name)
+        self._encryptor = encryptor
+        self._codec = codec
+        if isinstance(size_or_values, int):
+            if size_or_values < 0:
+                raise InputError(f"array size must be >= 0, got {size_or_values}")
+            values: list = [None] * size_or_values
+        else:
+            values = list(size_or_values)
+        if encryptor is not None:
+            values = [encryptor.encrypt(codec.encode(v)) for v in values]
+        self._data = values
+
+    @property
+    def array_id(self) -> int:
+        return self._id
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self._data):
+            raise IndexError(
+                f"index {index} out of range for array {self.name!r}"
+                f" of size {len(self._data)}"
+            )
+
+    def read(self, index: int):
+        """Traced read of cell ``index`` into local memory."""
+        self._check(index)
+        self._tracer.read(self._id, index)
+        value = self._data[index]
+        if self._encryptor is not None:
+            value = self._codec.decode(self._encryptor.decrypt(value))
+        return value
+
+    def write(self, index: int, value) -> None:
+        """Traced write of ``value`` to cell ``index``.
+
+        With encryption enabled the cell is re-encrypted under a fresh nonce
+        even if ``value`` equals the previous plaintext, so the adversary
+        cannot tell a dummy write-back from a real update (§3.5).
+        """
+        self._check(index)
+        self._tracer.write(self._id, index)
+        if self._encryptor is not None:
+            value = self._encryptor.encrypt(self._codec.encode(value))
+        self._data[index] = value
+
+    def ciphertext_at(self, index: int):
+        """Raw stored cell (ciphertext when encrypted); untraced, test-only."""
+        self._check(index)
+        return self._data[index]
+
+    def snapshot(self) -> list:
+        """Untraced plaintext copy of the whole array (test/debug only)."""
+        if self._encryptor is None:
+            return list(self._data)
+        return [self._codec.decode(self._encryptor.decrypt(c)) for c in self._data]
+
+    def load(self, values: Sequence) -> None:
+        """Untraced bulk (re)initialisation, modelling input upload."""
+        if len(values) != len(self._data):
+            raise InputError(
+                f"load of {len(values)} values into array of size {len(self._data)}"
+            )
+        if self._encryptor is not None:
+            self._data = [
+                self._encryptor.encrypt(self._codec.encode(v)) for v in values
+            ]
+        else:
+            self._data = list(values)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.snapshot())
+
+    def __repr__(self) -> str:
+        return f"PublicArray(name={self.name!r}, size={len(self._data)})"

@@ -1,0 +1,178 @@
+"""Memory-access tracing: the experiment apparatus of §6.1 of the paper.
+
+The paper's prototype wraps all heap-allocated (public) memory in a class
+that logs every access; for large inputs it keeps a rolling SHA-256 hash
+
+    H <- h(H || r || t || i)
+
+where ``r`` identifies the accessed array, ``t`` is 0 for a read and 1 for a
+write, and ``i`` is the accessed index.  This module reproduces that
+apparatus.  A :class:`Tracer` is the hub through which every
+:class:`~repro.memory.public.PublicArray` reports its accesses; pluggable
+sinks decide what to do with the event stream:
+
+* :class:`ListSink`   — record every event (small inputs; Figure 7),
+* :class:`HashSink`   — rolling SHA-256 exactly as in the paper (§6.1),
+* :class:`CountSink`  — per-phase read/write counters (Table 3),
+* :class:`NullSink`   — discard (pure performance runs),
+* :class:`TeeSink`    — fan out to several sinks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from contextlib import contextmanager
+from typing import Iterator
+
+READ = 0
+WRITE = 1
+
+#: A trace event is the tuple ``(op, array_id, index)`` with ``op`` one of
+#: :data:`READ` / :data:`WRITE`.  Phase labels are carried separately.
+TraceEvent = tuple[int, int, int]
+
+_EVENT_STRUCT = struct.Struct("<qBq")
+
+
+class TraceSink:
+    """Interface for consumers of the access-event stream."""
+
+    def emit(self, op: int, array_id: int, index: int, phase: str | None) -> None:
+        raise NotImplementedError
+
+
+class NullSink(TraceSink):
+    """Discards all events (use when only the computation matters)."""
+
+    def emit(self, op: int, array_id: int, index: int, phase: str | None) -> None:
+        pass
+
+
+class ListSink(TraceSink):
+    """Records every event verbatim, in order."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.phases: list[str | None] = []
+
+    def emit(self, op: int, array_id: int, index: int, phase: str | None) -> None:
+        self.events.append((op, array_id, index))
+        self.phases.append(phase)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class HashSink(TraceSink):
+    """Rolling SHA-256 over the event stream, exactly as in §6.1.
+
+    The state starts at 32 zero bytes and folds in each event as
+    ``H <- SHA256(H || pack(array_id, op, index))``.
+    """
+
+    def __init__(self) -> None:
+        self._state = b"\x00" * 32
+        self.count = 0
+
+    def emit(self, op: int, array_id: int, index: int, phase: str | None) -> None:
+        packed = _EVENT_STRUCT.pack(array_id, op, index)
+        self._state = hashlib.sha256(self._state + packed).digest()
+        self.count += 1
+
+    @property
+    def digest(self) -> bytes:
+        """Current rolling hash of all events seen so far."""
+        return self._state
+
+    @property
+    def hexdigest(self) -> str:
+        return self._state.hex()
+
+
+class CountSink(TraceSink):
+    """Counts reads and writes per phase label (and in total)."""
+
+    def __init__(self) -> None:
+        self.reads: dict[str, int] = {}
+        self.writes: dict[str, int] = {}
+        self.total_reads = 0
+        self.total_writes = 0
+
+    def emit(self, op: int, array_id: int, index: int, phase: str | None) -> None:
+        label = phase or ""
+        if op == READ:
+            self.reads[label] = self.reads.get(label, 0) + 1
+            self.total_reads += 1
+        else:
+            self.writes[label] = self.writes.get(label, 0) + 1
+            self.total_writes += 1
+
+    def phase_total(self, phase: str) -> int:
+        return self.reads.get(phase, 0) + self.writes.get(phase, 0)
+
+    @property
+    def total(self) -> int:
+        return self.total_reads + self.total_writes
+
+
+class TeeSink(TraceSink):
+    """Forwards each event to every wrapped sink."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, op: int, array_id: int, index: int, phase: str | None) -> None:
+        for sink in self.sinks:
+            sink.emit(op, array_id, index, phase)
+
+
+class Tracer:
+    """Hub that assigns array identifiers and forwards access events.
+
+    Array identifiers are assigned in registration order, so two runs of the
+    same program register the same ids and produce comparable traces.
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self.sink: TraceSink = sink if sink is not None else NullSink()
+        self._next_array_id = 0
+        self._array_names: list[str] = []
+        self._phase_stack: list[str] = []
+
+    def register_array(self, name: str) -> int:
+        """Register a public array; returns its stable integer id."""
+        array_id = self._next_array_id
+        self._next_array_id += 1
+        self._array_names.append(name)
+        return array_id
+
+    def array_name(self, array_id: int) -> str:
+        return self._array_names[array_id]
+
+    @property
+    def current_phase(self) -> str | None:
+        return self._phase_stack[-1] if self._phase_stack else None
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Label all events emitted in the block with ``label``."""
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def read(self, array_id: int, index: int) -> None:
+        self.sink.emit(READ, array_id, index, self.current_phase)
+
+    def write(self, array_id: int, index: int) -> None:
+        self.sink.emit(WRITE, array_id, index, self.current_phase)
+
+
+def hash_events(events: list[TraceEvent]) -> bytes:
+    """Hash a recorded event list with the same rolling scheme as HashSink."""
+    state = b"\x00" * 32
+    for op, array_id, index in events:
+        state = hashlib.sha256(state + _EVENT_STRUCT.pack(array_id, op, index)).digest()
+    return state

@@ -1,0 +1,72 @@
+"""Oblivious building blocks: sorting networks, routing, compaction, PRPs.
+
+Everything in this package has an input-independent public-memory access
+pattern (for a fixed input length); these are the primitives from which the
+join of :mod:`repro.core` is composed (§3.5, §5.2).
+"""
+
+from .bitonic import (
+    bitonic_sort,
+    bitonic_stages,
+    comparison_count as bitonic_comparison_count,
+    network_depth as bitonic_network_depth,
+    next_power_of_two,
+)
+from .compact import compact_by_routing, compact_by_sorting, oblivious_filter
+from .compare import (
+    SortKey,
+    SortSpec,
+    attr_key,
+    comparator_from_spec,
+    identity_key,
+    item_key,
+    spec,
+)
+from .network import PAD, NetworkStats, apply_network, is_valid_schedule, network_size
+from .oddeven import (
+    comparison_count as oddeven_comparison_count,
+    oddeven_sort,
+    oddeven_stages,
+)
+from .permute import FeistelPRP
+from .verify import (
+    first_unsorted_witness,
+    network_depth_profile,
+    parallel_depth,
+    sorts_all_zero_one_inputs,
+)
+from .routing import largest_hop, route_backward, route_forward
+
+__all__ = [
+    "bitonic_sort",
+    "bitonic_stages",
+    "bitonic_comparison_count",
+    "bitonic_network_depth",
+    "next_power_of_two",
+    "compact_by_routing",
+    "compact_by_sorting",
+    "oblivious_filter",
+    "SortKey",
+    "SortSpec",
+    "attr_key",
+    "comparator_from_spec",
+    "identity_key",
+    "item_key",
+    "spec",
+    "PAD",
+    "NetworkStats",
+    "apply_network",
+    "is_valid_schedule",
+    "network_size",
+    "oddeven_comparison_count",
+    "oddeven_sort",
+    "oddeven_stages",
+    "FeistelPRP",
+    "first_unsorted_witness",
+    "network_depth_profile",
+    "parallel_depth",
+    "sorts_all_zero_one_inputs",
+    "largest_hop",
+    "route_backward",
+    "route_forward",
+]

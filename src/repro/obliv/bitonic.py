@@ -1,0 +1,101 @@
+"""Batcher's bitonic sorting network (§3.5 of the paper).
+
+The bitonic sorter is the workhorse primitive: an in-place,
+input-independent `O(n log^2 n)` sort of `O(log^2 n)` depth.  The paper's
+Table 3 cost accounting assumes a bitonic sort of size ``n`` performs
+roughly ``n (log2 n)^2 / 4`` comparisons; :func:`comparison_count` gives the
+exact number for the generated network so the Table 3 bench can report both.
+
+Arrays whose length is not a power of two are handled by padding with the
+:data:`~repro.obliv.network.PAD` sentinel (ordered after all real elements),
+sorting the padded array, and copying back — all index patterns depend only
+on the (public) length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import InputError
+from ..memory.public import PublicArray
+from .compare import SortSpec, comparator_from_spec
+from .network import PAD, NetworkStats, apply_network
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= max(n, 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def bitonic_stages(n: int) -> Iterator[list[tuple[int, int]]]:
+    """Yield the compare-exchange stages of a bitonic sorter for size ``n``.
+
+    ``n`` must be a power of two.  Pairs are oriented so that applying every
+    stage in order sorts ascending: during a descending sub-phase the pair is
+    emitted reversed.
+    """
+    if n & (n - 1):
+        raise InputError(f"bitonic network size must be a power of two, got {n}")
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            stage: list[tuple[int, int]] = []
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    if i & k == 0:
+                        stage.append((i, partner))
+                    else:
+                        stage.append((partner, i))
+            yield stage
+            j //= 2
+        k *= 2
+
+
+def comparison_count(n: int) -> int:
+    """Exact comparator count of the bitonic network for ``n`` (power of 2)."""
+    if n <= 1:
+        return 0
+    p = n.bit_length() - 1
+    return (n // 2) * (p * (p + 1) // 2)
+
+
+def network_depth(n: int) -> int:
+    """Depth (stage count) of the bitonic network: ``log n (log n + 1)/2``."""
+    if n <= 1:
+        return 0
+    p = n.bit_length() - 1
+    return p * (p + 1) // 2
+
+
+def bitonic_sort(
+    array: PublicArray,
+    sort_spec: SortSpec,
+    stats: NetworkStats | None = None,
+) -> None:
+    """Obliviously sort ``array`` in place by ``sort_spec``.
+
+    This is the library's ``Bitonic-Sort<...>`` (§3.5).  For non-power-of-two
+    lengths a scratch array of the next power of two is allocated through the
+    same tracer, so every access the sort performs remains on traced public
+    memory.
+    """
+    n = len(array)
+    if n <= 1:
+        return
+    compare = comparator_from_spec(sort_spec)
+    padded = next_power_of_two(n)
+    if padded == n:
+        apply_network(array, bitonic_stages(n), compare, stats=stats)
+        return
+    scratch = PublicArray(padded, name=f"{array.name}#pad", tracer=array.tracer)
+    for i in range(n):
+        scratch.write(i, array.read(i))
+    for i in range(n, padded):
+        scratch.write(i, PAD)
+    apply_network(scratch, bitonic_stages(padded), compare, stats=stats, pad_aware=True)
+    for i in range(n):
+        array.write(i, scratch.read(i))

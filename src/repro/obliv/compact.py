@@ -1,0 +1,110 @@
+"""Oblivious (order-preserving) compaction and the filter idiom of §3.5.
+
+Given an array where some cells hold null/dummy elements, compaction moves
+the ``k`` real elements to the front, preserving their relative order, with
+an input-independent access pattern.  Two interchangeable implementations:
+
+* :func:`compact_by_sorting` — the paper's ``Bitonic-Sort<!= ∅ up>`` filter:
+  `O(n log^2 n)` comparisons.  (Bitonic sort is not stable, so order
+  preservation is obtained by tagging each element with its position in a
+  linear pre-pass and sorting on ``(is_null, position)``.)
+* :func:`compact_by_routing` — Goodrich-style `O(n log n)` order-preserving
+  compaction built on the reverse routing network, cited in §3.5 as the
+  asymptotically better alternative.
+
+Both reveal nothing beyond the array length; the count ``k`` they return is
+computed in local memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..memory.public import PublicArray
+from .bitonic import bitonic_sort
+from .compare import SortKey, SortSpec
+from .network import NetworkStats
+from .routing import route_backward
+
+#: Attribute-free representation of a tagged cell: (is_null, tag, value).
+_TaggedCell = tuple
+
+
+def compact_by_sorting(
+    array: PublicArray,
+    is_null: Callable,
+    stats: NetworkStats | None = None,
+) -> int:
+    """Move non-null elements to the front via a bitonic sort; returns count.
+
+    One linear pass tags every cell with ``(null_flag, original_position)``,
+    the sort brings real elements (flag 0) to the front in original order,
+    and a final pass strips the tags.
+    """
+    n = len(array)
+    count = 0
+    scratch = PublicArray(n, name=f"{array.name}#tag", tracer=array.tracer)
+    for i in range(n):
+        value = array.read(i)
+        null = bool(is_null(value))
+        count += not null
+        scratch.write(i, (int(null), i, value))
+    spec = SortSpec(
+        SortKey(getter=lambda c: c[0], name="isnull"),
+        SortKey(getter=lambda c: c[1], name="pos"),
+    )
+    bitonic_sort(scratch, spec, stats=stats)
+    for i in range(n):
+        array.write(i, scratch.read(i)[2])
+    return count
+
+
+def compact_by_routing(
+    array: PublicArray,
+    is_null: Callable,
+    stats: NetworkStats | None = None,
+) -> int:
+    """Order-preserving compaction in `O(n log n)`; returns the count.
+
+    A linear pass assigns each real element its rank (a running count kept in
+    local memory) as the routing target, then the reverse routing network
+    moves every element back to its rank.  Ranks are non-decreasing with
+    position, which is exactly the precondition of
+    :func:`~repro.obliv.routing.route_backward`.
+    """
+    n = len(array)
+    rank = 0
+    scratch = PublicArray(n, name=f"{array.name}#rank", tracer=array.tracer)
+    for i in range(n):
+        value = array.read(i)
+        null = bool(is_null(value))
+        # Null cells get target -1 so the router never moves them.
+        scratch.write(i, (-1 if null else rank, value))
+        rank += not null
+    route_backward(scratch, lambda c: c[0], stats=stats)
+    for i in range(n):
+        array.write(i, scratch.read(i)[1])
+    return rank
+
+
+def oblivious_filter(
+    array: PublicArray,
+    keep: Callable,
+    null_value=None,
+    method: str = "routing",
+    stats: NetworkStats | None = None,
+) -> int:
+    """Filter ``array`` in place: survivors first, ``null_value`` after.
+
+    One linear pass replaces non-matching elements with ``null_value`` (every
+    cell is rewritten, so the pass itself leaks nothing), then the chosen
+    compaction moves survivors to the front.  Returns the survivor count,
+    which the caller may publish — the same deliberate "reveal the output
+    length" trade-off the paper makes for ``m`` (§3.2).
+    """
+    n = len(array)
+    for i in range(n):
+        value = array.read(i)
+        array.write(i, value if keep(value) else null_value)
+    compact = compact_by_routing if method == "routing" else compact_by_sorting
+    return compact(array, lambda v: v is null_value or v == null_value, stats=stats)

@@ -1,0 +1,103 @@
+"""Comparators and lexicographic sort specifications.
+
+The paper parameterises bitonic sorts with lexicographic orderings over
+chosen attributes, e.g. ``Bitonic-Sort<x up, y up, z down>(A)`` (§3.5).
+A :class:`SortSpec` is our executable counterpart: an ordered list of
+:class:`SortKey` (attribute getter + direction).  Null (∅) and padding
+entries are ordered by dedicated leading keys supplied by the caller, which
+is how the paper's filter idiom ``Bitonic-Sort<!= ∅ up>`` is expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One attribute of a lexicographic ordering.
+
+    ``getter`` extracts the attribute from an element; ``ascending`` gives
+    the direction (the paper's ↑ / ↓ arrows).
+    """
+
+    getter: Callable
+    ascending: bool = True
+    name: str = ""
+
+    def describe(self) -> str:
+        arrow = "^" if self.ascending else "v"
+        return f"{self.name or 'key'}{arrow}"
+
+
+class SortSpec:
+    """A lexicographic ordering over several attributes."""
+
+    def __init__(self, *keys: SortKey) -> None:
+        self.keys: tuple[SortKey, ...] = tuple(keys)
+
+    def compare(self, a, b) -> int:
+        """Three-way comparison of ``a`` and ``b`` under this ordering.
+
+        Returns a negative number when ``a`` precedes ``b``, positive when
+        ``b`` precedes ``a``, and 0 when they tie on every attribute.
+        """
+        for key in self.keys:
+            ka = key.getter(a)
+            kb = key.getter(b)
+            if ka == kb:
+                continue
+            before = ka < kb
+            if not key.ascending:
+                before = not before
+            return -1 if before else 1
+        return 0
+
+    def precedes_or_equal(self, a, b) -> bool:
+        return self.compare(a, b) <= 0
+
+    def describe(self) -> str:
+        return "<" + ", ".join(k.describe() for k in self.keys) + ">"
+
+    def __repr__(self) -> str:
+        return f"SortSpec{self.describe()}"
+
+
+def attr_key(name: str, ascending: bool = True) -> SortKey:
+    """Sort key reading attribute ``name`` from each element."""
+    return SortKey(getter=lambda e, _n=name: getattr(e, _n), ascending=ascending, name=name)
+
+
+def item_key(index: int, ascending: bool = True) -> SortKey:
+    """Sort key reading ``element[index]`` (for tuple-shaped elements)."""
+    return SortKey(getter=lambda e, _i=index: e[_i], ascending=ascending, name=f"[{index}]")
+
+
+def identity_key(ascending: bool = True) -> SortKey:
+    """Sort key comparing elements directly (ints, tuples, ...)."""
+    return SortKey(getter=lambda e: e, ascending=ascending, name="id")
+
+
+def spec(*keys: SortKey) -> SortSpec:
+    """Convenience constructor mirroring the paper's ``<k1, k2, ...>``."""
+    return SortSpec(*keys)
+
+
+def comparator_from_spec(sort_spec: SortSpec) -> Callable:
+    """A plain ``cmp(a, b) -> int`` closure for hot loops."""
+    keys: Sequence[SortKey] = sort_spec.keys
+
+    def cmp(a, b) -> int:
+        for key in keys:
+            ka = key.getter(a)
+            kb = key.getter(b)
+            if ka == kb:
+                continue
+            before = ka < kb
+            if not key.ascending:
+                before = not before
+            return -1 if before else 1
+        return 0
+
+    return cmp

@@ -1,0 +1,102 @@
+"""Comparator-network machinery shared by the sorting networks.
+
+A sorting network is a data-independent schedule of compare-exchange
+operations.  We represent a network as an iterable of *stages*, where each
+stage is a list of disjoint ``(lo, hi)`` index pairs meaning "after this
+operation, ``A[lo]`` must not exceed ``A[hi]`` under the comparator".
+Directions (the ↑/↓ of bitonic phases) are already folded into the pair
+orientation by the generators, so applying a network is direction-free.
+
+:func:`apply_network` executes a schedule against a
+:class:`~repro.memory.public.PublicArray` with the oblivious discipline of
+§3.5: both cells are always read and always written back (a dummy write when
+no swap happens), so the public trace is the same whether or not elements
+move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..memory.public import PublicArray
+
+#: Marker stored in cells added to pad an array to a power-of-two size.
+#: The padded sorter orders it after every real element.
+PAD = object()
+
+
+@dataclass
+class NetworkStats:
+    """Operation counters for one or more network applications."""
+
+    comparisons: int = 0
+    swaps: int = 0
+    stages: int = 0
+    by_phase: dict = field(default_factory=dict)
+
+    def add_phase(self, label: str, comparisons: int) -> None:
+        self.by_phase[label] = self.by_phase.get(label, 0) + comparisons
+
+
+def apply_network(
+    array: PublicArray,
+    stages: Iterable[list[tuple[int, int]]],
+    compare: Callable,
+    stats: NetworkStats | None = None,
+    pad_aware: bool = False,
+) -> None:
+    """Run a compare-exchange schedule over ``array`` in place.
+
+    ``compare(a, b)`` is a three-way comparator over real elements.  With
+    ``pad_aware=True`` the :data:`PAD` sentinel is treated as larger than
+    every real element (and equal to itself), which is how padded sorts keep
+    the fill at the high end.
+    """
+    for stage in stages:
+        if stats is not None:
+            stats.stages += 1
+        for lo, hi in stage:
+            a = array.read(lo)
+            b = array.read(hi)
+            if pad_aware and (a is PAD or b is PAD):
+                out_of_order = a is PAD and b is not PAD
+            else:
+                out_of_order = compare(a, b) > 0
+            if stats is not None:
+                stats.comparisons += 1
+                if out_of_order:
+                    stats.swaps += 1
+            # Both cells are written regardless of the verdict: with
+            # probabilistic encryption a dummy write-back is indistinguishable
+            # from a swap (§3.5).
+            if out_of_order:
+                array.write(lo, b)
+                array.write(hi, a)
+            else:
+                array.write(lo, a)
+                array.write(hi, b)
+
+
+def network_size(stages: Iterable[list[tuple[int, int]]]) -> tuple[int, int]:
+    """(number of stages, number of comparators) of a schedule."""
+    depth = 0
+    comparators = 0
+    for stage in stages:
+        depth += 1
+        comparators += len(stage)
+    return depth, comparators
+
+
+def is_valid_schedule(n: int, stages: Iterable[list[tuple[int, int]]]) -> bool:
+    """Check structural sanity: in-range indices, disjoint pairs per stage."""
+    for stage in stages:
+        seen: set[int] = set()
+        for lo, hi in stage:
+            if not (0 <= lo < n and 0 <= hi < n) or lo == hi:
+                return False
+            if lo in seen or hi in seen:
+                return False
+            seen.add(lo)
+            seen.add(hi)
+    return True

@@ -1,0 +1,70 @@
+"""Batcher's odd-even mergesort network.
+
+An alternative `O(n log^2 n)` sorting network with fewer comparators than
+the bitonic sorter — a lower-order-term saving (~20% at n=8, shrinking with
+n, since both share the ``n log^2 n / 4`` leading term).  The paper
+standardises on bitonic sorts for its cost accounting; we provide odd-even
+as an ablation so the benchmark suite can quantify the constant-factor
+choice (``benchmarks/bench_ablation_sorts.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import InputError
+from ..memory.public import PublicArray
+from .compare import SortSpec, comparator_from_spec
+from .network import PAD, NetworkStats, apply_network
+from .bitonic import next_power_of_two
+
+
+def oddeven_stages(n: int) -> Iterator[list[tuple[int, int]]]:
+    """Yield the stages of Batcher's odd-even mergesort for size ``n``.
+
+    ``n`` must be a power of two.  All pairs are ascending-oriented; this is
+    the standard iterative formulation of the recursive odd-even merge.
+    """
+    if n & (n - 1):
+        raise InputError(f"odd-even network size must be a power of two, got {n}")
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            stage: list[tuple[int, int]] = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (p * 2) == (i + j + k) // (p * 2):
+                        stage.append((i + j, i + j + k))
+            yield stage
+            k //= 2
+        p *= 2
+
+
+def comparison_count(n: int) -> int:
+    """Exact comparator count of the odd-even network for ``n`` (power of 2)."""
+    return sum(len(stage) for stage in oddeven_stages(n)) if n > 1 else 0
+
+
+def oddeven_sort(
+    array: PublicArray,
+    sort_spec: SortSpec,
+    stats: NetworkStats | None = None,
+) -> None:
+    """Obliviously sort ``array`` in place with the odd-even network."""
+    n = len(array)
+    if n <= 1:
+        return
+    compare = comparator_from_spec(sort_spec)
+    padded = next_power_of_two(n)
+    if padded == n:
+        apply_network(array, oddeven_stages(n), compare, stats=stats)
+        return
+    scratch = PublicArray(padded, name=f"{array.name}#pad", tracer=array.tracer)
+    for i in range(n):
+        scratch.write(i, array.read(i))
+    for i in range(n, padded):
+        scratch.write(i, PAD)
+    apply_network(scratch, oddeven_stages(padded), compare, stats=stats, pad_aware=True)
+    for i in range(n):
+        array.write(i, scratch.read(i))

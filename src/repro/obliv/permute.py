@@ -1,0 +1,88 @@
+"""Pseudorandom permutations for the probabilistic distribution variant.
+
+§5.2 sketches a probabilistic ``Oblivious-Distribute``: pick a pseudorandom
+permutation π of size m, write element x to index π(f(x)) (the adversary
+sees a uniformly-random n-subset of cells), then bitonic-sort cells by
+π⁻¹(index) to undo the masking.  That needs an invertible PRP on an
+arbitrary domain {0..m-1}; we build one with a 4-round Feistel network over
+the smallest even-bit-width power-of-two domain >= m, plus cycle-walking to
+stay inside the domain.  The round function is SHA-256 based, keeping the
+repository dependency-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from ..errors import InputError
+
+
+class FeistelPRP:
+    """An invertible pseudorandom permutation on ``{0, ..., size-1}``.
+
+    Parameters
+    ----------
+    size:
+        Domain size (>= 1).
+    key:
+        Secret key bytes; random when omitted.
+    rounds:
+        Feistel round count (4 suffices for PRP security in this model).
+    """
+
+    def __init__(self, size: int, key: bytes | None = None, rounds: int = 4) -> None:
+        if size < 1:
+            raise InputError(f"PRP domain size must be >= 1, got {size}")
+        if rounds < 3:
+            raise InputError("a Feistel PRP needs at least 3 rounds")
+        self.size = size
+        self.key = key if key is not None else os.urandom(16)
+        self.rounds = rounds
+        # Even number of bits so the domain splits into two equal halves.
+        bits = max((size - 1).bit_length(), 2)
+        bits += bits % 2
+        self._half_bits = bits // 2
+        self._half_mask = (1 << self._half_bits) - 1
+        self._domain = 1 << bits
+
+    def _round(self, round_index: int, value: int) -> int:
+        data = self.key + bytes([round_index]) + value.to_bytes(8, "little")
+        digest = hashlib.sha256(data).digest()
+        return int.from_bytes(digest[:8], "little") & self._half_mask
+
+    def _encrypt_once(self, x: int) -> int:
+        left = x >> self._half_bits
+        right = x & self._half_mask
+        for r in range(self.rounds):
+            left, right = right, left ^ self._round(r, right)
+        return (left << self._half_bits) | right
+
+    def _decrypt_once(self, x: int) -> int:
+        left = x >> self._half_bits
+        right = x & self._half_mask
+        for r in reversed(range(self.rounds)):
+            left, right = right ^ self._round(r, left), left
+        return (left << self._half_bits) | right
+
+    def forward(self, x: int) -> int:
+        """π(x): cycle-walk until the image lands inside the domain."""
+        if not 0 <= x < self.size:
+            raise InputError(f"PRP input {x} outside domain [0, {self.size})")
+        y = self._encrypt_once(x)
+        while y >= self.size:
+            y = self._encrypt_once(y)
+        return y
+
+    def inverse(self, y: int) -> int:
+        """π⁻¹(y)."""
+        if not 0 <= y < self.size:
+            raise InputError(f"PRP input {y} outside domain [0, {self.size})")
+        x = self._decrypt_once(y)
+        while x >= self.size:
+            x = self._decrypt_once(x)
+        return x
+
+    def permutation(self) -> list[int]:
+        """Materialise [π(0), ..., π(size-1)] (test helper; O(size))."""
+        return [self.forward(i) for i in range(self.size)]

@@ -1,0 +1,103 @@
+"""The deterministic routing network of Algorithm 3 (and its inverse).
+
+:func:`route_forward` is the `O(m log m)` second half of
+``Oblivious-Distribute``: after elements are sorted by destination, each
+element "trickles down" to its target through hops of decreasing power-of-two
+length.  Theorem 1 of the paper proves that a swap target is always a null
+cell, so elements never collide.
+
+:func:`route_backward` runs hops of *increasing* power-of-two length over a
+forward scan, moving each element back to its rank — this is order-preserving
+tight compaction in the style of Goodrich [20], which §3.5 names as the
+efficient alternative to sort-based filtering.  The hop rule is the mirror
+image of the forward network: an element hops back by ``j`` exactly when bit
+``j`` of its remaining displacement is set (displacements are non-decreasing
+along the array, which rules out collisions; see ``tests/test_compact.py``
+for the property-based check).
+
+Both loops perform identical public-memory accesses on every iteration —
+the conditional swap touches the same two cells in either branch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..memory.public import PublicArray
+from .network import NetworkStats
+
+
+def largest_hop(m: int) -> int:
+    """Initial hop length ``2^(ceil(log2 m) - 1)`` of the routing network."""
+    if m <= 1:
+        return 0
+    return 1 << ((m - 1).bit_length() - 1)
+
+
+def route_forward(
+    array: PublicArray,
+    target_of: Callable,
+    m: int,
+    stats: NetworkStats | None = None,
+) -> None:
+    """Send each non-null element forward to its 0-based target index.
+
+    Preconditions (enforced by callers, proven sufficient by Theorem 1):
+    elements occupy a prefix of ``array`` sorted by target; targets are
+    distinct, in ``[position, m)``.  ``target_of`` returns the element's
+    target, or any negative number for null elements (the paper's
+    ``f_hat(∅) = 0`` in 1-based indexing).
+    """
+    size = len(array)
+    j = largest_hop(m)
+    while j >= 1:
+        for i in range(size - j - 1, -1, -1):
+            y = array.read(i)
+            y_ahead = array.read(i + j)
+            if stats is not None:
+                stats.comparisons += 1
+            # Same two writes happen in both branches: the adversary cannot
+            # tell a hop from a dummy write-back.
+            if target_of(y) >= i + j:
+                if stats is not None:
+                    stats.swaps += 1
+                array.write(i, y_ahead)
+                array.write(i + j, y)
+            else:
+                array.write(i, y)
+                array.write(i + j, y_ahead)
+        j //= 2
+
+
+def route_backward(
+    array: PublicArray,
+    target_of: Callable,
+    stats: NetworkStats | None = None,
+) -> None:
+    """Send each non-null element backward to its 0-based target (its rank).
+
+    Preconditions: targets are distinct ranks ``0..k-1`` assigned in array
+    order to the non-null elements (so ``target <= position`` and
+    displacements ``position - target`` are non-decreasing along the array).
+    ``target_of`` must return a negative number for null elements.
+    """
+    size = len(array)
+    max_hop = largest_hop(size)
+    j = 1
+    while j <= max_hop:
+        for i in range(size - j):
+            y = array.read(i)
+            y_ahead = array.read(i + j)
+            if stats is not None:
+                stats.comparisons += 1
+            target = target_of(y_ahead)
+            displacement = (i + j) - target
+            if target >= 0 and displacement & j:
+                if stats is not None:
+                    stats.swaps += 1
+                array.write(i, y_ahead)
+                array.write(i + j, y)
+            else:
+                array.write(i, y)
+                array.write(i + j, y_ahead)
+        j *= 2

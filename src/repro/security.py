@@ -1,0 +1,192 @@
+"""The obliviousness taxonomy of §3.2 — levels, settings, attacks (Table 2).
+
+Three nested levels of obliviousness:
+
+* **Level I** — public-memory accesses are oblivious, but the program uses a
+  non-constant amount of local memory non-obliviously.
+* **Level II** — additionally, local memory is bounded by a constant (the
+  paper's own algorithm; "doubly-oblivious" in Oblix's terminology).
+* **Level III** — the full control flow, down to individual instructions, is
+  input-independent: the program is circuit-like.
+
+Table 2 maps each level to the side-channel attacks it still admits in each
+deployment setting; :func:`vulnerability_profile` reproduces that matrix and
+:func:`classify` assigns a level from a program's declared properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Level(Enum):
+    """The three degrees of obliviousness of §3.2."""
+
+    I = 1
+    II = 2
+    III = 3
+
+    def __str__(self) -> str:
+        return {1: "I", 2: "II", 3: "III"}[self.value]
+
+
+class Setting(Enum):
+    """Deployment settings for computing on encrypted data (§2)."""
+
+    EXTERNAL_MEMORY = "Ext. Memory"
+    SECURE_COPROCESSOR = "Secure Coprocessor"
+    TEE = "TEE (enclave)"
+    SECURE_COMPUTATION = "Secure Computation"
+    FHE = "FHE"
+
+
+class Attack(Enum):
+    """Side-channel attack classes named in Table 2."""
+
+    TIMING = "t"
+    PAGE_DATA = "pd"
+    PAGE_CODE = "pc"
+    CACHE_TIMING = "c"
+    BRANCHING = "b"
+
+
+#: Table 2's lower portion: residual attack surface per (setting, level).
+#: ``None`` marks settings where the level distinction is not applicable.
+_VULNERABILITIES: dict[Setting, dict[Level, tuple[Attack, ...] | None]] = {
+    Setting.EXTERNAL_MEMORY: {
+        Level.I: (Attack.TIMING,),
+        Level.II: (Attack.TIMING,),
+        Level.III: (),
+    },
+    Setting.SECURE_COPROCESSOR: {
+        Level.I: (Attack.TIMING,),
+        Level.II: (Attack.TIMING,),
+        Level.III: (),
+    },
+    Setting.TEE: {
+        Level.I: (Attack.TIMING, Attack.PAGE_DATA, Attack.PAGE_CODE,
+                  Attack.CACHE_TIMING, Attack.BRANCHING),
+        Level.II: (Attack.TIMING, Attack.PAGE_CODE, Attack.CACHE_TIMING,
+                   Attack.BRANCHING),
+        Level.III: (),
+    },
+    Setting.SECURE_COMPUTATION: {Level.I: None, Level.II: None, Level.III: ()},
+    Setting.FHE: {Level.I: None, Level.II: None, Level.III: ()},
+}
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Security-relevant properties a program declares about itself."""
+
+    name: str
+    oblivious_public_accesses: bool
+    constant_local_memory: bool
+    circuit_like: bool
+
+    def level(self) -> Level | None:
+        return classify(self)
+
+
+def classify(profile: ProgramProfile) -> Level | None:
+    """Assign the §3.2 level implied by a program's properties.
+
+    Returns ``None`` when the program is not oblivious at all (e.g. the
+    standard sort-merge join).
+    """
+    if not profile.oblivious_public_accesses:
+        return None
+    if not profile.constant_local_memory:
+        return Level.I
+    if not profile.circuit_like:
+        return Level.II
+    return Level.III
+
+
+def vulnerability_profile(setting: Setting, level: Level) -> tuple[Attack, ...] | None:
+    """Residual attacks for a level-``level`` program in ``setting``.
+
+    ``None`` means "not applicable" (local-memory side channels have no
+    analogue in circuit-based settings below level III).
+    """
+    return _VULNERABILITIES[setting][level]
+
+
+def has_constant_local_memory(level: Level) -> bool:
+    """Upper portion of Table 2, first row."""
+    return level in (Level.II, Level.III)
+
+
+def is_circuit_like(level: Level) -> bool:
+    """Upper portion of Table 2, second row."""
+    return level is Level.III
+
+
+#: Profiles of the algorithms implemented in this repository.
+KNOWN_PROFILES: dict[str, ProgramProfile] = {
+    "sort_merge_join": ProgramProfile(
+        "sort_merge_join",
+        oblivious_public_accesses=False,
+        constant_local_memory=True,
+        circuit_like=False,
+    ),
+    "oblivious_join": ProgramProfile(
+        "oblivious_join",
+        oblivious_public_accesses=True,
+        constant_local_memory=True,
+        circuit_like=False,
+    ),
+    "oblivious_join_transformed": ProgramProfile(
+        "oblivious_join_transformed",
+        oblivious_public_accesses=True,
+        constant_local_memory=True,
+        circuit_like=True,
+    ),
+    "nested_loop_join": ProgramProfile(
+        "nested_loop_join",
+        oblivious_public_accesses=True,
+        constant_local_memory=True,
+        circuit_like=False,
+    ),
+    "opaque_pkfk_join": ProgramProfile(
+        "opaque_pkfk_join",
+        oblivious_public_accesses=True,
+        constant_local_memory=True,
+        circuit_like=False,
+    ),
+    "goodrich_external_memory": ProgramProfile(
+        "goodrich_external_memory",
+        oblivious_public_accesses=True,
+        constant_local_memory=False,
+        circuit_like=False,
+    ),
+}
+
+
+def render_table2() -> str:
+    """Table 2 as printable text (used by the bench that regenerates it)."""
+    lines = []
+    header = f"{'Property/Setting':28s}" + "".join(f"{str(l):>6s}" for l in Level)
+    lines.append(header)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'Constant local memory':28s}"
+        + "".join(f"{'yes' if has_constant_local_memory(l) else 'x':>6s}" for l in Level)
+    )
+    lines.append(
+        f"{'Circuit-like':28s}"
+        + "".join(f"{'yes' if is_circuit_like(l) else 'x':>6s}" for l in Level)
+    )
+    for setting in Setting:
+        cells = []
+        for level in Level:
+            attacks = vulnerability_profile(setting, level)
+            if attacks is None:
+                cells.append("n/a")
+            elif not attacks:
+                cells.append("ok")
+            else:
+                cells.append(",".join(a.value for a in attacks))
+        lines.append(f"{setting.value:28s}" + "".join(f"{c:>6s}" for c in cells))
+    return "\n".join(lines)

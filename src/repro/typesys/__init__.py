@@ -1,0 +1,65 @@
+"""Figure 6's memory-trace-obliviousness type system, executable.
+
+A mini-language (:mod:`.lang`), the L/H lattice (:mod:`.labels`), symbolic
+traces (:mod:`.traces`), the checker implementing the judgement rules
+(:mod:`.checker`), a concrete interpreter (:mod:`.interp`), and the join's
+kernels plus deliberately leaky foils (:mod:`.programs`).
+"""
+
+from .checker import TypeChecker, check_program, is_well_typed
+from .interp import Interpreter, run_program
+from .labels import Label, flows_to, join
+from .lang import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Skip,
+    Var,
+    render_expr,
+    seq,
+)
+from .traces import AccessEvent, RepeatTrace, concat, event_count, render, repeat
+from .transform import (
+    TransformError,
+    count_secret_branches,
+    is_level3,
+    to_level3,
+)
+
+__all__ = [
+    "TypeChecker",
+    "check_program",
+    "is_well_typed",
+    "Interpreter",
+    "run_program",
+    "Label",
+    "flows_to",
+    "join",
+    "ArrayRead",
+    "ArrayWrite",
+    "Assign",
+    "BinOp",
+    "Const",
+    "For",
+    "If",
+    "Program",
+    "Skip",
+    "Var",
+    "render_expr",
+    "seq",
+    "AccessEvent",
+    "RepeatTrace",
+    "concat",
+    "event_count",
+    "render",
+    "repeat",
+    "TransformError",
+    "count_secret_branches",
+    "is_level3",
+    "to_level3",
+]

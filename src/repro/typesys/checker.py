@@ -1,0 +1,174 @@
+"""The Figure 6 type checker: well-typed programs are trace-oblivious.
+
+Implements the judgement rules as presented in the paper, with one
+strengthening borrowed from the full system of Liu et al. [28] that the
+paper's condensed figure leaves implicit: statements are checked under a
+*program-counter label* ``pc`` that is raised to the guard's label inside
+conditional branches, and assignments require ``label(e) ⊔ pc ⊑ label(x)``.
+Without it, a secret-guarded ``if s then i <- 1 else i <- 2`` could launder
+an H value into an L variable and use it as an array index.  (T-Cond's
+trace-equality requirement is unchanged.)
+
+Rules implemented:
+
+===========  ===============================================================
+T-Var/Const  expressions evaluate in local memory, empty trace
+T-Op         ``l1 ⊔ l2``, empty trace
+T-Asgn       ``l_e ⊔ pc ⊑ l_x``, empty trace
+T-Read       index must be L; ``l_arr ⊑ l_x``; emits ``<R, A, i>``
+T-Write      index must be L; ``l_e ⊔ pc ⊑ l_arr``; emits ``<W, A, i>``
+T-Cond       both branches must emit *identical* symbolic traces
+T-For        bound must be L; loop var is L; trace is the body repeated
+T-Seq        concatenation
+===========  ===============================================================
+"""
+
+from __future__ import annotations
+
+from ..errors import TypingError
+from .labels import Label, flows_to, join
+from .lang import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Skip,
+    Var,
+    render_expr,
+)
+from .traces import EMPTY, AccessEvent, Trace, concat, render, repeat
+
+
+class TypeChecker:
+    """Checks one :class:`~repro.typesys.lang.Program`; produces its trace."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.variables = dict(program.variables)
+        self.arrays = dict(program.arrays)
+
+    # -- expressions ------------------------------------------------------
+
+    def label_of(self, expr) -> Label:
+        if isinstance(expr, Const):
+            return Label.L
+        if isinstance(expr, Var):
+            if expr.name not in self.variables:
+                raise TypingError(f"undeclared variable {expr.name!r}")
+            return self.variables[expr.name]
+        if isinstance(expr, BinOp):
+            return join(self.label_of(expr.left), self.label_of(expr.right))
+        raise TypingError(f"not an expression: {expr!r}")
+
+    # -- statements -------------------------------------------------------
+
+    def check(self) -> Trace:
+        """Type-check the whole program; returns its symbolic trace."""
+        return self._check_body(self.program.body, pc=Label.L)
+
+    def _check_body(self, body, pc: Label) -> Trace:
+        trace = EMPTY
+        for stmt in body:
+            trace = concat(trace, self._check_stmt(stmt, pc))
+        return trace
+
+    def _check_stmt(self, stmt, pc: Label) -> Trace:
+        if isinstance(stmt, Skip):
+            return EMPTY
+
+        if isinstance(stmt, Assign):
+            if stmt.name not in self.variables:
+                raise TypingError(f"undeclared variable {stmt.name!r}")
+            source = join(self.label_of(stmt.expr), pc)
+            target = self.variables[stmt.name]
+            if not flows_to(source, target):
+                raise TypingError(
+                    f"T-Asgn violation: {source} value assigned to "
+                    f"{target} variable {stmt.name!r}"
+                )
+            return EMPTY
+
+        if isinstance(stmt, ArrayRead):
+            if stmt.array not in self.arrays:
+                raise TypingError(f"undeclared array {stmt.array!r}")
+            if stmt.name not in self.variables:
+                raise TypingError(f"undeclared variable {stmt.name!r}")
+            if self.label_of(stmt.index) is not Label.L:
+                raise TypingError(
+                    f"T-Read violation: H-labelled index "
+                    f"{render_expr(stmt.index)!r} into array {stmt.array!r}"
+                )
+            source = join(self.arrays[stmt.array], pc)
+            if not flows_to(source, self.variables[stmt.name]):
+                raise TypingError(
+                    f"T-Read violation: {source} array {stmt.array!r} read "
+                    f"into {self.variables[stmt.name]} variable {stmt.name!r}"
+                )
+            return (AccessEvent("R", stmt.array, render_expr(stmt.index)),)
+
+        if isinstance(stmt, ArrayWrite):
+            if stmt.array not in self.arrays:
+                raise TypingError(f"undeclared array {stmt.array!r}")
+            if self.label_of(stmt.index) is not Label.L:
+                raise TypingError(
+                    f"T-Write violation: H-labelled index "
+                    f"{render_expr(stmt.index)!r} into array {stmt.array!r}"
+                )
+            source = join(self.label_of(stmt.expr), pc)
+            if not flows_to(source, self.arrays[stmt.array]):
+                raise TypingError(
+                    f"T-Write violation: {source} value written to "
+                    f"{self.arrays[stmt.array]} array {stmt.array!r}"
+                )
+            return (AccessEvent("W", stmt.array, render_expr(stmt.index)),)
+
+        if isinstance(stmt, If):
+            branch_pc = join(pc, self.label_of(stmt.cond))
+            then_trace = self._check_body(stmt.then_body, branch_pc)
+            else_trace = self._check_body(stmt.else_body, branch_pc)
+            if then_trace != else_trace:
+                raise TypingError(
+                    "T-Cond violation: branch traces differ:\n"
+                    f"  then: {render(then_trace)}\n"
+                    f"  else: {render(else_trace)}"
+                )
+            return then_trace
+
+        if isinstance(stmt, For):
+            if self.label_of(stmt.bound) is not Label.L:
+                raise TypingError(
+                    f"T-For violation: loop bound "
+                    f"{render_expr(stmt.bound)!r} is input-dependent (H)"
+                )
+            if stmt.var in self.variables and self.variables[stmt.var] is Label.H:
+                raise TypingError(f"loop variable {stmt.var!r} must be L")
+            previous = self.variables.get(stmt.var)
+            self.variables[stmt.var] = Label.L
+            try:
+                body_trace = self._check_body(stmt.body, pc)
+            finally:
+                if previous is None:
+                    del self.variables[stmt.var]
+                else:
+                    self.variables[stmt.var] = previous
+            return repeat(body_trace, render_expr(stmt.bound))
+
+        raise TypingError(f"unknown statement {stmt!r}")
+
+
+def check_program(program: Program) -> Trace:
+    """Type-check ``program``; raise :class:`TypingError` or return trace."""
+    return TypeChecker(program).check()
+
+
+def is_well_typed(program: Program) -> bool:
+    """Predicate form of :func:`check_program`."""
+    try:
+        check_program(program)
+    except TypingError:
+        return False
+    return True

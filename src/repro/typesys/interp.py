@@ -1,0 +1,132 @@
+"""Concrete interpreter for the mini-language; emits concrete traces.
+
+Used to validate the type system empirically: for any well-typed program,
+running it on different H data (same sizes) must yield identical concrete
+traces — that is the soundness statement of memory-trace obliviousness, and
+``tests/test_typesys_soundness.py`` property-tests it.
+"""
+
+from __future__ import annotations
+
+from ..errors import InputError
+from .lang import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Skip,
+    Var,
+)
+
+#: A concrete trace event: (op, array_name, concrete_index).
+ConcreteEvent = tuple[str, str, int]
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "^": lambda a, b: a ^ b,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "min": min,
+    "max": max,
+}
+
+
+class Interpreter:
+    """Executes a program over concrete variables and arrays."""
+
+    def __init__(
+        self,
+        program: Program,
+        variables: dict[str, int] | None = None,
+        arrays: dict[str, list[int]] | None = None,
+    ) -> None:
+        self.program = program
+        self.variables: dict[str, int] = dict(variables or {})
+        self.arrays: dict[str, list[int]] = {
+            name: list(values) for name, values in (arrays or {}).items()
+        }
+        self.trace: list[ConcreteEvent] = []
+
+    def eval(self, expr) -> int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in self.variables:
+                raise InputError(f"unbound variable {expr.name!r}")
+            return self.variables[expr.name]
+        if isinstance(expr, BinOp):
+            return _OPS[expr.op](self.eval(expr.left), self.eval(expr.right))
+        raise InputError(f"not an expression: {expr!r}")
+
+    def run(self) -> list[ConcreteEvent]:
+        self._run_body(self.program.body)
+        return self.trace
+
+    def _run_body(self, body) -> None:
+        for stmt in body:
+            self._run_stmt(stmt)
+
+    def _run_stmt(self, stmt) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Assign):
+            self.variables[stmt.name] = self.eval(stmt.expr)
+            return
+        if isinstance(stmt, ArrayRead):
+            index = self.eval(stmt.index)
+            array = self.arrays[stmt.array]
+            if not 0 <= index < len(array):
+                raise InputError(
+                    f"read index {index} out of range for {stmt.array!r}"
+                )
+            self.trace.append(("R", stmt.array, index))
+            self.variables[stmt.name] = array[index]
+            return
+        if isinstance(stmt, ArrayWrite):
+            index = self.eval(stmt.index)
+            array = self.arrays[stmt.array]
+            if not 0 <= index < len(array):
+                raise InputError(
+                    f"write index {index} out of range for {stmt.array!r}"
+                )
+            self.trace.append(("W", stmt.array, index))
+            array[index] = self.eval(stmt.expr)
+            return
+        if isinstance(stmt, If):
+            if self.eval(stmt.cond):
+                self._run_body(stmt.then_body)
+            else:
+                self._run_body(stmt.else_body)
+            return
+        if isinstance(stmt, For):
+            bound = self.eval(stmt.bound)
+            for i in range(bound):
+                self.variables[stmt.var] = i
+                self._run_body(stmt.body)
+            return
+        raise InputError(f"unknown statement {stmt!r}")
+
+
+def run_program(
+    program: Program,
+    variables: dict[str, int] | None = None,
+    arrays: dict[str, list[int]] | None = None,
+) -> tuple[list[ConcreteEvent], dict[str, list[int]], dict[str, int]]:
+    """Run ``program``; returns (concrete trace, final arrays, final vars)."""
+    interp = Interpreter(program, variables, arrays)
+    trace = interp.run()
+    return trace, interp.arrays, interp.variables

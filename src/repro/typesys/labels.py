@@ -1,0 +1,25 @@
+"""The L/H security-label lattice of the Figure 6 type system."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Label(Enum):
+    """``L`` = input-independent (public), ``H`` = input-dependent (secret)."""
+
+    L = "L"
+    H = "H"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def join(a: Label, b: Label) -> Label:
+    """The lattice join ``l1 ⊔ l2``: H if either operand is H."""
+    return Label.H if Label.H in (a, b) else Label.L
+
+
+def flows_to(a: Label, b: Label) -> bool:
+    """The ordering ``l1 ⊑ l2``: L flows anywhere, H only to H."""
+    return a is Label.L or b is Label.H

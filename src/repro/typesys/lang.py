@@ -1,0 +1,132 @@
+"""A miniature imperative language mirroring the paper's §4.3 notation.
+
+Programs in this language read and write public arrays through explicit
+``x <-? A[i]`` / ``A[i] <-? e`` statements (everything else is local
+memory), have structured conditionals and counted loops, and no unbounded
+or data-dependent iteration — exactly the fragment Figure 6 types.  The
+paper's join kernels are re-expressed in it (:mod:`repro.typesys.programs`)
+so the checker can verify them mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .labels import Label
+
+# --------------------------------------------------------------------------
+# Expressions (evaluated entirely in local memory: they emit no trace).
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal (always label L)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """A local-memory variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation on local values."""
+
+    op: str  # one of + - * // % ^ < <= > >= == != and or min max
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Const, Var, BinOp]
+
+
+# --------------------------------------------------------------------------
+# Statements.
+
+
+@dataclass(frozen=True)
+class Skip:
+    """No-op (used as an empty conditional branch)."""
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``x <- e`` — local computation, no trace."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ArrayRead:
+    """``x <-? A[i]`` — traced read of public memory into a local variable."""
+
+    name: str
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class ArrayWrite:
+    """``A[i] <-? e`` — traced write of a local value to public memory."""
+
+    array: str
+    index: Expr
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If:
+    """A conditional; Figure 6's T-Cond demands both branches trace equally."""
+
+    cond: Expr
+    then_body: tuple
+    else_body: tuple = (Skip(),)
+
+
+@dataclass(frozen=True)
+class For:
+    """``for var <- 0 .. bound-1`` — T-For demands an L-labelled bound."""
+
+    var: str
+    bound: Expr
+    body: tuple
+
+
+Stmt = Union[Skip, Assign, ArrayRead, ArrayWrite, If, For]
+
+
+@dataclass
+class Program:
+    """A typed program: declarations plus a statement list.
+
+    ``variables`` maps local variable names to labels; ``arrays`` maps
+    public array names to labels.  Parameters such as ``n`` and ``m`` are
+    ordinary L variables supplied at run time.
+    """
+
+    name: str
+    variables: dict[str, Label] = field(default_factory=dict)
+    arrays: dict[str, Label] = field(default_factory=dict)
+    body: tuple = ()
+
+
+def seq(*stmts: Stmt) -> tuple:
+    """Convenience: a statement tuple (the language's sequencing form)."""
+    return tuple(stmts)
+
+
+def render_expr(expr: Expr) -> str:
+    """Canonical string form of an expression (used in symbolic traces)."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        return f"({render_expr(expr.left)}{expr.op}{render_expr(expr.right)})"
+    raise TypeError(f"not an expression: {expr!r}")

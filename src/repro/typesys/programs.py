@@ -1,0 +1,378 @@
+"""The join's kernels expressed in the mini-language, plus leaky foils.
+
+The paper §6.1 verifies its C++ implementation by annotating it with the
+Figure 6 types.  We go one step further: the algorithm's characteristic
+loops are *re-written* in the typed language, the checker certifies them,
+and the interpreter runs them — so the typing claim is executable.  The
+``leaky_*`` programs are deliberately insecure variants (including the
+sort-merge pointer advance from the paper's introduction) that the checker
+must reject; the test suite pins both directions.
+"""
+
+from __future__ import annotations
+
+from .labels import Label
+from .lang import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Skip,
+    Var,
+    seq,
+)
+
+L = Label.L
+H = Label.H
+
+
+def _v(name: str) -> Var:
+    return Var(name)
+
+
+def _c(value: int) -> Const:
+    return Const(value)
+
+
+def _op(op: str, a, b) -> BinOp:
+    return BinOp(op, a, b)
+
+
+def fill_dimensions_forward() -> Program:
+    """The forward scan of Algorithm 2 (running group counters).
+
+    Parameters at run time: ``n`` plus arrays ``J, TID, A1, A2`` of size n.
+    """
+    body = seq(
+        Assign("prevj", _c(0)),
+        Assign("c1", _c(0)),
+        Assign("c2", _c(0)),
+        For(
+            "i",
+            _v("n"),
+            seq(
+                ArrayRead("x", "J", _v("i")),
+                ArrayRead("t", "TID", _v("i")),
+                Assign(
+                    "isnew",
+                    _op("or", _op("==", _v("i"), _c(0)), _op("!=", _v("x"), _v("prevj"))),
+                ),
+                If(
+                    _v("isnew"),
+                    seq(Assign("c1", _c(0)), Assign("c2", _c(0))),
+                    seq(Skip()),
+                ),
+                If(
+                    _op("==", _v("t"), _c(1)),
+                    seq(Assign("c1", _op("+", _v("c1"), _c(1)))),
+                    seq(Assign("c2", _op("+", _v("c2"), _c(1)))),
+                ),
+                ArrayWrite("A1", _v("i"), _v("c1")),
+                ArrayWrite("A2", _v("i"), _v("c2")),
+                Assign("prevj", _v("x")),
+            ),
+        ),
+    )
+    return Program(
+        name="fill_dimensions_forward",
+        variables={
+            "n": L, "x": H, "t": H, "c1": H, "c2": H, "prevj": H, "isnew": H,
+        },
+        arrays={"J": H, "TID": H, "A1": H, "A2": H},
+        body=body,
+    )
+
+
+def routing_network() -> Program:
+    """The O(m log m) hop loop of Algorithm 3.
+
+    Run-time parameters: ``m`` (array size), ``jstart`` (the initial hop,
+    ``2^(ceil(log2 m)-1)``) and ``nphases`` (= ``log2(jstart)+1``); all are
+    L values derived from the public length.  Arrays: payload ``A`` and
+    0-based targets ``F`` (−1 for ∅ entries, the paper's ``f_hat(∅)=0``).
+    """
+    idx = _op("-", _op("-", _op("-", _v("m"), _v("jhop")), _c(1)), _v("i"))
+    idx_hi = _op("+", _v("idx"), _v("jhop"))
+    body = seq(
+        Assign("jhop", _v("jstart")),
+        For(
+            "p",
+            _v("nphases"),
+            seq(
+                For(
+                    "i",
+                    _op("-", _v("m"), _v("jhop")),
+                    seq(
+                        Assign("idx", idx),
+                        ArrayRead("y", "A", _v("idx")),
+                        ArrayRead("fv", "F", _v("idx")),
+                        ArrayRead("y2", "A", idx_hi),
+                        ArrayRead("f2v", "F", idx_hi),
+                        Assign("cond", _op(">=", _v("fv"), _op("+", _v("idx"), _v("jhop")))),
+                        If(
+                            _v("cond"),
+                            seq(
+                                ArrayWrite("A", _v("idx"), _v("y2")),
+                                ArrayWrite("F", _v("idx"), _v("f2v")),
+                                ArrayWrite("A", idx_hi, _v("y")),
+                                ArrayWrite("F", idx_hi, _v("fv")),
+                            ),
+                            seq(
+                                ArrayWrite("A", _v("idx"), _v("y")),
+                                ArrayWrite("F", _v("idx"), _v("fv")),
+                                ArrayWrite("A", idx_hi, _v("y2")),
+                                ArrayWrite("F", idx_hi, _v("f2v")),
+                            ),
+                        ),
+                    ),
+                ),
+                Assign("jhop", _op("//", _v("jhop"), _c(2))),
+            ),
+        ),
+    )
+    return Program(
+        name="routing_network",
+        variables={
+            "m": L, "jstart": L, "nphases": L, "jhop": L, "idx": L,
+            "y": H, "y2": H, "fv": H, "f2v": H, "cond": H,
+        },
+        arrays={"A": H, "F": H},
+        body=body,
+    )
+
+
+def fill_down() -> Program:
+    """The duplicate-fill pass of Algorithm 4 (lines 14-21).
+
+    Arrays: payload ``A`` and null flags ``NUL`` (1 = ∅), both size ``m``.
+    After the pass every cell is real, so NUL is cleared with dummy-free
+    constant writes (same trace on both branches).
+    """
+    body = seq(
+        Assign("px", _c(0)),
+        For(
+            "i",
+            _v("m"),
+            seq(
+                ArrayRead("x", "A", _v("i")),
+                ArrayRead("nul", "NUL", _v("i")),
+                If(
+                    _v("nul"),
+                    seq(Assign("x", _v("px"))),
+                    seq(Assign("px", _v("x"))),
+                ),
+                ArrayWrite("A", _v("i"), _v("x")),
+                ArrayWrite("NUL", _v("i"), _c(0)),
+            ),
+        ),
+    )
+    return Program(
+        name="fill_down",
+        variables={"m": L, "x": H, "nul": H, "px": H},
+        arrays={"A": H, "NUL": H},
+        body=body,
+    )
+
+
+def align_index_pass() -> Program:
+    """The per-entry alignment index computation of Algorithm 5."""
+    body = seq(
+        Assign("prevj", _c(0)),
+        Assign("q", _c(0)),
+        For(
+            "i",
+            _v("m"),
+            seq(
+                ArrayRead("x", "J", _v("i")),
+                ArrayRead("a1v", "A1", _v("i")),
+                ArrayRead("a2v", "A2", _v("i")),
+                Assign(
+                    "isnew",
+                    _op("or", _op("==", _v("i"), _c(0)), _op("!=", _v("x"), _v("prevj"))),
+                ),
+                If(
+                    _v("isnew"),
+                    seq(Assign("q", _c(0))),
+                    seq(Assign("q", _op("+", _v("q"), _c(1)))),
+                ),
+                Assign("prevj", _v("x")),
+                Assign(
+                    "iiv",
+                    _op(
+                        "+",
+                        _op("//", _v("q"), _v("a1v")),
+                        _op("*", _op("%", _v("q"), _v("a1v")), _v("a2v")),
+                    ),
+                ),
+                ArrayWrite("II", _v("i"), _v("iiv")),
+            ),
+        ),
+    )
+    return Program(
+        name="align_index_pass",
+        variables={
+            "m": L, "x": H, "a1v": H, "a2v": H, "q": H, "prevj": H,
+            "isnew": H, "iiv": H,
+        },
+        arrays={"J": H, "A1": H, "A2": H, "II": H},
+        body=body,
+    )
+
+
+def transposition_sort() -> Program:
+    """Odd-even transposition sort: the compare-exchange typing exemplar.
+
+    The conditional-swap body is identical to the one inside the bitonic
+    network (only the pair schedule differs), so its well-typedness carries
+    the same argument the paper makes for its sort calls.  Arrays: keys
+    ``K``, payloads ``P``; run-time parameter ``n``.
+    """
+    lo = _v("lo")
+    hi = _v("hi")
+    body = seq(
+        For(
+            "r",
+            _v("n"),
+            seq(
+                Assign("off", _op("%", _v("r"), _c(2))),
+                For(
+                    "i",
+                    _op("//", _op("-", _v("n"), _v("off")), _c(2)),
+                    seq(
+                        Assign("lo", _op("+", _v("off"), _op("*", _c(2), _v("i")))),
+                        Assign("hi", _op("+", _v("lo"), _c(1))),
+                        ArrayRead("ky", "K", lo),
+                        ArrayRead("ky2", "K", hi),
+                        ArrayRead("py", "P", lo),
+                        ArrayRead("py2", "P", hi),
+                        Assign("cond", _op(">", _v("ky"), _v("ky2"))),
+                        If(
+                            _v("cond"),
+                            seq(
+                                ArrayWrite("K", lo, _v("ky2")),
+                                ArrayWrite("K", hi, _v("ky")),
+                                ArrayWrite("P", lo, _v("py2")),
+                                ArrayWrite("P", hi, _v("py")),
+                            ),
+                            seq(
+                                ArrayWrite("K", lo, _v("ky")),
+                                ArrayWrite("K", hi, _v("ky2")),
+                                ArrayWrite("P", lo, _v("py")),
+                                ArrayWrite("P", hi, _v("py2")),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return Program(
+        name="transposition_sort",
+        variables={
+            "n": L, "off": L, "lo": L, "hi": L,
+            "ky": H, "ky2": H, "py": H, "py2": H, "cond": H,
+        },
+        arrays={"K": H, "P": H},
+        body=body,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deliberately leaky programs — each must be REJECTED by the checker.
+
+
+def leaky_index() -> Program:
+    """Reads ``A[s]`` with a secret ``s`` — classic access-pattern leak."""
+    return Program(
+        name="leaky_index",
+        variables={"s": H, "x": H},
+        arrays={"A": H},
+        body=seq(ArrayRead("x", "A", _v("s"))),
+    )
+
+
+def leaky_branch() -> Program:
+    """Writes memory in one branch only — trace reveals the secret bit."""
+    return Program(
+        name="leaky_branch",
+        variables={"s": H},
+        arrays={"A": H},
+        body=seq(
+            If(_v("s"), seq(ArrayWrite("A", _c(0), _c(1))), seq(Skip())),
+        ),
+    )
+
+
+def leaky_loop() -> Program:
+    """Loop bound depends on data — the §3.4 while-on-secret example."""
+    return Program(
+        name="leaky_loop",
+        variables={"s": H, "x": H},
+        arrays={"A": H},
+        body=seq(For("i", _v("s"), seq(ArrayRead("x", "A", _c(0))))),
+    )
+
+
+def leaky_implicit_flow() -> Program:
+    """Launders a secret into an L variable through branch assignment."""
+    return Program(
+        name="leaky_implicit_flow",
+        variables={"s": H, "i": L, "x": H},
+        arrays={"A": H},
+        body=seq(
+            If(_v("s"), seq(Assign("i", _c(1))), seq(Assign("i", _c(2)))),
+            ArrayRead("x", "A", _v("i")),
+        ),
+    )
+
+
+def leaky_sort_merge_step() -> Program:
+    """The introduction's sort-merge leak: pointers advance on data.
+
+    The merge pointers must be H (they move based on comparisons), so the
+    table reads ``T1[p1]`` / ``T2[p2]`` type-fail — precisely why the paper
+    calls the textbook join non-oblivious.
+    """
+    return Program(
+        name="leaky_sort_merge_step",
+        variables={"n": L, "p1": H, "p2": H, "x": H, "y": H},
+        arrays={"T1": H, "T2": H},
+        body=seq(
+            Assign("p1", _c(0)),
+            Assign("p2", _c(0)),
+            For(
+                "i",
+                _v("n"),
+                seq(
+                    ArrayRead("x", "T1", _v("p1")),
+                    ArrayRead("y", "T2", _v("p2")),
+                    If(
+                        _op("<", _v("x"), _v("y")),
+                        seq(Assign("p1", _op("+", _v("p1"), _c(1)))),
+                        seq(Assign("p2", _op("+", _v("p2"), _c(1)))),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+WELL_TYPED = (
+    fill_dimensions_forward,
+    routing_network,
+    fill_down,
+    align_index_pass,
+    transposition_sort,
+)
+
+LEAKY = (
+    leaky_index,
+    leaky_branch,
+    leaky_loop,
+    leaky_implicit_flow,
+    leaky_sort_merge_step,
+)

@@ -1,0 +1,83 @@
+"""Symbolic memory traces — the ``T`` component of Figure 6 judgements.
+
+A symbolic trace is a sequence of read/write events whose indices are
+*expressions* (canonical strings), plus a repetition node for loops
+(``T || ... || T``, t copies).  Two program fragments are
+trace-equivalent when their symbolic traces are structurally equal — the
+property T-Cond demands of conditional branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One symbolic public-memory access: ``<R|W, array, index-expr>``."""
+
+    op: str  # "R" or "W"
+    array: str
+    index: str  # canonical expression string
+
+    def __str__(self) -> str:
+        return f"<{self.op},{self.array},{self.index}>"
+
+
+@dataclass(frozen=True)
+class RepeatTrace:
+    """``body`` repeated ``count`` times (count is an L expression string)."""
+
+    body: tuple
+    count: str
+
+    def __str__(self) -> str:
+        inner = "".join(str(e) for e in self.body)
+        return f"[{inner}]^{self.count}"
+
+
+TraceItem = Union[AccessEvent, RepeatTrace]
+#: A trace is a tuple of events and repetition nodes.
+Trace = tuple
+
+EMPTY: Trace = ()
+
+
+def concat(*traces: Trace) -> Trace:
+    """Trace concatenation (``T1 || T2``)."""
+    out: list[TraceItem] = []
+    for t in traces:
+        out.extend(t)
+    return tuple(out)
+
+
+def repeat(body: Trace, count: str) -> Trace:
+    """The T-For trace: ``body`` repeated ``count`` times.
+
+    An empty body repeats to the empty trace regardless of the count.
+    """
+    if not body:
+        return EMPTY
+    return (RepeatTrace(body=body, count=count),)
+
+
+def render(trace: Trace) -> str:
+    return "".join(str(item) for item in trace)
+
+
+def event_count(trace: Trace, bindings: dict[str, int]) -> int:
+    """Number of concrete events the trace denotes under ``bindings``.
+
+    Repetition counts are evaluated with Python's ``eval`` over the binding
+    environment — counts are L expressions over parameters like ``n``, so
+    this is exactly the paper's "length depends only on input sizes".
+    """
+    total = 0
+    for item in trace:
+        if isinstance(item, AccessEvent):
+            total += 1
+        else:
+            count = int(eval(item.count.replace("//", "//"), {}, dict(bindings)))
+            total += count * event_count(item.body, bindings)
+    return total

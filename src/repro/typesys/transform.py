@@ -1,0 +1,270 @@
+"""The §3.4 transformation: level II programs to circuit-like level III.
+
+The paper argues any level II program with L-bounded loops and constant
+branching depth converts to a level III (circuit-like) program with
+constant overhead, by rewriting every secret-guarded conditional into
+straight-line arithmetic::
+
+    if secret then x1 <- y1 ... else x1 <- z1 ...
+    ==>
+    x1 <- y1*secret + z1*(1-secret)  ...
+
+This module implements that rewrite for the mini-language; the paper's
+"transformed" SGX variant in Figure 8 is the machine-code analogue.
+
+Mechanics for one ``If`` with an H-labelled guard (both branches already
+branch-free and — by T-Cond — emitting identical traces):
+
+1. the guard is normalised to a 0/1 temp ``c``;
+2. each branch is *symbolically executed*: local assignments become
+   substitutions; the k-th array read of either branch binds to one shared
+   temp (both branches read the same cell at the same trace position, so
+   the temp's runtime value is correct whichever branch is live); array
+   writes record their value expressions;
+3. the merged program replays the events in their original order — reads
+   load the shared temps, writes store the multiplexed value
+   ``v_then*c + v_else*(1-c)`` — and finally multiplexes every locally
+   assigned variable.
+
+Conditionals whose guard is L (public configuration, like the input
+length) are left intact: a circuit family may depend on public values.
+The overhead is the factor ~2 the paper quotes: both branches' value
+expressions are evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ObliviousnessError
+from .checker import TypeChecker, check_program
+from .labels import Label
+from .lang import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Skip,
+    Var,
+    render_expr,
+)
+
+
+class TransformError(ObliviousnessError):
+    """The program is outside the transformable fragment of §3.4."""
+
+
+def _substitute(expr, renames: dict):
+    """Replace variable references by their current symbolic values."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return renames.get(expr.name, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, _substitute(expr.left, renames), _substitute(expr.right, renames)
+        )
+    raise TransformError(f"cannot substitute in {expr!r}")
+
+
+def _mux(condition: Var, if_true, if_false):
+    """``if_true*c + if_false*(1-c)`` — the paper's branch elimination."""
+    return BinOp(
+        "+",
+        BinOp("*", if_true, condition),
+        BinOp("*", if_false, BinOp("-", Const(1), condition)),
+    )
+
+
+@dataclass
+class _Branch:
+    """Symbolic execution record of one (branch-free) branch body."""
+
+    #: per trace event: ("R", array, index_expr, temp) or
+    #:                  ("W", array, index_expr, value_expr)
+    events: list = field(default_factory=list)
+    #: final symbolic value of every locally assigned variable
+    renames: dict = field(default_factory=dict)
+
+
+class Level3Transformer:
+    """Rewrites the H-guarded conditionals of a well-typed program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.checker = TypeChecker(program)
+        self._temp_counter = 0
+        self._new_variables: dict[str, Label] = {}
+
+    def _fresh(self) -> str:
+        name = f"__t{self._temp_counter}"
+        self._temp_counter += 1
+        self._new_variables[name] = Label.H
+        return name
+
+    def transform(self) -> Program:
+        check_program(self.program)  # the rewrite is only sound when typed
+        body = self._transform_body(self.program.body)
+        variables = dict(self.program.variables)
+        variables.update(self._new_variables)
+        return Program(
+            name=f"{self.program.name}_level3",
+            variables=variables,
+            arrays=dict(self.program.arrays),
+            body=body,
+        )
+
+    # -- recursive statement rewriting --------------------------------------
+
+    def _transform_body(self, body) -> tuple:
+        out: list = []
+        for stmt in body:
+            out.extend(self._transform_stmt(stmt))
+        return tuple(out)
+
+    def _transform_stmt(self, stmt) -> list:
+        if isinstance(stmt, (Skip, Assign, ArrayRead, ArrayWrite)):
+            return [stmt]
+        if isinstance(stmt, For):
+            return [For(stmt.var, stmt.bound, self._transform_body(stmt.body))]
+        if isinstance(stmt, If):
+            then_body = self._transform_body(stmt.then_body)
+            else_body = self._transform_body(stmt.else_body)
+            if self._guard_label(stmt.cond) is Label.L:
+                return [If(stmt.cond, then_body, else_body)]
+            return self._eliminate(stmt.cond, then_body, else_body)
+        raise TransformError(f"unknown statement {stmt!r}")
+
+    def _guard_label(self, cond) -> Label:
+        # Loop counters may appear in guards; they are L by construction.
+        for name in _collect_vars(cond):
+            self.checker.variables.setdefault(name, Label.L)
+        return self.checker.label_of(cond)
+
+    # -- the core elimination ------------------------------------------------
+
+    def _execute(self, body, read_temps: list[str], allocate: bool) -> _Branch:
+        """Symbolically run a branch-free body.
+
+        ``read_temps`` is the shared per-read temp list: the primary branch
+        allocates into it; the secondary branch consumes it positionally.
+        """
+        branch = _Branch()
+        read_index = 0
+        for stmt in body:
+            if isinstance(stmt, Skip):
+                continue
+            if isinstance(stmt, Assign):
+                branch.renames[stmt.name] = _substitute(stmt.expr, branch.renames)
+            elif isinstance(stmt, ArrayRead):
+                index = _substitute(stmt.index, branch.renames)
+                if allocate:
+                    read_temps.append(self._fresh())
+                if read_index >= len(read_temps):
+                    raise TransformError("branch traces disagree on read count")
+                temp = read_temps[read_index]
+                read_index += 1
+                branch.events.append(("R", stmt.array, index, temp))
+                branch.renames[stmt.name] = Var(temp)
+            elif isinstance(stmt, ArrayWrite):
+                index = _substitute(stmt.index, branch.renames)
+                value = _substitute(stmt.expr, branch.renames)
+                branch.events.append(("W", stmt.array, index, value))
+            elif isinstance(stmt, (If, For)):
+                raise TransformError(
+                    "nested control flow inside a secret branch is outside "
+                    "the §3.4 fragment (branching depth must be constant)"
+                )
+            else:
+                raise TransformError(f"unsupported statement {stmt!r}")
+        return branch
+
+    def _eliminate(self, cond, then_body, else_body) -> list:
+        guard_name = self._fresh()
+        out: list = [Assign(guard_name, BinOp("!=", cond, Const(0)))]
+        guard = Var(guard_name)
+
+        read_temps: list[str] = []
+        then_branch = self._execute(then_body, read_temps, allocate=True)
+        else_branch = self._execute(else_body, read_temps, allocate=False)
+
+        shape = lambda b: [(e[0], e[1], render_expr(e[2])) for e in b.events]
+        if shape(then_branch) != shape(else_branch):
+            raise TransformError(
+                "branch traces differ; the program cannot be well-typed"
+            )
+
+        # Replay events in original order, multiplexing write values.
+        for event_then, event_else in zip(then_branch.events, else_branch.events):
+            op, array, index = event_then[0], event_then[1], event_then[2]
+            if op == "R":
+                out.append(ArrayRead(event_then[3], array, index))
+            else:
+                out.append(
+                    ArrayWrite(array, index, _mux(guard, event_then[3], event_else[3]))
+                )
+
+        # Multiplex locally assigned variables (skip internal temps).
+        assigned = [
+            name
+            for name in dict.fromkeys(
+                list(then_branch.renames) + list(else_branch.renames)
+            )
+            if not name.startswith("__t")
+        ]
+        staged: list = []
+        finals: list = []
+        for name in assigned:
+            value_then = then_branch.renames.get(name, Var(name))
+            value_else = else_branch.renames.get(name, Var(name))
+            temp = self._fresh()
+            staged.append(Assign(temp, _mux(guard, value_then, value_else)))
+            finals.append(Assign(name, Var(temp)))
+        out.extend(staged)
+        out.extend(finals)
+        return out
+
+
+def _collect_vars(expr) -> set[str]:
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, BinOp):
+        return _collect_vars(expr.left) | _collect_vars(expr.right)
+    return set()
+
+
+def to_level3(program: Program) -> Program:
+    """Eliminate every secret-guarded conditional from ``program``."""
+    return Level3Transformer(program).transform()
+
+
+def count_secret_branches(program: Program) -> int:
+    """Number of H-guarded If statements present (0 == level III ready)."""
+    checker = TypeChecker(program)
+
+    def label_or_low(expr) -> Label:
+        for name in _collect_vars(expr):
+            checker.variables.setdefault(name, Label.L)
+        return checker.label_of(expr)
+
+    def walk(body) -> int:
+        total = 0
+        for stmt in body:
+            if isinstance(stmt, If):
+                if label_or_low(stmt.cond) is Label.H:
+                    total += 1
+                total += walk(stmt.then_body) + walk(stmt.else_body)
+            elif isinstance(stmt, For):
+                total += walk(stmt.body)
+        return total
+
+    return walk(program.body)
+
+
+def is_level3(program: Program) -> bool:
+    """True when the program has no secret-dependent branching left."""
+    return count_secret_branches(program) == 0

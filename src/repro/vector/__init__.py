@@ -1,0 +1,14 @@
+"""Vectorised (numpy) engine: same algorithm, benchmark-scale throughput."""
+
+from .baseline import vector_sort_merge_join
+from .join import VectorJoinStats, vector_oblivious_join
+from .sort import is_sorted_by, stage_pairs, vector_bitonic_sort
+
+__all__ = [
+    "vector_sort_merge_join",
+    "VectorJoinStats",
+    "vector_oblivious_join",
+    "is_sorted_by",
+    "stage_pairs",
+    "vector_bitonic_sort",
+]

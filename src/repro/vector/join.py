@@ -1,0 +1,231 @@
+"""The vectorised oblivious join pipeline (numpy struct-of-arrays engine).
+
+Stage-for-stage the same algorithm as :mod:`repro.core`: augment with group
+dimensions, expand both tables through sort + routing network, align S2, and
+zip.  Each stage is expressed as whole-array numpy operations whose index
+patterns depend only on (n1, n2, m); per-element decisions become boolean
+masks.  Outputs are bit-identical to the traced engine (asserted in
+``tests/test_vector_vs_traced.py``), which justifies benchmarking with this
+engine while proving security claims on the traced one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InputError
+from ..obliv.routing import largest_hop
+from .sort import vector_bitonic_sort
+
+_INT = np.int64
+
+
+@dataclass
+class VectorJoinStats:
+    """Per-phase wall time and comparator counts of one vectorised join."""
+
+    seconds_by_phase: dict[str, float] = field(default_factory=dict)
+    comparisons_by_phase: dict[str, int] = field(default_factory=dict)
+    m: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_phase.values())
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(self.comparisons_by_phase.values())
+
+
+def _as_columns(pairs, tid: int) -> dict[str, np.ndarray]:
+    array = np.asarray(pairs, dtype=_INT)
+    if array.size == 0:
+        array = array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise InputError("input tables must be sequences of (j, d) pairs")
+    n = array.shape[0]
+    return {
+        "j": array[:, 0].copy(),
+        "d": array[:, 1].copy(),
+        "tid": np.full(n, tid, dtype=_INT),
+    }
+
+
+def _group_ids(j: np.ndarray) -> np.ndarray:
+    """0-based group index per row of a j-sorted column."""
+    n = len(j)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(j[1:], j[:-1], out=new_group[1:])
+    return np.cumsum(new_group) - 1
+
+
+def _route_forward(columns: dict[str, np.ndarray], m: int) -> None:
+    """Vectorised Algorithm 3 routing: hop elements toward ``f`` targets.
+
+    ``columns['f']`` holds 0-based targets (-1 for nulls).  Per phase, the
+    element-wise hop decision ``target - position >= j`` matches the
+    sequential inner loop exactly (the update rule in Theorem 1's proof is
+    already element-wise).
+    """
+    if m <= 1:
+        return
+    size = len(columns["f"])
+    positions = np.arange(size, dtype=_INT)
+    hop = largest_hop(m)
+    names = list(columns)
+    while hop >= 1:
+        targets = columns["f"]
+        moving = (targets >= 0) & ((targets - positions) >= hop)
+        src = np.flatnonzero(moving)
+        dst = src + hop
+        for name in names:
+            col = columns[name]
+            values = col[src].copy()
+            col[src] = -1 if name == "f" else 0
+            col[dst] = values
+        hop //= 2
+
+
+def _expand(
+    columns: dict[str, np.ndarray],
+    count_column: str,
+    m: int,
+    stats: VectorJoinStats,
+    sort_phase: str,
+    route_phase: str,
+) -> dict[str, np.ndarray]:
+    """Vectorised Algorithm 4: duplicate each row ``count_column`` times."""
+    n = len(columns["j"])
+    counts = columns[count_column]
+    keep = counts > 0
+    first_slot = np.cumsum(counts) - counts
+    columns = dict(columns)
+    columns["f"] = np.where(keep, first_slot, -1).astype(_INT)
+    columns["_null"] = (~keep).astype(_INT)
+
+    size = max(n, m)
+    extended = {}
+    for name, col in columns.items():
+        ext = np.zeros(size, dtype=_INT)
+        ext[:n] = col
+        extended[name] = ext
+    if size > n:
+        extended["_null"][n:] = 1
+        extended["f"][n:] = -1
+
+    start = time.perf_counter()
+    counter = [0]
+    extended = vector_bitonic_sort(
+        extended, [("_null", True), ("f", True)], counter=counter
+    )
+    stats.seconds_by_phase[sort_phase] = time.perf_counter() - start
+    stats.comparisons_by_phase[sort_phase] = counter[0]
+
+    start = time.perf_counter()
+    _route_forward(extended, m)
+    stats.seconds_by_phase[route_phase] = time.perf_counter() - start
+    # The routing network compares one pair of cells per inner step; the
+    # vectorised loop covers the same (size - hop) slots per phase.
+    route_comparisons = 0
+    hop = largest_hop(m)
+    while hop >= 1:
+        route_comparisons += max(size - hop, 0)
+        hop //= 2
+    stats.comparisons_by_phase[route_phase] = route_comparisons
+
+    # Truncate to m cells and fill nulls downward from the last real row.
+    result = {name: col[:m] for name, col in extended.items()}
+    occupied = result["f"] >= 0
+    source = np.where(occupied, np.arange(m, dtype=_INT), 0)
+    np.maximum.accumulate(source, out=source)
+    filled = {
+        name: col[source]
+        for name, col in result.items()
+        if name not in ("_null", "f")
+    }
+    return filled
+
+
+def _align(s2: dict[str, np.ndarray], m: int, stats: VectorJoinStats) -> dict[str, np.ndarray]:
+    """Vectorised Algorithm 5: transpose each group block of S2."""
+    gid = _group_ids(s2["j"])
+    starts = np.flatnonzero(np.concatenate([[True], s2["j"][1:] != s2["j"][:-1]]))
+    q = np.arange(m, dtype=_INT) - starts[gid]
+    s2 = dict(s2)
+    s2["ii"] = q // s2["a1"] + (q % s2["a1"]) * s2["a2"]
+
+    start = time.perf_counter()
+    counter = [0]
+    s2 = vector_bitonic_sort(s2, [("j", True), ("ii", True)], counter=counter)
+    stats.seconds_by_phase["align_sort"] = time.perf_counter() - start
+    stats.comparisons_by_phase["align_sort"] = counter[0]
+    return s2
+
+
+def vector_oblivious_join(
+    left,
+    right,
+    stats: VectorJoinStats | None = None,
+) -> tuple[np.ndarray, VectorJoinStats]:
+    """Vectorised Algorithm 1; returns ``(pairs, stats)``.
+
+    ``pairs`` is an ``(m, 2)`` int64 array of joined data values in the same
+    order the traced engine produces.
+    """
+    stats = stats or VectorJoinStats()
+    left_cols = _as_columns(left, tid=1)
+    right_cols = _as_columns(right, tid=2)
+    n1 = len(left_cols["j"])
+    n2 = len(right_cols["j"])
+    n = n1 + n2
+    if n == 0:
+        return np.zeros((0, 2), dtype=_INT), stats
+
+    combined = {
+        name: np.concatenate([left_cols[name], right_cols[name]])
+        for name in ("j", "d", "tid")
+    }
+
+    start = time.perf_counter()
+    counter = [0]
+    combined = vector_bitonic_sort(combined, [("j", True), ("tid", True)], counter=counter)
+    stats.seconds_by_phase["augment_sort1"] = time.perf_counter() - start
+    stats.comparisons_by_phase["augment_sort1"] = counter[0]
+
+    start = time.perf_counter()
+    gid = _group_ids(combined["j"])
+    group_count = int(gid[-1]) + 1
+    count1 = np.bincount(gid, weights=(combined["tid"] == 1), minlength=group_count).astype(_INT)
+    count2 = np.bincount(gid, weights=(combined["tid"] == 2), minlength=group_count).astype(_INT)
+    combined["a1"] = count1[gid]
+    combined["a2"] = count2[gid]
+    m = int((count1 * count2).sum())
+    stats.seconds_by_phase["fill_dimensions"] = time.perf_counter() - start
+    stats.m = m
+
+    start = time.perf_counter()
+    counter = [0]
+    combined = vector_bitonic_sort(
+        combined, [("tid", True), ("j", True), ("d", True)], counter=counter
+    )
+    stats.seconds_by_phase["augment_sort2"] = time.perf_counter() - start
+    stats.comparisons_by_phase["augment_sort2"] = counter[0]
+
+    table1 = {name: col[:n1].copy() for name, col in combined.items() if name != "tid"}
+    table2 = {name: col[n1:].copy() for name, col in combined.items() if name != "tid"}
+
+    if m == 0:
+        return np.zeros((0, 2), dtype=_INT), stats
+
+    s1 = _expand(table1, "a2", m, stats, "expand1_sort", "expand1_route")
+    s2 = _expand(table2, "a1", m, stats, "expand2_sort", "expand2_route")
+    s2 = _align(s2, m, stats)
+
+    start = time.perf_counter()
+    pairs = np.stack([s1["d"], s2["d"]], axis=1)
+    stats.seconds_by_phase["zip"] = time.perf_counter() - start
+    return pairs, stats

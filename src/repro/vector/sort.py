@@ -1,0 +1,127 @@
+"""Vectorised bitonic sorting over struct-of-arrays tables.
+
+The traced engine in :mod:`repro.core` is faithful to the paper at the
+granularity of single memory accesses, which caps pure-Python runs at a few
+thousand rows.  This module re-implements the same bitonic network with
+numpy whole-array operations: each network stage compares all of its
+(disjoint) pairs at once.  The *schedule* of stages is still completely
+input-independent — every stage touches fixed index sets derived only from
+the array length — so the engine preserves the algorithm's structure and
+cost shape while running ~10^3x faster; the test suite cross-checks its
+output against the traced engine row for row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InputError
+from ..obliv.bitonic import next_power_of_two
+
+#: Column holding the padding flag in padded sorts (sorts after real rows).
+PAD_COLUMN = "_pad"
+
+#: Sort key: (column name, ascending).
+Key = tuple[str, bool]
+
+
+def stage_pairs(n: int):
+    """Yield ``(lo, hi)`` index-array pairs for each bitonic stage of size n.
+
+    Orientation is already applied: after a stage, ``A[lo] <= A[hi]``
+    pairwise sorts the whole array ascending once all stages ran.
+    """
+    if n & (n - 1):
+        raise InputError(f"bitonic network size must be a power of two, got {n}")
+    indices = np.arange(n)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            partner = indices ^ j
+            mask = partner > indices
+            i = indices[mask]
+            p = partner[mask]
+            ascending = (i & k) == 0
+            lo = np.where(ascending, i, p)
+            hi = np.where(ascending, p, i)
+            yield lo, hi
+            j //= 2
+        k *= 2
+
+
+def lexicographic_greater(
+    columns: dict[str, np.ndarray],
+    keys: list[Key],
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask: row ``lo[i]`` strictly follows row ``hi[i]`` under keys."""
+    greater = np.zeros(len(lo), dtype=bool)
+    equal = np.ones(len(lo), dtype=bool)
+    for name, ascending in keys:
+        col = columns[name]
+        a = col[lo]
+        b = col[hi]
+        if ascending:
+            stage_gt = a > b
+        else:
+            stage_gt = a < b
+        greater |= equal & stage_gt
+        equal &= a == b
+    return greater
+
+
+def vector_bitonic_sort(
+    columns: dict[str, np.ndarray],
+    keys: list[Key],
+    counter: list | None = None,
+) -> dict[str, np.ndarray]:
+    """Sort a struct-of-arrays table by ``keys`` with the bitonic network.
+
+    Returns a new column dict (padding inserted and stripped internally for
+    non-power-of-two lengths).  When ``counter`` (a one-element list) is
+    given, the number of executed comparator operations is added to it —
+    feeding the same Table 3 accounting as the traced engine.
+    """
+    names = list(columns)
+    n = len(columns[names[0]])
+    if n <= 1:
+        return {k: v.copy() for k, v in columns.items()}
+    padded = next_power_of_two(n)
+    work: dict[str, np.ndarray] = {}
+    for name in names:
+        col = np.asarray(columns[name])
+        if padded == n:
+            work[name] = col.copy()
+        else:
+            work[name] = np.concatenate([col, np.zeros(padded - n, dtype=col.dtype)])
+    if padded != n:
+        pad_flag = np.zeros(padded, dtype=np.int64)
+        pad_flag[n:] = 1
+        work[PAD_COLUMN] = pad_flag
+        keys = [(PAD_COLUMN, True)] + list(keys)
+
+    for lo, hi in stage_pairs(padded):
+        swap = lexicographic_greater(work, keys, lo, hi)
+        if counter is not None:
+            counter[0] += len(lo)
+        src = lo[swap]
+        dst = hi[swap]
+        for col in work.values():
+            col[src], col[dst] = col[dst].copy(), col[src].copy()
+
+    if padded != n:
+        del work[PAD_COLUMN]
+        return {name: work[name][:n] for name in names}
+    return work
+
+
+def is_sorted_by(columns: dict[str, np.ndarray], keys: list[Key]) -> bool:
+    """Check whether the table is sorted by ``keys`` (test helper)."""
+    n = len(next(iter(columns.values())))
+    if n <= 1:
+        return True
+    lo = np.arange(n - 1)
+    hi = lo + 1
+    return not lexicographic_greater(columns, keys, lo, hi).any()

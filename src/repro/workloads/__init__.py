@@ -1,0 +1,30 @@
+"""Workload generators for the §6 correctness and obliviousness protocols."""
+
+from .distributions import power_law_sizes, zipf_keys
+from .generators import (
+    Table,
+    Workload,
+    balanced_output,
+    matched_class,
+    ones_groups,
+    paper_protocol_suite,
+    pk_fk,
+    power_law_groups,
+    single_group,
+    uniform_random,
+)
+
+__all__ = [
+    "power_law_sizes",
+    "zipf_keys",
+    "Table",
+    "Workload",
+    "balanced_output",
+    "matched_class",
+    "ones_groups",
+    "paper_protocol_suite",
+    "pk_fk",
+    "power_law_groups",
+    "single_group",
+    "uniform_random",
+]

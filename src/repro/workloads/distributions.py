@@ -1,0 +1,40 @@
+"""Group-size distributions used by the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import InputError
+
+
+def power_law_sizes(
+    total: int, alpha: float = 2.0, max_size: int | None = None, rng: random.Random | None = None
+) -> list[int]:
+    """Group sizes summing exactly to ``total``, drawn from a power law.
+
+    Sizes follow ``P(s) ∝ s^-alpha`` (discrete, s >= 1), the distribution
+    the paper's §6 test generator draws group sizes from.  The final draw
+    is clipped so the sizes sum to ``total`` exactly.
+    """
+    if total < 0:
+        raise InputError(f"total must be >= 0, got {total}")
+    rng = rng or random.Random()
+    cap = max_size or max(total, 1)
+    weights = [s ** (-alpha) for s in range(1, cap + 1)]
+    sizes: list[int] = []
+    remaining = total
+    while remaining > 0:
+        size = rng.choices(range(1, cap + 1), weights=weights)[0]
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def zipf_keys(count: int, key_space: int, s: float = 1.2, rng: random.Random | None = None) -> list[int]:
+    """``count`` keys drawn Zipf-distributed from ``{0..key_space-1}``."""
+    if key_space <= 0:
+        raise InputError(f"key space must be positive, got {key_space}")
+    rng = rng or random.Random()
+    weights = [1.0 / (rank + 1) ** s for rank in range(key_space)]
+    return rng.choices(range(key_space), weights=weights, k=count)

@@ -1,0 +1,171 @@
+"""Workload generators reproducing the paper's §6 test protocol.
+
+For each size the paper generates ~20 inputs: one inducing n 1x1 groups,
+one inducing a single 1xn group, and several with power-law group sizes.
+We add the PK-FK workload (the Opaque comparison), Zipf-keyed tables, and
+*matched classes* — sets of structurally different inputs with identical
+``(n1, n2, m)`` — which are what the §6.1 trace-equality experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import InputError
+from .distributions import power_law_sizes, zipf_keys
+
+#: A table is a list of (join value, data value) pairs.
+Table = list[tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated join input with its derived output size."""
+
+    name: str
+    left: Table
+    right: Table
+    m: int
+
+    @property
+    def n1(self) -> int:
+        return len(self.left)
+
+    @property
+    def n2(self) -> int:
+        return len(self.right)
+
+
+def _expected_m(left: Table, right: Table) -> int:
+    from collections import Counter
+
+    c1 = Counter(j for j, _ in left)
+    c2 = Counter(j for j, _ in right)
+    return sum(c1[j] * c2[j] for j in c1.keys() & c2.keys())
+
+
+def ones_groups(pairs: int, seed: int = 0) -> Workload:
+    """``pairs`` 1x1 groups: every key appears once per table (m = pairs)."""
+    rng = random.Random(seed)
+    left = [(k, rng.randrange(1 << 30)) for k in range(pairs)]
+    right = [(k, rng.randrange(1 << 30)) for k in range(pairs)]
+    rng.shuffle(left)
+    rng.shuffle(right)
+    return Workload("ones", left, right, m=pairs)
+
+
+def single_group(n1: int, n2: int, seed: int = 0) -> Workload:
+    """One n1 x n2 group: every row shares the same key (m = n1*n2)."""
+    rng = random.Random(seed)
+    left = [(0, rng.randrange(1 << 30)) for _ in range(n1)]
+    right = [(0, rng.randrange(1 << 30)) for _ in range(n2)]
+    return Workload("single_group", left, right, m=n1 * n2)
+
+
+def power_law_groups(n1: int, n2: int, alpha: float = 2.0, seed: int = 0) -> Workload:
+    """Group sizes on both sides drawn from a power law (§6's generator)."""
+    rng = random.Random(seed)
+    sizes1 = power_law_sizes(n1, alpha=alpha, rng=rng)
+    sizes2 = power_law_sizes(n2, alpha=alpha, rng=rng)
+    groups = max(len(sizes1), len(sizes2))
+    left: Table = []
+    right: Table = []
+    for key in range(groups):
+        if key < len(sizes1):
+            left.extend((key, rng.randrange(1 << 30)) for _ in range(sizes1[key]))
+        if key < len(sizes2):
+            right.extend((key, rng.randrange(1 << 30)) for _ in range(sizes2[key]))
+    rng.shuffle(left)
+    rng.shuffle(right)
+    return Workload("power_law", left, right, m=_expected_m(left, right))
+
+
+def pk_fk(n_primary: int, n_foreign: int, seed: int = 0, zipf_s: float = 0.0) -> Workload:
+    """Primary-foreign key workload (every foreign key has a unique primary).
+
+    With ``zipf_s > 0`` foreign keys are skewed toward low-ranked primaries,
+    which is the realistic case Opaque's evaluation uses.
+    """
+    if n_primary <= 0:
+        raise InputError("a PK-FK workload needs at least one primary row")
+    rng = random.Random(seed)
+    left = [(k, rng.randrange(1 << 30)) for k in range(n_primary)]
+    if zipf_s > 0:
+        keys = zipf_keys(n_foreign, n_primary, s=zipf_s, rng=rng)
+    else:
+        keys = [rng.randrange(n_primary) for _ in range(n_foreign)]
+    right = [(k, rng.randrange(1 << 30)) for k in keys]
+    rng.shuffle(left)
+    return Workload("pk_fk", left, right, m=n_foreign)
+
+
+def uniform_random(n1: int, n2: int, key_space: int, seed: int = 0) -> Workload:
+    """Keys uniform over a fixed space — unmatched rows arise naturally."""
+    rng = random.Random(seed)
+    left = [(rng.randrange(key_space), rng.randrange(1 << 30)) for _ in range(n1)]
+    right = [(rng.randrange(key_space), rng.randrange(1 << 30)) for _ in range(n2)]
+    return Workload("uniform", left, right, m=_expected_m(left, right))
+
+
+def balanced_output(n: int, seed: int = 0) -> Workload:
+    """The Figure 8 shape: m ~ n1 = n2 = n/2 (1x1 groups, shuffled keys)."""
+    return ones_groups(n // 2, seed=seed)
+
+
+def paper_protocol_suite(n: int, seed: int = 0, power_law_draws: int = 18) -> list[Workload]:
+    """The ~20 inputs per size of §6's correctness protocol.
+
+    One all-1x1 input, one single-group input, and ``power_law_draws``
+    power-law draws (20 total by default), with ``n1 = n2 = n/2``.
+    """
+    half = max(n // 2, 1)
+    suite = [ones_groups(half, seed=seed), single_group(half, half, seed=seed + 1)]
+    for k in range(power_law_draws):
+        suite.append(power_law_groups(half, half, seed=seed + 2 + k))
+    return suite
+
+
+def matched_class(n1: int, n2: int, seed: int = 0) -> list[Workload]:
+    """Structurally different inputs with identical ``(n1, n2, m)``.
+
+    The §6.1 experiment classes: all members must produce identical traces.
+    Members: (a) k 1x1 groups plus unmatched fill, (b) one 2x2 group plus
+    unmatched fill (same m when k=4), (c) a relabelled/shuffled copy of (a),
+    and (d) (a) with all data values replaced.  Requires n1, n2 >= 4.
+    """
+    if n1 < 4 or n2 < 4:
+        raise InputError("matched_class needs n1, n2 >= 4")
+    rng = random.Random(seed)
+    target_m = 4
+
+    def fill(table: Table, size: int, base_key: int) -> Table:
+        # Pad with keys that never match (disjoint key range).
+        return table + [
+            (base_key + i, rng.randrange(1 << 30)) for i in range(size - len(table))
+        ]
+
+    # (a) four 1x1 groups.
+    a_left = [(k, rng.randrange(1 << 30)) for k in range(4)]
+    a_right = [(k, rng.randrange(1 << 30)) for k in range(4)]
+    a = Workload("class_a", fill(a_left, n1, 1000), fill(a_right, n2, 2000), target_m)
+
+    # (b) one 2x2 group: same m = 4 with different structure.
+    b_left = [(7, rng.randrange(1 << 30)), (7, rng.randrange(1 << 30))]
+    b_right = [(7, rng.randrange(1 << 30)), (7, rng.randrange(1 << 30))]
+    b = Workload("class_b", fill(b_left, n1, 1000), fill(b_right, n2, 2000), target_m)
+
+    # (c) a's structure under a key relabelling and row shuffle.
+    c_left = [(k * 13 + 5, d + 1) for k, d in a_left]
+    c_right = [(k * 13 + 5, d + 2) for k, d in a_right]
+    c_left = fill(c_left, n1, 3000)
+    c_right = fill(c_right, n2, 4000)
+    rng.shuffle(c_left)
+    rng.shuffle(c_right)
+    c = Workload("class_c", c_left, c_right, target_m)
+
+    # (d) a's keys with fresh data values.
+    d_left = [(k, rng.randrange(1 << 30)) for k, _ in a.left]
+    d_right = [(k, rng.randrange(1 << 30)) for k, _ in a.right]
+    d = Workload("class_d", d_left, d_right, target_m)
+    return [a, b, c, d]

@@ -1,0 +1,44 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.memory.tracer import HashSink, ListSink, Tracer
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    """A tracer recording full event lists."""
+    return Tracer(ListSink())
+
+
+@pytest.fixture
+def hash_tracer() -> Tracer:
+    """A tracer with the paper's rolling SHA-256 sink."""
+    return Tracer(HashSink())
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def pairs_strategy(max_rows: int = 10, key_space: int = 5, data_space: int = 40):
+    """Hypothesis strategy: a small table of (j, d) pairs."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=key_space - 1),
+            st.integers(min_value=0, max_value=data_space - 1),
+        ),
+        max_size=max_rows,
+    )
+
+
+def int_lists(max_size: int = 32, low: int = -100, high: int = 100):
+    return st.lists(
+        st.integers(min_value=low, max_value=high), max_size=max_size
+    )

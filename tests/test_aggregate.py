@@ -1,0 +1,108 @@
+"""Oblivious grouped aggregation (§7 extension)."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+
+from repro.core.aggregate import oblivious_group_by, oblivious_join_aggregate
+from repro.memory.monitor import run_hashed
+
+from conftest import pairs_strategy
+
+
+def _oracle(left, right):
+    agg = defaultdict(lambda: [0, 0, 0, 0])
+    for j1, d1 in left:
+        for j2, d2 in right:
+            if j1 == j2:
+                entry = agg[j1]
+                entry[0] += 1
+                entry[1] += d1
+                entry[2] += d2
+                entry[3] += d1 * d2
+    return dict(agg)
+
+
+@given(left=pairs_strategy(max_rows=12), right=pairs_strategy(max_rows=12))
+@settings(max_examples=60, deadline=None)
+def test_join_aggregate_matches_materialised_join(left, right):
+    groups = oblivious_join_aggregate(left, right)
+    got = {
+        g.j: [g.pair_count, g.join_sum_d1, g.join_sum_d2, g.join_sum_product]
+        for g in groups
+    }
+    assert got == {k: v for k, v in _oracle(left, right).items()}
+
+
+def test_join_aggregate_min_max_over_groups():
+    left = [(1, 5), (1, 9), (2, 3)]
+    right = [(1, 2), (2, 8), (2, 1)]
+    groups = {g.j: g for g in oblivious_join_aggregate(left, right)}
+    assert groups[1].min_d1 == 5 and groups[1].max_d1 == 9
+    assert groups[2].min_d2 == 1 and groups[2].max_d2 == 8
+
+
+def test_join_aggregate_orders_groups_by_key():
+    left = [(3, 1), (1, 1), (2, 1)]
+    right = [(2, 1), (3, 1), (1, 1)]
+    keys = [g.j for g in oblivious_join_aggregate(left, right)]
+    assert keys == sorted(keys)
+
+
+def test_join_aggregate_empty_inputs():
+    assert oblivious_join_aggregate([], []) == []
+    assert oblivious_join_aggregate([(1, 1)], []) == []
+
+
+def test_join_aggregate_excludes_one_sided_groups():
+    groups = oblivious_join_aggregate([(1, 1), (2, 2)], [(2, 5), (3, 9)])
+    assert [g.j for g in groups] == [2]
+
+
+def test_group_by_counts_sums_and_extrema():
+    groups = oblivious_group_by([(1, 4), (2, 7), (1, 6), (1, 5)])
+    by_key = {g.j: g for g in groups}
+    assert by_key[1].count1 == 3
+    assert by_key[1].sum_d1 == 15
+    assert by_key[1].min_d1 == 4
+    assert by_key[1].max_d1 == 6
+    assert by_key[2].count1 == 1
+
+
+def test_group_by_empty():
+    assert oblivious_group_by([]) == []
+
+
+def test_group_by_average_property():
+    groups = oblivious_group_by([(0, 10), (0, 20)])
+    assert groups[0].join_avg_d1 == 15.0
+
+
+def test_aggregate_trace_independent_of_group_structure():
+    """Unlike the join, the aggregate reveals only n and the group count."""
+
+    def run(left, right):
+        return run_hashed(
+            lambda t: oblivious_join_aggregate(left, right, tracer=t)
+        )[0]
+
+    # Same n = 8, same number of joining groups (2), different dimensions
+    # and wildly different would-be join sizes (m = 4 vs m = 2).
+    a = run([(0, 1), (0, 2), (1, 3)], [(0, 4), (0, 5), (1, 6), (2, 7), (3, 8)])
+    b = run([(5, 1), (6, 2), (6, 3)], [(5, 4), (6, 5), (9, 6), (9, 7), (9, 8)])
+    assert a == b
+
+
+def test_aggregate_cost_independent_of_output_size():
+    """The §7 selling point: a huge join aggregates in the same trace."""
+
+    def run(left, right):
+        digest, count, _ = run_hashed(
+            lambda t: oblivious_join_aggregate(left, right, tracer=t)
+        )
+        return count
+
+    narrow = run([(0, i) for i in range(8)], [(1, i) for i in range(8)] + [(0, 0)])
+    # single 8x9 group: m would be 72, but the aggregate trace stays put
+    wide = run([(0, i) for i in range(8)], [(0, i) for i in range(9)])
+    assert abs(narrow - wide) <= 2 * 0  # identical event counts

@@ -1,0 +1,102 @@
+"""Algorithm 5: table alignment (including the paper's formula erratum)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.align import align_table, compute_alignment_indices
+from repro.core.entry import Entry
+from repro.memory.public import PublicArray
+from repro.memory.tracer import Tracer
+
+
+def _s2_block(a1: int, a2: int, key: int = 0):
+    """An expanded S2 group block: a2 distinct entries, each a1 copies."""
+    entries = []
+    for rank in range(a2):
+        for _copy in range(a1):
+            entries.append(Entry(j=key, d=rank, a1=a1, a2=a2))
+    return entries
+
+
+def test_figure5_example():
+    """α1=2 entries in T1, α2=3 in T2: aligned S2 = u1,u2,u3,u1,u2,u3."""
+    array = PublicArray(_s2_block(a1=2, a2=3), name="S2")
+    align_table(array, array.tracer)
+    assert [e.d for e in array.snapshot()] == [0, 1, 2, 0, 1, 2]
+
+
+def test_erratum_formula_direction():
+    """The printed Alg. 5 formula (α1/α2 swapped) would produce a wrong
+    interleaving for asymmetric groups; ours must match the Cartesian
+    product against S1's layout."""
+    # a1=3 (T1 entries), a2=2 (T2 entries): S1 = [A,A,B,B,C,C] (each a2=2x).
+    # Aligned S2 must be [u,v,u,v,u,v].
+    array = PublicArray(_s2_block(a1=3, a2=2), name="S2")
+    align_table(array, array.tracer)
+    assert [e.d for e in array.snapshot()] == [0, 1, 0, 1, 0, 1]
+
+
+def test_alignment_indices_transpose_blocks():
+    array = PublicArray(_s2_block(a1=2, a2=3), name="S2")
+    compute_alignment_indices(array)
+    # copies of entry r at in-block q = r*a1 + k get ii = r + k*a2
+    snapshot = array.snapshot()
+    expected_ii = [0, 3, 1, 4, 2, 5]
+    assert [e.ii for e in snapshot] == expected_ii
+
+
+def test_multiple_groups_align_independently():
+    entries = _s2_block(a1=1, a2=2, key=0) + _s2_block(a1=2, a2=1, key=1)
+    array = PublicArray(entries, name="S2")
+    align_table(array, array.tracer)
+    snapshot = array.snapshot()
+    assert [e.d for e in snapshot[:2]] == [0, 1]  # group 0: 1x2
+    assert [e.d for e in snapshot[2:]] == [0, 0]  # group 1: 2x1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=1, max_value=4),
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_aligned_s2_matches_cartesian_product(dims):
+    """For any group dimensions, zipping S1 and aligned S2 must enumerate
+    each group's full Cartesian product in lexicographic order."""
+    s1_entries = []
+    s2_entries = []
+    for key, (a1, a2) in enumerate(dims):
+        # S1: a1 distinct T1 entries, each a2 contiguous copies.
+        for rank in range(a1):
+            s1_entries.extend(Entry(j=key, d=rank, a1=a1, a2=a2) for _ in range(a2))
+        s2_entries.extend(_s2_block(a1, a2, key=key))
+    array = PublicArray(s2_entries, name="S2")
+    align_table(array, array.tracer)
+    zipped = [
+        (e1.j, e1.d, e2.d) for e1, e2 in zip(s1_entries, array.snapshot())
+    ]
+    expected = []
+    for key, (a1, a2) in enumerate(dims):
+        expected.extend((key, r1, r2) for r1 in range(a1) for r2 in range(a2))
+    assert zipped == expected
+
+
+def test_align_trace_is_input_independent():
+    from repro.memory.monitor import run_hashed
+
+    def run(dims):
+        def program(tracer):
+            entries = []
+            for key, (a1, a2) in enumerate(dims):
+                entries.extend(_s2_block(a1, a2, key=key))
+            array = PublicArray(entries, name="S2", tracer=tracer)
+            align_table(array, tracer)
+        return run_hashed(program)[0]
+
+    # Same m = 8, different group structure.
+    assert run([(2, 4)]) == run([(4, 2)]) == run([(2, 2), (2, 2)])

@@ -1,0 +1,44 @@
+"""Public API surface contract."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_join_functions_exposed():
+    assert callable(repro.oblivious_join)
+    assert callable(repro.oblivious_join_aggregate)
+    assert callable(repro.oblivious_multiway_join)
+    assert callable(repro.vector_oblivious_join)
+
+
+def test_top_level_classes_exposed():
+    assert repro.ObliviousEngine is not None
+    assert repro.DBTable is not None
+    assert repro.Tracer is not None
+    assert repro.HashSink is not None
+
+
+def test_subpackages_importable():
+    for name in (
+        "analysis", "baselines", "core", "db", "enclave", "memory",
+        "obliv", "security", "typesys", "vector", "workloads",
+    ):
+        assert hasattr(repro, name), name
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_error_hierarchy_exposed():
+    assert issubclass(repro.TraceMismatchError, repro.ReproError)
+    assert issubclass(repro.InputError, repro.ReproError)
+
+
+def test_quickstart_from_docstring():
+    result = repro.oblivious_join([(1, 10), (2, 20)], [(1, 77), (1, 78)])
+    assert result.pairs == [(10, 77), (10, 78)]

@@ -1,0 +1,126 @@
+"""Algorithm 2: table augmentation with group dimensions."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.augment import SPEC_J_TID, augment_tables, fill_dimensions
+from repro.core.entry import Entry, entries_from_pairs
+from repro.memory.local import LocalContext
+from repro.memory.public import PublicArray
+from repro.memory.tracer import Tracer
+from repro.obliv.bitonic import bitonic_sort
+
+from conftest import pairs_strategy
+
+
+def _figure2_table():
+    """The paper's Figure 2 input: TC sorted by (j, tid)."""
+    rows = [
+        ("x", 1), ("x", 1), ("x", 2), ("x", 2), ("x", 2),
+        ("y", 1), ("y", 1), ("y", 1), ("y", 1), ("y", 2), ("y", 2),
+        ("z", 2),
+    ]
+    keys = {"x": 0, "y": 1, "z": 2}
+    entries = [Entry(j=keys[j], d=i, tid=tid) for i, (j, tid) in enumerate(rows)]
+    return PublicArray(entries, name="TC")
+
+
+def test_figure2_dimensions():
+    table = _figure2_table()
+    m = fill_dimensions(table)
+    snapshot = table.snapshot()
+    x = [(e.a1, e.a2) for e in snapshot[:5]]
+    y = [(e.a1, e.a2) for e in snapshot[5:11]]
+    z = [(e.a1, e.a2) for e in snapshot[11:]]
+    assert x == [(2, 3)] * 5
+    assert y == [(4, 2)] * 6
+    assert z == [(0, 1)]
+    # m = 2*3 + 4*2 + 0*1 as in the worked example.
+    assert m == 14
+
+
+def test_fill_dimensions_empty_table():
+    assert fill_dimensions(PublicArray(0, name="TC")) == 0
+
+
+def test_fill_dimensions_single_entry():
+    table = PublicArray([Entry(j=5, d=1, tid=1)], name="TC")
+    assert fill_dimensions(table) == 0  # no table-2 entries -> no output
+    assert table.snapshot()[0].a1 == 1
+    assert table.snapshot()[0].a2 == 0
+
+
+def test_fill_dimensions_uses_constant_local_memory():
+    local = LocalContext(capacity=4)
+    table = _figure2_table()
+    fill_dimensions(table, local=local)  # must not raise
+    assert local.peak <= 4
+
+
+def _augment(left, right):
+    tracer = Tracer()
+    t1 = entries_from_pairs(left, tid=1)
+    t2 = entries_from_pairs(right, tid=2)
+    return augment_tables(t1, t2, tracer)
+
+
+def test_augment_splits_and_sorts_by_j_d():
+    left = [(2, 9), (1, 5), (1, 3)]
+    right = [(1, 8), (3, 1)]
+    out1, out2, m = _augment(left, right)
+    assert [(e.j, e.d) for e in out1] == [(1, 3), (1, 5), (2, 9)]
+    assert [(e.j, e.d) for e in out2] == [(1, 8), (3, 1)]
+    assert m == 2  # key 1: 2 x 1
+
+
+def test_augment_alpha_values_per_group():
+    out1, out2, _ = _augment([(1, 0), (1, 1), (2, 2)], [(1, 3), (2, 4), (2, 5)])
+    for e in out1:
+        if e.j == 1:
+            assert (e.a1, e.a2) == (2, 1)
+        else:
+            assert (e.a1, e.a2) == (1, 2)
+    for e in out2:
+        if e.j == 1:
+            assert (e.a1, e.a2) == (2, 1)
+        else:
+            assert (e.a1, e.a2) == (1, 2)
+
+
+def test_augment_empty_tables():
+    out1, out2, m = _augment([], [])
+    assert len(out1) == 0 and len(out2) == 0 and m == 0
+
+
+def test_augment_one_sided():
+    out1, out2, m = _augment([(1, 1), (2, 2)], [])
+    assert m == 0
+    assert all(e.a2 == 0 for e in out1)
+
+
+@given(left=pairs_strategy(), right=pairs_strategy())
+@settings(max_examples=50, deadline=None)
+def test_augment_m_matches_group_product_sum(left, right):
+    c1 = Counter(j for j, _ in left)
+    c2 = Counter(j for j, _ in right)
+    expected_m = sum(c1[j] * c2[j] for j in c1.keys() & c2.keys())
+    _, _, m = _augment(left, right)
+    assert m == expected_m
+
+
+@given(left=pairs_strategy(), right=pairs_strategy())
+@settings(max_examples=50, deadline=None)
+def test_augment_preserves_multisets(left, right):
+    out1, out2, _ = _augment(left, right)
+    assert Counter((e.j, e.d) for e in out1) == Counter(left)
+    assert Counter((e.j, e.d) for e in out2) == Counter(right)
+
+
+def test_spec_j_tid_groups_tables():
+    entries = [Entry(j=1, d=0, tid=2), Entry(j=1, d=1, tid=1), Entry(j=0, d=2, tid=2)]
+    array = PublicArray(entries, name="A")
+    bitonic_sort(array, SPEC_J_TID)
+    snapshot = array.snapshot()
+    assert [(e.j, e.tid) for e in snapshot] == [(0, 2), (1, 1), (1, 2)]

@@ -1,0 +1,113 @@
+"""The Table 1 comparator implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hash_join import hash_join, join_multiset
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.opaque_join import opaque_pkfk_join
+from repro.baselines.sort_merge import sort_merge_join
+from repro.errors import InputError
+from repro.memory.monitor import verify_oblivious
+
+from conftest import pairs_strategy
+
+
+@given(left=pairs_strategy(max_rows=10), right=pairs_strategy(max_rows=10))
+@settings(max_examples=60, deadline=None)
+def test_sort_merge_matches_oracle(left, right):
+    assert sorted(sort_merge_join(left, right)) == join_multiset(left, right)
+
+
+@given(left=pairs_strategy(max_rows=9), right=pairs_strategy(max_rows=9))
+@settings(max_examples=50, deadline=None)
+def test_nested_loop_matches_oracle(left, right):
+    assert sorted(nested_loop_join(left, right)) == join_multiset(left, right)
+
+
+def test_nested_loop_handles_empty_sides():
+    assert nested_loop_join([], [(1, 1)]) == []
+    assert nested_loop_join([(1, 1)], []) == []
+
+
+def test_nested_loop_trace_is_input_independent():
+    def program(tracer, tables):
+        nested_loop_join(tables[0], tables[1], tracer=tracer)
+
+    inputs = [  # same (n1, n2, m) class, different structure
+        ([(0, 1), (1, 2)], [(0, 3), (1, 4), (5, 6)]),  # two 1x1 groups
+        ([(7, 1), (7, 2)], [(7, 3), (8, 4), (8, 6)]),  # one 2x1 group
+        ([(1, 1), (2, 2)], [(1, 3), (1, 4), (9, 6)]),  # one 1x2 group
+    ]
+    report = verify_oblivious(program, inputs, require=True)
+    assert report.oblivious
+
+
+def test_nested_loop_reveals_m_only_in_final_emit():
+    """Until the final output copy-out, the quadratic scan's trace does not
+    depend on m at all — divergence may appear only in the last m reads."""
+    from repro.memory.monitor import first_divergence, run_logged
+
+    small = ([(0, 1), (1, 2)], [(0, 3), (2, 4), (5, 6)])  # m = 1
+    large = ([(1, 1), (1, 2)], [(1, 3), (1, 4), (1, 6)])  # m = 6
+    ev_small, _ = run_logged(lambda t: nested_loop_join(*small, tracer=t))
+    ev_large, _ = run_logged(lambda t: nested_loop_join(*large, tracer=t))
+    where = first_divergence(ev_small, ev_large)
+    assert where is not None
+    assert where >= len(ev_small) - 1  # only the emit tail differs
+
+
+def test_opaque_requires_unique_primary_keys():
+    with pytest.raises(InputError, match="unique"):
+        opaque_pkfk_join([(1, 0), (1, 1)], [(1, 2)])
+
+
+@given(
+    data=st.integers(min_value=1, max_value=8).flatmap(
+        lambda k: st.tuples(
+            st.just([(j, j * 10) for j in range(k)]),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=k + 2),
+                    st.integers(min_value=0, max_value=50),
+                ),
+                max_size=12,
+            ),
+        )
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_opaque_matches_oracle_on_pkfk(data):
+    primary, foreign = data
+    got = sorted(opaque_pkfk_join(primary, foreign))
+    assert got == join_multiset(primary, foreign)
+
+
+def test_opaque_orphan_foreign_rows_dropped():
+    out = opaque_pkfk_join([(1, 10)], [(1, 5), (9, 6)])
+    assert out == [(10, 5)]
+
+
+def test_opaque_trace_independent_within_class():
+    def program(tracer, tables):
+        opaque_pkfk_join(tables[0], tables[1], tracer=tracer)
+
+    # Same n1, n2, m; different which-fk-matches structure.
+    inputs = [
+        ([(0, 1), (1, 2)], [(0, 5), (0, 6), (1, 7)]),
+        ([(4, 1), (5, 2)], [(5, 5), (5, 6), (4, 7)]),
+    ]
+    report = verify_oblivious(program, inputs, require=True)
+    assert report.oblivious
+
+
+def test_hash_join_oracle_is_order_insensitive():
+    left = [(1, 1), (2, 2)]
+    right = [(2, 5), (1, 6)]
+    assert sorted(hash_join(left, right)) == join_multiset(left, right)
+
+
+def test_sort_merge_empty_inputs():
+    assert sort_merge_join([], []) == []
+    assert sort_merge_join([(1, 1)], []) == []

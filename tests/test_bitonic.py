@@ -1,0 +1,121 @@
+"""Bitonic sorting network: correctness, counts, obliviousness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InputError
+from repro.memory.monitor import verify_oblivious
+from repro.memory.public import PublicArray
+from repro.obliv.bitonic import (
+    bitonic_sort,
+    bitonic_stages,
+    comparison_count,
+    network_depth,
+    next_power_of_two,
+)
+from repro.obliv.compare import identity_key, spec
+from repro.obliv.network import NetworkStats, is_valid_schedule
+
+IDENTITY = spec(identity_key())
+
+
+def _sort_list(values):
+    array = PublicArray(list(values), name="S")
+    bitonic_sort(array, IDENTITY)
+    return array.snapshot()
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 4, 8, 16, 64])
+def test_sorts_power_of_two_sizes(n):
+    values = [(n - i) * 7 % 13 for i in range(n)]
+    assert _sort_list(values) == sorted(values)
+
+
+@pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 12, 33, 100])
+def test_sorts_non_power_of_two_sizes_via_padding(n):
+    values = [(i * 37) % 11 - 5 for i in range(n)]
+    assert _sort_list(values) == sorted(values)
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_sorts_arbitrary_lists(values):
+    assert _sort_list(values) == sorted(values)
+
+
+def test_reverse_input_worst_case():
+    values = list(range(64, 0, -1))
+    assert _sort_list(values) == sorted(values)
+
+
+def test_duplicates_heavy_input():
+    values = [1, 1, 1, 0, 0, 1, 0, 1, 1, 0]
+    assert _sort_list(values) == sorted(values)
+
+
+def test_stage_schedule_is_valid():
+    for n in (2, 4, 8, 16):
+        assert is_valid_schedule(n, bitonic_stages(n))
+
+
+def test_stages_require_power_of_two():
+    with pytest.raises(InputError):
+        list(bitonic_stages(6))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+def test_comparison_count_formula_matches_network(n):
+    generated = sum(len(stage) for stage in bitonic_stages(n))
+    assert generated == comparison_count(n)
+    p = n.bit_length() - 1
+    assert comparison_count(n) == n * p * (p + 1) // 4
+
+
+def test_network_depth_formula():
+    assert network_depth(8) == 6  # 3*(3+1)/2
+    assert network_depth(1) == 0
+    assert sum(1 for _ in bitonic_stages(16)) == network_depth(16)
+
+
+def test_stats_count_comparisons_and_swaps():
+    stats = NetworkStats()
+    array = PublicArray([4, 3, 2, 1], name="S")
+    bitonic_sort(array, IDENTITY, stats=stats)
+    assert stats.comparisons == comparison_count(4)
+    assert 0 < stats.swaps <= stats.comparisons
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(0) == 1
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(8) == 8
+
+
+def test_access_pattern_is_input_independent():
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        bitonic_sort(array, IDENTITY)
+        return array.snapshot()
+
+    inputs = [[3, 1, 4, 1, 5, 9, 2, 6], [0] * 8, list(range(8)), list(range(8, 0, -1))]
+    report = verify_oblivious(program, inputs, require=True)
+    assert report.oblivious
+
+
+def test_access_pattern_input_independent_with_padding():
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        bitonic_sort(array, IDENTITY)
+
+    report = verify_oblivious(program, [[5, 1, 2], [9, 9, 9], [1, 2, 3]], require=True)
+    assert report.oblivious
+
+
+def test_multi_key_sort_orders_entries():
+    from repro.obliv.compare import item_key
+
+    array = PublicArray([(1, 2), (0, 9), (1, 1), (0, 3)], name="S")
+    bitonic_sort(array, spec(item_key(0), item_key(1, ascending=False)))
+    assert array.snapshot() == [(0, 9), (0, 3), (1, 2), (1, 1)]

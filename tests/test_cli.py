@@ -1,0 +1,80 @@
+"""The command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def csv_pair(tmp_path):
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    left.write_text("pid,name\n1,ana\n2,bo\n3,cy\n")
+    right.write_text("pid,drug\n1,aspirin\n1,statin\n3,insulin\n")
+    return str(left), str(right)
+
+
+def test_join_command(csv_pair, tmp_path, capsys):
+    left, right = csv_pair
+    out = tmp_path / "out.csv"
+    code = main(
+        ["join", left, right, "--left-on", "pid", "--right-on", "pid",
+         "--output", str(out)]
+    )
+    assert code == 0
+    rows = list(csv.reader(out.open()))
+    assert rows[0] == ["l.pid", "name", "r.pid", "drug"]
+    assert len(rows) == 4  # header + 3 joined rows
+    assert "m = 3" in capsys.readouterr().err
+
+
+def test_join_to_stdout(csv_pair, capsys):
+    left, right = csv_pair
+    main(["join", left, right, "--left-on", "pid", "--right-on", "pid"])
+    out = capsys.readouterr().out
+    assert "aspirin" in out and "insulin" in out
+
+
+def test_join_infers_string_keys(tmp_path, capsys):
+    a = tmp_path / "a.csv"
+    b = tmp_path / "b.csv"
+    a.write_text("city,pop\nams,1\nber,2\n")
+    b.write_text("city,code\nber,49\n")
+    main(["join", str(a), str(b), "--left-on", "city", "--right-on", "city"])
+    assert "ber" in capsys.readouterr().out
+
+
+def test_verify_command_reports_oblivious(capsys):
+    code = main(["verify", "--n1", "6", "--n2", "6"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OBLIVIOUS" in out
+    assert out.count("accesses") == 4  # four class members
+
+
+def test_trace_command_renders_raster(capsys):
+    code = main(["trace", "--n", "8", "--width", "40", "--height", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "█" in out and "accesses" in out
+
+
+def test_predict_command(capsys):
+    code = main(["predict", "--n", "1000000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "prototype" in out and "sgx" in out and "knee" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_empty_csv_rejected(tmp_path):
+    empty = tmp_path / "e.csv"
+    empty.write_text("")
+    with pytest.raises(SystemExit, match="empty"):
+        main(["join", str(empty), str(empty), "--left-on", "x", "--right-on", "x"])

@@ -1,0 +1,97 @@
+"""Oblivious compaction (both constructions) and the filter idiom."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.monitor import verify_oblivious
+from repro.memory.public import PublicArray
+from repro.obliv.compact import (
+    compact_by_routing,
+    compact_by_sorting,
+    oblivious_filter,
+)
+
+COMPACTIONS = [compact_by_routing, compact_by_sorting]
+
+cells_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=99)), min_size=1, max_size=40
+)
+
+
+@pytest.mark.parametrize("compact", COMPACTIONS)
+def test_moves_real_elements_to_front(compact):
+    array = PublicArray([None, 5, None, 7, 2, None], name="A")
+    count = compact(array, lambda v: v is None)
+    assert count == 3
+    assert array.snapshot()[:3] == [5, 7, 2]
+    assert all(v is None for v in array.snapshot()[3:])
+
+
+@pytest.mark.parametrize("compact", COMPACTIONS)
+@given(values=cells_strategy)
+@settings(max_examples=60, deadline=None)
+def test_order_preserving_on_any_input(compact, values):
+    array = PublicArray(list(values), name="A")
+    count = compact(array, lambda v: v is None)
+    survivors = [v for v in values if v is not None]
+    assert count == len(survivors)
+    assert array.snapshot()[:count] == survivors
+
+
+@pytest.mark.parametrize("compact", COMPACTIONS)
+def test_all_null_and_all_real(compact):
+    array = PublicArray([None] * 5, name="A")
+    assert compact(array, lambda v: v is None) == 0
+    array = PublicArray([1, 2, 3], name="A")
+    assert compact(array, lambda v: v is None) == 3
+    assert array.snapshot() == [1, 2, 3]
+
+
+@pytest.mark.parametrize("compact", COMPACTIONS)
+def test_trace_independent_of_null_positions(compact):
+    def program(tracer, values):
+        array = PublicArray(list(values), name="A", tracer=tracer)
+        compact(array, lambda v: v is None)
+
+    inputs = [
+        [1, None, 2, None, 3, None, None, 4],
+        [None, None, None, None, 1, 2, 3, 4],
+        [1, 2, 3, 4, None, None, None, None],
+    ]
+    report = verify_oblivious(program, inputs, require=True)
+    assert report.oblivious
+
+
+def test_routing_compaction_is_cheaper_than_sorting():
+    from repro.obliv.network import NetworkStats
+
+    stats_route, stats_sort = NetworkStats(), NetworkStats()
+    values = [i if i % 3 else None for i in range(64)]
+    a = PublicArray(list(values), name="A")
+    compact_by_routing(a, lambda v: v is None, stats=stats_route)
+    b = PublicArray(list(values), name="B")
+    compact_by_sorting(b, lambda v: v is None, stats=stats_sort)
+    assert stats_route.comparisons < stats_sort.comparisons
+    assert a.snapshot() == b.snapshot()
+
+
+def test_filter_keeps_matching_and_reports_count():
+    array = PublicArray(list(range(10)), name="A")
+    count = oblivious_filter(array, keep=lambda v: v % 2 == 0)
+    assert count == 5
+    assert array.snapshot()[:5] == [0, 2, 4, 6, 8]
+
+
+def test_filter_with_sorting_method():
+    array = PublicArray(list(range(6)), name="A")
+    count = oblivious_filter(array, keep=lambda v: v >= 3, method="sorting")
+    assert count == 3
+    assert array.snapshot()[:3] == [3, 4, 5]
+
+
+def test_filter_custom_null_value():
+    array = PublicArray([1, 2, 3], name="A")
+    count = oblivious_filter(array, keep=lambda v: v == 2, null_value=-1)
+    assert count == 1
+    assert array.snapshot() == [2, -1, -1]

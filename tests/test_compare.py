@@ -1,0 +1,69 @@
+"""Lexicographic sort specifications."""
+
+from repro.obliv.compare import (
+    SortKey,
+    SortSpec,
+    attr_key,
+    comparator_from_spec,
+    identity_key,
+    item_key,
+    spec,
+)
+
+
+class Row:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+
+def test_single_ascending_key():
+    ordering = spec(attr_key("x"))
+    assert ordering.compare(Row(1, 0), Row(2, 0)) < 0
+    assert ordering.compare(Row(2, 0), Row(1, 0)) > 0
+    assert ordering.compare(Row(1, 5), Row(1, 9)) == 0
+
+
+def test_descending_key_flips_order():
+    ordering = spec(attr_key("x", ascending=False))
+    assert ordering.compare(Row(1, 0), Row(2, 0)) > 0
+    assert ordering.compare(Row(2, 0), Row(1, 0)) < 0
+
+
+def test_lexicographic_tie_breaking():
+    ordering = spec(attr_key("x"), attr_key("y", ascending=False))
+    assert ordering.compare(Row(1, 5), Row(1, 3)) < 0  # bigger y first
+    assert ordering.compare(Row(1, 3), Row(1, 5)) > 0
+    assert ordering.compare(Row(0, 0), Row(1, 100)) < 0
+
+
+def test_item_key_indexes_tuples():
+    ordering = spec(item_key(1))
+    assert ordering.compare((0, 5), (9, 7)) < 0
+
+
+def test_identity_key_compares_values():
+    ordering = spec(identity_key())
+    assert ordering.compare(3, 4) < 0
+    assert ordering.compare(4, 4) == 0
+
+
+def test_comparator_closure_matches_spec():
+    ordering = spec(attr_key("x"), attr_key("y"))
+    cmp = comparator_from_spec(ordering)
+    assert cmp(Row(1, 2), Row(1, 3)) == ordering.compare(Row(1, 2), Row(1, 3))
+
+
+def test_describe_uses_paper_arrows():
+    ordering = SortSpec(
+        SortKey(getter=lambda e: e, ascending=True, name="j"),
+        SortKey(getter=lambda e: e, ascending=False, name="d"),
+    )
+    assert ordering.describe() == "<j^, dv>"
+
+
+def test_precedes_or_equal():
+    ordering = spec(identity_key())
+    assert ordering.precedes_or_equal(1, 1)
+    assert ordering.precedes_or_equal(1, 2)
+    assert not ordering.precedes_or_equal(2, 1)

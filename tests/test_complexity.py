@@ -1,0 +1,56 @@
+"""Complexity model fitting used by the Table 1 bench."""
+
+import numpy as np
+
+from repro.analysis.complexity import MODELS, best_fit, fit_model, loglog_slope
+
+
+def _series(model_name, sizes, scale=3.0):
+    model = MODELS[model_name]
+    return (scale * model(np.asarray(sizes, dtype=float))).tolist()
+
+
+SIZES = [2**k for k in range(6, 14)]
+
+
+def test_identifies_linear():
+    assert best_fit(SIZES, _series("n", SIZES)).model == "n"
+
+
+def test_identifies_nlogn():
+    assert best_fit(SIZES, _series("n log n", SIZES)).model == "n log n"
+
+
+def test_identifies_nlog2n():
+    assert best_fit(SIZES, _series("n log^2 n", SIZES)).model == "n log^2 n"
+
+
+def test_identifies_quadratic():
+    assert best_fit(SIZES, _series("n^2", SIZES)).model == "n^2"
+
+
+def test_fit_recovers_scale():
+    scale, error = fit_model(SIZES, _series("n", SIZES, scale=7.0), MODELS["n"])
+    assert abs(scale - 7.0) < 1e-9
+    assert error < 1e-12
+
+
+def test_fit_tolerates_noise():
+    rng = np.random.default_rng(1)
+    values = np.asarray(_series("n log^2 n", SIZES))
+    noisy = values * rng.uniform(0.95, 1.05, size=len(values))
+    assert best_fit(SIZES, noisy.tolist()).model == "n log^2 n"
+
+
+def test_loglog_slope():
+    assert abs(loglog_slope(SIZES, _series("n", SIZES)) - 1.0) < 0.01
+    assert abs(loglog_slope(SIZES, _series("n^2", SIZES)) - 2.0) < 0.01
+    slope_nlog2 = loglog_slope(SIZES, _series("n log^2 n", SIZES))
+    assert 1.1 < slope_nlog2 < 1.5
+
+
+def test_best_fit_reports_error_and_slope():
+    fit = best_fit(SIZES, _series("n log n", SIZES))
+    assert fit.relative_error < 1e-9
+    assert fit.scale > 0
+    assert 1.0 < fit.loglog_slope < 1.4

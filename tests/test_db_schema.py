@@ -1,0 +1,88 @@
+"""Schemas and dictionary encoding."""
+
+import pytest
+
+from repro.db.encoding import DictionaryEncoder
+from repro.db.schema import Column, Schema
+from repro.errors import InputError, SchemaError
+
+
+def test_schema_of_shorthand():
+    schema = Schema.of("id:int", "name:str", "qty")
+    assert schema.names() == ["id", "name", "qty"]
+    assert schema.column("qty").type == "int"  # default
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(SchemaError, match="duplicate"):
+        Schema.of("a", "a")
+
+
+def test_unknown_column_type_rejected():
+    with pytest.raises(SchemaError, match="unsupported type"):
+        Column("x", "float")
+
+
+def test_empty_column_name_rejected():
+    with pytest.raises(SchemaError):
+        Column("")
+
+
+def test_index_lookup_and_error():
+    schema = Schema.of("a", "b")
+    assert schema.index("b") == 1
+    with pytest.raises(SchemaError, match="no column"):
+        schema.index("z")
+
+
+def test_validate_row_checks_arity_and_types():
+    schema = Schema.of("id:int", "name:str")
+    schema.validate_row((1, "x"))
+    with pytest.raises(SchemaError, match="arity"):
+        schema.validate_row((1,))
+    with pytest.raises(SchemaError, match="expects int"):
+        schema.validate_row(("1", "x"))
+
+
+def test_concat_prefixes_clashes():
+    left = Schema.of("id:int", "name:str")
+    right = Schema.of("id:int", "qty:int")
+    joined = left.concat(right, prefixes=("l", "r"))
+    assert joined.names() == ["l.id", "name", "r.id", "qty"]
+
+
+def test_concat_without_clash_keeps_names():
+    joined = Schema.of("a").concat(Schema.of("b"), prefixes=("l", "r"))
+    assert joined.names() == ["a", "b"]
+
+
+def test_schema_equality():
+    assert Schema.of("a:int") == Schema.of("a:int")
+    assert Schema.of("a:int") != Schema.of("a:str")
+
+
+def test_encoder_assigns_dense_codes():
+    enc = DictionaryEncoder()
+    assert enc.encode("x") == 0
+    assert enc.encode("y") == 1
+    assert enc.encode("x") == 0
+    assert len(enc) == 2
+
+
+def test_encoder_roundtrip():
+    enc = DictionaryEncoder()
+    values = ["apple", "pear", "apple", 42, ("t", 1)]
+    codes = enc.encode_many(values)
+    assert [enc.decode(c) for c in codes] == values
+
+
+def test_encoder_unknown_code_rejected():
+    enc = DictionaryEncoder()
+    with pytest.raises(InputError):
+        enc.decode(0)
+
+
+def test_encoder_contains():
+    enc = DictionaryEncoder()
+    enc.encode("v")
+    assert "v" in enc and "w" not in enc

@@ -1,0 +1,70 @@
+"""DBTable behaviour."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.db.table import DBTable, require_int_column
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def people():
+    return DBTable.from_rows(
+        ["id:int", "name:str", "age:int"],
+        [(1, "ana", 34), (2, "bo", 41), (3, "cy", 29)],
+    )
+
+
+def test_rows_validated_on_construction():
+    with pytest.raises(SchemaError):
+        DBTable.from_rows(["id:int"], [("not-an-int",)])
+
+
+def test_column_extraction(people):
+    assert people.column("name") == ["ana", "bo", "cy"]
+
+
+def test_project_selects_and_reorders(people):
+    projected = people.project(["age", "id"])
+    assert projected.schema.names() == ["age", "id"]
+    assert projected.rows == [(34, 1), (41, 2), (29, 3)]
+
+
+def test_rename(people):
+    renamed = people.rename({"id": "person_id"})
+    assert renamed.schema.names() == ["person_id", "name", "age"]
+    assert renamed.rows == people.rows
+
+
+def test_len_iter_head(people):
+    assert len(people) == 3
+    assert list(people)[0] == (1, "ana", 34)
+    assert people.head(2) == [(1, "ana", 34), (2, "bo", 41)]
+
+
+def test_equality_is_order_insensitive(people):
+    shuffled = DBTable(people.schema, list(reversed(people.rows)))
+    assert people == shuffled
+
+
+def test_pretty_renders_columns(people):
+    text = people.pretty()
+    assert "name" in text and "ana" in text and "|" in text
+
+
+def test_pretty_truncates(people):
+    text = people.pretty(limit=1)
+    assert "more rows" in text
+
+
+def test_from_csv_roundtrip(tmp_path, people):
+    path = tmp_path / "people.csv"
+    path.write_text("id,name,age\n1,ana,34\n2,bo,41\n3,cy,29\n")
+    loaded = DBTable.from_csv(str(path), ["id:int", "name:str", "age:int"])
+    assert loaded == people
+
+
+def test_require_int_column(people):
+    assert require_int_column(people, "age") == 2
+    with pytest.raises(SchemaError, match="must be int"):
+        require_int_column(people, "name")

@@ -1,0 +1,49 @@
+"""Circuit-depth accounting (the §6.2 parallelism analysis)."""
+
+from repro.analysis.depth import DepthBreakdown, depth_series, join_depth
+
+
+def test_breakdown_fields_positive():
+    breakdown = join_depth(64, 64, 64)
+    assert breakdown.sort_depth > 0
+    assert breakdown.routing_depth > 0
+    assert breakdown.scan_depth > 0
+    assert breakdown.total == (
+        breakdown.sort_depth + breakdown.routing_depth + breakdown.scan_depth
+    )
+
+
+def test_sort_depth_grows_polylog_scans_grow_linearly():
+    small = join_depth(2**6, 2**6, 2**6)
+    large = join_depth(2**12, 2**12, 2**12)
+    scan_growth = large.scan_depth / small.scan_depth
+    sort_growth = large.sort_depth / small.sort_depth
+    assert scan_growth > 50      # linear: x64
+    assert sort_growth < 10      # polylog: ~(19/7)^2-ish
+
+
+def test_parallel_fraction_shrinks_with_n():
+    """The paper's point inverted: once sorts parallelise away, the
+    sequential scans dominate the critical path at scale."""
+    series = depth_series([2**8, 2**12, 2**16])
+    fractions = [b.parallel_fraction for _, b in series]
+    assert fractions[0] > fractions[1] > fractions[2]
+
+
+def test_expansions_counted_in_parallel():
+    """The two expansions are independent, so only the max counts."""
+    symmetric = join_depth(128, 128, 128)
+    lopsided = join_depth(128, 8, 128)
+    assert lopsided.sort_depth <= symmetric.sort_depth
+
+
+def test_empty_join_depth():
+    breakdown = join_depth(0, 0, 0)
+    assert breakdown.total == 0
+    assert breakdown.parallel_fraction == 0.0
+
+
+def test_depth_series_shape():
+    series = depth_series([16, 32])
+    assert [n for n, _ in series] == [16, 32]
+    assert all(isinstance(b, DepthBreakdown) for _, b in series)

@@ -1,0 +1,49 @@
+"""Oblivious DISTINCT / UNION operators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.distinct import oblivious_distinct, oblivious_union
+from repro.memory.monitor import run_hashed
+
+
+def test_distinct_basic():
+    assert oblivious_distinct([3, 1, 3, 2, 1]) == [1, 2, 3]
+
+
+def test_distinct_empty_and_singleton():
+    assert oblivious_distinct([]) == []
+    assert oblivious_distinct([7]) == [7]
+
+
+def test_distinct_all_equal():
+    assert oblivious_distinct([5] * 9) == [5]
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_distinct_matches_set(values):
+    assert oblivious_distinct(values) == sorted(set(values))
+
+
+def test_union_merges_and_dedups():
+    assert oblivious_union([1, 2, 2], [2, 3]) == [1, 2, 3]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+    st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_union_matches_set_union(a, b):
+    assert oblivious_union(a, b) == sorted(set(a) | set(b))
+
+
+def test_distinct_trace_depends_only_on_n_and_count():
+    def run(values):
+        return run_hashed(lambda t: oblivious_distinct(values, tracer=t))[0]
+
+    # Same n = 6, same distinct count 3, different value structure.
+    assert run([1, 1, 2, 2, 3, 3]) == run([9, 5, 5, 5, 5, 7])
+    # Different distinct count -> different trace (the deliberate reveal).
+    assert run([1, 1, 2, 2, 3, 3]) != run([1, 1, 1, 1, 1, 2])

@@ -1,0 +1,135 @@
+"""Algorithm 3: oblivious distribution (deterministic and probabilistic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribute import (
+    ext_oblivious_distribute,
+    oblivious_distribute,
+    probabilistic_distribute,
+)
+from repro.core.entry import Entry
+from repro.errors import CapacityError, InjectivityError
+from repro.memory.monitor import verify_oblivious
+from repro.memory.public import PublicArray
+from repro.memory.tracer import Tracer
+from repro.obliv.permute import FeistelPRP
+
+
+def _entries(targets, nulls=0):
+    entries = [Entry(j=0, d=i, f=t) for i, t in enumerate(targets)]
+    entries += [Entry.make_null() for _ in range(nulls)]
+    return entries
+
+
+def _run(distribute, targets, m, nulls=0, **kw):
+    tracer = Tracer()
+    array = PublicArray(_entries(targets, nulls), name="X", tracer=tracer)
+    return distribute(array, m, tracer, **kw).snapshot()
+
+
+def test_figure3_example():
+    """n=5, m=8, destinations 4,1,3,8,6 (1-based) = 3,0,2,7,5 (0-based)."""
+    result = _run(oblivious_distribute, [3, 0, 2, 7, 5], 8)
+    by_slot = {i: e for i, e in enumerate(result) if not e.null}
+    assert set(by_slot) == {0, 2, 3, 5, 7}
+    for slot, entry in by_slot.items():
+        assert entry.f == slot
+
+
+targets_strategy = st.integers(min_value=1, max_value=32).flatmap(
+    lambda m: st.sets(st.integers(min_value=0, max_value=m - 1), max_size=m).map(
+        lambda t: (list(t), m)
+    )
+)
+
+
+@given(targets_strategy)
+@settings(max_examples=70, deadline=None)
+def test_distribute_places_every_element(case):
+    targets, m = case
+    result = _run(oblivious_distribute, targets, m)
+    assert len(result) == m
+    for i, entry in enumerate(result):
+        if i in targets:
+            assert entry.f == i and not entry.null
+        else:
+            assert entry.null
+
+
+@given(targets_strategy, st.integers(min_value=0, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_ext_distribute_ignores_null_entries(case, nulls):
+    targets, m = case
+    result = _run(ext_oblivious_distribute, targets, m, nulls=nulls)
+    assert len(result) == m
+    placed = [e for e in result if not e.null]
+    assert sorted(e.f for e in placed) == sorted(targets)
+
+
+def test_duplicate_targets_rejected():
+    with pytest.raises(InjectivityError):
+        _run(oblivious_distribute, [1, 1], 4)
+
+
+def test_target_out_of_range_rejected():
+    with pytest.raises(CapacityError):
+        _run(oblivious_distribute, [0, 4], 4)
+
+
+def test_m_smaller_than_n_rejected():
+    with pytest.raises(CapacityError):
+        _run(oblivious_distribute, [0, 1, 2], 2)
+
+
+def test_ext_distribute_allows_m_below_input_length():
+    """With nulls marked, the array may shrink (the g(x)=0 case of Alg. 4)."""
+    result = _run(ext_oblivious_distribute, [0, 1], 2, nulls=3)
+    assert len(result) == 2
+    assert all(not e.null for e in result)
+
+
+def test_distribute_trace_is_input_independent():
+    def program(tracer, targets):
+        array = PublicArray(_entries(targets), name="X", tracer=tracer)
+        oblivious_distribute(array, 8, tracer, validate=False)
+
+    report = verify_oblivious(
+        program, [[0, 1, 2], [5, 6, 7], [0, 3, 7]], require=True
+    )
+    assert report.oblivious
+
+
+def test_probabilistic_distribute_places_correctly():
+    prp = FeistelPRP(8, key=b"test")
+    result = _run(probabilistic_distribute, [3, 0, 2, 7, 5], 8, prp=prp)
+    for slot in (0, 2, 3, 5, 7):
+        assert result[slot].f == slot
+    for slot in (1, 4, 6):
+        assert result[slot].null
+
+
+@given(targets_strategy)
+@settings(max_examples=40, deadline=None)
+def test_probabilistic_matches_deterministic(case):
+    targets, m = case
+    det = _run(oblivious_distribute, targets, m)
+    prob = _run(probabilistic_distribute, targets, m, prp=FeistelPRP(m, key=b"k"))
+    assert [(e.f, e.null) for e in det] == [(e.f, e.null) for e in prob]
+
+
+def test_probabilistic_scatter_trace_depends_on_prp_not_data():
+    """Same PRP, same targets, different payloads -> identical traces."""
+
+    def program_factory(data_offset):
+        def program(tracer, _):
+            entries = [Entry(j=0, d=i + data_offset, f=t) for i, t in enumerate([0, 3, 5])]
+            array = PublicArray(entries, name="X", tracer=tracer)
+            probabilistic_distribute(array, 8, tracer, prp=FeistelPRP(8, key=b"fix"))
+        return program
+
+    from repro.memory.monitor import run_hashed
+    h1, _, _ = run_hashed(lambda t: program_factory(0)(t, None))
+    h2, _, _ = run_hashed(lambda t: program_factory(100)(t, None))
+    assert h1 == h2

@@ -1,0 +1,115 @@
+"""SGX cost model calibration and EPC paging behaviour."""
+
+import pytest
+
+from repro.enclave.costmodel import (
+    PAPER_RUNTIME_AT_1M,
+    EnclaveCostModel,
+)
+from repro.enclave.epc import MIB, EPCModel
+from repro.errors import EnclaveError
+
+
+def test_epc_no_penalty_inside_capacity():
+    epc = EPCModel(capacity_bytes=10 * MIB, penalty=10.0)
+    assert epc.slowdown(MIB) == 1.0
+    assert epc.slowdown(10 * MIB) == 1.0
+
+
+def test_epc_penalty_grows_with_footprint():
+    epc = EPCModel(capacity_bytes=10 * MIB, penalty=10.0)
+    s20 = epc.slowdown(20 * MIB)
+    s40 = epc.slowdown(40 * MIB)
+    assert 1.0 < s20 < s40 < 11.0
+
+
+def test_epc_resident_fraction():
+    epc = EPCModel(capacity_bytes=10 * MIB)
+    assert epc.resident_fraction(5 * MIB) == 1.0
+    assert epc.resident_fraction(20 * MIB) == 0.5
+
+
+def test_epc_pages_round_up():
+    epc = EPCModel(page_bytes=4096)
+    assert epc.pages(1) == 1
+    assert epc.pages(4096) == 1
+    assert epc.pages(4097) == 2
+
+
+def test_epc_validation():
+    with pytest.raises(EnclaveError):
+        EPCModel(capacity_bytes=0)
+    with pytest.raises(EnclaveError):
+        EPCModel(penalty=-1)
+    with pytest.raises(EnclaveError):
+        EPCModel().slowdown(-5)
+
+
+def test_model_reproduces_paper_endpoints_at_1m():
+    """Calibration sanity: at n = 10^6 the predicted times must land near
+    the paper's measured values (exact counts vs the closed form introduce
+    a few percent of slack)."""
+    model = EnclaveCostModel()
+    point = model.figure8_point(10**6)
+    for variant, expected in PAPER_RUNTIME_AT_1M.items():
+        assert point[variant] == pytest.approx(expected, rel=0.15), variant
+
+
+def test_variant_ordering_matches_figure8():
+    model = EnclaveCostModel()
+    for n in (10**5, 5 * 10**5, 10**6):
+        point = model.figure8_point(n)
+        assert (
+            point["insecure_sort_merge"]
+            < point["prototype"]
+            < point["sgx"]
+            < point["sgx_transformed"]
+        )
+
+
+def test_series_monotone_in_n():
+    model = EnclaveCostModel()
+    sizes = [10**5, 2 * 10**5, 5 * 10**5, 10**6]
+    series = model.figure8_series(sizes)
+    for values in series.values():
+        assert values == sorted(values)
+
+
+def test_oblivious_join_slowdown_factor_shape():
+    """At n = 10^6 the paper shows ~80x between prototype and insecure."""
+    model = EnclaveCostModel()
+    point = model.figure8_point(10**6)
+    ratio = point["prototype"] / point["insecure_sort_merge"]
+    assert 40 < ratio < 160
+
+
+def test_epc_knee_beyond_paper_range():
+    """The paper's sweep (n <= 10^6) fits in the EPC; the knee must sit
+    past it, matching the 'expected drop for larger inputs' remark."""
+    model = EnclaveCostModel()
+    assert model.epc_knee_input_size() > 10**6
+
+
+def test_sgx_series_pays_paging_after_knee():
+    model = EnclaveCostModel()
+    knee = model.epc_knee_input_size()
+    below = model.figure8_point(knee // 2)
+    above = model.figure8_point(knee * 4)
+    ratio_below = below["sgx"] / below["prototype"]
+    ratio_above = above["sgx"] / above["prototype"]
+    assert ratio_above > ratio_below * 1.5
+
+
+def test_footprint_formula():
+    model = EnclaveCostModel(entry_bytes=10)
+    assert model.footprint_bytes(4, 6, 5) == (5 + 6) * 10
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(EnclaveError, match="variant"):
+        EnclaveCostModel().predict_join_seconds(10, 10, 10, "tdx")
+
+
+def test_invalid_clock_rejected():
+    with pytest.raises(EnclaveError):
+        EnclaveCostModel(clock_hz=0)

@@ -1,0 +1,81 @@
+"""Entry records and their binary codec."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.entry import Entry, EntryCodec, entries_from_pairs, pairs_from_entries
+
+
+def test_default_entry_is_not_null():
+    e = Entry(j=1, d=2)
+    assert not e.is_null
+    assert e.as_pair() == (1, 2)
+
+
+def test_make_null():
+    e = Entry.make_null()
+    assert e.is_null
+
+
+def test_copy_is_independent():
+    e = Entry(j=1, d=2, a1=3)
+    c = e.copy()
+    c.j = 99
+    c.a1 = 0
+    assert e.j == 1 and e.a1 == 3
+    assert c.j == 99
+
+
+def test_equality_covers_all_fields():
+    assert Entry(j=1, d=2) == Entry(j=1, d=2)
+    assert Entry(j=1, d=2) != Entry(j=1, d=3)
+    assert Entry(j=1, d=2) != Entry(j=1, d=2, null=True)
+    assert Entry(j=1, d=2, f=4) != Entry(j=1, d=2, f=5)
+
+
+def test_entries_from_pairs_sets_tid():
+    entries = entries_from_pairs([(1, 10), (2, 20)], tid=2)
+    assert [e.tid for e in entries] == [2, 2]
+    assert pairs_from_entries(entries) == [(1, 10), (2, 20)]
+
+
+def test_pairs_from_entries_skips_nulls():
+    entries = [Entry(j=1, d=1), Entry.make_null(), Entry(j=2, d=2)]
+    assert pairs_from_entries(entries) == [(1, 1), (2, 2)]
+
+
+def test_repr_forms():
+    assert repr(Entry.make_null()) == "Entry(∅)"
+    assert "j=1" in repr(Entry(j=1, d=2))
+    assert "a1=3" in repr(Entry(j=1, d=2, a1=3, a2=4))
+
+
+entry_strategy = st.builds(
+    Entry,
+    j=st.integers(min_value=-(2**31), max_value=2**31),
+    d=st.integers(min_value=-(2**31), max_value=2**31),
+    tid=st.sampled_from([0, 1, 2]),
+    a1=st.integers(min_value=0, max_value=1000),
+    a2=st.integers(min_value=0, max_value=1000),
+    f=st.integers(min_value=-1, max_value=10**6),
+    ii=st.integers(min_value=-1, max_value=10**6),
+    null=st.booleans(),
+)
+
+
+@given(entry_strategy)
+def test_codec_roundtrip(entry):
+    codec = EntryCodec()
+    assert codec.decode(codec.encode(entry)) == entry
+
+
+def test_codec_fixed_width_hides_contents():
+    codec = EntryCodec()
+    assert len(codec.encode(Entry(j=0, d=0))) == EntryCodec.WIDTH
+    assert len(codec.encode(Entry(j=2**40, d=-(2**40), a1=7))) == EntryCodec.WIDTH
+    assert len(codec.encode(None)) == EntryCodec.WIDTH
+
+
+def test_codec_none_becomes_null_entry():
+    codec = EntryCodec()
+    assert codec.decode(codec.encode(None)).is_null

@@ -1,0 +1,41 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "InputError",
+        "SchemaError",
+        "CapacityError",
+        "InjectivityError",
+        "ObliviousnessError",
+        "TraceMismatchError",
+        "TypingError",
+        "EnclaveError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_input_error_is_value_error():
+    assert issubclass(errors.InputError, ValueError)
+
+
+def test_capacity_and_injectivity_are_input_errors():
+    assert issubclass(errors.CapacityError, errors.InputError)
+    assert issubclass(errors.InjectivityError, errors.InputError)
+
+
+def test_trace_mismatch_is_obliviousness_error():
+    assert issubclass(errors.TraceMismatchError, errors.ObliviousnessError)
+
+
+def test_typing_error_is_obliviousness_error():
+    assert issubclass(errors.TypingError, errors.ObliviousnessError)
+
+
+def test_errors_carry_messages():
+    with pytest.raises(errors.CapacityError, match="too small"):
+        raise errors.CapacityError("destination too small")

@@ -1,0 +1,105 @@
+"""Algorithm 4: oblivious expansion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entry import Entry
+from repro.core.expand import assign_first_slots, fill_down, oblivious_expand
+from repro.errors import InputError
+from repro.memory.monitor import verify_oblivious
+from repro.memory.public import PublicArray
+from repro.memory.tracer import Tracer
+
+
+def _expand(counts):
+    tracer = Tracer()
+    entries = [Entry(j=0, d=i, a1=c) for i, c in enumerate(counts)]
+    array = PublicArray(entries, name="X", tracer=tracer)
+    expanded, m = oblivious_expand(array, lambda e: e.a1, tracer)
+    return [e.d for e in expanded], m
+
+
+def test_figure4_example():
+    """g = (2, 3, 0, 2, 1) from the paper's Figure 4."""
+    values, m = _expand([2, 3, 0, 2, 1])
+    assert m == 8
+    assert values == [0, 0, 1, 1, 1, 3, 3, 4]
+
+
+def test_all_zero_counts():
+    values, m = _expand([0, 0, 0])
+    assert m == 0 and values == []
+
+
+def test_single_element_large_count():
+    values, m = _expand([5])
+    assert m == 5 and values == [0] * 5
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), max_size=14))
+@settings(max_examples=70, deadline=None)
+def test_expansion_multiplicities(counts):
+    values, m = _expand(counts)
+    assert m == sum(counts)
+    expected = [i for i, c in enumerate(counts) for _ in range(c)]
+    assert values == expected
+
+
+def test_negative_count_rejected():
+    tracer = Tracer()
+    array = PublicArray([Entry(j=0, d=0, a1=-1)], name="X", tracer=tracer)
+    with pytest.raises(InputError, match="negative"):
+        oblivious_expand(array, lambda e: e.a1, tracer)
+
+
+def test_assign_first_slots_prefix_sums():
+    array = PublicArray([Entry(d=0, a1=2), Entry(d=1, a1=0), Entry(d=2, a1=3)], name="X")
+    m = assign_first_slots(array, lambda e: e.a1)
+    snapshot = array.snapshot()
+    assert m == 5
+    assert snapshot[0].f == 0
+    assert snapshot[1].null
+    assert snapshot[2].f == 2
+
+
+def test_assign_first_slots_preserves_preexisting_nulls():
+    array = PublicArray([Entry(d=0, a1=2), Entry.make_null()], name="X")
+    m = assign_first_slots(array, lambda e: e.a1)
+    assert m == 2
+    assert array.snapshot()[1].null
+
+
+def test_fill_down_duplicates_last_real_entry():
+    cells = [Entry(d=7), Entry.make_null(), Entry.make_null(), Entry(d=9), Entry.make_null()]
+    array = PublicArray(cells, name="A")
+    fill_down(array)
+    assert [e.d for e in array.snapshot()] == [7, 7, 7, 9, 9]
+
+
+def test_expand_trace_is_input_independent():
+    def program(tracer, counts):
+        entries = [Entry(j=0, d=i, a1=c) for i, c in enumerate(counts)]
+        array = PublicArray(entries, name="X", tracer=tracer)
+        oblivious_expand(array, lambda e: e.a1, tracer)
+
+    # Same n and same m=6, different count structure.
+    report = verify_oblivious(
+        program, [[2, 2, 2, 0], [6, 0, 0, 0], [1, 1, 1, 3]], require=True
+    )
+    assert report.oblivious
+
+
+def test_expand_trace_differs_only_with_m():
+    """Trace depends on (n, m) and nothing else (m is deliberately public)."""
+    from repro.memory.monitor import run_hashed
+
+    def run(counts):
+        def program(tracer):
+            entries = [Entry(j=0, d=i, a1=c) for i, c in enumerate(counts)]
+            array = PublicArray(entries, name="X", tracer=tracer)
+            oblivious_expand(array, lambda e: e.a1, tracer)
+        return run_hashed(program)[0]
+
+    assert run([3, 1]) == run([2, 2])
+    assert run([3, 1]) != run([3, 2])  # different m

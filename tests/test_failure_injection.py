@@ -1,0 +1,104 @@
+"""Failure injection: the verification apparatus must catch broken
+implementations, not just bless correct ones.
+
+Each test deliberately sabotages an oblivious discipline (skipping dummy
+writes, branch-dependent access order, data-dependent early exit) and
+asserts the §6.1 trace-equality experiment FAILS — i.e. the apparatus has
+actual detection power.
+"""
+
+from repro.memory.monitor import verify_oblivious
+from repro.memory.public import PublicArray
+from repro.obliv.bitonic import bitonic_stages
+from repro.obliv.compare import comparator_from_spec, identity_key, spec
+
+CMP = comparator_from_spec(spec(identity_key()))
+
+
+def _leaky_compare_exchange(array, lo, hi):
+    """BROKEN: writes back only when swapping (no dummy writes)."""
+    a = array.read(lo)
+    b = array.read(hi)
+    if CMP(a, b) > 0:
+        array.write(lo, b)
+        array.write(hi, a)
+
+
+def _leaky_bitonic_sort(array):
+    for stage in bitonic_stages(len(array)):
+        for lo, hi in stage:
+            _leaky_compare_exchange(array, lo, hi)
+
+
+def test_skipping_dummy_writes_is_detected():
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        _leaky_bitonic_sort(array)
+
+    report = verify_oblivious(
+        program, [[4, 3, 2, 1], [1, 2, 3, 4], [2, 2, 2, 2]]
+    )
+    assert not report.oblivious
+
+
+def test_branch_dependent_write_order_is_detected():
+    """Writing (lo, hi) on swap but (hi, lo) otherwise: same cells, leaky
+    ORDER — the rolling hash must notice."""
+
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        a = array.read(0)
+        b = array.read(1)
+        if CMP(a, b) > 0:
+            array.write(0, b)
+            array.write(1, a)
+        else:
+            array.write(1, b)
+            array.write(0, a)
+
+    report = verify_oblivious(program, [[2, 1], [1, 2]])
+    assert not report.oblivious
+
+
+def test_early_exit_scan_is_detected():
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        for i in range(len(array)):
+            if array.read(i) == 0:
+                break
+
+    report = verify_oblivious(program, [[0, 5, 5], [5, 5, 0]])
+    assert not report.oblivious
+
+
+def test_data_dependent_output_append_is_detected():
+    """The classic join leak: appending to the output only on a match."""
+
+    def program(tracer, values):
+        array = PublicArray(list(values), name="IN", tracer=tracer)
+        out = PublicArray(len(values), name="OUT", tracer=tracer)
+        cursor = 0
+        for i in range(len(array)):
+            if array.read(i) > 0:
+                out.write(cursor, 1)
+                cursor += 1
+
+    # Same length, same number of positives, different positions: the write
+    # *indices* coincide but interleaving with reads differs.
+    report = verify_oblivious(program, [[1, 0, 1], [1, 1, 0]])
+    assert not report.oblivious
+
+
+def test_correct_discipline_passes_the_same_harness():
+    """Control: the proper compare-exchange (dummy writes, fixed order)
+    passes where the sabotaged ones fail."""
+    from repro.obliv.bitonic import bitonic_sort
+
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        bitonic_sort(array, spec(identity_key()))
+
+    report = verify_oblivious(
+        program, [[4, 3, 2, 1], [1, 2, 3, 4], [2, 2, 2, 2]], require=True
+    )
+    assert report.oblivious

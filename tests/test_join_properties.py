@@ -1,0 +1,74 @@
+"""Property-based validation of the join against the oracle."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hash_join import join_multiset
+from repro.core.join import oblivious_join
+from repro.vector.join import vector_oblivious_join
+
+from conftest import pairs_strategy
+
+
+@given(left=pairs_strategy(max_rows=12), right=pairs_strategy(max_rows=12))
+@settings(max_examples=60, deadline=None)
+def test_join_matches_oracle(left, right):
+    result = oblivious_join(left, right)
+    assert sorted(result.pairs) == join_multiset(left, right)
+
+
+@given(left=pairs_strategy(max_rows=12), right=pairs_strategy(max_rows=12))
+@settings(max_examples=60, deadline=None)
+def test_m_equals_sum_of_group_products(left, right):
+    c1 = Counter(j for j, _ in left)
+    c2 = Counter(j for j, _ in right)
+    expected = sum(c1[j] * c2[j] for j in c1.keys() & c2.keys())
+    assert oblivious_join(left, right).m == expected
+
+
+@given(left=pairs_strategy(max_rows=10), right=pairs_strategy(max_rows=10))
+@settings(max_examples=40, deadline=None)
+def test_join_is_symmetric_up_to_pair_swap(left, right):
+    forward = Counter(oblivious_join(left, right).pairs)
+    backward = Counter((d1, d2) for d2, d1 in oblivious_join(right, left).pairs)
+    assert forward == backward
+
+
+@given(left=pairs_strategy(max_rows=10), right=pairs_strategy(max_rows=10))
+@settings(max_examples=40, deadline=None)
+def test_output_follows_group_then_sorted_entry_order(left, right):
+    """Output order: groups ascend by j; within a group, pairs enumerate the
+    (j, d)-sorted T1 entries crossed with the (j, d)-sorted T2 entries."""
+    from collections import defaultdict
+
+    group1 = defaultdict(list)
+    group2 = defaultdict(list)
+    for j, d in left:
+        group1[j].append(d)
+    for j, d in right:
+        group2[j].append(d)
+    expected = []
+    for j in sorted(group1.keys() & group2.keys()):
+        for d1 in sorted(group1[j]):
+            for d2 in sorted(group2[j]):
+                expected.append((d1, d2))
+    assert oblivious_join(left, right).pairs == expected
+
+
+@given(left=pairs_strategy(max_rows=14), right=pairs_strategy(max_rows=14))
+@settings(max_examples=50, deadline=None)
+def test_traced_and_vector_engines_agree_exactly(left, right):
+    traced = oblivious_join(left, right).pairs
+    vector, _ = vector_oblivious_join(left, right)
+    assert traced == [tuple(p) for p in vector.tolist()]
+
+
+@given(data=pairs_strategy(max_rows=10))
+@settings(max_examples=30, deadline=None)
+def test_self_join_square_counts(data):
+    """|T ⋈ T| = sum of squared group sizes."""
+    c = Counter(j for j, _ in data)
+    expected = sum(v * v for v in c.values())
+    assert oblivious_join(data, data).m == expected

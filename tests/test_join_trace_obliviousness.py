@@ -1,0 +1,107 @@
+"""The §6.1 security experiments: trace equality within input classes.
+
+For all inputs with equal (n1, n2, m) the join's public-memory trace must
+be byte-identical (our algorithm is deterministic).  The insecure
+sort-merge baseline must FAIL the same experiment — otherwise the
+experiment itself would be vacuous.
+"""
+
+import pytest
+
+from repro.baselines.sort_merge import sort_merge_join
+from repro.core.join import oblivious_join
+from repro.memory.monitor import (
+    distinguishing_events,
+    run_hashed,
+    run_logged,
+    verify_oblivious,
+)
+from repro.workloads.generators import matched_class, ones_groups, power_law_groups
+
+
+def _join_program(tracer, workload):
+    return oblivious_join(workload.left, workload.right, tracer=tracer)
+
+
+@pytest.mark.parametrize("n1,n2", [(4, 4), (5, 7), (8, 8), (12, 9)])
+def test_matched_classes_produce_identical_traces(n1, n2):
+    inputs = matched_class(n1, n2, seed=n1 * 100 + n2)
+    report = verify_oblivious(_join_program, inputs, require=True)
+    assert report.oblivious
+    assert len(set(report.event_counts)) == 1
+
+
+def test_trace_equal_across_data_relabellings():
+    base = power_law_groups(8, 8, seed=3)
+    relabeled = [
+        [(j * 31 + 7, d ^ 1234) for j, d in table]
+        for table in (base.left, base.right)
+    ]
+
+    h1, c1, _ = run_hashed(lambda t: oblivious_join(base.left, base.right, tracer=t))
+    h2, c2, _ = run_hashed(lambda t: oblivious_join(relabeled[0], relabeled[1], tracer=t))
+    assert h1 == h2 and c1 == c2
+
+
+def test_trace_differs_when_m_differs():
+    """m is deliberately revealed; classes are defined by (n1, n2, m)."""
+    a = ones_groups(4, seed=1)  # m = 4
+    b = [(0, i) for i in range(4)], [(0, i) for i in range(4)]  # m = 16
+    h1, _, _ = run_hashed(lambda t: oblivious_join(a.left, a.right, tracer=t))
+    h2, _, _ = run_hashed(lambda t: oblivious_join(b[0], b[1], tracer=t))
+    assert h1 != h2
+
+
+def test_trace_differs_when_split_differs():
+    """(n1, n2) is public: (3,5) and (4,4) need not share a trace."""
+    left_a = [(i, i) for i in range(3)]
+    right_a = [(i + 100, i) for i in range(5)]
+    left_b = [(i, i) for i in range(4)]
+    right_b = [(i + 100, i) for i in range(4)]
+    h1, _, _ = run_hashed(lambda t: oblivious_join(left_a, right_a, tracer=t))
+    h2, _, _ = run_hashed(lambda t: oblivious_join(left_b, right_b, tracer=t))
+    assert h1 != h2
+
+
+def test_full_logs_not_just_hashes_are_identical():
+    inputs = matched_class(6, 6, seed=9)
+    logs = [
+        run_logged(lambda t, w=w: oblivious_join(w.left, w.right, tracer=t))[0]
+        for w in inputs
+    ]
+    assert all(log == logs[0] for log in logs[1:])
+
+
+def test_insecure_sort_merge_fails_the_same_experiment():
+    """The baseline's merge pointers leak: same (n1, n2, m), different trace."""
+    left_a = [(0, 0), (1, 1), (2, 2), (3, 3)]
+    right_a = [(0, 9), (5, 8), (6, 7), (7, 6)]  # match at the first key
+    left_b = [(0, 0), (1, 1), (2, 2), (3, 3)]
+    right_b = [(3, 9), (5, 8), (6, 7), (7, 6)]  # match at the last key
+    where, _, _ = distinguishing_events(
+        lambda t, inp: sort_merge_join(inp[0], inp[1], tracer=t),
+        (left_a, right_a),
+        (left_b, right_b),
+    )
+    assert where is not None
+
+
+def test_oblivious_join_constant_local_memory():
+    """The paper's §4.3 claim: local working set independent of input size."""
+    from repro.core.entry import entries_from_pairs
+    from repro.core.join import oblivious_join_arrays
+    from repro.memory.local import LocalContext
+    from repro.memory.tracer import Tracer
+
+    peaks = []
+    for n in (4, 8, 16, 32):
+        local = LocalContext()
+        workload = ones_groups(n, seed=n)
+        oblivious_join_arrays(
+            entries_from_pairs(workload.left, tid=1),
+            entries_from_pairs(workload.right, tid=2),
+            Tracer(),
+            local=local,
+        )
+        peaks.append(local.peak)
+    assert len(set(peaks)) == 1, f"local memory grew with input: {peaks}"

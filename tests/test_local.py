@@ -1,0 +1,64 @@
+"""Local-memory model and branchless selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError
+from repro.memory.local import (
+    LocalContext,
+    oblivious_max,
+    oblivious_min,
+    oblivious_select,
+)
+
+ints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+def test_slot_tracks_peak():
+    local = LocalContext()
+    with local.slot(2):
+        with local.slot(1):
+            assert local.live == 3
+    assert local.live == 0
+    assert local.peak == 3
+
+
+def test_capacity_enforced():
+    local = LocalContext(capacity=2)
+    with local.slot(2):
+        with pytest.raises(CapacityError):
+            with local.slot(1):
+                pass
+    assert local.live == 0
+
+
+def test_capacity_release_on_error():
+    local = LocalContext(capacity=1)
+    with pytest.raises(CapacityError):
+        with local.slot(2):
+            pass
+    assert local.live == 0
+
+
+def test_unbounded_context_never_raises():
+    local = LocalContext()
+    with local.slot(10**6):
+        pass
+    assert local.peak == 10**6
+
+
+@given(st.booleans(), ints, ints)
+def test_oblivious_select_matches_ternary(cond, a, b):
+    assert oblivious_select(cond, a, b) == (a if cond else b)
+
+
+@given(ints, ints)
+def test_oblivious_min_max(a, b):
+    assert oblivious_min(a, b) == min(a, b)
+    assert oblivious_max(a, b) == max(a, b)
+
+
+def test_select_accepts_int_conditions():
+    assert oblivious_select(1, 10, 20) == 10
+    assert oblivious_select(0, 10, 20) == 20

@@ -1,0 +1,76 @@
+"""Adversary-view helpers: trace comparison and the §6.1 experiment."""
+
+import pytest
+
+from repro.errors import TraceMismatchError
+from repro.memory.monitor import (
+    distinguishing_events,
+    first_divergence,
+    run_hashed,
+    run_logged,
+    verify_oblivious,
+)
+from repro.memory.public import PublicArray
+
+
+def _oblivious_program(tracer, data):
+    array = PublicArray(list(data), name="A", tracer=tracer)
+    total = 0
+    for i in range(len(array)):
+        total += array.read(i)
+    return total
+
+
+def _leaky_program(tracer, data):
+    array = PublicArray(list(data), name="A", tracer=tracer)
+    # Reads continue only while values are positive: pattern leaks data.
+    for i in range(len(array)):
+        if array.read(i) <= 0:
+            break
+    return None
+
+
+def test_verify_oblivious_accepts_fixed_pattern():
+    report = verify_oblivious(_oblivious_program, [[1, 2, 3], [9, 9, 9], [0, -1, 5]])
+    assert report.oblivious
+    assert len(set(report.hashes)) == 1
+    assert bool(report)
+
+
+def test_verify_oblivious_rejects_leaky_pattern():
+    report = verify_oblivious(_leaky_program, [[1, 1, 1], [0, 1, 1]])
+    assert not report.oblivious
+    assert "distinct" in report.details
+
+
+def test_verify_oblivious_raises_when_required():
+    with pytest.raises(TraceMismatchError):
+        verify_oblivious(_leaky_program, [[1, 1, 1], [0, 1, 1]], require=True)
+
+
+def test_verify_oblivious_keeps_outputs_on_request():
+    report = verify_oblivious(
+        _oblivious_program, [[1, 2], [5, 5]], keep_outputs=True
+    )
+    assert report.outputs == [3, 10]
+
+
+def test_run_hashed_and_logged_agree_on_counts():
+    digest, count, _ = run_hashed(lambda t: _oblivious_program(t, [1, 2, 3]))
+    events, _ = run_logged(lambda t: _oblivious_program(t, [1, 2, 3]))
+    assert count == len(events) == 3
+    assert isinstance(digest, str) and len(digest) == 64
+
+
+def test_first_divergence_position():
+    a = [(0, 0, 1), (0, 0, 2), (0, 0, 3)]
+    b = [(0, 0, 1), (0, 0, 9), (0, 0, 3)]
+    assert first_divergence(a, b) == 1
+    assert first_divergence(a, a) is None
+    assert first_divergence(a, a[:2]) == 2
+
+
+def test_distinguishing_events_pinpoints_leak():
+    where, ev_a, ev_b = distinguishing_events(_leaky_program, [1, 1, 1], [1, 0, 1])
+    assert where == 2  # second input stops reading after index 1
+    assert len(ev_a) == 3 and len(ev_b) == 2

@@ -1,0 +1,77 @@
+"""Multi-way join cascades (§7 extension)."""
+
+import pytest
+
+from repro.core.multiway import oblivious_multiway_join
+from repro.errors import InputError
+
+
+def _oracle_3way(t1, t2, t3, k01, k_acc_2):
+    step1 = [a + b for a in t1 for b in t2 if a[k01[0]] == b[k01[1]]]
+    return sorted(
+        a + b for a in step1 for b in t3 if a[k_acc_2[0]] == b[k_acc_2[1]]
+    )
+
+
+def test_three_way_chain():
+    customers = [(1, 100), (2, 200)]
+    orders = [(1, 11), (1, 12), (2, 21)]
+    items = [(11, 7), (12, 8), (21, 9), (99, 0)]
+    result = oblivious_multiway_join(
+        [customers, orders, items], keys=[(0, 0), (3, 0)]
+    )
+    assert sorted(result.rows) == _oracle_3way(
+        customers, orders, items, (0, 0), (3, 0)
+    )
+    assert result.intermediate_sizes == [3, 3]
+
+
+def test_two_way_degenerates_to_binary_join():
+    result = oblivious_multiway_join([[(1, 2)], [(1, 3)]], keys=[(0, 0)])
+    assert result.rows == [(1, 2, 1, 3)]
+    assert len(result) == 1
+
+
+def test_intermediate_sizes_are_recorded():
+    t1 = [(0, 1), (0, 2)]
+    t2 = [(0, 5)]
+    t3 = [(5, 1), (5, 2), (5, 3)]
+    result = oblivious_multiway_join([t1, t2, t3], keys=[(0, 0), (3, 0)])
+    assert result.intermediate_sizes == [2, 6]
+
+
+def test_empty_intermediate_short_circuits_naturally():
+    result = oblivious_multiway_join(
+        [[(1, 1)], [(2, 2)], [(3, 3)]], keys=[(0, 0), (0, 0)]
+    )
+    assert result.rows == []
+    assert result.intermediate_sizes == [0, 0]
+
+
+def test_needs_at_least_two_tables():
+    with pytest.raises(InputError):
+        oblivious_multiway_join([[(1, 1)]], keys=[])
+
+
+def test_key_count_must_match():
+    with pytest.raises(InputError, match="key specs"):
+        oblivious_multiway_join([[(1, 1)], [(1, 1)]], keys=[])
+
+
+def test_key_column_out_of_range():
+    with pytest.raises(InputError, match="out of range"):
+        oblivious_multiway_join([[(1, 1)], [(1, 1)]], keys=[(5, 0)])
+
+
+def test_non_int_key_rejected():
+    with pytest.raises(InputError, match="dictionary-encoded"):
+        oblivious_multiway_join([[("a", 1)], [("a", 1)]], keys=[(0, 0)])
+
+
+def test_four_way_chain():
+    a = [(1, 0)]
+    b = [(1, 2)]
+    c = [(2, 3)]
+    d = [(3, 4), (3, 5)]
+    result = oblivious_multiway_join([a, b, c, d], keys=[(0, 0), (3, 0), (5, 0)])
+    assert sorted(result.rows) == [(1, 0, 1, 2, 2, 3, 3, 4), (1, 0, 1, 2, 2, 3, 3, 5)]

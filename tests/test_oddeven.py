@@ -1,0 +1,74 @@
+"""Batcher odd-even mergesort network (ablation alternative)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InputError
+from repro.memory.public import PublicArray
+from repro.obliv.bitonic import comparison_count as bitonic_count
+from repro.obliv.compare import identity_key, spec
+from repro.obliv.network import is_valid_schedule
+from repro.obliv.oddeven import comparison_count, oddeven_sort, oddeven_stages
+
+IDENTITY = spec(identity_key())
+
+
+def _sort_list(values):
+    array = PublicArray(list(values), name="S")
+    oddeven_sort(array, IDENTITY)
+    return array.snapshot()
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 4, 8, 16, 32])
+def test_sorts_power_of_two(n):
+    values = [(i * 29 + 3) % 17 for i in range(n)]
+    assert _sort_list(values) == sorted(values)
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 11, 20])
+def test_sorts_with_padding(n):
+    values = [(i * 13) % 7 - 3 for i in range(n)]
+    assert _sort_list(values) == sorted(values)
+
+
+@given(st.lists(st.integers(min_value=-30, max_value=30), max_size=33))
+@settings(max_examples=50, deadline=None)
+def test_sorts_arbitrary_lists(values):
+    assert _sort_list(values) == sorted(values)
+
+
+def test_schedule_is_valid():
+    for n in (2, 4, 8, 16):
+        assert is_valid_schedule(n, oddeven_stages(n))
+
+
+def test_requires_power_of_two():
+    with pytest.raises(InputError):
+        list(oddeven_stages(12))
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32, 64, 128])
+def test_fewer_comparators_than_bitonic(n):
+    """The ablation's premise: odd-even saves roughly half the comparators."""
+    assert comparison_count(n) < bitonic_count(n)
+
+
+def test_known_comparator_counts():
+    # Classic values: 4 -> 5, 8 -> 19, 16 -> 63.
+    assert comparison_count(4) == 5
+    assert comparison_count(8) == 19
+    assert comparison_count(16) == 63
+
+
+def test_trace_is_input_independent():
+    from repro.memory.monitor import verify_oblivious
+
+    def program(tracer, values):
+        array = PublicArray(list(values), name="S", tracer=tracer)
+        oddeven_sort(array, IDENTITY)
+
+    report = verify_oblivious(
+        program, [[4, 3, 2, 1], [1, 2, 3, 4], [7, 7, 7, 7]], require=True
+    )
+    assert report.oblivious

@@ -1,0 +1,64 @@
+"""Feistel PRP used by the probabilistic distribution variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InputError
+from repro.obliv.permute import FeistelPRP
+
+
+@given(st.integers(min_value=1, max_value=300))
+@settings(max_examples=40, deadline=None)
+def test_forward_is_a_bijection(size):
+    prp = FeistelPRP(size, key=b"fixed-key")
+    image = {prp.forward(i) for i in range(size)}
+    assert image == set(range(size))
+
+
+@given(st.integers(min_value=1, max_value=300))
+@settings(max_examples=40, deadline=None)
+def test_inverse_undoes_forward(size):
+    prp = FeistelPRP(size, key=b"fixed-key")
+    for i in range(size):
+        assert prp.inverse(prp.forward(i)) == i
+
+
+def test_different_keys_give_different_permutations():
+    a = FeistelPRP(64, key=b"a").permutation()
+    b = FeistelPRP(64, key=b"b").permutation()
+    assert a != b
+
+
+def test_permutation_is_deterministic_per_key():
+    assert FeistelPRP(50, key=b"k").permutation() == FeistelPRP(50, key=b"k").permutation()
+
+
+def test_domain_bounds_enforced():
+    prp = FeistelPRP(10, key=b"k")
+    with pytest.raises(InputError):
+        prp.forward(10)
+    with pytest.raises(InputError):
+        prp.inverse(-1)
+
+
+def test_tiny_domain():
+    prp = FeistelPRP(1, key=b"k")
+    assert prp.forward(0) == 0
+    assert prp.inverse(0) == 0
+
+
+def test_round_count_validated():
+    with pytest.raises(InputError):
+        FeistelPRP(8, key=b"k", rounds=2)
+
+
+def test_size_validated():
+    with pytest.raises(InputError):
+        FeistelPRP(0)
+
+
+def test_non_power_of_two_domain_cycle_walks():
+    prp = FeistelPRP(100, key=b"walk")
+    image = sorted(prp.forward(i) for i in range(100))
+    assert image == list(range(100))

@@ -1,0 +1,114 @@
+"""PublicArray semantics: traced access, bounds, encrypted cells."""
+
+import pytest
+
+from repro.errors import InputError
+from repro.memory.encryption import IntCodec, ProbabilisticEncryptor
+from repro.memory.public import PublicArray
+from repro.memory.tracer import READ, WRITE, ListSink, Tracer
+
+
+@pytest.fixture
+def traced():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    return PublicArray(4, name="T", tracer=tracer), sink
+
+
+def test_reads_and_writes_emit_events(traced):
+    array, sink = traced
+    array.write(2, 42)
+    assert array.read(2) == 42
+    assert sink.events == [(WRITE, array.array_id, 2), (READ, array.array_id, 2)]
+
+
+def test_initialisation_is_untraced():
+    sink = ListSink()
+    PublicArray([1, 2, 3], tracer=Tracer(sink))
+    assert len(sink) == 0
+
+
+def test_out_of_range_access_raises(traced):
+    array, _ = traced
+    with pytest.raises(IndexError, match="out of range"):
+        array.read(4)
+    with pytest.raises(IndexError):
+        array.write(-1, 0)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(InputError):
+        PublicArray(-1)
+
+
+def test_snapshot_and_iter_are_untraced(traced):
+    array, sink = traced
+    array.load([1, 2, 3, 4])
+    before = len(sink)
+    assert array.snapshot() == [1, 2, 3, 4]
+    assert list(array) == [1, 2, 3, 4]
+    assert len(sink) == before
+
+
+def test_load_requires_matching_length(traced):
+    array, _ = traced
+    with pytest.raises(InputError, match="load of 2"):
+        array.load([1, 2])
+
+
+def test_encryptor_requires_codec():
+    with pytest.raises(InputError, match="together"):
+        PublicArray(2, encryptor=ProbabilisticEncryptor(key=b"k"))
+
+
+def test_encrypted_cells_roundtrip():
+    array = PublicArray(
+        3, encryptor=ProbabilisticEncryptor(key=b"secret"), codec=IntCodec()
+    )
+    array.write(0, 123)
+    array.write(1, -5)
+    assert array.read(0) == 123
+    assert array.read(1) == -5
+    assert array.read(2) is None
+
+
+def test_rewriting_same_value_changes_ciphertext():
+    """§3.5: a dummy write-back must be indistinguishable from a swap."""
+    array = PublicArray(
+        1, encryptor=ProbabilisticEncryptor(key=b"secret"), codec=IntCodec()
+    )
+    array.write(0, 7)
+    first = array.ciphertext_at(0)
+    array.write(0, 7)
+    second = array.ciphertext_at(0)
+    assert first.payload != second.payload or first.nonce != second.nonce
+    assert array.read(0) == 7
+
+
+def test_equal_plaintexts_have_distinct_ciphertexts_across_cells():
+    array = PublicArray(
+        2, encryptor=ProbabilisticEncryptor(key=b"secret"), codec=IntCodec()
+    )
+    array.write(0, 99)
+    array.write(1, 99)
+    assert array.ciphertext_at(0) != array.ciphertext_at(1)
+
+
+def test_snapshot_decrypts():
+    array = PublicArray(
+        2, encryptor=ProbabilisticEncryptor(key=b"secret"), codec=IntCodec()
+    )
+    array.load([11, 22])
+    assert array.snapshot() == [11, 22]
+
+
+def test_two_arrays_same_tracer_have_distinct_ids():
+    tracer = Tracer(ListSink())
+    a = PublicArray(1, name="A", tracer=tracer)
+    b = PublicArray(1, name="B", tracer=tracer)
+    assert a.array_id != b.array_id
+
+
+def test_repr_mentions_name_and_size(traced):
+    array, _ = traced
+    assert "T" in repr(array) and "4" in repr(array)

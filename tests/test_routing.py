@@ -1,0 +1,132 @@
+"""The Algorithm 3 routing network and its backward (compaction) twin."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.monitor import verify_oblivious
+from repro.memory.public import PublicArray
+from repro.obliv.routing import largest_hop, route_backward, route_forward
+
+
+def _forward_case(targets, m):
+    """Elements ('x', target) sorted by target in a prefix; route them."""
+    n = len(targets)
+    cells = [(f"x{i}", t) for i, t in enumerate(sorted(targets))]
+    cells += [(None, -1)] * (max(n, m) - n)
+    array = PublicArray(cells, name="R")
+    route_forward(array, lambda c: c[1], m)
+    return array.snapshot()
+
+
+def test_largest_hop_values():
+    assert largest_hop(1) == 0
+    assert largest_hop(2) == 1
+    assert largest_hop(8) == 4
+    assert largest_hop(9) == 8
+    assert largest_hop(1000) == 512
+
+
+def test_figure3_example():
+    """The paper's Figure 3: n=5, m=8, f = (4,1,3,8,6) (1-based)."""
+    targets = [3, 0, 2, 7, 5]  # 0-based
+    result = _forward_case(targets, 8)
+    placed = {c[1]: c[0] for c in result if c[0] is not None}
+    assert set(placed.keys()) == set(targets)
+    for i, cell in enumerate(result):
+        if cell[0] is not None:
+            assert cell[1] == i
+
+
+@given(
+    st.integers(min_value=1, max_value=40).flatmap(
+        lambda m: st.sets(st.integers(min_value=0, max_value=m - 1), max_size=m).map(
+            lambda t: (sorted(t), m)
+        )
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_forward_routes_any_injective_targets(case):
+    targets, m = case
+    result = _forward_case(targets, m)
+    for i in range(m):
+        if i in targets:
+            assert result[i][1] == i
+        else:
+            assert result[i][0] is None
+
+
+def test_forward_with_all_slots_used():
+    result = _forward_case(list(range(8)), 8)
+    assert all(result[i][1] == i for i in range(8))
+
+
+def test_forward_trace_is_input_independent():
+    def program(tracer, targets):
+        n = len(targets)
+        cells = [(i, t) for i, t in enumerate(sorted(targets))]
+        cells += [(None, -1)] * (8 - n)
+        array = PublicArray(cells, name="R", tracer=tracer)
+        route_forward(array, lambda c: c[1], 8)
+
+    report = verify_oblivious(
+        program, [[0, 3, 5], [1, 2, 7], [5, 6, 7]], require=True
+    )
+    assert report.oblivious
+
+
+def _backward_case(occupied_positions, size):
+    """Elements at given positions get rank targets; compact them back."""
+    occupied = sorted(occupied_positions)
+    cells = [(None, -1)] * size
+    for rank, pos in enumerate(occupied):
+        cells[pos] = (f"x{rank}", rank)
+    array = PublicArray(cells, name="C")
+    route_backward(array, lambda c: c[1])
+    return array.snapshot()
+
+
+@given(
+    st.integers(min_value=1, max_value=40).flatmap(
+        lambda size: st.sets(
+            st.integers(min_value=0, max_value=size - 1), max_size=size
+        ).map(lambda occ: (occ, size))
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_backward_compacts_in_order(case):
+    occupied, size = case
+    result = _backward_case(occupied, size)
+    k = len(occupied)
+    for i in range(k):
+        assert result[i] == (f"x{i}", i)
+    for i in range(k, size):
+        assert result[i][0] is None
+
+
+def test_backward_trace_is_input_independent():
+    def program(tracer, occupied):
+        cells = [(None, -1)] * 8
+        for rank, pos in enumerate(sorted(occupied)):
+            cells[pos] = (rank, rank)
+        array = PublicArray(cells, name="C", tracer=tracer)
+        route_backward(array, lambda c: c[1])
+
+    report = verify_oblivious(program, [[0, 1], [3, 7], [5, 6]], require=True)
+    assert report.oblivious
+
+
+@pytest.mark.parametrize("size,m", [(8, 8), (12, 8), (16, 5)])
+def test_stats_count_routing_slots(size, m):
+    from repro.obliv.network import NetworkStats
+
+    stats = NetworkStats()
+    cells = [(None, -1)] * size
+    array = PublicArray(cells, name="R")
+    route_forward(array, lambda c: c[1], m, stats=stats)
+    expected = 0
+    hop = largest_hop(m)
+    while hop >= 1:
+        expected += max(size - hop, 0)
+        hop //= 2
+    assert stats.comparisons == expected

@@ -1,0 +1,84 @@
+"""The §3.2 obliviousness taxonomy (Table 2)."""
+
+from repro.security import (
+    KNOWN_PROFILES,
+    Attack,
+    Level,
+    ProgramProfile,
+    Setting,
+    classify,
+    has_constant_local_memory,
+    is_circuit_like,
+    render_table2,
+    vulnerability_profile,
+)
+
+
+def test_levels_nest():
+    assert Level.I.value < Level.II.value < Level.III.value
+    assert str(Level.I) == "I" and str(Level.III) == "III"
+
+
+def test_classify_non_oblivious_program():
+    profile = ProgramProfile("sm", False, True, False)
+    assert classify(profile) is None
+
+
+def test_classify_level_boundaries():
+    assert classify(ProgramProfile("p", True, False, False)) is Level.I
+    assert classify(ProgramProfile("p", True, True, False)) is Level.II
+    assert classify(ProgramProfile("p", True, True, True)) is Level.III
+
+
+def test_our_join_is_level_two():
+    assert KNOWN_PROFILES["oblivious_join"].level() is Level.II
+
+
+def test_transformed_join_is_level_three():
+    assert KNOWN_PROFILES["oblivious_join_transformed"].level() is Level.III
+
+
+def test_sort_merge_is_not_oblivious():
+    assert KNOWN_PROFILES["sort_merge_join"].level() is None
+
+
+def test_goodrich_external_memory_is_level_one():
+    assert KNOWN_PROFILES["goodrich_external_memory"].level() is Level.I
+
+
+def test_table2_property_rows():
+    assert not has_constant_local_memory(Level.I)
+    assert has_constant_local_memory(Level.II)
+    assert is_circuit_like(Level.III)
+    assert not is_circuit_like(Level.II)
+
+
+def test_level_three_clears_all_settings():
+    for setting in Setting:
+        assert vulnerability_profile(setting, Level.III) == ()
+
+
+def test_tee_attack_surface_shrinks_with_level():
+    tee_one = vulnerability_profile(Setting.TEE, Level.I)
+    tee_two = vulnerability_profile(Setting.TEE, Level.II)
+    assert Attack.PAGE_DATA in tee_one
+    assert Attack.PAGE_DATA not in tee_two  # the level II gain of the paper
+    assert set(tee_two) < set(tee_one)
+
+
+def test_external_memory_only_timing_below_three():
+    assert vulnerability_profile(Setting.EXTERNAL_MEMORY, Level.I) == (Attack.TIMING,)
+    assert vulnerability_profile(Setting.EXTERNAL_MEMORY, Level.II) == (Attack.TIMING,)
+
+
+def test_circuit_settings_not_applicable_below_three():
+    assert vulnerability_profile(Setting.SECURE_COMPUTATION, Level.I) is None
+    assert vulnerability_profile(Setting.FHE, Level.II) is None
+
+
+def test_render_table2_contains_all_rows():
+    text = render_table2()
+    for fragment in ("Constant local memory", "Circuit-like", "TEE", "FHE", "n/a"):
+        assert fragment in text
+    # TEE level I row shows the full attack list.
+    assert "t,pd,pc,c,b" in text

@@ -1,0 +1,133 @@
+"""Tracing substrate: sinks, phases, rolling hashes."""
+
+import pytest
+
+from repro.memory.tracer import (
+    READ,
+    WRITE,
+    CountSink,
+    HashSink,
+    ListSink,
+    NullSink,
+    TeeSink,
+    Tracer,
+    hash_events,
+)
+
+
+def test_list_sink_records_events_in_order():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    a = tracer.register_array("A")
+    tracer.read(a, 3)
+    tracer.write(a, 4)
+    assert sink.events == [(READ, a, 3), (WRITE, a, 4)]
+
+
+def test_array_ids_assigned_in_registration_order():
+    tracer = Tracer(NullSink())
+    assert tracer.register_array("A") == 0
+    assert tracer.register_array("B") == 1
+    assert tracer.array_name(1) == "B"
+
+
+def test_hash_sink_matches_replayed_event_hash():
+    sink = HashSink()
+    tracer = Tracer(sink)
+    a = tracer.register_array("A")
+    events = []
+    for i in range(20):
+        tracer.read(a, i)
+        events.append((READ, a, i))
+        tracer.write(a, i)
+        events.append((WRITE, a, i))
+    assert sink.digest == hash_events(events)
+    assert sink.count == 40
+
+
+def test_hash_sink_distinguishes_read_from_write():
+    s1, s2 = HashSink(), HashSink()
+    s1.emit(READ, 0, 5, None)
+    s2.emit(WRITE, 0, 5, None)
+    assert s1.digest != s2.digest
+
+
+def test_hash_sink_distinguishes_indices_and_arrays():
+    s1, s2, s3 = HashSink(), HashSink(), HashSink()
+    s1.emit(READ, 0, 5, None)
+    s2.emit(READ, 0, 6, None)
+    s3.emit(READ, 1, 5, None)
+    assert len({s1.digest, s2.digest, s3.digest}) == 3
+
+
+def test_hash_sink_is_order_sensitive():
+    s1, s2 = HashSink(), HashSink()
+    s1.emit(READ, 0, 1, None)
+    s1.emit(READ, 0, 2, None)
+    s2.emit(READ, 0, 2, None)
+    s2.emit(READ, 0, 1, None)
+    assert s1.digest != s2.digest
+
+
+def test_count_sink_tracks_phases():
+    sink = CountSink()
+    tracer = Tracer(sink)
+    a = tracer.register_array("A")
+    with tracer.phase("sort"):
+        tracer.read(a, 0)
+        tracer.read(a, 1)
+        tracer.write(a, 0)
+    with tracer.phase("scan"):
+        tracer.write(a, 2)
+    assert sink.reads["sort"] == 2
+    assert sink.writes["sort"] == 1
+    assert sink.phase_total("sort") == 3
+    assert sink.phase_total("scan") == 1
+    assert sink.total == 4
+
+
+def test_phases_nest_and_unwind():
+    sink = CountSink()
+    tracer = Tracer(sink)
+    a = tracer.register_array("A")
+    with tracer.phase("outer"):
+        with tracer.phase("inner"):
+            tracer.read(a, 0)
+        tracer.read(a, 1)
+    tracer.read(a, 2)
+    assert sink.reads["inner"] == 1
+    assert sink.reads["outer"] == 1
+    assert sink.reads[""] == 1
+
+
+def test_tee_sink_fans_out():
+    list_sink = ListSink()
+    hash_sink = HashSink()
+    tracer = Tracer(TeeSink(list_sink, hash_sink))
+    a = tracer.register_array("A")
+    tracer.write(a, 9)
+    assert len(list_sink) == 1
+    assert hash_sink.count == 1
+
+
+def test_null_sink_discards():
+    tracer = Tracer()  # default NullSink
+    a = tracer.register_array("A")
+    tracer.read(a, 0)  # must not raise
+
+
+def test_hash_of_empty_trace_is_zero_state():
+    assert HashSink().digest == b"\x00" * 32
+    assert hash_events([]) == b"\x00" * 32
+
+
+@pytest.mark.parametrize("n", [1, 7, 100])
+def test_list_sink_phase_labels_align_with_events(n):
+    sink = ListSink()
+    tracer = Tracer(sink)
+    a = tracer.register_array("A")
+    with tracer.phase("p"):
+        for i in range(n):
+            tracer.read(a, i)
+    assert len(sink.events) == len(sink.phases) == n
+    assert set(sink.phases) == {"p"}

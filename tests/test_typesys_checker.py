@@ -1,0 +1,203 @@
+"""The Figure 6 type checker: rule-by-rule behaviour."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.typesys import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Label,
+    Program,
+    Skip,
+    Var,
+    check_program,
+    is_well_typed,
+    seq,
+)
+from repro.typesys.labels import flows_to, join
+from repro.typesys.programs import LEAKY, WELL_TYPED
+from repro.typesys.traces import AccessEvent, RepeatTrace
+
+L, H = Label.L, Label.H
+
+
+def _prog(body, variables=None, arrays=None):
+    return Program("t", variables or {}, arrays or {}, body)
+
+
+def test_lattice_join_and_order():
+    assert join(L, L) is L
+    assert join(L, H) is H
+    assert join(H, H) is H
+    assert flows_to(L, H) and flows_to(L, L) and flows_to(H, H)
+    assert not flows_to(H, L)
+
+
+def test_t_const_and_t_var():
+    program = _prog(
+        seq(Assign("x", Const(1)), Assign("y", Var("x"))),
+        variables={"x": L, "y": H},
+    )
+    assert check_program(program) == ()
+
+
+def test_t_op_joins_labels():
+    program = _prog(
+        seq(Assign("lo", BinOp("+", Var("hi"), Const(1)))),
+        variables={"hi": H, "lo": L},
+    )
+    with pytest.raises(TypingError, match="T-Asgn"):
+        check_program(program)
+
+
+def test_t_asgn_rejects_h_to_l():
+    program = _prog(seq(Assign("x", Var("s"))), variables={"x": L, "s": H})
+    with pytest.raises(TypingError, match="T-Asgn"):
+        check_program(program)
+
+
+def test_t_read_emits_trace_event():
+    program = _prog(
+        seq(ArrayRead("x", "A", Const(0))),
+        variables={"x": H},
+        arrays={"A": H},
+    )
+    assert check_program(program) == (AccessEvent("R", "A", "0"),)
+
+
+def test_t_read_rejects_secret_index():
+    program = _prog(
+        seq(ArrayRead("x", "A", Var("s"))),
+        variables={"x": H, "s": H},
+        arrays={"A": H},
+    )
+    with pytest.raises(TypingError, match="T-Read"):
+        check_program(program)
+
+
+def test_t_read_rejects_h_array_into_l_var():
+    program = _prog(
+        seq(ArrayRead("x", "A", Const(0))),
+        variables={"x": L},
+        arrays={"A": H},
+    )
+    with pytest.raises(TypingError, match="T-Read"):
+        check_program(program)
+
+
+def test_t_write_emits_trace_event():
+    program = _prog(
+        seq(ArrayWrite("A", Const(2), Const(7))),
+        arrays={"A": H},
+    )
+    assert check_program(program) == (AccessEvent("W", "A", "2"),)
+
+
+def test_t_write_rejects_h_value_into_l_array():
+    program = _prog(
+        seq(ArrayWrite("A", Const(0), Var("s"))),
+        variables={"s": H},
+        arrays={"A": L},
+    )
+    with pytest.raises(TypingError, match="T-Write"):
+        check_program(program)
+
+
+def test_t_cond_requires_equal_traces():
+    ok = _prog(
+        seq(
+            If(
+                Var("s"),
+                seq(ArrayWrite("A", Const(0), Const(1))),
+                seq(ArrayWrite("A", Const(0), Const(2))),
+            )
+        ),
+        variables={"s": H},
+        arrays={"A": H},
+    )
+    assert len(check_program(ok)) == 1
+
+    bad = _prog(
+        seq(
+            If(
+                Var("s"),
+                seq(ArrayWrite("A", Const(0), Const(1))),
+                seq(ArrayWrite("A", Const(1), Const(1))),
+            )
+        ),
+        variables={"s": H},
+        arrays={"A": H},
+    )
+    with pytest.raises(TypingError, match="T-Cond"):
+        check_program(bad)
+
+
+def test_t_cond_pc_blocks_implicit_flows():
+    program = _prog(
+        seq(If(Var("s"), seq(Assign("i", Const(1))), seq(Assign("i", Const(2))))),
+        variables={"s": H, "i": L},
+    )
+    with pytest.raises(TypingError, match="T-Asgn"):
+        check_program(program)
+
+
+def test_t_for_repeats_body_trace():
+    program = _prog(
+        seq(For("i", Var("n"), seq(ArrayRead("x", "A", Var("i"))))),
+        variables={"n": L, "x": H},
+        arrays={"A": H},
+    )
+    trace = check_program(program)
+    assert trace == (RepeatTrace(body=(AccessEvent("R", "A", "i"),), count="n"),)
+
+
+def test_t_for_rejects_secret_bound():
+    program = _prog(
+        seq(For("i", Var("s"), seq(Skip()))),
+        variables={"s": H},
+    )
+    with pytest.raises(TypingError, match="T-For"):
+        check_program(program)
+
+
+def test_loop_variable_scoped_and_low():
+    program = _prog(
+        seq(
+            For("i", Var("n"), seq(ArrayWrite("A", Var("i"), Const(0)))),
+            # i out of scope after the loop:
+            Assign("x", Var("i")),
+        ),
+        variables={"n": L, "x": L},
+        arrays={"A": H},
+    )
+    with pytest.raises(TypingError, match="undeclared"):
+        check_program(program)
+
+
+def test_undeclared_array_rejected():
+    program = _prog(seq(ArrayWrite("Z", Const(0), Const(0))))
+    with pytest.raises(TypingError, match="undeclared array"):
+        check_program(program)
+
+
+def test_all_join_kernels_are_well_typed():
+    for make in WELL_TYPED:
+        assert is_well_typed(make()), make().name
+
+
+def test_all_leaky_programs_are_rejected():
+    for make in LEAKY:
+        assert not is_well_typed(make()), make().name
+
+
+def test_empty_trace_for_pure_local_program():
+    program = _prog(
+        seq(Assign("a", Const(1)), Assign("b", BinOp("*", Var("a"), Const(2)))),
+        variables={"a": L, "b": L},
+    )
+    assert check_program(program) == ()

@@ -1,0 +1,148 @@
+"""The mini-language interpreter and kernel semantics."""
+
+import pytest
+
+from repro.errors import InputError
+from repro.obliv.routing import largest_hop
+from repro.typesys import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Var,
+    run_program,
+    seq,
+)
+from repro.typesys.programs import (
+    align_index_pass,
+    fill_dimensions_forward,
+    fill_down,
+    routing_network,
+    transposition_sort,
+)
+
+
+def test_arithmetic_and_assignment():
+    program = Program(
+        "t", {}, {},
+        seq(Assign("x", BinOp("+", Const(2), Const(3))),
+            Assign("y", BinOp("*", Var("x"), Var("x")))),
+    )
+    _, _, variables = run_program(program)
+    assert variables == {"x": 5, "y": 25}
+
+
+def test_array_io_and_trace():
+    program = Program(
+        "t", {}, {},
+        seq(ArrayRead("x", "A", Const(1)),
+            ArrayWrite("A", Const(0), Var("x"))),
+    )
+    trace, arrays, _ = run_program(program, arrays={"A": [7, 9]})
+    assert arrays["A"] == [9, 9]
+    assert trace == [("R", "A", 1), ("W", "A", 0)]
+
+
+def test_conditional_execution():
+    program = Program(
+        "t", {}, {},
+        seq(If(Var("c"), seq(Assign("x", Const(1))), seq(Assign("x", Const(2))))),
+    )
+    _, _, v = run_program(program, variables={"c": 1})
+    assert v["x"] == 1
+    _, _, v = run_program(program, variables={"c": 0})
+    assert v["x"] == 2
+
+
+def test_for_loop_iterates():
+    program = Program(
+        "t", {}, {},
+        seq(Assign("acc", Const(0)),
+            For("i", Var("n"), seq(Assign("acc", BinOp("+", Var("acc"), Var("i")))))),
+    )
+    _, _, v = run_program(program, variables={"n": 5})
+    assert v["acc"] == 10
+
+
+def test_out_of_range_access_raises():
+    program = Program("t", {}, {}, seq(ArrayRead("x", "A", Const(5))))
+    with pytest.raises(InputError, match="out of range"):
+        run_program(program, arrays={"A": [1]})
+
+
+def test_unbound_variable_raises():
+    program = Program("t", {}, {}, seq(Assign("x", Var("nope"))))
+    with pytest.raises(InputError, match="unbound"):
+        run_program(program)
+
+
+def test_fill_dimensions_kernel_matches_figure2():
+    j = [0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 2]
+    tid = [1, 1, 2, 2, 2, 1, 1, 1, 1, 2, 2, 2]
+    _, arrays, _ = run_program(
+        fill_dimensions_forward(),
+        variables={"n": len(j)},
+        arrays={"J": j, "TID": tid, "A1": [0] * len(j), "A2": [0] * len(j)},
+    )
+    # Boundary entries (last of each group) hold the true dimensions.
+    assert (arrays["A1"][4], arrays["A2"][4]) == (2, 3)
+    assert (arrays["A1"][10], arrays["A2"][10]) == (4, 2)
+    assert (arrays["A1"][11], arrays["A2"][11]) == (0, 1)
+
+
+def test_routing_kernel_distributes():
+    m = 16
+    targets = [1, 4, 7, 8, 15]
+    values = [10, 20, 30, 40, 50]
+    a = values + [0] * (m - len(values))
+    f = targets + [-1] * (m - len(targets))
+    jstart = largest_hop(m)
+    _, arrays, _ = run_program(
+        routing_network(),
+        variables={"m": m, "jstart": jstart, "nphases": jstart.bit_length()},
+        arrays={"A": a, "F": f},
+    )
+    for value, target in zip(values, targets):
+        assert arrays["A"][target] == value
+
+
+def test_fill_down_kernel():
+    _, arrays, _ = run_program(
+        fill_down(),
+        variables={"m": 6},
+        arrays={"A": [5, 0, 0, 9, 0, 0], "NUL": [0, 1, 1, 0, 1, 1]},
+    )
+    assert arrays["A"] == [5, 5, 5, 9, 9, 9]
+    assert arrays["NUL"] == [0] * 6
+
+
+def test_align_kernel_computes_transposed_indices():
+    # One group, a1 = 2, a2 = 3: block of 6.
+    _, arrays, _ = run_program(
+        align_index_pass(),
+        variables={"m": 6},
+        arrays={
+            "J": [0] * 6,
+            "A1": [2] * 6,
+            "A2": [3] * 6,
+            "II": [0] * 6,
+        },
+    )
+    assert arrays["II"] == [0, 3, 1, 4, 2, 5]
+
+
+def test_transposition_sort_kernel_sorts():
+    keys = [5, 3, 8, 1, 9, 2, 7, 0]
+    payload = list(range(8))
+    _, arrays, _ = run_program(
+        transposition_sort(),
+        variables={"n": 8},
+        arrays={"K": list(keys), "P": payload},
+    )
+    assert arrays["K"] == sorted(keys)
+    expected_payload = [p for _, p in sorted(zip(keys, range(8)))]
+    assert arrays["P"] == expected_payload

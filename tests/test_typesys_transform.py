@@ -1,0 +1,246 @@
+"""The §3.4 level II -> level III transformation."""
+
+import random
+
+import pytest
+
+from repro.obliv.routing import largest_hop
+from repro.typesys import check_program, run_program
+from repro.typesys.lang import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Program,
+    Skip,
+    Var,
+    seq,
+)
+from repro.typesys.labels import Label
+from repro.typesys.programs import WELL_TYPED, routing_network, fill_down
+from repro.typesys.transform import (
+    TransformError,
+    count_secret_branches,
+    is_level3,
+    to_level3,
+)
+
+L, H = Label.L, Label.H
+
+
+def _paper_example() -> Program:
+    """§3.4's worked example: two branches assigning different variables."""
+    return Program(
+        "example34",
+        variables={"secret": H, "x1": H, "x2": H, "x3": H,
+                   "y1": H, "y3": H, "z1": H, "z2": H},
+        arrays={},
+        body=seq(
+            If(
+                Var("secret"),
+                seq(Assign("x1", Var("y1")), Assign("x3", Var("y3"))),
+                seq(Assign("x1", Var("z1")), Assign("x2", Var("z2"))),
+            )
+        ),
+    )
+
+
+def _run_both(program, variables, arrays):
+    transformed = to_level3(program)
+    t1, a1, v1 = run_program(program, dict(variables), {k: list(v) for k, v in arrays.items()})
+    t2, a2, v2 = run_program(transformed, dict(variables), {k: list(v) for k, v in arrays.items()})
+    return (t1, a1, v1), (t2, a2, v2), transformed
+
+
+def test_paper_example_both_branches():
+    program = _paper_example()
+    for secret in (0, 1):
+        env = {"secret": secret, "x1": 0, "x2": 7, "x3": 8,
+               "y1": 10, "y3": 30, "z1": 40, "z2": 50}
+        (_, _, v1), (_, _, v2), transformed = _run_both(program, env, {})
+        for name in ("x1", "x2", "x3"):
+            assert v1[name] == v2[name], (secret, name)
+    assert is_level3(transformed)
+    assert not is_level3(program)
+
+
+def test_transformed_program_is_well_typed():
+    transformed = to_level3(_paper_example())
+    check_program(transformed)  # must not raise
+
+
+def test_count_secret_branches():
+    assert count_secret_branches(_paper_example()) == 1
+    assert count_secret_branches(fill_down()) == 1
+    assert count_secret_branches(to_level3(fill_down())) == 0
+
+
+def test_public_guards_are_preserved():
+    program = Program(
+        "pub",
+        variables={"n": L, "x": H},
+        arrays={"A": H},
+        body=seq(
+            If(
+                BinOp(">", Var("n"), Const(2)),
+                seq(ArrayRead("x", "A", Const(0))),
+                seq(ArrayRead("x", "A", Const(0))),
+            )
+        ),
+    )
+    transformed = to_level3(program)
+    assert any(isinstance(s, If) for s in transformed.body)
+    assert is_level3(transformed)  # L-guarded branches don't count
+
+
+def test_branch_with_array_writes():
+    program = Program(
+        "swap",
+        variables={"c": H, "y": H, "z": H},
+        arrays={"A": H},
+        body=seq(
+            ArrayRead("y", "A", Const(0)),
+            ArrayRead("z", "A", Const(1)),
+            If(
+                Var("c"),
+                seq(ArrayWrite("A", Const(0), Var("z")),
+                    ArrayWrite("A", Const(1), Var("y"))),
+                seq(ArrayWrite("A", Const(0), Var("y")),
+                    ArrayWrite("A", Const(1), Var("z"))),
+            ),
+        ),
+    )
+    for c, expected in ((1, [9, 4]), (0, [4, 9])):
+        (_, a1, _), (_, a2, _), transformed = _run_both(
+            program, {"c": c, "y": 0, "z": 0}, {"A": [4, 9]}
+        )
+        assert a1["A"] == a2["A"] == expected
+        assert is_level3(transformed)
+
+
+def test_reads_inside_branches_share_temps():
+    program = Program(
+        "readbr",
+        variables={"c": H, "x": H, "y": H},
+        arrays={"A": H},
+        body=seq(
+            If(
+                Var("c"),
+                seq(ArrayRead("x", "A", Const(0)),
+                    ArrayWrite("A", Const(1), BinOp("+", Var("x"), Const(1)))),
+                seq(ArrayRead("y", "A", Const(0)),
+                    ArrayWrite("A", Const(1), BinOp("*", Var("y"), Const(2)))),
+            )
+        ),
+    )
+    for c, expected in ((1, 6), (0, 10)):
+        (_, a1, _), (_, a2, _), _ = _run_both(
+            program, {"c": c, "x": 0, "y": 0}, {"A": [5, 0]}
+        )
+        assert a1["A"][1] == a2["A"][1] == expected
+
+
+def test_transform_preserves_traces_exactly():
+    """Level III must not change the public trace, only remove branching."""
+    for make in (fill_down, routing_network):
+        program = make()
+        transformed = to_level3(program)
+        if make is fill_down:
+            variables = {"m": 6}
+            arrays = {"A": [1, 0, 0, 2, 0, 0], "NUL": [0, 1, 1, 0, 1, 1]}
+        else:
+            m = 8
+            jstart = largest_hop(m)
+            variables = {"m": m, "jstart": jstart, "nphases": jstart.bit_length()}
+            arrays = {"A": [5, 6, 7, 0, 0, 0, 0, 0], "F": [2, 4, 6, -1, -1, -1, -1, -1]}
+        t1, a1, _ = run_program(program, dict(variables), {k: list(v) for k, v in arrays.items()})
+        t2, a2, _ = run_program(transformed, dict(variables), {k: list(v) for k, v in arrays.items()})
+        assert t1 == t2, make.__name__
+        assert a1 == a2, make.__name__
+
+
+@pytest.mark.parametrize("make", WELL_TYPED, ids=lambda f: f.__name__)
+def test_all_kernels_transform_to_level3(make):
+    program = make()
+    transformed = to_level3(program)
+    assert is_level3(transformed)
+    check_program(transformed)
+
+
+def test_routing_network_level3_end_to_end():
+    """Randomised equivalence of the transformed routing network."""
+    program = routing_network()
+    transformed = to_level3(program)
+    rng = random.Random(42)
+    m = 16
+    jstart = largest_hop(m)
+    variables = {"m": m, "jstart": jstart, "nphases": jstart.bit_length()}
+    for _ in range(10):
+        k = rng.randrange(1, m)
+        targets = sorted(rng.sample(range(m), k))
+        arrays = {
+            "A": [rng.randrange(100) for _ in range(k)] + [0] * (m - k),
+            "F": targets + [-1] * (m - k),
+        }
+        _, a1, _ = run_program(program, dict(variables), {k_: list(v) for k_, v in arrays.items()})
+        _, a2, _ = run_program(transformed, dict(variables), {k_: list(v) for k_, v in arrays.items()})
+        assert a1["A"] == a2["A"]
+
+
+def test_nested_secret_control_flow_rejected():
+    program = Program(
+        "nested",
+        variables={"s": H, "n": L, "x": H},
+        arrays={"A": H},
+        body=seq(
+            If(
+                Var("s"),
+                seq(For("i", Var("n"), seq(ArrayRead("x", "A", Var("i"))))),
+                seq(For("i", Var("n"), seq(ArrayRead("x", "A", Var("i"))))),
+            )
+        ),
+    )
+    with pytest.raises(TransformError, match="nested control flow"):
+        to_level3(program)
+
+
+def test_nested_secret_ifs_flatten():
+    """An inner secret If is eliminated first, so the outer sees straight
+    line code — constant branching depth composes."""
+    program = Program(
+        "nested_ifs",
+        variables={"s": H, "t": H, "x": H},
+        arrays={},
+        body=seq(
+            If(
+                Var("s"),
+                seq(If(Var("t"), seq(Assign("x", Const(1))), seq(Assign("x", Const(2))))),
+                seq(Assign("x", Const(3))),
+            )
+        ),
+    )
+    transformed = to_level3(program)
+    assert is_level3(transformed)
+    for s in (0, 1):
+        for t in (0, 1):
+            env = {"s": s, "t": t, "x": 0}
+            _, _, v1 = run_program(program, dict(env), {})
+            _, _, v2 = run_program(transformed, dict(env), {})
+            assert v1["x"] == v2["x"], (s, t)
+
+
+def test_skip_branch_handled():
+    program = Program(
+        "skipelse",
+        variables={"s": H, "x": H},
+        arrays={},
+        body=seq(If(Var("s"), seq(Assign("x", Const(5))), seq(Skip()))),
+    )
+    transformed = to_level3(program)
+    assert is_level3(transformed)
+    for s, expected in ((1, 5), (0, 9)):
+        _, _, v = run_program(transformed, {"s": s, "x": 9}, {})
+        assert v["x"] == expected

@@ -1,0 +1,107 @@
+"""Vectorised bitonic sort over struct-of-arrays tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InputError
+from repro.obliv.network import is_valid_schedule
+from repro.vector.sort import (
+    is_sorted_by,
+    lexicographic_greater,
+    stage_pairs,
+    vector_bitonic_sort,
+)
+
+
+def _table(**cols):
+    return {k: np.asarray(v, dtype=np.int64) for k, v in cols.items()}
+
+
+def test_single_key_sort():
+    table = vector_bitonic_sort(_table(k=[3, 1, 2, 0]), [("k", True)])
+    assert table["k"].tolist() == [0, 1, 2, 3]
+
+
+def test_payload_moves_with_keys():
+    table = vector_bitonic_sort(
+        _table(k=[2, 0, 1], v=[20, 0, 10]), [("k", True)]
+    )
+    assert table["v"].tolist() == [0, 10, 20]
+
+
+def test_descending_key():
+    table = vector_bitonic_sort(_table(k=[1, 3, 2]), [("k", False)])
+    assert table["k"].tolist() == [3, 2, 1]
+
+
+def test_two_key_lexicographic():
+    table = vector_bitonic_sort(
+        _table(a=[1, 0, 1, 0], b=[0, 1, 1, 0]), [("a", True), ("b", False)]
+    )
+    assert list(zip(table["a"].tolist(), table["b"].tolist())) == [
+        (0, 1), (0, 0), (1, 1), (1, 0),
+    ]
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 8, 13, 32, 100])
+def test_arbitrary_sizes_with_padding(n):
+    rng = np.random.default_rng(n)
+    keys = rng.integers(0, 50, size=n)
+    table = vector_bitonic_sort(_table(k=keys), [("k", True)])
+    assert table["k"].tolist() == sorted(keys.tolist())
+    assert len(table["k"]) == n
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=64)
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_python_sorted(values):
+    table = vector_bitonic_sort(_table(k=values), [("k", True)])
+    assert table["k"].tolist() == sorted(values)
+
+
+def test_input_not_mutated():
+    original = _table(k=[2, 1])
+    vector_bitonic_sort(original, [("k", True)])
+    assert original["k"].tolist() == [2, 1]
+
+
+def test_counter_counts_stage_comparators():
+    counter = [0]
+    vector_bitonic_sort(_table(k=[3, 2, 1, 0]), [("k", True)], counter=counter)
+    from repro.obliv.bitonic import comparison_count
+
+    assert counter[0] == comparison_count(4)
+
+
+def test_stage_pairs_match_scalar_network():
+    from repro.obliv.bitonic import bitonic_stages
+
+    for n in (2, 4, 8, 16):
+        vec = [sorted(zip(lo.tolist(), hi.tolist())) for lo, hi in stage_pairs(n)]
+        ref = [sorted(stage) for stage in bitonic_stages(n)]
+        assert vec == ref
+
+
+def test_stage_pairs_validate():
+    for n in (2, 8, 32):
+        stages = [list(zip(lo.tolist(), hi.tolist())) for lo, hi in stage_pairs(n)]
+        assert is_valid_schedule(n, stages)
+    with pytest.raises(InputError):
+        list(stage_pairs(6))
+
+
+def test_is_sorted_by():
+    assert is_sorted_by(_table(k=[1, 2, 3]), [("k", True)])
+    assert not is_sorted_by(_table(k=[2, 1]), [("k", True)])
+    assert is_sorted_by(_table(k=[3, 2]), [("k", False)])
+    assert is_sorted_by(_table(k=[]), [("k", True)])
+
+
+def test_lexicographic_greater_tie_break():
+    table = _table(a=[1, 1], b=[5, 2])
+    gt = lexicographic_greater(table, [("a", True), ("b", True)], np.array([0]), np.array([1]))
+    assert gt.tolist() == [True]

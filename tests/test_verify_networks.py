@@ -1,0 +1,69 @@
+"""0-1-principle certification and depth profiles of the networks."""
+
+import pytest
+
+from repro.errors import InputError
+from repro.obliv.bitonic import bitonic_stages, network_depth
+from repro.obliv.oddeven import oddeven_stages
+from repro.obliv.verify import (
+    first_unsorted_witness,
+    network_depth_profile,
+    parallel_depth,
+    sorts_all_zero_one_inputs,
+)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_bitonic_certified_by_zero_one_principle(n):
+    assert sorts_all_zero_one_inputs(list(bitonic_stages(n)), n)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_oddeven_certified_by_zero_one_principle(n):
+    assert sorts_all_zero_one_inputs(list(oddeven_stages(n)), n)
+
+
+def test_broken_network_detected_with_witness():
+    """Dropping one comparator from a sorting network must be caught."""
+    stages = [list(s) for s in bitonic_stages(8)]
+    removed = stages[-1].pop()  # final stage comparators are all load-bearing
+    assert not sorts_all_zero_one_inputs(stages, 8)
+    witness = first_unsorted_witness(stages, 8)
+    assert witness is not None
+    assert removed  # the dropped comparator existed
+
+
+def test_empty_and_single_wire_networks_sort():
+    assert sorts_all_zero_one_inputs([], 0)
+    assert sorts_all_zero_one_inputs([], 1)
+    assert first_unsorted_witness([], 1) is None
+
+
+def test_infeasible_sizes_rejected():
+    with pytest.raises(InputError):
+        sorts_all_zero_one_inputs([], 25)
+    with pytest.raises(InputError):
+        sorts_all_zero_one_inputs([], -1)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_bitonic_parallel_depth_matches_formula(n):
+    # Stage-form bitonic networks have every wire active in every stage,
+    # so critical path == stage count == log n (log n + 1) / 2.
+    assert parallel_depth(bitonic_stages(n), n) == network_depth(n)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_oddeven_depth_not_worse_than_bitonic(n):
+    assert parallel_depth(oddeven_stages(n), n) <= network_depth(n)
+
+
+def test_depth_profile_per_wire():
+    profile = network_depth_profile([[(0, 1), (2, 3)], [(1, 2)]], 4)
+    assert profile == [1, 2, 2, 1]
+
+
+def test_depth_grows_polylogarithmically():
+    depths = [parallel_depth(bitonic_stages(n), n) for n in (8, 64, 512)]
+    # 6, 21, 45: ratios shrink (polylog), nowhere near linear growth.
+    assert depths == [6, 21, 45]

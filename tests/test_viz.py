@@ -1,0 +1,62 @@
+"""Figure 7 trace rasterisation."""
+
+import os
+
+from repro.analysis.viz import rasterize, render_text, write_pgm
+from repro.core.join import oblivious_join
+from repro.memory.monitor import run_logged
+from repro.memory.tracer import READ, WRITE
+
+
+def _sample_events():
+    return [(WRITE, 0, 0), (READ, 0, 1), (READ, 1, 0), (WRITE, 1, 1)]
+
+
+def test_raster_shape():
+    raster = rasterize(_sample_events(), width=10, height=6)
+    assert raster.shape == (6, 10)
+
+
+def test_arrays_stack_in_registration_order():
+    raster = rasterize(_sample_events(), width=4, height=4)
+    assert raster.array_offsets[0] == 0
+    assert raster.array_offsets[1] == 2  # array 0 occupies two cells
+    assert raster.total_cells == 4
+
+
+def test_empty_trace():
+    raster = rasterize([], width=5, height=5)
+    assert raster.reads.sum() == 0 and raster.writes.sum() == 0
+    assert "█" not in render_text(raster)
+
+
+def test_reads_and_writes_distinguished():
+    raster = rasterize(_sample_events(), width=4, height=4)
+    text = render_text(raster)
+    assert "░" in text and "█" in text and "." in text
+
+
+def test_join_trace_rasterises(tmp_path):
+    events, _ = run_logged(
+        lambda t: oblivious_join(
+            [(0, 1), (1, 2), (2, 3), (3, 4)],
+            [(0, 5), (1, 6), (2, 7), (3, 8)],
+            tracer=t,
+        )
+    )
+    raster = rasterize(events, width=80, height=32)
+    assert raster.reads.sum() + raster.writes.sum() == len(events)
+    path = os.path.join(tmp_path, "fig7.pgm")
+    write_pgm(raster, path)
+    with open(path) as handle:
+        header = handle.readline().strip()
+    assert header == "P2"
+
+
+def test_pgm_dimensions(tmp_path):
+    raster = rasterize(_sample_events(), width=7, height=3)
+    path = os.path.join(tmp_path, "t.pgm")
+    write_pgm(raster, path)
+    lines = open(path).read().splitlines()
+    assert lines[1] == "7 3"
+    assert len(lines) == 3 + 3  # header(3) + rows(3)

@@ -1,0 +1,138 @@
+"""Workload generators and distributions (§6 protocol inputs)."""
+
+import random
+
+import pytest
+
+from repro.baselines.hash_join import join_multiset
+from repro.errors import InputError
+from repro.workloads.distributions import power_law_sizes, zipf_keys
+from repro.workloads.generators import (
+    balanced_output,
+    matched_class,
+    ones_groups,
+    paper_protocol_suite,
+    pk_fk,
+    power_law_groups,
+    single_group,
+    uniform_random,
+)
+
+
+def _check_m(workload):
+    assert len(join_multiset(workload.left, workload.right)) == workload.m
+
+
+def test_ones_groups_sizes_and_m():
+    w = ones_groups(10, seed=1)
+    assert w.n1 == w.n2 == w.m == 10
+    _check_m(w)
+
+
+def test_single_group_m_is_product():
+    w = single_group(3, 5, seed=1)
+    assert w.m == 15
+    _check_m(w)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_power_law_groups_consistent(seed):
+    w = power_law_groups(20, 24, seed=seed)
+    assert w.n1 == 20 and w.n2 == 24
+    _check_m(w)
+
+
+def test_pk_fk_m_equals_foreign_rows():
+    w = pk_fk(8, 20, seed=2)
+    assert w.m == 20
+    _check_m(w)
+    keys = [j for j, _ in w.left]
+    assert len(set(keys)) == len(keys)  # primary keys unique
+
+
+def test_pk_fk_zipf_skew():
+    w = pk_fk(10, 200, seed=3, zipf_s=1.5)
+    from collections import Counter
+
+    counts = Counter(j for j, _ in w.right).most_common()
+    assert counts[0][1] > counts[-1][1]  # skew present
+    _check_m(w)
+
+
+def test_pk_fk_requires_primaries():
+    with pytest.raises(InputError):
+        pk_fk(0, 5)
+
+
+def test_uniform_random_m_consistent():
+    w = uniform_random(15, 15, key_space=4, seed=9)
+    _check_m(w)
+
+
+def test_balanced_output_shape():
+    w = balanced_output(64, seed=4)
+    assert w.n1 == w.n2 == w.m == 32
+
+
+def test_protocol_suite_composition():
+    suite = paper_protocol_suite(32, seed=0)
+    assert len(suite) == 20
+    names = [w.name for w in suite]
+    assert names[0] == "ones"
+    assert names[1] == "single_group"
+    assert names.count("power_law") == 18
+    for w in suite[:4]:
+        _check_m(w)
+
+
+def test_matched_class_shares_class_parameters():
+    members = matched_class(6, 8, seed=5)
+    assert len(members) == 4
+    assert {(w.n1, w.n2, w.m) for w in members} == {(6, 8, 4)}
+    for w in members:
+        _check_m(w)
+
+
+def test_matched_class_minimum_sizes():
+    with pytest.raises(InputError):
+        matched_class(3, 8)
+
+
+def test_power_law_sizes_sum_exactly():
+    rng = random.Random(0)
+    for total in (0, 1, 7, 100):
+        sizes = power_law_sizes(total, rng=rng)
+        assert sum(sizes) == total
+        assert all(s >= 1 for s in sizes) or total == 0
+
+
+def test_power_law_sizes_negative_rejected():
+    with pytest.raises(InputError):
+        power_law_sizes(-1)
+
+
+def test_power_law_favours_small_groups():
+    rng = random.Random(1)
+    sizes = power_law_sizes(2000, alpha=2.5, rng=rng)
+    ones = sum(1 for s in sizes if s == 1)
+    assert ones > len(sizes) / 2
+
+
+def test_zipf_keys_range_and_skew():
+    rng = random.Random(2)
+    keys = zipf_keys(1000, key_space=10, s=1.5, rng=rng)
+    assert all(0 <= k < 10 for k in keys)
+    from collections import Counter
+
+    counts = Counter(keys)
+    assert counts[0] > counts[9]
+
+
+def test_zipf_keys_validation():
+    with pytest.raises(InputError):
+        zipf_keys(5, key_space=0)
+
+
+def test_workloads_are_deterministic_per_seed():
+    assert power_law_groups(16, 16, seed=7).left == power_law_groups(16, 16, seed=7).left
+    assert ones_groups(8, seed=1).left != ones_groups(8, seed=2).left
