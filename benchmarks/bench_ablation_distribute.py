@@ -16,7 +16,7 @@ from repro.memory.public import PublicArray
 from repro.memory.tracer import CountSink, Tracer
 from repro.obliv.permute import FeistelPRP
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 SIZES = [(64, 128), (256, 512), (1024 * SCALE, 2048 * SCALE)]
 

@@ -19,7 +19,7 @@ from repro.obliv.network import NetworkStats
 from repro.obliv.oddeven import comparison_count as oddeven_count, oddeven_sort
 from repro.workloads.generators import balanced_output
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 IDENTITY = spec(identity_key())
 SIZES = [256, 1024, 4096 * SCALE]

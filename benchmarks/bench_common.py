@@ -3,6 +3,9 @@
 Every bench prints the table/figure it regenerates and also writes it to
 ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can cite stable artifacts.
 ``REPRO_BENCH_SCALE`` (default 1) multiplies sweep sizes for beefier runs.
+
+(Deliberately *not* named ``conftest.py``: a module by that name here used
+to shadow ``tests/conftest.py`` on ``sys.path`` and break the tier-1 suite.)
 """
 
 from __future__ import annotations

@@ -1,23 +1,106 @@
-"""Ablation: traced reference engine vs vectorised engine throughput.
+"""Ablation: traced reference engine vs vectorised engine, per workload.
 
 Quantifies the cost of per-access tracing (the security apparatus) against
-the numpy engine, and verifies both engines emit identical outputs — the
+the numpy engine across *every* workload — binary join, multiway cascade,
+grouped aggregation — and verifies the engines emit identical outputs: the
 justification for benchmarking on the vector engine while proving security
 properties on the traced one.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_engines.py`` — the regression benchmarks below;
+* ``python benchmarks/bench_engines.py --engine vector --n 4096`` — a
+  script sweep that times the selected engine against the traced baseline
+  and reports the speedup per workload (the CI smoke run uses ``--n 64``).
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from repro.core.join import oblivious_join
+from repro.engines import available_engines, get_engine
 from repro.memory.tracer import HashSink, NullSink, Tracer
 from repro.vector.join import vector_oblivious_join
 from repro.workloads.generators import balanced_output
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 SIZES = [128, 512, 2048 * SCALE]
+
+
+def _chain(n: int):
+    """A 3-table 1-1 chain with n rows per table (intermediate sizes = n)."""
+    t1 = [(k, k) for k in range(n)]
+    t2 = [(k, 100_000 + k) for k in range(n)]
+    t3 = [(100_000 + k, k) for k in range(n)]
+    return [t1, t2, t3], [(0, 0), (3, 0)]
+
+
+def _workloads(n: int):
+    """(name, runner) per workload; runner(engine) returns a comparable result."""
+    w = balanced_output(n, seed=n)
+    tables, keys = _chain(n)
+    agg_left = [(k % max(n // 4, 1), k) for k in range(n)]
+    agg_right = [(k % max(n // 4, 1), 2 * k) for k in range(n)]
+    tracer = Tracer(NullSink())
+    return [
+        ("join", lambda e: e.join(w.left, w.right, tracer=tracer).pairs),
+        ("multiway", lambda e: e.multiway_join(tables, keys, tracer=tracer).rows),
+        ("aggregate", lambda e: e.aggregate(agg_left, agg_right, tracer=tracer)),
+    ]
+
+
+def run_sweep(engine_name: str, n: int) -> list[list]:
+    """Time ``engine_name`` against the traced baseline on every workload."""
+    baseline = get_engine("traced")
+    engine = get_engine(engine_name)
+    rows = []
+    for workload, runner in _workloads(n):
+        start = time.perf_counter()
+        expected = runner(baseline)
+        t_traced = time.perf_counter() - start
+        start = time.perf_counter()
+        got = runner(engine)
+        t_engine = time.perf_counter() - start
+        assert got == expected, f"{engine_name} diverges from traced on {workload}"
+        rows.append(
+            [
+                workload,
+                n,
+                f"{t_traced:.3f}s",
+                f"{t_engine:.4f}s",
+                f"{t_traced / t_engine:.1f}x",
+            ]
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="traced-vs-engine throughput sweep over all workloads"
+    )
+    parser.add_argument(
+        "--engine",
+        default="vector",
+        choices=available_engines(),
+        help="engine under test; the traced baseline always runs alongside "
+        "for the speedup column (default: vector)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=4096, help="rows per input table (default: 4096)"
+    )
+    args = parser.parse_args(argv)
+    rows = run_sweep(args.engine, args.n)
+    report(
+        f"engines_{args.engine}_sweep",
+        fmt_table(["workload", "n", "traced", args.engine, "speedup"], rows),
+    )
+    return 0
+
+
+# -- pytest benchmarks -------------------------------------------------------
 
 
 def test_engine_throughput_comparison(benchmark):
@@ -65,6 +148,18 @@ def test_engine_throughput_comparison(benchmark):
     benchmark(lambda: vector_oblivious_join(small.left, small.right))
 
 
+def test_all_workloads_sweep_vector_vs_traced(benchmark):
+    """The multiway/aggregate fast paths must beat traced by a wide margin."""
+    n = 256 * SCALE
+    rows = run_sweep("vector", n)
+    report(
+        "engines_workloads",
+        fmt_table(["workload", "n", "traced", "vector", "speedup"], rows),
+    )
+    tables, keys = _chain(n)
+    benchmark(lambda: get_engine("vector").multiway_join(tables, keys))
+
+
 def test_hash_sink_overhead(benchmark):
     """The §6.1 hashing apparatus must not distort measurements beyond ~10x."""
     w = balanced_output(512, seed=2)
@@ -73,3 +168,7 @@ def test_hash_sink_overhead(benchmark):
         oblivious_join(w.left, w.right, tracer=Tracer(HashSink()))
 
     benchmark(run_hashed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ from repro.analysis.viz import rasterize, render_text, write_pgm
 from repro.core.join import oblivious_join
 from repro.memory.monitor import run_logged, verify_oblivious
 
-from conftest import OUT_DIR, report
+from bench_common import OUT_DIR, report
 
 #: Five test classes for n1 = n2 = 4 (as in §6.1: "around 5" classes for
 #: small n).  Members of a class share (n1, n2, m); classes differ in m.

@@ -19,7 +19,7 @@ from repro.vector.baseline import vector_sort_merge_join
 from repro.vector.join import vector_oblivious_join
 from repro.workloads.generators import balanced_output
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 MEASURED_SWEEP = [2**12, 2**13, 2**14, 2**15, 2**16 * SCALE]
 PAPER_SWEEP = [100_000, 250_000, 500_000, 750_000, 1_000_000]

@@ -20,7 +20,7 @@ from repro.enclave.costmodel import PAPER_OPAQUE_SLOWDOWN
 from repro.memory.tracer import CountSink, Tracer
 from repro.workloads.generators import pk_fk
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 SWEEP = [128, 256, 512, 1024 * SCALE]
 

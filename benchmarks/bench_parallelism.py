@@ -17,7 +17,7 @@ import math
 from repro.analysis.counts import total_comparisons_exact
 from repro.analysis.depth import depth_series, join_depth
 
-from conftest import fmt_table, report
+from bench_common import fmt_table, report
 
 SIZES = [2**10, 2**14, 2**18, 2**20]
 

@@ -22,7 +22,7 @@ from repro.vector.baseline import vector_sort_merge_join
 from repro.vector.join import vector_oblivious_join
 from repro.workloads.generators import balanced_output, pk_fk
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 SWEEP = [256 * SCALE, 512 * SCALE, 1024 * SCALE, 2048 * SCALE, 4096 * SCALE]
 NESTED_SWEEP = [16, 32, 64, 128]

@@ -13,7 +13,7 @@ from repro.memory.monitor import run_hashed
 from repro.security import KNOWN_PROFILES, Level, render_table2
 from repro.workloads.generators import matched_class
 
-from conftest import fmt_table, report
+from bench_common import fmt_table, report
 
 
 def test_table2_matrix_and_classification(benchmark):

@@ -19,7 +19,7 @@ from repro.core.stats import TABLE3_GROUPS, JoinCounters
 from repro.vector.join import vector_oblivious_join
 from repro.workloads.generators import balanced_output
 
-from conftest import SCALE, fmt_table, report
+from bench_common import SCALE, fmt_table, report
 
 #: Paper-reported runtime shares at n = 10^6 (m ~ n1 = n2).
 PAPER_SHARES = {

@@ -17,13 +17,14 @@ See README.md for the architecture tour and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from . import analysis, baselines, core, db, enclave, memory, obliv, security
+from . import analysis, baselines, core, db, enclave, engines, memory, obliv, security
 from . import typesys, vector, workloads
 from .core.aggregate import GroupAggregate, oblivious_group_by, oblivious_join_aggregate
 from .core.join import JoinResult, oblivious_join
 from .core.multiway import MultiwayResult, oblivious_multiway_join
 from .db.query import ObliviousEngine
 from .db.table import DBTable
+from .engines import Engine, available_engines, get_engine, register_engine
 from .errors import (
     CapacityError,
     EnclaveError,
@@ -37,7 +38,9 @@ from .errors import (
 )
 from .memory.monitor import verify_oblivious
 from .memory.tracer import CountSink, HashSink, ListSink, Tracer
+from .vector.aggregate import vector_group_by, vector_join_aggregate
 from .vector.join import vector_oblivious_join
+from .vector.multiway import vector_multiway_join
 
 __version__ = "1.0.0"
 
@@ -47,12 +50,17 @@ __all__ = [
     "core",
     "db",
     "enclave",
+    "engines",
     "memory",
     "obliv",
     "security",
     "typesys",
     "vector",
     "workloads",
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "GroupAggregate",
     "oblivious_group_by",
     "oblivious_join_aggregate",
@@ -77,5 +85,8 @@ __all__ = [
     "ListSink",
     "Tracer",
     "vector_oblivious_join",
+    "vector_multiway_join",
+    "vector_join_aggregate",
+    "vector_group_by",
     "__version__",
 ]

@@ -2,10 +2,14 @@
 
 Commands
 --------
-``join``     oblivious equi-join of two CSV files
+``join``     oblivious equi-join of two CSV files (``--engine traced|vector``)
 ``verify``   run the §6.1 trace-equality experiment and print the hashes
 ``trace``    print a Figure-7-style access-pattern raster for a small join
 ``predict``  Figure-8 enclave cost predictions for a given input size
+``engines``  list the registered execution engines
+
+Every engine produces identical results; ``traced`` is the per-access-traced
+reference implementation, ``vector`` the numpy fast path (~10^3x faster).
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import sys
 from .analysis.viz import rasterize, render_text
 from .core.join import oblivious_join
 from .db.query import ObliviousEngine
+from .engines import available_engines, get_engine
 from .db.schema import Schema
 from .db.table import DBTable
 from .enclave.costmodel import EnclaveCostModel
@@ -58,7 +63,7 @@ def _infer_table(path: str) -> DBTable:
 def _cmd_join(args: argparse.Namespace) -> int:
     left = _infer_table(args.left)
     right = _infer_table(args.right)
-    engine = ObliviousEngine()
+    engine = ObliviousEngine(engine=args.engine)
     result = engine.join(left, right, on=(args.left_on, args.right_on))
     writer = csv.writer(sys.stdout if args.output == "-" else open(args.output, "w", newline=""))
     writer.writerow(result.schema.names())
@@ -98,6 +103,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    for name in available_engines():
+        engine = get_engine(name)
+        lines = (type(engine).__doc__ or "").strip().splitlines()
+        print(f"{name:10s} {lines[0] if lines else ''}".rstrip())
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     model = EnclaveCostModel()
     point = model.figure8_point(args.n)
@@ -122,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--left-on", required=True, help="left join column")
     join.add_argument("--right-on", required=True, help="right join column")
     join.add_argument("--output", default="-", help="output CSV ('-' = stdout)")
+    join.add_argument(
+        "--engine",
+        default="traced",
+        choices=available_engines(),
+        help="execution engine: 'traced' = per-access-traced reference, "
+        "'vector' = numpy fast path; identical results (default: traced)",
+    )
     join.set_defaults(func=_cmd_join)
 
     verify = sub.add_parser("verify", help="trace-equality experiment (§6.1)")
@@ -139,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict = sub.add_parser("predict", help="Figure-8 enclave predictions")
     predict.add_argument("--n", type=int, default=1_000_000)
     predict.set_defaults(func=_cmd_predict)
+
+    engines = sub.add_parser("engines", help="list registered execution engines")
+    engines.set_defaults(func=_cmd_engines)
 
     return parser
 

@@ -11,6 +11,10 @@ Rows are tuples; the payload threaded through the integer-only core engine
 is an index into a row catalogue kept in (untraced) client memory, mirroring
 how a real deployment would pass opaque record handles through the oblivious
 operator while the payload bytes travel alongside them.
+
+The same cascade also runs on the vectorised numpy engine
+(:mod:`repro.vector.multiway`); pass ``engine="vector"`` here or go through
+:func:`repro.engines.get_engine` to select it.
 """
 
 from __future__ import annotations
@@ -33,7 +37,12 @@ class MultiwayResult:
         return len(self.rows)
 
 
-def _encode(rows: list[tuple], key_column: int) -> list[tuple[int, int]]:
+def encode_handles(rows: list[tuple], key_column: int) -> list[tuple[int, int]]:
+    """Project ``rows`` to ``(join_key, row_handle)`` pairs for one join step.
+
+    The handle is the row's index into the client-side catalogue; only these
+    two int columns travel through the oblivious operator.
+    """
     pairs = []
     for index, row in enumerate(rows):
         key = row[key_column]
@@ -45,10 +54,35 @@ def _encode(rows: list[tuple], key_column: int) -> list[tuple[int, int]]:
     return pairs
 
 
+def validate_cascade(tables: list[list[tuple]], keys: list[tuple[int, int]]) -> None:
+    """Shared input validation for every multiway-cascade implementation."""
+    if len(tables) < 2:
+        raise InputError("a multiway join needs at least two tables")
+    if len(keys) != len(tables) - 1:
+        raise InputError(
+            f"{len(tables)} tables need {len(tables) - 1} key specs, got {len(keys)}"
+        )
+
+
+def check_step_columns(
+    step: int,
+    accumulated: list[tuple],
+    next_table: list[tuple],
+    left_col: int,
+    right_col: int,
+) -> None:
+    """Validate one cascade step's key columns against the row widths."""
+    if accumulated and not 0 <= left_col < len(accumulated[0]):
+        raise InputError(f"left key column {left_col} out of range at step {step}")
+    if next_table and not 0 <= right_col < len(next_table[0]):
+        raise InputError(f"right key column {right_col} out of range at step {step}")
+
+
 def oblivious_multiway_join(
     tables: list[list[tuple]],
     keys: list[tuple[int, int]],
     tracer: Tracer | None = None,
+    engine: str | None = None,
 ) -> MultiwayResult:
     """Join ``tables[0] ⋈ tables[1] ⋈ ... ⋈ tables[k]`` pairwise.
 
@@ -63,31 +97,31 @@ def oblivious_multiway_join(
         ``left_column`` indexes the *accumulated* row (all columns of the
         tables joined so far, concatenated), ``right_column`` indexes the
         next table's row.
+    engine:
+        ``None``/``"traced"`` runs this reference cascade; any other name is
+        resolved through :func:`repro.engines.get_engine` (e.g. ``"vector"``
+        for the numpy fast path, which produces bit-identical rows).
 
     Returns
     -------
     MultiwayResult
         Concatenated row tuples plus the (revealed) size after every step.
     """
-    if len(tables) < 2:
-        raise InputError("a multiway join needs at least two tables")
-    if len(keys) != len(tables) - 1:
-        raise InputError(
-            f"{len(tables)} tables need {len(tables) - 1} key specs, got {len(keys)}"
-        )
+    if engine not in (None, "traced"):
+        from ..engines import get_engine  # deferred: engines imports this module
+
+        return get_engine(engine).multiway_join(tables, keys, tracer=tracer)
+    validate_cascade(tables, keys)
     tracer = tracer or Tracer()
 
     accumulated = list(tables[0])
     sizes: list[int] = []
     for step, next_table in enumerate(tables[1:]):
         left_col, right_col = keys[step]
-        if accumulated and not 0 <= left_col < len(accumulated[0]):
-            raise InputError(f"left key column {left_col} out of range at step {step}")
-        if next_table and not 0 <= right_col < len(next_table[0]):
-            raise InputError(f"right key column {right_col} out of range at step {step}")
+        check_step_columns(step, accumulated, list(next_table), left_col, right_col)
         result: JoinResult = oblivious_join(
-            _encode(accumulated, left_col),
-            _encode(list(next_table), right_col),
+            encode_handles(accumulated, left_col),
+            encode_handles(list(next_table), right_col),
             tracer=tracer,
         )
         accumulated = [

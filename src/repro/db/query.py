@@ -3,17 +3,22 @@
 An :class:`ObliviousEngine` wires the relational layer to the oblivious
 core: join keys are dictionary-encoded to ints, row payloads travel through
 the oblivious operators as opaque handles (indices into the client-side row
-catalogue), and every data-dependent rearrangement happens inside a traced
+catalogue), and every data-dependent rearrangement happens inside an
 oblivious primitive.  What the adversary sees is the primitives' traces —
 determined by table sizes and (deliberately revealed) result sizes only.
+
+The heavy operators — join, multiway join, group-by, join-aggregate — run
+on a pluggable execution engine from :mod:`repro.engines`
+(``engine="traced"`` for the per-access-traced reference,
+``engine="vector"`` for the numpy fast path; results are identical).
+``filter`` and ``order_by`` always run on the traced primitives.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from ..core.aggregate import oblivious_group_by, oblivious_join_aggregate
-from ..core.join import oblivious_join
+from ..engines import Engine, get_engine
 from ..errors import SchemaError
 from ..memory.public import PublicArray
 from ..memory.tracer import Tracer
@@ -28,9 +33,14 @@ from .table import DBTable, require_int_column
 class ObliviousEngine:
     """Executes relational operators with oblivious access patterns."""
 
-    def __init__(self, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        engine: str | Engine = "traced",
+    ) -> None:
         self.tracer = tracer or Tracer()
         self.encoder = DictionaryEncoder()
+        self.engine = get_engine(engine)
 
     # -- helpers -----------------------------------------------------------
 
@@ -59,7 +69,7 @@ class ObliviousEngine:
         right_keys = self._encode_key(right, on[1])
         pairs_left = list(zip(left_keys, range(len(left))))
         pairs_right = list(zip(right_keys, range(len(right))))
-        result = oblivious_join(pairs_left, pairs_right, tracer=self.tracer)
+        result = self.engine.join(pairs_left, pairs_right, tracer=self.tracer)
         schema = left.schema.concat(right.schema, prefixes)
         rows = [
             left.rows[li] + right.rows[ri] for li, ri in result.pairs
@@ -108,7 +118,7 @@ class ObliviousEngine:
         keys = self._encode_key(table, key)
         value_index = table.schema.index(value)
         pairs = [(k, row[value_index]) for k, row in zip(keys, table.rows)]
-        groups = oblivious_group_by(pairs, tracer=self.tracer)
+        groups = self.engine.group_by(pairs, tracer=self.tracer)
         key_type = table.schema.column(key).type
         schema = Schema.of(
             f"{key}:{key_type}", "count:int", f"sum_{value}:int",
@@ -139,7 +149,7 @@ class ObliviousEngine:
         rv = require_int_column(right, values[1])
         pairs_left = [(k, row[lv]) for k, row in zip(left_keys, left.rows)]
         pairs_right = [(k, row[rv]) for k, row in zip(right_keys, right.rows)]
-        groups = oblivious_join_aggregate(pairs_left, pairs_right, tracer=self.tracer)
+        groups = self.engine.aggregate(pairs_left, pairs_right, tracer=self.tracer)
         key_type = left.schema.column(on[0]).type
         schema = Schema.of(
             f"{on[0]}:{key_type}", "pairs:int",
@@ -163,6 +173,7 @@ class ObliviousEngine:
 
         ``on[k] = (accumulated_col, next_col)`` names the key columns for
         step k; accumulated column names follow :meth:`join`'s prefixing.
+        Every step runs on the engine selected at construction time.
         """
         if len(tables) < 2 or len(on) != len(tables) - 1:
             raise SchemaError("need k tables and k-1 key column pairs")

@@ -1,0 +1,34 @@
+"""Pluggable execution engines for every oblivious workload.
+
+Usage::
+
+    from repro.engines import get_engine
+
+    engine = get_engine("vector")          # or "traced"
+    result = engine.join(left, right)      # same results on every engine
+
+The registry is the architectural seam future backends plug into: implement
+the :class:`Engine` protocol, call :func:`register_engine`, and the db
+layer, CLI (``--engine``), and differential test suite pick the engine up
+by name.
+"""
+
+from .base import Engine, Pairs, available_engines, get_engine, register_engine
+from .traced import TracedEngine
+from .vector import VectorEngine
+
+#: The two in-tree engines, registered at import time.
+TRACED_ENGINE = register_engine(TracedEngine())
+VECTOR_ENGINE = register_engine(VectorEngine())
+
+__all__ = [
+    "Engine",
+    "Pairs",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "TracedEngine",
+    "VectorEngine",
+    "TRACED_ENGINE",
+    "VECTOR_ENGINE",
+]

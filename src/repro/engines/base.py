@@ -1,0 +1,90 @@
+"""The :class:`Engine` protocol and the process-wide engine registry.
+
+An *engine* is one complete implementation of the library's oblivious
+workloads — binary join, multiway cascade, and grouped aggregation — behind
+a uniform call surface.  Two engines ship in-tree:
+
+``traced``
+    :mod:`repro.core`, faithful to the paper at single-memory-access
+    granularity; the one security proofs and §6.1 trace experiments run on.
+``vector``
+    :mod:`repro.vector`, numpy whole-array primitives with bit-identical
+    outputs; the one benchmarks and production-sized runs use.
+
+Every registered engine must produce identical results on identical inputs
+(`tests/test_engines.py` enforces this differentially), which is what makes
+the registry a safe seam for future backends (sharded, async,
+multi-process) to plug into.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..core.aggregate import GroupAggregate
+from ..core.join import JoinResult
+from ..core.multiway import MultiwayResult
+from ..errors import InputError
+from ..memory.tracer import Tracer
+
+#: A table in the paper's model: a list of ``(join_value, data_value)`` pairs.
+Pairs = list[tuple[int, int]]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Uniform entry points every execution engine implements.
+
+    Engines that have no per-access trace (the vector engine) accept and
+    ignore ``tracer``; their adversary view is the primitive schedule
+    instead.
+    """
+
+    name: str
+
+    def join(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> JoinResult: ...
+
+    def multiway_join(
+        self,
+        tables: list[list[tuple]],
+        keys: list[tuple[int, int]],
+        tracer: Tracer | None = None,
+    ) -> MultiwayResult: ...
+
+    def aggregate(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]: ...
+
+    def group_by(
+        self, table: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]: ...
+
+
+_REGISTRY: dict[str, Engine] = {}
+
+
+def register_engine(engine: Engine) -> Engine:
+    """Register ``engine`` under ``engine.name``; returns it for chaining."""
+    if not engine.name:
+        raise InputError("engines must carry a non-empty name")
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def get_engine(engine: str | Engine) -> Engine:
+    """Resolve an engine by name (or pass an instance straight through)."""
+    if not isinstance(engine, str):
+        return engine
+    try:
+        return _REGISTRY[engine]
+    except KeyError:
+        raise InputError(
+            f"unknown engine {engine!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_engines() -> list[str]:
+    """Sorted names of all registered engines."""
+    return sorted(_REGISTRY)

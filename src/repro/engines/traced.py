@@ -1,0 +1,48 @@
+"""The ``traced`` engine: :mod:`repro.core` behind the Engine protocol.
+
+This is the reference implementation — pure Python, every public-memory
+access routed through a :class:`~repro.memory.tracer.Tracer` — so it is the
+engine on which obliviousness is *proved* (type system, §6.1 trace-equality
+experiments).  All other engines are validated differentially against it.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregate import (
+    GroupAggregate,
+    oblivious_group_by,
+    oblivious_join_aggregate,
+)
+from ..core.join import JoinResult, oblivious_join
+from ..core.multiway import MultiwayResult, oblivious_multiway_join
+from ..memory.tracer import Tracer
+from .base import Pairs
+
+
+class TracedEngine:
+    """Reference engine with per-access tracing (the paper's prototype)."""
+
+    name = "traced"
+
+    def join(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> JoinResult:
+        return oblivious_join(left, right, tracer=tracer)
+
+    def multiway_join(
+        self,
+        tables: list[list[tuple]],
+        keys: list[tuple[int, int]],
+        tracer: Tracer | None = None,
+    ) -> MultiwayResult:
+        return oblivious_multiway_join(tables, keys, tracer=tracer)
+
+    def aggregate(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]:
+        return oblivious_join_aggregate(left, right, tracer=tracer)
+
+    def group_by(
+        self, table: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]:
+        return oblivious_group_by(table, tracer=tracer)

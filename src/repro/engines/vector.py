@@ -1,0 +1,55 @@
+"""The ``vector`` engine: :mod:`repro.vector` behind the Engine protocol.
+
+The numpy fast path for every workload.  Outputs are bit-identical to the
+``traced`` engine (enforced by the differential suite); there is no
+per-access trace — the ``tracer`` parameters are accepted for interface
+compatibility and ignored, because the adversary-visible behaviour of this
+engine is its primitive schedule (``Vector*Stats.schedule``), which depends
+only on public sizes.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregate import GroupAggregate
+from ..core.join import JoinResult
+from ..core.multiway import MultiwayResult
+from ..memory.tracer import Tracer
+from ..vector.aggregate import vector_group_by, vector_join_aggregate
+from ..vector.join import vector_oblivious_join
+from ..vector.multiway import vector_multiway_join
+from .base import Pairs
+
+
+class VectorEngine:
+    """Vectorised engine: whole-array numpy primitives, identical outputs."""
+
+    name = "vector"
+
+    def join(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> JoinResult:
+        pairs, stats = vector_oblivious_join(left, right)
+        return JoinResult(
+            pairs=[tuple(p) for p in pairs.tolist()],
+            m=stats.m,
+            n1=len(left),
+            n2=len(right),
+        )
+
+    def multiway_join(
+        self,
+        tables: list[list[tuple]],
+        keys: list[tuple[int, int]],
+        tracer: Tracer | None = None,
+    ) -> MultiwayResult:
+        return vector_multiway_join(tables, keys)
+
+    def aggregate(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]:
+        return vector_join_aggregate(left, right)
+
+    def group_by(
+        self, table: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]:
+        return vector_group_by(table)

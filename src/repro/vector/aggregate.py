@@ -1,0 +1,204 @@
+"""Vectorised oblivious grouped aggregation (§7) on the numpy engine.
+
+Same semantics as :mod:`repro.core.aggregate` — aggregate ``T1 ⋈ T2`` per
+join value without materialising the join — but expressed as whole-array
+numpy operations:
+
+1. one bitonic sort of the combined ``(j, tid, d)`` columns by ``(j, tid)``,
+2. segmented reductions computing each group's ``(α1, α2, Σd, min, max)``
+   accumulators (the vector analogue of the traced forward scan),
+3. a scatter of each group's totals onto its boundary cell (the backward
+   "mark" scan), and
+4. one more bitonic sort by the null flag — compaction — after which the
+   first ``g`` cells are the surviving groups.
+
+Both bitonic networks run on ``n = n1 + n2`` cells regardless of data, so
+the primitive schedule (exposed as :attr:`VectorAggregateStats.schedule`)
+depends only on ``n``; the number of emitted groups ``g`` is the same
+deliberate reveal as in the traced engine.  Outputs are bit-identical to
+:func:`repro.core.aggregate.oblivious_join_aggregate` — same
+:class:`~repro.core.aggregate.GroupAggregate` values in the same
+(``j``-ascending) order — which the differential tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.aggregate import GroupAggregate
+from ..errors import InputError
+from .join import _as_columns, _group_ids
+from .sort import vector_bitonic_sort
+
+_INT = np.int64
+_INT_MAX = np.iinfo(np.int64).max
+_INT_MIN = np.iinfo(np.int64).min
+
+
+@dataclass
+class VectorAggregateStats:
+    """Wall time and comparator counts of one vectorised aggregation."""
+
+    seconds_by_phase: dict[str, float] = field(default_factory=dict)
+    comparisons_by_phase: dict[str, int] = field(default_factory=dict)
+    n: int = 0
+    groups: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_phase.values())
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(self.comparisons_by_phase.values())
+
+    @property
+    def schedule(self) -> tuple[tuple[str, int], ...]:
+        """Primitive schedule ``(phase, comparators)`` — a function of n only."""
+        return tuple(sorted(self.comparisons_by_phase.items()))
+
+
+def _timed_sort(columns, keys, phase, stats):
+    start = time.perf_counter()
+    counter = [0]
+    columns = vector_bitonic_sort(columns, keys, counter=counter)
+    stats.seconds_by_phase[phase] = time.perf_counter() - start
+    stats.comparisons_by_phase[phase] = counter[0]
+    return columns
+
+
+def _segment_accumulators(j, d, member):
+    """Per-group ``(count, sum, min, max)`` over rows where ``member`` holds.
+
+    ``j`` must be sorted; groups with no member rows get count 0 and the
+    int64 min/max sentinels (those groups are filtered before emission).
+    """
+    starts = np.flatnonzero(np.concatenate([[True], j[1:] != j[:-1]]))
+    count = np.add.reduceat(member.astype(_INT), starts)
+    total = np.add.reduceat(np.where(member, d, 0), starts)
+    minimum = np.minimum.reduceat(np.where(member, d, _INT_MAX), starts)
+    maximum = np.maximum.reduceat(np.where(member, d, _INT_MIN), starts)
+    return count, total, minimum, maximum
+
+
+def _aggregate_columns(combined, keep_if, sort_phase, compact_phase, stats):
+    """Shared sort → segment-reduce → scatter → compact pipeline.
+
+    ``keep_if(c1, c2)`` decides (per group) which boundary cells survive
+    compaction; returns the compacted column dict and the group count g.
+    """
+    n = len(combined["j"])
+    stats.n = n
+    # The traced engine sums in arbitrary-precision Python ints; int64 column
+    # sums would silently wrap instead.  Refuse inputs where an n-term sum
+    # could overflow rather than diverge from the bit-identical contract.
+    limit = _INT_MAX // max(n, 1)
+    if combined["d"].max(initial=0) > limit or combined["d"].min(initial=0) < -limit:
+        raise InputError(
+            f"data values exceed the vector engine's overflow-safe range "
+            f"(|d| <= {limit} at n = {n}); use the traced engine"
+        )
+    combined = _timed_sort(
+        combined, [("j", True), ("tid", True)], sort_phase, stats
+    )
+
+    start = time.perf_counter()
+    j, d, tid = combined["j"], combined["d"], combined["tid"]
+    gid = _group_ids(j)
+    is_left = tid == 1
+    c1, s1, mn1, mx1 = _segment_accumulators(j, d, is_left)
+    c2, s2, mn2, mx2 = _segment_accumulators(j, d, ~is_left)
+
+    # Scatter each group's totals onto its last (boundary) cell; every other
+    # cell becomes a null that the compaction sort pushes to the back.
+    boundary = np.concatenate([j[1:] != j[:-1], [True]])
+    null = ~(boundary & keep_if(c1, c2)[gid])
+    cells = {
+        "null": null.astype(_INT),
+        "j": j.copy(),
+        "c1": c1[gid], "c2": c2[gid],
+        "s1": s1[gid], "s2": s2[gid],
+        "mn1": mn1[gid], "mx1": mx1[gid],
+        "mn2": mn2[gid], "mx2": mx2[gid],
+    }
+    stats.seconds_by_phase["scan"] = time.perf_counter() - start
+
+    cells = _timed_sort(cells, [("null", True), ("j", True)], compact_phase, stats)
+    groups = int(n - null.sum())
+    stats.groups = groups
+    return cells, groups
+
+
+def _emit(cells, groups, left_only: bool) -> list[GroupAggregate]:
+    result = []
+    for i in range(groups):
+        result.append(
+            GroupAggregate(
+                j=int(cells["j"][i]),
+                count1=int(cells["c1"][i]),
+                count2=0 if left_only else int(cells["c2"][i]),
+                sum_d1=int(cells["s1"][i]),
+                sum_d2=0 if left_only else int(cells["s2"][i]),
+                min_d1=int(cells["mn1"][i]),
+                max_d1=int(cells["mx1"][i]),
+                min_d2=0 if left_only else int(cells["mn2"][i]),
+                max_d2=0 if left_only else int(cells["mx2"][i]),
+            )
+        )
+    return result
+
+
+def vector_join_aggregate(
+    left,
+    right,
+    stats: VectorAggregateStats | None = None,
+) -> list[GroupAggregate]:
+    """Aggregate ``T1 ⋈ T2`` per join value without materialising the join.
+
+    Vectorised counterpart of
+    :func:`repro.core.aggregate.oblivious_join_aggregate`: one
+    :class:`~repro.core.aggregate.GroupAggregate` per join value present in
+    *both* tables, ordered by join value, in `O(n log^2 n)` independent of
+    the would-be join size ``m``.
+    """
+    stats = stats if stats is not None else VectorAggregateStats()
+    left_cols = _as_columns(left, tid=1)
+    right_cols = _as_columns(right, tid=2)
+    if len(left_cols["j"]) + len(right_cols["j"]) == 0:
+        return []
+    combined = {
+        name: np.concatenate([left_cols[name], right_cols[name]])
+        for name in ("j", "d", "tid")
+    }
+    cells, groups = _aggregate_columns(
+        combined,
+        keep_if=lambda c1, c2: (c1 > 0) & (c2 > 0),
+        sort_phase="aggregate_sort",
+        compact_phase="aggregate_compact",
+        stats=stats,
+    )
+    return _emit(cells, groups, left_only=False)
+
+
+def vector_group_by(
+    table,
+    stats: VectorAggregateStats | None = None,
+) -> list[GroupAggregate]:
+    """Single-table oblivious GROUP BY — vectorised counterpart of
+    :func:`repro.core.aggregate.oblivious_group_by` (count/sum/min/max per
+    join value, every group emitted)."""
+    stats = stats if stats is not None else VectorAggregateStats()
+    columns = _as_columns(table, tid=1)
+    if len(columns["j"]) == 0:
+        return []
+    cells, groups = _aggregate_columns(
+        columns,
+        keep_if=lambda c1, c2: c1 > 0,
+        sort_phase="groupby_sort",
+        compact_phase="groupby_compact",
+        stats=stats,
+    )
+    return _emit(cells, groups, left_only=True)

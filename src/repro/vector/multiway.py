@@ -1,0 +1,94 @@
+"""Vectorised multi-way join cascade (§7) on the numpy engine.
+
+Structurally identical to :func:`repro.core.multiway.oblivious_multiway_join`:
+a left-deep fold of binary oblivious joins.  Each step projects the
+accumulated row catalogue to two int columns — ``(join_key, row_handle)`` —
+and runs them through :func:`repro.vector.join.vector_oblivious_join`, whose
+bitonic/routing networks (built on ``vector_bitonic_sort``) are scheduled by
+the public sizes alone.  Payload tuples never enter the oblivious operator;
+they are gathered from the client-side catalogue by the returned handles,
+exactly like the traced cascade, so the two engines produce bit-identical
+rows in bit-identical order.
+
+What the numpy engine reveals is the *primitive schedule*: which bitonic
+networks and routing networks run, at which sizes.  That schedule — exposed
+as :attr:`VectorMultiwayStats.schedule` — is a function of the input sizes
+and the (deliberately revealed) intermediate sizes only, the same leakage
+profile as the traced cascade's access trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.multiway import (
+    MultiwayResult,
+    check_step_columns,
+    encode_handles,
+    validate_cascade,
+)
+from .join import VectorJoinStats, vector_oblivious_join
+
+
+@dataclass
+class VectorMultiwayStats:
+    """Per-step vector-join stats for one cascade run."""
+
+    step_stats: list[VectorJoinStats] = field(default_factory=list)
+    intermediate_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.total_seconds for s in self.step_stats)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(s.total_comparisons for s in self.step_stats)
+
+    @property
+    def schedule(self) -> tuple[tuple[int, str, int], ...]:
+        """The cascade's primitive schedule: ``(step, phase, comparators)``.
+
+        Fully determined by the public sizes ``(n_0..n_k, m_1..m_k)`` — the
+        obliviousness tests assert this tuple is identical across same-shape
+        inputs with different data.
+        """
+        return tuple(
+            (step, phase, count)
+            for step, stats in enumerate(self.step_stats)
+            for phase, count in sorted(stats.comparisons_by_phase.items())
+        )
+
+
+def vector_multiway_join(
+    tables: list[list[tuple]],
+    keys: list[tuple[int, int]],
+    stats: VectorMultiwayStats | None = None,
+) -> MultiwayResult:
+    """Vectorised left-deep cascade; same contract as the traced version.
+
+    ``tables`` / ``keys`` follow
+    :func:`repro.core.multiway.oblivious_multiway_join`; rows may carry
+    arbitrary payloads as long as the key columns are ints.
+    """
+    validate_cascade(tables, keys)
+    stats = stats if stats is not None else VectorMultiwayStats()
+
+    accumulated = list(tables[0])
+    for step, table in enumerate(tables[1:]):
+        next_table = list(table)
+        left_col, right_col = keys[step]
+        check_step_columns(step, accumulated, next_table, left_col, right_col)
+        handles, join_stats = vector_oblivious_join(
+            encode_handles(accumulated, left_col),
+            encode_handles(next_table, right_col),
+        )
+        stats.step_stats.append(join_stats)
+        stats.intermediate_sizes.append(join_stats.m)
+        accumulated = [
+            accumulated[left_index] + tuple(next_table[right_index])
+            for left_index, right_index in handles.tolist()
+        ]
+    return MultiwayResult(
+        rows=accumulated, intermediate_sizes=list(stats.intermediate_sizes)
+    )

@@ -37,6 +37,33 @@ def test_join_to_stdout(csv_pair, capsys):
     assert "aspirin" in out and "insulin" in out
 
 
+def test_join_engine_flag_produces_identical_output(csv_pair, tmp_path):
+    left, right = csv_pair
+    outputs = {}
+    for engine in ("traced", "vector"):
+        out = tmp_path / f"{engine}.csv"
+        code = main(
+            ["join", left, right, "--left-on", "pid", "--right-on", "pid",
+             "--engine", engine, "--output", str(out)]
+        )
+        assert code == 0
+        outputs[engine] = out.read_text()
+    assert outputs["traced"] == outputs["vector"]
+
+
+def test_join_rejects_unknown_engine(csv_pair):
+    left, right = csv_pair
+    with pytest.raises(SystemExit):
+        main(["join", left, right, "--left-on", "pid", "--right-on", "pid",
+              "--engine", "gpu"])
+
+
+def test_engines_command_lists_both(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "traced" in out and "vector" in out
+
+
 def test_join_infers_string_keys(tmp_path, capsys):
     a = tmp_path / "a.csv"
     b = tmp_path / "b.csv"

@@ -1,0 +1,86 @@
+"""Bit-identical equivalence between the traced and vector join engines.
+
+The contract promised in ``repro/vector/join.py``: the numpy engine is not
+merely *equivalent as a multiset* to the traced reference — it produces the
+exact same output pairs in the exact same order, on every input.  That is
+what justifies benchmarking on the vector engine while proving security
+claims on the traced one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.join import oblivious_join
+from repro.vector.join import vector_oblivious_join
+from repro.workloads.generators import (
+    ones_groups,
+    pk_fk,
+    power_law_groups,
+    single_group,
+    uniform_random,
+)
+
+from conftest import pairs_strategy
+
+
+def assert_bit_identical(left, right):
+    traced = oblivious_join(left, right)
+    pairs, stats = vector_oblivious_join(left, right)
+    assert traced.pairs == [tuple(p) for p in pairs.tolist()]
+    assert traced.m == stats.m == len(pairs)
+
+
+@given(left=pairs_strategy(max_rows=16), right=pairs_strategy(max_rows=16))
+@settings(max_examples=80, deadline=None)
+def test_randomized_instances_are_bit_identical(left, right):
+    assert_bit_identical(left, right)
+
+
+def test_empty_inputs():
+    assert_bit_identical([], [])
+    assert_bit_identical([(1, 1)], [])
+    assert_bit_identical([], [(1, 1)])
+
+
+def test_all_duplicate_keys():
+    # One giant group on each side: the m = n1*n2 worst case.
+    w = single_group(9, 7, seed=3)
+    assert_bit_identical(w.left, w.right)
+
+
+def test_skewed_power_law_groups():
+    w = power_law_groups(32, 32, alpha=1.6, seed=11)
+    assert_bit_identical(w.left, w.right)
+
+
+def test_skewed_zipf_pk_fk():
+    w = pk_fk(16, 48, seed=5, zipf_s=1.2)
+    assert_bit_identical(w.left, w.right)
+
+
+@pytest.mark.parametrize(
+    "n1,n2",
+    # Straddle the bitonic network's power-of-two padding boundaries: the
+    # combined size n1+n2 lands just below, exactly on, and just above a
+    # power of two.
+    [(3, 4), (4, 4), (4, 5), (7, 8), (8, 8), (8, 9), (15, 16), (16, 16), (16, 17)],
+)
+def test_power_of_two_boundary_sizes(n1, n2):
+    rng = random.Random(n1 * 100 + n2)
+    left = [(rng.randrange(6), rng.randrange(100)) for _ in range(n1)]
+    right = [(rng.randrange(6), rng.randrange(100)) for _ in range(n2)]
+    assert_bit_identical(left, right)
+
+
+def test_one_to_one_shuffled_keys():
+    w = ones_groups(20, seed=9)
+    assert_bit_identical(w.left, w.right)
+
+
+def test_mostly_unmatched_keys():
+    w = uniform_random(24, 24, key_space=100, seed=13)
+    assert_bit_identical(w.left, w.right)
