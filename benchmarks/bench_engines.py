@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.cli import engine_options
 from repro.core.join import oblivious_join
 from repro.engines import available_engines, get_engine
 from repro.memory.tracer import HashSink, NullSink, Tracer
@@ -38,9 +39,13 @@ def _chain(n: int):
     return [t1, t2, t3], [(0, 0), (3, 0)]
 
 
-def _workloads(n: int):
-    """(name, runner) per workload; runner(engine) returns a comparable result."""
-    w = balanced_output(n, seed=n)
+def _workloads(n: int, seed: int = 0):
+    """(name, runner) per workload; runner(engine) returns a comparable result.
+
+    Every random workload derives from ``seed`` so cross-engine bench
+    comparisons are reproducible run to run.
+    """
+    w = balanced_output(n, seed=seed)
     tables, keys = _chain(n)
     agg_left = [(k % max(n // 4, 1), k) for k in range(n)]
     agg_right = [(k % max(n // 4, 1), 2 * k) for k in range(n)]
@@ -52,12 +57,14 @@ def _workloads(n: int):
     ]
 
 
-def run_sweep(engine_name: str, n: int) -> list[list]:
+def run_sweep(
+    engine_name: str, n: int, seed: int = 0, options: dict | None = None
+) -> list[list]:
     """Time ``engine_name`` against the traced baseline on every workload."""
     baseline = get_engine("traced")
-    engine = get_engine(engine_name)
+    engine = get_engine(engine_name, **(options or {}))
     rows = []
-    for workload, runner in _workloads(n):
+    for workload, runner in _workloads(n, seed=seed):
         start = time.perf_counter()
         expected = runner(baseline)
         t_traced = time.perf_counter() - start
@@ -91,8 +98,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--n", type=int, default=4096, help="rows per input table (default: 4096)"
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for the random workloads (default: 0); fixing it makes "
+        "cross-engine comparisons reproducible",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sharded engine: process-pool size",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sharded engine: partitions per input (default: workers, min 2)",
+    )
     args = parser.parse_args(argv)
-    rows = run_sweep(args.engine, args.n)
+    rows = run_sweep(args.engine, args.n, seed=args.seed, options=engine_options(args))
     report(
         f"engines_{args.engine}_sweep",
         fmt_table(["workload", "n", "traced", args.engine, "speedup"], rows),

@@ -2,14 +2,16 @@
 
 Commands
 --------
-``join``     oblivious equi-join of two CSV files (``--engine traced|vector``)
+``join``     oblivious equi-join of two CSV files
+             (``--engine traced|vector|sharded``, ``--workers``/``--shards``)
 ``verify``   run the §6.1 trace-equality experiment and print the hashes
 ``trace``    print a Figure-7-style access-pattern raster for a small join
 ``predict``  Figure-8 enclave cost predictions for a given input size
 ``engines``  list the registered execution engines
 
 Every engine produces identical results; ``traced`` is the per-access-traced
-reference implementation, ``vector`` the numpy fast path (~10^3x faster).
+reference implementation, ``vector`` the numpy fast path (~10^3x faster),
+``sharded`` the multi-process scale-out path (``--engine sharded --workers 4``).
 """
 
 from __future__ import annotations
@@ -60,10 +62,20 @@ def _infer_table(path: str) -> DBTable:
     return DBTable(schema, typed)
 
 
+def engine_options(args: argparse.Namespace) -> dict:
+    """Collect the engine knobs (``--workers``/``--shards``) that were set."""
+    options = {}
+    if getattr(args, "workers", None) is not None:
+        options["workers"] = args.workers
+    if getattr(args, "shards", None) is not None:
+        options["shards"] = args.shards
+    return options
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     left = _infer_table(args.left)
     right = _infer_table(args.right)
-    engine = ObliviousEngine(engine=args.engine)
+    engine = ObliviousEngine(engine=args.engine, **engine_options(args))
     result = engine.join(left, right, on=(args.left_on, args.right_on))
     writer = csv.writer(sys.stdout if args.output == "-" else open(args.output, "w", newline=""))
     writer.writerow(result.schema.names())
@@ -140,7 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="traced",
         choices=available_engines(),
         help="execution engine: 'traced' = per-access-traced reference, "
-        "'vector' = numpy fast path; identical results (default: traced)",
+        "'vector' = numpy fast path, 'sharded' = multi-process scale-out; "
+        "identical results (default: traced)",
+    )
+    join.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sharded engine: process-pool size (default: 1 = inline)",
+    )
+    join.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sharded engine: partitions per input (default: workers, min 2)",
     )
     join.set_defaults(func=_cmd_join)
 

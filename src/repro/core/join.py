@@ -36,8 +36,10 @@ from .stats import (
 class JoinResult:
     """Output of an oblivious join.
 
-    ``pairs`` lists the joined data values ``(d1, d2)`` in lexicographic
-    order of ``(j, d1, d2)``; ``m`` is the (revealed) output size; the
+    ``pairs`` lists the joined data values ``(d1, d2)`` grouped by
+    ascending join value, each group's cross product row-major over its two
+    d-sorted sides (not a lexicographic sort of the triples — duplicate
+    left payloads interleave); ``m`` is the (revealed) output size; the
     counters carry the per-phase cost breakdown used by the Table 3 bench.
     """
 

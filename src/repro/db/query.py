@@ -7,11 +7,14 @@ catalogue), and every data-dependent rearrangement happens inside an
 oblivious primitive.  What the adversary sees is the primitives' traces —
 determined by table sizes and (deliberately revealed) result sizes only.
 
-The heavy operators — join, multiway join, group-by, join-aggregate — run
-on a pluggable execution engine from :mod:`repro.engines`
-(``engine="traced"`` for the per-access-traced reference,
-``engine="vector"`` for the numpy fast path; results are identical).
-``filter`` and ``order_by`` always run on the traced primitives.
+Every relational operator — join, multiway join, group-by, join-aggregate,
+filter, order-by — runs on a pluggable execution engine from
+:mod:`repro.engines` (``engine="traced"`` for the per-access-traced
+reference, ``engine="vector"`` for the numpy fast path, ``engine="sharded"``
+for the multi-process scale-out path; results are identical).  Engine knobs
+pass straight through: ``ObliviousEngine(engine="sharded", workers=4)``.
+``order_by`` is a *stable* sort (original row order breaks ties), which is
+what keeps the permutation identical across engines.
 """
 
 from __future__ import annotations
@@ -20,11 +23,7 @@ from typing import Callable
 
 from ..engines import Engine, get_engine
 from ..errors import SchemaError
-from ..memory.public import PublicArray
 from ..memory.tracer import Tracer
-from ..obliv.bitonic import bitonic_sort
-from ..obliv.compact import compact_by_routing
-from ..obliv.compare import SortKey, SortSpec
 from .encoding import DictionaryEncoder
 from .schema import Schema
 from .table import DBTable, require_int_column
@@ -37,10 +36,11 @@ class ObliviousEngine:
         self,
         tracer: Tracer | None = None,
         engine: str | Engine = "traced",
+        **engine_options,
     ) -> None:
         self.tracer = tracer or Tracer()
         self.encoder = DictionaryEncoder()
-        self.engine = get_engine(engine)
+        self.engine = get_engine(engine, **engine_options)
 
     # -- helpers -----------------------------------------------------------
 
@@ -79,36 +79,34 @@ class ObliviousEngine:
     def filter(self, table: DBTable, predicate: Callable[[tuple], bool]) -> DBTable:
         """Oblivious selection: mark-and-compact, revealing only the count.
 
-        ``predicate`` is evaluated on rows held in local memory; the public
-        trace is one linear pass plus an oblivious compaction.
+        ``predicate`` is evaluated on rows held in local memory; the engine
+        compacts the survivor indices obliviously (a traced routing network,
+        or the vector/sharded bitonic fast paths).
         """
         n = len(table)
         if n == 0:
             return DBTable(table.schema, [])
-        cells = PublicArray(n, name="FILTER", tracer=self.tracer)
-        for i, row in enumerate(table.rows):
-            cells.write(i, i if predicate(row) else None)
-        count = compact_by_routing(cells, lambda c: c is None)
-        kept = [table.rows[cells.read(i)] for i in range(count)]
-        return DBTable(table.schema, kept)
+        mask = [bool(predicate(row)) for row in table.rows]
+        kept = self.engine.filter_indices(mask, tracer=self.tracer)
+        return DBTable(table.schema, [table.rows[i] for i in kept])
 
     def order_by(self, table: DBTable, columns: list[tuple[str, bool]]) -> DBTable:
-        """Oblivious ORDER BY via a bitonic sort of row handles."""
+        """Oblivious, *stable* ORDER BY via the engine's sort permutation.
+
+        Rows equal on every sort column keep their input order; int columns
+        ride the vector/sharded numpy networks, other types fall back to
+        the traced network — the permutation is identical either way.
+        """
         n = len(table)
-        if n <= 1:
+        if n <= 1 or not columns:  # ordering by nothing is the identity
             return DBTable(table.schema, table.rows)
         indices = [table.schema.index(name) for name, _ in columns]
-        cells = PublicArray(n, name="ORDER", tracer=self.tracer)
-        for i, row in enumerate(table.rows):
-            cells.write(i, row)
-        spec = SortSpec(
-            *(
-                SortKey(getter=lambda r, _i=idx: r[_i], ascending=asc, name=name)
-                for (name, asc), idx in zip(columns, indices)
-            )
-        )
-        bitonic_sort(cells, spec)
-        return DBTable(table.schema, cells.snapshot())
+        key_columns = [
+            ([row[idx] for row in table.rows], asc)
+            for idx, (_, asc) in zip(indices, columns)
+        ]
+        permutation = self.engine.order_permutation(key_columns, tracer=self.tracer)
+        return DBTable(table.schema, [table.rows[i] for i in permutation])
 
     def group_by(
         self, table: DBTable, key: str, value: str

@@ -4,22 +4,58 @@ Usage::
 
     from repro.engines import get_engine
 
-    engine = get_engine("vector")          # or "traced"
-    result = engine.join(left, right)      # same results on every engine
+    engine = get_engine("vector")               # or "traced" / "sharded"
+    engine = get_engine("sharded", workers=4)   # engines with knobs
+    result = engine.join(left, right)           # same results on every engine
 
 The registry is the architectural seam future backends plug into: implement
 the :class:`Engine` protocol, call :func:`register_engine`, and the db
 layer, CLI (``--engine``), and differential test suite pick the engine up
 by name.
+
+Picking an engine
+-----------------
+All engines produce bit-identical results (the cross-engine differential
+suite in ``tests/test_engines.py`` and ``tests/test_engine_properties.py``
+enforces it); they differ in speed, leakage granularity, and parallelism:
+
+``traced``
+    The reference. Pure Python, every public-memory access routed through a
+    :class:`~repro.memory.tracer.Tracer` — the engine security proofs and
+    the §6.1 trace-equality experiments run on.  Slowest by ~10^3x; the only
+    engine whose adversary view is a per-access trace.  Use it for security
+    experiments and as the differential oracle, not for throughput.
+
+``vector``
+    The numpy fast path: whole-array bitonic/routing networks whose
+    schedule depends only on public sizes.  The default choice for
+    benchmarks and production-sized single-process runs.  Its adversary
+    view is the primitive schedule (``Vector*Stats.schedule``).
+
+``sharded``
+    The multi-process scale-out path: inputs split into ``shards`` equal,
+    padded, position-based partitions; the vector primitives run per shard
+    on a pool of ``workers`` processes; a bitonic merge reassembles the
+    result.  Aggregation/GROUP BY/FILTER do strictly *less* total
+    comparator work than single-shot vector (``k`` smaller networks); the
+    binary join runs a ``shards**2`` task grid — more total work, but
+    embarrassingly parallel, so it wins wall-clock once ``workers``
+    processes land on real cores.  Additionally reveals the per-task
+    output-size grid (``m_ij``) and per-shard partial group counts — the
+    positional analogue of the multiway cascade's revealed intermediate
+    sizes.  Prefer it at ``n >= 2^14`` on multi-core hardware; knobs via
+    ``get_engine("sharded", shards=K, workers=N)``.
 """
 
 from .base import Engine, Pairs, available_engines, get_engine, register_engine
+from .sharded import ShardedEngine
 from .traced import TracedEngine
 from .vector import VectorEngine
 
-#: The two in-tree engines, registered at import time.
+#: The three in-tree engines, registered at import time.
 TRACED_ENGINE = register_engine(TracedEngine())
 VECTOR_ENGINE = register_engine(VectorEngine())
+SHARDED_ENGINE = register_engine(ShardedEngine())
 
 __all__ = [
     "Engine",
@@ -27,8 +63,10 @@ __all__ = [
     "available_engines",
     "get_engine",
     "register_engine",
+    "ShardedEngine",
     "TracedEngine",
     "VectorEngine",
+    "SHARDED_ENGINE",
     "TRACED_ENGINE",
     "VECTOR_ENGINE",
 ]

@@ -35,9 +35,15 @@ Pairs = list[tuple[int, int]]
 class Engine(Protocol):
     """Uniform entry points every execution engine implements.
 
-    Engines that have no per-access trace (the vector engine) accept and
-    ignore ``tracer``; their adversary view is the primitive schedule
-    instead.
+    Engines that have no per-access trace (the vector and sharded engines)
+    accept and ignore ``tracer``; their adversary view is the primitive
+    schedule instead.
+
+    ``filter_indices`` and ``order_permutation`` are the index-level
+    primitives behind the db layer's FILTER and ORDER BY.  The order-by
+    contract is a *stable* sort (original position breaks ties), which
+    makes the permutation engine-independent and keeps the differential
+    suite's bit-identical guarantee.
     """
 
     name: str
@@ -61,6 +67,16 @@ class Engine(Protocol):
         self, table: Pairs, tracer: Tracer | None = None
     ) -> list[GroupAggregate]: ...
 
+    def filter_indices(
+        self, mask: list[bool], tracer: Tracer | None = None
+    ) -> list[int]: ...
+
+    def order_permutation(
+        self,
+        columns: list[tuple[list, bool]],
+        tracer: Tracer | None = None,
+    ) -> list[int]: ...
+
 
 _REGISTRY: dict[str, Engine] = {}
 
@@ -73,16 +89,28 @@ def register_engine(engine: Engine) -> Engine:
     return engine
 
 
-def get_engine(engine: str | Engine) -> Engine:
-    """Resolve an engine by name (or pass an instance straight through)."""
-    if not isinstance(engine, str):
+def get_engine(engine: str | Engine, **options) -> Engine:
+    """Resolve an engine by name (or pass an instance straight through).
+
+    Keyword options (e.g. ``workers=4, shards=4`` for the sharded engine)
+    are forwarded to the engine's ``with_options`` hook, which returns a
+    configured copy; engines without the hook reject any options.
+    """
+    if isinstance(engine, str):
+        try:
+            engine = _REGISTRY[engine]
+        except KeyError:
+            raise InputError(
+                f"unknown engine {engine!r}; available: {', '.join(sorted(_REGISTRY))}"
+            ) from None
+    if not options:
         return engine
-    try:
-        return _REGISTRY[engine]
-    except KeyError:
+    configure = getattr(engine, "with_options", None)
+    if configure is None:
         raise InputError(
-            f"unknown engine {engine!r}; available: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+            f"engine {engine.name!r} accepts no options, got {sorted(options)}"
+        )
+    return configure(**options)
 
 
 def available_engines() -> list[str]:

@@ -1,0 +1,126 @@
+"""The ``sharded`` engine: :mod:`repro.shard` behind the Engine protocol.
+
+The first backend to carry a genuinely new *execution strategy* through the
+engine seam: every workload is split into equal, padded, position-based
+shards (:mod:`repro.shard.partition`), the vector engine's column-layout
+primitives run per shard on a multiprocessing pool
+(:mod:`repro.shard.executor`), and a bitonic merge tournament
+(:mod:`repro.shard.merge`) reassembles the bit-identical result.
+
+Two knobs:
+
+``shards``
+    How many partitions each input is split into.  The binary join runs
+    the full ``shards**2`` grid of shard pairs; aggregation, GROUP BY and
+    FILTER run one task per shard.  Defaults to ``max(2, workers)`` so the
+    task grid always saturates the pool.
+``workers``
+    Pool size.  ``workers=1`` (the registered default) executes the task
+    list inline — deterministic, fork-free, and what the test suite uses;
+    ``workers>1`` forks a pool and is where multi-core wall-clock wins
+    come from.
+
+Configured copies come from :func:`repro.engines.get_engine`::
+
+    get_engine("sharded", shards=4, workers=4)
+
+or equivalently ``ObliviousEngine(engine="sharded", shards=4, workers=4)``
+and ``--engine sharded --workers 4`` on the CLI.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregate import GroupAggregate
+from ..core.join import JoinResult
+from ..core.multiway import MultiwayResult
+from ..errors import InputError
+from ..memory.tracer import Tracer
+from ..shard.aggregate import sharded_group_by, sharded_join_aggregate
+from ..shard.executor import check_workers
+from ..shard.join import sharded_oblivious_join
+from ..shard.multiway import sharded_multiway_join
+from ..shard.partition import check_shards
+from ..shard.relational import sharded_filter_indices, sharded_order_permutation
+from .base import Pairs
+from .traced import traced_order_permutation
+
+
+class ShardedEngine:
+    """Sharded multi-process engine: padded partitions, identical outputs."""
+
+    name = "sharded"
+
+    def __init__(self, shards: int | None = None, workers: int = 1) -> None:
+        self.workers = check_workers(workers)
+        self._shards = None if shards is None else check_shards(shards)
+
+    @property
+    def shards(self) -> int:
+        """Partitions per input: explicit, or ``max(2, workers)``."""
+        return self._shards if self._shards is not None else max(2, self.workers)
+
+    def with_options(self, **options) -> "ShardedEngine":
+        """A configured copy; unknown options are rejected loudly."""
+        unknown = set(options) - {"shards", "workers"}
+        if unknown:
+            raise InputError(
+                f"sharded engine options are 'shards' and 'workers', "
+                f"got {sorted(unknown)}"
+            )
+        return ShardedEngine(
+            shards=options.get("shards", self._shards),
+            workers=options.get("workers", self.workers),
+        )
+
+    def join(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> JoinResult:
+        pairs, stats = sharded_oblivious_join(
+            left, right, shards=self.shards, workers=self.workers
+        )
+        return JoinResult(
+            pairs=[tuple(p) for p in pairs.tolist()],
+            m=stats.m,
+            n1=len(left),
+            n2=len(right),
+        )
+
+    def multiway_join(
+        self,
+        tables: list[list[tuple]],
+        keys: list[tuple[int, int]],
+        tracer: Tracer | None = None,
+    ) -> MultiwayResult:
+        return sharded_multiway_join(
+            tables, keys, shards=self.shards, workers=self.workers
+        )
+
+    def aggregate(
+        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]:
+        return sharded_join_aggregate(
+            left, right, shards=self.shards, workers=self.workers
+        )
+
+    def group_by(
+        self, table: Pairs, tracer: Tracer | None = None
+    ) -> list[GroupAggregate]:
+        return sharded_group_by(table, shards=self.shards, workers=self.workers)
+
+    def filter_indices(
+        self, mask: list[bool], tracer: Tracer | None = None
+    ) -> list[int]:
+        return sharded_filter_indices(
+            mask, shards=self.shards, workers=self.workers
+        )
+
+    def order_permutation(
+        self, columns: list[tuple[list, bool]], tracer: Tracer | None = None
+    ) -> list[int]:
+        n = len(columns[0][0]) if columns else 0
+        try:
+            return sharded_order_permutation(
+                columns, n, shards=self.shards, workers=self.workers
+            )
+        except InputError:
+            return traced_order_permutation(columns, tracer=tracer)

@@ -15,8 +15,54 @@ from ..core.aggregate import (
 )
 from ..core.join import JoinResult, oblivious_join
 from ..core.multiway import MultiwayResult, oblivious_multiway_join
+from ..memory.public import PublicArray
 from ..memory.tracer import Tracer
+from ..obliv.bitonic import bitonic_sort
+from ..obliv.compact import compact_by_routing
+from ..obliv.compare import SortKey, SortSpec
 from .base import Pairs
+
+
+def traced_filter_indices(mask: list[bool], tracer: Tracer | None = None) -> list[int]:
+    """Order-preserving compaction of the survivor indices (§3.5 filter).
+
+    The public trace is one linear pass plus the `O(n log n)` routing-based
+    compaction; only the survivor count is revealed.
+    """
+    n = len(mask)
+    if n == 0:
+        return []
+    cells = PublicArray(n, name="FILTER", tracer=tracer)
+    for i, keep in enumerate(mask):
+        cells.write(i, i if keep else None)
+    count = compact_by_routing(cells, lambda c: c is None)
+    return [cells.read(i) for i in range(count)]
+
+
+def traced_order_permutation(
+    columns: list[tuple[list, bool]], tracer: Tracer | None = None
+) -> list[int]:
+    """The stable sort permutation via a traced bitonic sort of key tuples.
+
+    Each cell holds ``(key_0, ..., key_d, position)``; the position is the
+    final tiebreak key, which makes the ordering total — so every engine
+    computes the identical permutation, regardless of network structure.
+    """
+    n = len(columns[0][0]) if columns else 0
+    if n <= 1:
+        return list(range(n))
+    cells = PublicArray(n, name="ORDER", tracer=tracer)
+    for i in range(n):
+        cells.write(i, tuple(values[i] for values, _ in columns) + (i,))
+    spec = SortSpec(
+        *(
+            SortKey(getter=lambda c, _x=x: c[_x], ascending=asc, name=f"k{x}")
+            for x, (_, asc) in enumerate(columns)
+        ),
+        SortKey(getter=lambda c: c[-1], name="pos"),
+    )
+    bitonic_sort(cells, spec)
+    return [cells.read(i)[-1] for i in range(n)]
 
 
 class TracedEngine:
@@ -46,3 +92,13 @@ class TracedEngine:
         self, table: Pairs, tracer: Tracer | None = None
     ) -> list[GroupAggregate]:
         return oblivious_group_by(table, tracer=tracer)
+
+    def filter_indices(
+        self, mask: list[bool], tracer: Tracer | None = None
+    ) -> list[int]:
+        return traced_filter_indices(mask, tracer=tracer)
+
+    def order_permutation(
+        self, columns: list[tuple[list, bool]], tracer: Tracer | None = None
+    ) -> list[int]:
+        return traced_order_permutation(columns, tracer=tracer)

@@ -13,11 +13,14 @@ from __future__ import annotations
 from ..core.aggregate import GroupAggregate
 from ..core.join import JoinResult
 from ..core.multiway import MultiwayResult
+from ..errors import InputError
 from ..memory.tracer import Tracer
 from ..vector.aggregate import vector_group_by, vector_join_aggregate
 from ..vector.join import vector_oblivious_join
 from ..vector.multiway import vector_multiway_join
+from ..vector.relational import vector_filter_indices, vector_order_permutation
 from .base import Pairs
+from .traced import traced_order_permutation
 
 
 class VectorEngine:
@@ -53,3 +56,19 @@ class VectorEngine:
         self, table: Pairs, tracer: Tracer | None = None
     ) -> list[GroupAggregate]:
         return vector_group_by(table)
+
+    def filter_indices(
+        self, mask: list[bool], tracer: Tracer | None = None
+    ) -> list[int]:
+        return vector_filter_indices(mask)
+
+    def order_permutation(
+        self, columns: list[tuple[list, bool]], tracer: Tracer | None = None
+    ) -> list[int]:
+        n = len(columns[0][0]) if columns else 0
+        try:
+            return vector_order_permutation(columns, n)
+        except InputError:
+            # Non-int64 sort keys (e.g. string columns): the traced network
+            # computes the identical stable permutation, just slower.
+            return traced_order_permutation(columns, tracer=tracer)

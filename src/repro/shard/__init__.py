@@ -1,0 +1,48 @@
+"""Sharded multi-process execution of the oblivious workloads.
+
+The subsystem behind the ``sharded`` engine (:mod:`repro.engines.sharded`):
+
+:mod:`~repro.shard.partition`
+    Oblivious positional partitioner — ``k`` equal shards padded to a
+    capacity that is a function of ``(n, k)`` only.
+:mod:`~repro.shard.executor`
+    The multiprocessing pool (``workers=1`` runs inline).
+:mod:`~repro.shard.merge`
+    Bitonic merge tournament + padding compaction that reassembles sorted
+    sub-results into the engines' canonical order.
+:mod:`~repro.shard.join` / :mod:`~repro.shard.aggregate` /
+:mod:`~repro.shard.multiway` / :mod:`~repro.shard.relational`
+    The sharded workloads themselves, each bit-identical to the vector
+    engine and validated by the cross-engine differential suite.
+"""
+
+from .aggregate import (
+    ShardedAggregateStats,
+    sharded_group_by,
+    sharded_join_aggregate,
+)
+from .executor import run_tasks
+from .join import ShardedJoinStats, sharded_oblivious_join
+from .merge import bitonic_merge_two, merge_comparator_count, oblivious_merge_runs
+from .multiway import ShardedMultiwayStats, sharded_multiway_join
+from .partition import ShardPart, partition_pairs, partition_plan
+from .relational import sharded_filter_indices, sharded_order_permutation
+
+__all__ = [
+    "ShardPart",
+    "ShardedAggregateStats",
+    "ShardedJoinStats",
+    "ShardedMultiwayStats",
+    "bitonic_merge_two",
+    "merge_comparator_count",
+    "oblivious_merge_runs",
+    "partition_pairs",
+    "partition_plan",
+    "run_tasks",
+    "sharded_filter_indices",
+    "sharded_group_by",
+    "sharded_join_aggregate",
+    "sharded_multiway_join",
+    "sharded_oblivious_join",
+    "sharded_order_permutation",
+]

@@ -1,0 +1,250 @@
+"""Sharded oblivious grouped aggregation (join-aggregate and GROUP BY).
+
+Aggregation decomposes over positional shards far more cheaply than the
+join: every aggregate the engine supports (count/sum/min/max and the
+products derived from them) is associative, so shard ``i`` only has to
+aggregate *its own* block of each input and ship one accumulator row per
+key it saw.  The parent then combines the partial accumulators with the
+same sort -> segmented-reduce -> compact pipeline the vector engine uses:
+
+1. ``k`` tasks, each sorting its ``~n/k``-cell shard by ``(j, tid)`` and
+   segment-reducing per-key ``(count, sum, min, max)`` partials,
+2. one bitonic sort of the concatenated partial rows by ``j``,
+3. a segmented reduction summing counts/sums and folding mins/maxes, and
+4. a bitonic compaction dropping keys that do not survive the filter
+   (both sides present for the join-aggregate; any row for GROUP BY).
+
+Total comparator work is ``k * (n/k) log^2 (n/k)`` for the shard sorts —
+*less* than the single-shot ``n log^2 n`` — plus the combine on the partial
+table.  Revealed: the per-shard partial group counts (how many distinct
+keys each position block holds) and the final group count ``g``; the former
+is the sharded analogue of the multiway cascade's intermediate sizes.
+
+Outputs are bit-identical to :mod:`repro.vector.aggregate` — asserted by
+the cross-engine differential suite — including the refusal of inputs whose
+data values could overflow an int64 column sum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.aggregate import GroupAggregate
+from ..errors import InputError
+from ..vector.sort import vector_bitonic_sort
+from .executor import check_workers, run_tasks
+from .partition import partition_pairs, partition_plan
+
+_INT = np.int64
+_INT_MAX = np.iinfo(np.int64).max
+_INT_MIN = np.iinfo(np.int64).min
+
+#: Accumulator columns each partial-aggregation task emits, one row per key.
+_PARTIAL_COLUMNS = ("j", "c1", "c2", "s1", "s2", "mn1", "mx1", "mn2", "mx2")
+
+
+@dataclass
+class ShardedAggregateStats:
+    """Cost/schedule record of one sharded aggregation."""
+
+    shards: int = 1
+    partition: tuple = ()
+    task_comparisons: list[int] = field(default_factory=list)
+    partial_group_counts: list[int] = field(default_factory=list)
+    combine_comparisons: int = 0
+    seconds_by_phase: dict[str, float] = field(default_factory=dict)
+    groups: int = 0
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(self.task_comparisons) + self.combine_comparisons
+
+    @property
+    def schedule(self) -> tuple:
+        """Partition plan, per-task comparator counts, combine comparators.
+
+        A function of ``(n1, n2, k)`` and the revealed partial group counts
+        only — pinned by the obliviousness suite.
+        """
+        return (
+            ("partition", self.partition),
+            tuple(enumerate(self.task_comparisons)),
+            ("combine", self.combine_comparisons),
+        )
+
+
+def _overflow_guard(d_columns: list[np.ndarray], n: int) -> None:
+    """Refuse inputs whose n-term int64 sums could wrap (mirrors vector)."""
+    limit = _INT_MAX // max(n, 1)
+    for column in d_columns:
+        if column.size and (column.max() > limit or column.min() < -limit):
+            raise InputError(
+                f"data values exceed the vector engine's overflow-safe range "
+                f"(|d| <= {limit} at n = {n}); use the traced engine"
+            )
+
+
+def _segment_starts(j: np.ndarray) -> np.ndarray:
+    return np.flatnonzero(np.concatenate([[True], j[1:] != j[:-1]]))
+
+
+def _aggregate_task(payload) -> tuple[dict[str, np.ndarray], int]:
+    """One shard: sort the block by ``(j, tid)``, emit per-key partials."""
+    lj, ld, lreal, rj, rd, rreal = payload
+    j = np.concatenate([lj[:lreal], rj[:rreal]])
+    d = np.concatenate([ld[:lreal], rd[:rreal]])
+    tid = np.concatenate(
+        [np.ones(lreal, dtype=_INT), np.full(rreal, 2, dtype=_INT)]
+    )
+    if len(j) == 0:
+        empty = {name: np.zeros(0, dtype=_INT) for name in _PARTIAL_COLUMNS}
+        return empty, 0
+
+    counter = [0]
+    columns = vector_bitonic_sort(
+        {"j": j, "d": d, "tid": tid}, [("j", True), ("tid", True)], counter=counter
+    )
+    j, d, tid = columns["j"], columns["d"], columns["tid"]
+    starts = _segment_starts(j)
+    is_left = tid == 1
+    partials = {
+        "j": j[starts],
+        "c1": np.add.reduceat(is_left.astype(_INT), starts),
+        "c2": np.add.reduceat((~is_left).astype(_INT), starts),
+        "s1": np.add.reduceat(np.where(is_left, d, 0), starts),
+        "s2": np.add.reduceat(np.where(is_left, 0, d), starts),
+        "mn1": np.minimum.reduceat(np.where(is_left, d, _INT_MAX), starts),
+        "mx1": np.maximum.reduceat(np.where(is_left, d, _INT_MIN), starts),
+        "mn2": np.minimum.reduceat(np.where(is_left, _INT_MAX, d), starts),
+        "mx2": np.maximum.reduceat(np.where(is_left, _INT_MIN, d), starts),
+    }
+    return partials, counter[0]
+
+
+def _combine_partials(
+    partial_tables: list[dict[str, np.ndarray]],
+    left_only: bool,
+    stats: ShardedAggregateStats,
+) -> list[GroupAggregate]:
+    """Sort + segment-reduce + compact the shards' partial accumulators."""
+    start = time.perf_counter()
+    concat = {
+        name: np.concatenate([table[name] for table in partial_tables])
+        for name in _PARTIAL_COLUMNS
+    }
+    if len(concat["j"]) == 0:
+        stats.seconds_by_phase["combine"] = time.perf_counter() - start
+        return []
+
+    counter = [0]
+    concat = vector_bitonic_sort(concat, [("j", True)], counter=counter)
+    starts = _segment_starts(concat["j"])
+    combined = {
+        "j": concat["j"][starts],
+        "c1": np.add.reduceat(concat["c1"], starts),
+        "c2": np.add.reduceat(concat["c2"], starts),
+        "s1": np.add.reduceat(concat["s1"], starts),
+        "s2": np.add.reduceat(concat["s2"], starts),
+        "mn1": np.minimum.reduceat(concat["mn1"], starts),
+        "mx1": np.maximum.reduceat(concat["mx1"], starts),
+        "mn2": np.minimum.reduceat(concat["mn2"], starts),
+        "mx2": np.maximum.reduceat(concat["mx2"], starts),
+    }
+    keep = combined["c1"] > 0 if left_only else (combined["c1"] > 0) & (combined["c2"] > 0)
+    combined["null"] = (~keep).astype(_INT)
+    combined = vector_bitonic_sort(
+        combined, [("null", True), ("j", True)], counter=counter
+    )
+    groups = int(keep.sum())
+    stats.combine_comparisons = counter[0]
+    stats.groups = groups
+    stats.seconds_by_phase["combine"] = time.perf_counter() - start
+
+    return [
+        GroupAggregate(
+            j=int(combined["j"][i]),
+            count1=int(combined["c1"][i]),
+            count2=0 if left_only else int(combined["c2"][i]),
+            sum_d1=int(combined["s1"][i]),
+            sum_d2=0 if left_only else int(combined["s2"][i]),
+            min_d1=int(combined["mn1"][i]),
+            max_d1=int(combined["mx1"][i]),
+            min_d2=0 if left_only else int(combined["mn2"][i]),
+            max_d2=0 if left_only else int(combined["mx2"][i]),
+        )
+        for i in range(groups)
+    ]
+
+
+def _run_sharded_aggregation(
+    left,
+    right,
+    shards: int,
+    workers: int,
+    left_only: bool,
+    stats: ShardedAggregateStats,
+) -> list[GroupAggregate]:
+    check_workers(workers)
+    stats.shards = shards
+
+    start = time.perf_counter()
+    left_parts = partition_pairs(left, shards)
+    right_parts = partition_pairs(right, shards)
+    n1 = sum(part.real for part in left_parts)
+    n2 = sum(part.real for part in right_parts)
+    if n1 + n2 == 0:
+        return []
+    _overflow_guard(
+        [part.d[: part.real] for part in left_parts + right_parts], n1 + n2
+    )
+    stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
+    payloads = [
+        (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real)
+        for lp, rp in zip(left_parts, right_parts)
+    ]
+    stats.seconds_by_phase["partition"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    results = run_tasks(_aggregate_task, payloads, workers=workers)
+    stats.seconds_by_phase["tasks"] = time.perf_counter() - start
+    stats.task_comparisons = [comparisons for _, comparisons in results]
+    stats.partial_group_counts = [len(partials["j"]) for partials, _ in results]
+
+    return _combine_partials(
+        [partials for partials, _ in results], left_only, stats
+    )
+
+
+def sharded_join_aggregate(
+    left,
+    right,
+    shards: int = 2,
+    workers: int = 1,
+    stats: ShardedAggregateStats | None = None,
+) -> list[GroupAggregate]:
+    """Sharded counterpart of :func:`repro.vector.aggregate.vector_join_aggregate`.
+
+    One :class:`~repro.core.aggregate.GroupAggregate` per join value present
+    in *both* tables, ordered by join value — bit-identical to the vector
+    and traced engines.
+    """
+    stats = stats if stats is not None else ShardedAggregateStats()
+    return _run_sharded_aggregation(
+        left, right, shards, workers, left_only=False, stats=stats
+    )
+
+
+def sharded_group_by(
+    table,
+    shards: int = 2,
+    workers: int = 1,
+    stats: ShardedAggregateStats | None = None,
+) -> list[GroupAggregate]:
+    """Sharded counterpart of :func:`repro.vector.aggregate.vector_group_by`."""
+    stats = stats if stats is not None else ShardedAggregateStats()
+    return _run_sharded_aggregation(
+        table, [], shards, workers, left_only=True, stats=stats
+    )

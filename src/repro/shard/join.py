@@ -1,0 +1,215 @@
+"""The sharded oblivious join: padded partitions, a task grid, one merge.
+
+Pipeline::
+
+    presort    shard-sort the left table by (j, d): k local bitonic sorts
+               + a bitonic merge tournament; rank rows by sorted position
+    partition  ranked left / raw right -> k equal, padded shards each
+               (plans are functions of (n1, k) and (n2, k) only)
+    grid       run the k*k shard-pair sub-joins on the executor, each a
+               full vectorised Algorithm 1 over its (public-size) slice
+    merge      bitonic-merge the k*k sorted (j, rank, d2) runs, compact
+               the padding, and gather d1 back through the rank handles
+
+Because shard membership is positional, every joinable row pair meets in
+exactly one grid cell, so the union of sub-join outputs is exactly the join
+multiset.  Reassembling the *canonical order* (each group's cross product,
+row-major over the d-sorted sides) needs one subtlety: two left rows with
+equal ``(j, d1)`` emit interleaved, not adjacent, output rows, so no sort
+of raw ``(j, d1, d2)`` triples can reproduce the sequence.  The presort
+fixes that by giving every left row a unique global rank ``s`` (its
+position in the ``(j, d)``-sorted table); the grid joins on ``(j, s)``, the
+merge orders by ``(j, s, d2)`` — a total order — and ``d1`` is recovered by
+indexing the sorted column with ``s``, the same client-side handle gather
+the multiway cascade uses for payloads.
+
+Leakage: the partition plans and every primitive schedule are functions of
+``(n1, n2, k)`` plus the per-task output sizes ``m_ij``.  The ``m_ij`` grid
+is a *finer* deliberate reveal than the single join's ``m`` (it localises
+output volume to position-block pairs) — the same trade the multiway
+cascade makes for intermediate sizes; hiding it needs upstream output
+padding (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..vector.join import vector_oblivious_join
+from ..vector.sort import vector_bitonic_sort
+from .executor import check_workers, run_tasks
+from .merge import oblivious_merge_runs
+from .partition import partition_pairs, partition_plan
+
+_INT = np.int64
+
+#: Keys of the output merge: group, left global rank, right data value.
+MERGE_KEYS = [("j", True), ("d1", True), ("d2", True)]
+
+#: Keys of the presort that ranks the left table.
+PRESORT_KEYS = [("j", True), ("d", True)]
+
+
+@dataclass
+class ShardedJoinStats:
+    """Cost/schedule record of one sharded join.
+
+    ``partition`` is the public partition plan for both inputs;
+    ``presort_comparisons`` / ``presort_merge_comparisons`` cover the
+    left-ranking sort, ``task_comparisons`` each grid task's per-phase
+    comparator counts, ``task_m`` the revealed per-task output sizes and
+    ``merge_comparisons`` the output merge tournament.
+    """
+
+    shards: int = 1
+    partition: tuple = ()
+    presort_comparisons: list[int] = field(default_factory=list)
+    presort_merge_comparisons: int = 0
+    task_comparisons: list[dict[str, int]] = field(default_factory=list)
+    task_m: list[int] = field(default_factory=list)
+    merge_comparisons: int = 0
+    seconds_by_phase: dict[str, float] = field(default_factory=dict)
+    m: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_phase.values())
+
+    @property
+    def total_comparisons(self) -> int:
+        return (
+            sum(self.presort_comparisons)
+            + self.presort_merge_comparisons
+            + sum(sum(c.values()) for c in self.task_comparisons)
+            + self.merge_comparisons
+        )
+
+    @property
+    def schedule(self) -> tuple:
+        """The adversary-visible schedule of the whole sharded join.
+
+        Partition plans, presort comparators, each grid task's
+        ``(task, phase, comparators)`` triples, and the merge comparator
+        count.  For fixed ``(n1, n2, k)`` and fixed (revealed) ``m_ij``
+        sizes this tuple is identical across inputs — the obliviousness
+        suite pins that.
+        """
+        tasks = tuple(
+            (index, phase, count)
+            for index, comparisons in enumerate(self.task_comparisons)
+            for phase, count in sorted(comparisons.items())
+        )
+        return (
+            ("partition", self.partition),
+            ("presort", tuple(self.presort_comparisons), self.presort_merge_comparisons),
+            tasks,
+            ("merge", self.merge_comparisons),
+        )
+
+
+def _sort_task(payload) -> tuple[dict[str, np.ndarray], int]:
+    """Sort one padded shard's real rows by ``(j, d)`` (worker side)."""
+    j, d, real = payload
+    counter = [0]
+    columns = vector_bitonic_sort(
+        {"j": j[:real].copy(), "d": d[:real].copy()}, PRESORT_KEYS, counter=counter
+    )
+    return columns, counter[0]
+
+
+def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
+    """One grid cell: join a left shard with a right shard (worker side).
+
+    The payload carries padded column arrays plus the public real counts;
+    slicing off the padding reveals nothing because the counts are part of
+    the partition plan.  Returns the keyed ``(m_ij, 3)`` output run (sorted
+    by ``(j, left_rank, d2)``) and the task's comparator counts.
+    """
+    lj, ld, lreal, rj, rd, rreal = payload
+    left = np.stack([lj[:lreal], ld[:lreal]], axis=1)
+    right = np.stack([rj[:rreal], rd[:rreal]], axis=1)
+    keyed, stats = vector_oblivious_join(left, right, with_keys=True)
+    return keyed, dict(stats.comparisons_by_phase)
+
+
+def _sharded_rank_sort(
+    pairs, shards: int, workers: int, stats: ShardedJoinStats
+) -> dict[str, np.ndarray]:
+    """Sort ``pairs`` by ``(j, d)`` via shard-local sorts + a merge tournament."""
+    start = time.perf_counter()
+    parts = partition_pairs(pairs, shards)
+    payloads = [(part.j, part.d, part.real) for part in parts]
+    results = run_tasks(_sort_task, payloads, workers=workers)
+    stats.presort_comparisons = [count for _, count in results]
+    counter = [0]
+    merged = oblivious_merge_runs(
+        [columns for columns, _ in results], PRESORT_KEYS, counter=counter
+    )
+    stats.presort_merge_comparisons = counter[0]
+    stats.seconds_by_phase["presort"] = time.perf_counter() - start
+    return merged
+
+
+def sharded_oblivious_join(
+    left,
+    right,
+    shards: int = 2,
+    workers: int = 1,
+    stats: ShardedJoinStats | None = None,
+) -> tuple[np.ndarray, ShardedJoinStats]:
+    """Sharded Algorithm 1; returns ``(pairs, stats)``.
+
+    ``pairs`` is the same ``(m, 2)`` int64 array
+    :func:`~repro.vector.join.vector_oblivious_join` produces — bit-identical
+    rows in the canonical order — computed as ``shards**2`` independent
+    sub-joins on up to ``workers`` processes.
+    """
+    check_workers(workers)
+    stats = stats if stats is not None else ShardedJoinStats()
+    stats.shards = shards
+
+    sorted_left = _sharded_rank_sort(left, shards, workers, stats)
+    n1 = len(sorted_left["j"])
+
+    start = time.perf_counter()
+    ranked_left = np.stack(
+        [sorted_left["j"], np.arange(n1, dtype=_INT)], axis=1
+    )
+    left_parts = partition_pairs(ranked_left, shards)
+    right_parts = partition_pairs(right, shards)
+    n2 = sum(part.real for part in right_parts)
+    stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
+    payloads = [
+        (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real)
+        for lp in left_parts
+        for rp in right_parts
+    ]
+    stats.seconds_by_phase["partition"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    results = run_tasks(_join_task, payloads, workers=workers)
+    stats.seconds_by_phase["tasks"] = time.perf_counter() - start
+    stats.task_comparisons = [comparisons for _, comparisons in results]
+    stats.task_m = [len(keyed) for keyed, _ in results]
+    stats.m = sum(stats.task_m)
+
+    start = time.perf_counter()
+    runs = [
+        {"j": keyed[:, 0], "d1": keyed[:, 1], "d2": keyed[:, 2]}
+        for keyed, _ in results
+    ]
+    counter = [0]
+    merged = oblivious_merge_runs(runs, MERGE_KEYS, counter=counter)
+    stats.merge_comparisons = counter[0]
+
+    if stats.m == 0:
+        pairs = np.zeros((0, 2), dtype=_INT)
+    else:
+        # The merged d1 column holds left *ranks*; gather the data values
+        # back through them (client-side handle gather, as in multiway).
+        pairs = np.stack([sorted_left["d"][merged["d1"]], merged["d2"]], axis=1)
+    stats.seconds_by_phase["merge"] = time.perf_counter() - start
+    return pairs, stats

@@ -1,0 +1,145 @@
+"""Oblivious reassembly of sub-join outputs: bitonic merge + pad compaction.
+
+Every sub-join emits its output rows already in the engine's canonical order
+(lexicographic in the sort keys), so reassembling the global result does not
+need a full `O(m log^2 m)` sort — a tournament of Batcher bitonic *merge*
+networks (`O(m log m)` comparators per round, `log` rounds over the runs)
+suffices.
+
+One pairwise merge of ascending runs ``A`` and ``B`` lays the rows out as
+
+    [ A ascending | padding | B reversed ]
+
+padded to the next power of two.  Padding rows carry a flag column that
+orders them after every real row, which keeps the layout bitonic
+(non-decreasing then non-increasing), so the classic ``log P`` half-cleaner
+stages sort it ascending.  The padding then sits in the tail — its position
+is a function of the (public) run lengths alone — and is compacted away by
+truncation.
+
+The comparator schedule of the whole tournament is determined by the run
+lengths only; the sharded engine exposes it through its stats object so the
+obliviousness tests can pin it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obliv.bitonic import next_power_of_two
+from ..vector.sort import Key, lexicographic_greater
+
+_INT = np.int64
+
+#: Flag column marking padding rows inside a merge network (sorts last).
+PAD_FLAG = "_mergepad"
+
+
+def _run_length(run: dict[str, np.ndarray]) -> int:
+    return len(next(iter(run.values())))
+
+
+def _copy(run: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {name: col.copy() for name, col in run.items()}
+
+
+def bitonic_merge_two(
+    a: dict[str, np.ndarray],
+    b: dict[str, np.ndarray],
+    keys: list[Key],
+    counter: list | None = None,
+) -> dict[str, np.ndarray]:
+    """Merge two runs sorted ascending by ``keys`` into one sorted run.
+
+    Both runs are struct-of-arrays column dicts with identical column sets.
+    Executes exactly the ``log P`` comparator stages of a bitonic merger of
+    size ``P = next_power_of_two(len(a) + len(b))``; when ``counter`` (a
+    one-element list) is given, the comparator count is added to it.
+    """
+    la, lb = _run_length(a), _run_length(b)
+    if la == 0:
+        return _copy(b)
+    if lb == 0:
+        return _copy(a)
+    names = list(a)
+    total = la + lb
+    padded = next_power_of_two(total)
+
+    work: dict[str, np.ndarray] = {}
+    for name in names:
+        col = np.zeros(padded, dtype=np.asarray(a[name]).dtype)
+        col[:la] = a[name]
+        col[padded - lb :] = b[name][::-1]
+        work[name] = col
+    flags = np.zeros(padded, dtype=_INT)
+    flags[la : padded - lb] = 1
+    work[PAD_FLAG] = flags
+    merge_keys: list[Key] = [(PAD_FLAG, True)] + list(keys)
+
+    indices = np.arange(padded)
+    gap = padded // 2
+    while gap >= 1:
+        lo = indices[(indices & gap) == 0]
+        hi = lo + gap
+        swap = lexicographic_greater(work, merge_keys, lo, hi)
+        if counter is not None:
+            counter[0] += len(lo)
+        src = lo[swap]
+        dst = hi[swap]
+        for col in work.values():
+            col[src], col[dst] = col[dst].copy(), col[src].copy()
+        gap //= 2
+
+    del work[PAD_FLAG]
+    return {name: work[name][:total] for name in names}
+
+
+def merge_comparator_count(lengths: list[int]) -> int:
+    """Comparators the tournament executes for runs of the given lengths.
+
+    A pure function of the run lengths — used to document (and test) that
+    the merge schedule is independent of the data being merged.
+    """
+    lengths = list(lengths)
+    count = 0
+    while len(lengths) > 1:
+        merged = []
+        for i in range(0, len(lengths) - 1, 2):
+            la, lb = lengths[i], lengths[i + 1]
+            if la and lb:
+                padded = next_power_of_two(la + lb)
+                gap = padded // 2
+                while gap >= 1:
+                    count += padded // 2
+                    gap //= 2
+            merged.append(la + lb)
+        if len(lengths) % 2:
+            merged.append(lengths[-1])
+        lengths = merged
+    return count
+
+
+def oblivious_merge_runs(
+    runs: list[dict[str, np.ndarray]],
+    keys: list[Key],
+    counter: list | None = None,
+) -> dict[str, np.ndarray]:
+    """Tournament-merge sorted runs into one run sorted ascending by ``keys``.
+
+    Runs are merged pairwise round by round (a balanced tournament), so the
+    network depth over the runs is ``ceil(log2(len(runs)))`` rounds; the
+    comparator schedule depends only on the run lengths.
+    """
+    if not runs:
+        return {}
+    current = [_copy(run) for run in runs]
+    while len(current) > 1:
+        merged = []
+        for i in range(0, len(current) - 1, 2):
+            merged.append(
+                bitonic_merge_two(current[i], current[i + 1], keys, counter=counter)
+            )
+        if len(current) % 2:
+            merged.append(current[-1])
+        current = merged
+    return current[0]

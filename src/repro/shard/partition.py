@@ -1,0 +1,130 @@
+"""The oblivious partitioner: equal, padded shards sized by ``(n, k)`` only.
+
+Rows are assigned to shards by *position* — shard ``i`` receives the ``i``-th
+contiguous block of the input — so shard membership is independent of every
+key and payload byte.  Each shard is then padded with zero rows up to the
+common capacity ``ceil(n / k)``, which makes every shard (and therefore every
+message the executor ships to a worker process) the exact same shape for a
+given ``(n, k)``.
+
+The number of *real* rows per shard is also a pure function of ``(n, k)``:
+the first ``n mod k`` shards carry ``ceil(n / k)`` rows, the rest
+``floor(n / k)``.  Those counts are public — they are part of the partition
+plan the obliviousness tests pin — so a worker slicing its shard back to the
+real rows before running the join reveals nothing the plan did not already.
+
+Position-based partitioning deliberately avoids key-based (hash/range)
+partitioning: a key-partitioned shard's load is a function of the key
+distribution, and padding it to a data-independent capacity while staying
+*correct* under adversarial skew (every key in one shard) forces the
+capacity up to ``n``.  The price of the positional scheme is that a binary
+join must run the full ``k x k`` grid of shard pairs; see
+:mod:`repro.shard.join`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InputError
+
+_INT = np.int64
+
+
+@dataclass(frozen=True)
+class ShardPart:
+    """One padded shard: capacity-sized column arrays plus the real count.
+
+    ``j``/``d`` always have length ``capacity``; rows past ``real`` are
+    zero padding that exists only to keep shard shapes data-independent.
+    """
+
+    j: np.ndarray
+    d: np.ndarray
+    real: int
+
+    @property
+    def capacity(self) -> int:
+        return len(self.j)
+
+    def rows(self) -> np.ndarray:
+        """The real rows as an ``(real, 2)`` array (padding stripped)."""
+        return np.stack([self.j[: self.real], self.d[: self.real]], axis=1)
+
+
+def check_shards(shards: int) -> int:
+    """Validate a shard count; returns it for chaining."""
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise InputError(f"shard count must be an int >= 1, got {shards!r}")
+    return shards
+
+
+def shard_capacity(n: int, k: int) -> int:
+    """Common padded size of every shard: ``ceil(n / k)`` — f(n, k) only."""
+    check_shards(k)
+    if n < 0:
+        raise InputError(f"table size must be >= 0, got {n}")
+    return -(-n // k)
+
+
+def shard_counts(n: int, k: int) -> tuple[int, ...]:
+    """Real rows per shard — a pure function of ``(n, k)``."""
+    check_shards(k)
+    base, rem = divmod(n, k)
+    return tuple(base + (1 if i < rem else 0) for i in range(k))
+
+
+def partition_plan(n: int, k: int) -> tuple[int, tuple[int, ...]]:
+    """The public partition plan ``(capacity, per-shard real counts)``.
+
+    This tuple is everything the adversary learns from the partitioning
+    step; the obliviousness suite asserts it is identical across any two
+    inputs of the same size.
+    """
+    return shard_capacity(n, k), shard_counts(n, k)
+
+
+def partition_columns(
+    columns: dict[str, np.ndarray], k: int
+) -> list[tuple[dict[str, np.ndarray], int]]:
+    """Split a struct-of-arrays table into ``k`` equal, padded blocks.
+
+    The single owner of the padding invariant: block ``i`` holds the
+    ``i``-th contiguous run of rows, zero-padded (in each column's dtype)
+    to the common capacity.  Returns ``(block, real_count)`` pairs; every
+    shape is a function of ``(n, k)`` only.
+    """
+    n = len(next(iter(columns.values())))
+    capacity, counts = partition_plan(n, k)
+    blocks: list[tuple[dict[str, np.ndarray], int]] = []
+    offset = 0
+    for real in counts:
+        block = {}
+        for name, column in columns.items():
+            padded = np.zeros(capacity, dtype=column.dtype)
+            padded[:real] = column[offset : offset + real]
+            block[name] = padded
+        blocks.append((block, real))
+        offset += real
+    return blocks
+
+
+def partition_pairs(pairs, k: int) -> list[ShardPart]:
+    """Split a ``(j, d)`` pairs table into ``k`` equal, padded shards.
+
+    Accepts the same inputs as the vector engine (a sequence of int pairs or
+    an ``(n, 2)`` array).
+    """
+    array = np.asarray(pairs, dtype=_INT)
+    if array.size == 0:
+        array = array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise InputError("input tables must be sequences of (j, d) pairs")
+    return [
+        ShardPart(j=block["j"], d=block["d"], real=real)
+        for block, real in partition_columns(
+            {"j": array[:, 0], "d": array[:, 1]}, k
+        )
+    ]

@@ -1,0 +1,84 @@
+"""Sharded FILTER and ORDER BY: per-block tasks plus an oblivious merge.
+
+Both relational operators decompose over positional shards:
+
+``filter``
+    Compaction is order-preserving and blocks are positional, so compacting
+    each block independently and concatenating the survivor indices (block
+    offsets are public) *is* the global order-preserving compaction.  ``k``
+    tasks of ``~n/k`` cells replace one ``n``-cell network — strictly less
+    comparator work, embarrassingly parallel.
+
+``order_by``
+    The order-by contract is a *stable* sort (original position is the
+    final tiebreak key — see :mod:`repro.vector.relational`), which makes
+    the ordering total.  Each shard sorts its block into a run, and the
+    bitonic merge tournament of :mod:`repro.shard.merge` reassembles the
+    exact global permutation.
+
+Per-task schedules depend only on the partition plan; the merge schedule
+only on the (public) block sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..vector.relational import order_columns, vector_filter_indices
+from ..vector.sort import vector_bitonic_sort
+from .executor import check_workers, run_tasks
+from .merge import oblivious_merge_runs
+from .partition import partition_columns
+
+
+def _filter_task(payload) -> list[int]:
+    block, real = payload
+    return vector_filter_indices(block["mask"][:real])
+
+
+def sharded_filter_indices(
+    mask: Sequence[bool], shards: int = 2, workers: int = 1
+) -> list[int]:
+    """Indices of the true cells of ``mask`` via per-shard compaction."""
+    check_workers(workers)
+    flags = np.asarray(mask, dtype=bool)
+    payloads = partition_columns({"mask": flags}, shards)
+    results = run_tasks(_filter_task, payloads, workers=workers)
+    kept: list[int] = []
+    offset = 0
+    for (_, real), block in zip(payloads, results):
+        kept.extend(offset + index for index in block)
+        offset += real
+    return kept
+
+
+def _order_task(payload) -> dict[str, np.ndarray]:
+    """Sort one shard's block into a run keyed by ``(columns..., position)``."""
+    work, keys, real = payload
+    sliced = {name: column[:real] for name, column in work.items()}
+    return vector_bitonic_sort(sliced, keys)
+
+
+def sharded_order_permutation(
+    columns: Sequence[tuple[Sequence[int], bool]],
+    n: int,
+    shards: int = 2,
+    workers: int = 1,
+) -> list[int]:
+    """The stable sort permutation, computed shard-by-shard then merged.
+
+    Raises :class:`~repro.errors.InputError` for non-int64 key columns, like
+    the vector path — callers fall back to the traced engine.
+    """
+    check_workers(workers)
+    if n <= 1:
+        return list(range(n))
+    table, keys = order_columns(columns, n)
+    payloads = [
+        (block, keys, real) for block, real in partition_columns(table, shards)
+    ]
+    runs = run_tasks(_order_task, payloads, workers=workers)
+    merged = oblivious_merge_runs(runs, keys)
+    return merged["pos"].tolist()

@@ -170,20 +170,27 @@ def vector_oblivious_join(
     left,
     right,
     stats: VectorJoinStats | None = None,
+    with_keys: bool = False,
 ) -> tuple[np.ndarray, VectorJoinStats]:
     """Vectorised Algorithm 1; returns ``(pairs, stats)``.
 
     ``pairs`` is an ``(m, 2)`` int64 array of joined data values in the same
-    order the traced engine produces.
+    order the traced engine produces: groups in ascending ``j`` order, each
+    group's cross product row-major over its two d-sorted sides.  (That is
+    *not* a lexicographic sort of the value triples — duplicate left
+    payloads emit interleaved rows; see ``repro/shard/join.py``.)  With
+    ``with_keys=True`` the array is ``(m, 3)``: ``(j, d1, d2)`` rows, which
+    is what lets the sharded engine rank rows for its oblivious merge.
     """
     stats = stats or VectorJoinStats()
+    width = 3 if with_keys else 2
     left_cols = _as_columns(left, tid=1)
     right_cols = _as_columns(right, tid=2)
     n1 = len(left_cols["j"])
     n2 = len(right_cols["j"])
     n = n1 + n2
     if n == 0:
-        return np.zeros((0, 2), dtype=_INT), stats
+        return np.zeros((0, width), dtype=_INT), stats
 
     combined = {
         name: np.concatenate([left_cols[name], right_cols[name]])
@@ -219,13 +226,16 @@ def vector_oblivious_join(
     table2 = {name: col[n1:].copy() for name, col in combined.items() if name != "tid"}
 
     if m == 0:
-        return np.zeros((0, 2), dtype=_INT), stats
+        return np.zeros((0, width), dtype=_INT), stats
 
     s1 = _expand(table1, "a2", m, stats, "expand1_sort", "expand1_route")
     s2 = _expand(table2, "a1", m, stats, "expand2_sort", "expand2_route")
     s2 = _align(s2, m, stats)
 
     start = time.perf_counter()
-    pairs = np.stack([s1["d"], s2["d"]], axis=1)
+    if with_keys:
+        pairs = np.stack([s1["j"], s1["d"], s2["d"]], axis=1)
+    else:
+        pairs = np.stack([s1["d"], s2["d"]], axis=1)
     stats.seconds_by_phase["zip"] = time.perf_counter() - start
     return pairs, stats

@@ -1,0 +1,89 @@
+"""Vectorised fast paths for the relational operators FILTER and ORDER BY.
+
+The db layer's ``filter`` and ``order_by`` reduce to two index-level
+primitives, both expressible as one bitonic sort on
+:func:`~repro.vector.sort.vector_bitonic_sort`:
+
+``filter``
+    Order-preserving compaction of the survivor indices: sort
+    ``(null_flag, position)`` ascending; the first ``count`` cells are the
+    survivors in original order.  This is the paper's
+    ``Bitonic-Sort<!= ∅ up>`` filter idiom, whole-array.  Only the survivor
+    count is revealed — the same deliberate reveal the traced path makes.
+
+``order_by``
+    A *stable* sort permutation: sort the key columns with the original
+    position appended as the final tiebreak key.  Appending the position
+    makes the ordering total, so every engine — traced networks, numpy
+    networks, per-shard sort + oblivious merge — lands on the identical
+    permutation, which is what keeps the engines bit-identical on inputs
+    with duplicate sort keys.
+
+Both schedules depend only on the input length (and the revealed survivor
+count), matching the vector engine's leakage profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InputError
+from .sort import vector_bitonic_sort
+
+_INT = np.int64
+
+
+def vector_filter_indices(mask: Sequence[bool]) -> list[int]:
+    """Indices of the true cells of ``mask``, in order, via bitonic compaction."""
+    flags = np.asarray(mask, dtype=bool)
+    n = len(flags)
+    if n == 0:
+        return []
+    columns = {
+        "null": (~flags).astype(_INT),
+        "pos": np.arange(n, dtype=_INT),
+    }
+    columns = vector_bitonic_sort(columns, [("null", True), ("pos", True)])
+    count = int(flags.sum())
+    return columns["pos"][:count].tolist()
+
+
+def order_columns(
+    columns: Sequence[tuple[Sequence[int], bool]], n: int
+) -> tuple[dict[str, np.ndarray], list[tuple[str, bool]]]:
+    """Build the struct-of-arrays table + keys of a stable order-by sort.
+
+    Raises :class:`~repro.errors.InputError` when a key column does not fit
+    int64 (e.g. string columns) — callers fall back to the traced path.
+    """
+    work: dict[str, np.ndarray] = {}
+    keys: list[tuple[str, bool]] = []
+    for index, (values, ascending) in enumerate(columns):
+        name = f"k{index}"
+        try:
+            work[name] = np.asarray(values, dtype=_INT)
+        except (ValueError, TypeError, OverflowError) as exc:
+            raise InputError(
+                "vector order_by requires int64-encodable sort columns"
+            ) from exc
+        keys.append((name, ascending))
+    work["pos"] = np.arange(n, dtype=_INT)
+    keys.append(("pos", True))
+    return work, keys
+
+
+def vector_order_permutation(
+    columns: Sequence[tuple[Sequence[int], bool]], n: int
+) -> list[int]:
+    """The stable sort permutation of ``n`` rows under the given key columns.
+
+    ``columns`` is a list of ``(values, ascending)`` pairs; the returned
+    list maps output position to original row index.
+    """
+    if n <= 1:
+        return list(range(n))
+    work, keys = order_columns(columns, n)
+    work = vector_bitonic_sort(work, keys)
+    return work["pos"].tolist()

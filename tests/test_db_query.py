@@ -80,6 +80,12 @@ def test_order_by_string_column(engine, patients):
     assert [r[1] for r in by_name.rows] == ["ana", "bo", "cy"]
 
 
+def test_order_by_no_columns_is_identity(patients):
+    for name in ("traced", "vector", "sharded"):
+        unchanged = ObliviousEngine(engine=name).order_by(patients, [])
+        assert unchanged.rows == patients.rows
+
+
 def test_group_by_aggregates(engine, prescriptions):
     grouped = engine.group_by(prescriptions, key="pid", value="cost")
     by_key = {row[0]: row for row in grouped.rows}

@@ -1,0 +1,221 @@
+"""Property-based cross-engine differential suite.
+
+Hypothesis generates adversarial tables — skewed key distributions, heavy
+duplicates (in keys *and* payloads), empty sides, single rows — and every
+engine in :func:`repro.engines.available_engines` must agree with the
+non-oblivious hash-join oracle and, bit for bit, with every other engine.
+A future backend only has to call ``register_engine`` to inherit this
+fuzzing.
+
+``REPRO_ENGINES`` (comma-separated names) restricts the engine list — the
+CI matrix uses it to parametrise the differential job per engine.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hash_join import join_multiset
+from repro.engines import ShardedEngine, available_engines, get_engine
+
+#: Engines under test: the full registry, or the REPRO_ENGINES subset.
+ENGINES = [
+    name
+    for name in available_engines()
+    if name in os.environ.get("REPRO_ENGINES", ",".join(available_engines())).split(",")
+]
+
+#: Differential comparisons need >= 2 engines; always keep the oracle's peer.
+REFERENCE = "traced"
+
+#: Engine *configurations*: registry defaults plus a deliberately lopsided
+#: sharded setup (more shards than most generated tables have rows).
+CONFIGURATIONS = ENGINES + (
+    [pytest.param(ShardedEngine(shards=5), id="sharded[shards=5]")]
+    if "sharded" in ENGINES
+    else []
+)
+
+
+@st.composite
+def table(draw, max_rows: int = 16):
+    """A (j, d) table biased toward the nasty corners.
+
+    Key spaces of 1 (every row one giant group), 2-3 (heavy skew) and 40
+    (mostly unmatched); payload spaces small enough to force duplicate
+    ``(j, d)`` rows — the case where output order is not a plain sort of
+    the value pairs.
+    """
+    key_space = draw(st.sampled_from([1, 2, 3, 40]))
+    data_space = draw(st.sampled_from([2, 5, 1000]))
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=key_space - 1),
+                st.integers(min_value=0, max_value=data_space - 1),
+            ),
+            max_size=max_rows,
+        )
+    )
+
+
+def _engines(configuration):
+    return get_engine(configuration)
+
+
+# -- join --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(left=table(), right=table())
+@settings(max_examples=25, deadline=None)
+@example(left=[], right=[])
+@example(left=[(0, 0)], right=[])
+@example(left=[(0, 0)], right=[(0, 0)])
+@example(left=[(0, 1), (0, 1), (0, 2)], right=[(0, 3), (0, 4)])
+def test_join_matches_oracle_and_reference(configuration, left, right):
+    engine = _engines(configuration)
+    result = engine.join(left, right)
+    assert sorted(result.pairs) == join_multiset(left, right)
+    assert result.m == len(result.pairs)
+    assert (result.n1, result.n2) == (len(left), len(right))
+    assert result.pairs == get_engine(REFERENCE).join(left, right).pairs
+
+
+@given(left=table(), right=table())
+@settings(max_examples=25, deadline=None)
+def test_all_engines_join_bit_identically(left, right):
+    results = [get_engine(name).join(left, right).pairs for name in ENGINES]
+    for other in results[1:]:
+        assert other == results[0]
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def _aggregate_oracle(left, right):
+    agg = defaultdict(lambda: [0, 0, 0, 0])
+    for j1, d1 in left:
+        for j2, d2 in right:
+            if j1 == j2:
+                entry = agg[j1]
+                entry[0] += 1
+                entry[1] += d1
+                entry[2] += d2
+                entry[3] += d1 * d2
+    return dict(agg)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(left=table(max_rows=12), right=table(max_rows=12))
+@settings(max_examples=25, deadline=None)
+@example(left=[], right=[])
+@example(left=[(0, 0)], right=[(0, 0), (0, 1)])
+def test_aggregate_matches_oracle_and_reference(configuration, left, right):
+    engine = _engines(configuration)
+    groups = engine.aggregate(left, right)
+    got = {
+        g.j: [g.pair_count, g.join_sum_d1, g.join_sum_d2, g.join_sum_product]
+        for g in groups
+    }
+    assert got == _aggregate_oracle(left, right)
+    assert groups == get_engine(REFERENCE).aggregate(left, right)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(rows=table(max_rows=14))
+@settings(max_examples=25, deadline=None)
+@example(rows=[])
+@example(rows=[(0, 0)])
+def test_group_by_matches_oracle_and_reference(configuration, rows):
+    engine = _engines(configuration)
+    groups = engine.group_by(rows)
+    oracle = defaultdict(list)
+    for j, d in rows:
+        oracle[j].append(d)
+    assert {g.j: g.count1 for g in groups} == {
+        j: len(ds) for j, ds in oracle.items()
+    }
+    assert {g.j: (g.sum_d1, g.min_d1, g.max_d1) for g in groups} == {
+        j: (sum(ds), min(ds), max(ds)) for j, ds in oracle.items()
+    }
+    assert groups == get_engine(REFERENCE).group_by(rows)
+
+
+# -- multiway ----------------------------------------------------------------
+
+
+def _multiway_oracle(tables, keys):
+    accumulated = [tuple(row) for row in tables[0]]
+    for step, next_table in enumerate(tables[1:]):
+        left_col, right_col = keys[step]
+        accumulated = [
+            a + tuple(b)
+            for a in accumulated
+            for b in next_table
+            if a[left_col] == b[right_col]
+        ]
+    return sorted(accumulated)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(t1=table(max_rows=6), t2=table(max_rows=6), t3=table(max_rows=6))
+@settings(max_examples=15, deadline=None)
+@example(t1=[(0, 0), (0, 0)], t2=[(0, 1), (0, 1)], t3=[(1, 9)])
+def test_multiway_matches_oracle_and_reference(configuration, t1, t2, t3):
+    engine = _engines(configuration)
+    tables, keys = [t1, t2, t3], [(0, 0), (3, 0)]
+    result = engine.multiway_join(tables, keys)
+    assert sorted(result.rows) == _multiway_oracle(tables, keys)
+    reference = get_engine(REFERENCE).multiway_join(tables, keys)
+    assert result.rows == reference.rows
+    assert result.intermediate_sizes == reference.intermediate_sizes
+
+
+# -- filter / order-by -------------------------------------------------------
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(mask=st.lists(st.booleans(), max_size=24))
+@settings(max_examples=25, deadline=None)
+@example(mask=[])
+@example(mask=[False])
+@example(mask=[True] * 9)
+def test_filter_indices_match_reference(configuration, mask):
+    engine = _engines(configuration)
+    kept = engine.filter_indices(mask)
+    assert kept == [i for i, keep in enumerate(mask) if keep]
+    assert kept == get_engine(REFERENCE).filter_indices(mask)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=20,
+    ),
+    ascending=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+@example(rows=[(1, 0), (1, 1), (1, 2)], ascending=True)  # all-tie sort keys
+def test_order_permutation_is_stable_and_matches_reference(
+    configuration, rows, ascending
+):
+    engine = _engines(configuration)
+    columns = [([row[0] for row in rows], ascending)]
+    permutation = engine.order_permutation(columns)
+    # Stable contract: sorted by the key, original order breaking ties.
+    expected = sorted(
+        range(len(rows)),
+        key=lambda i: (-rows[i][0] if not ascending else rows[i][0], i),
+    )
+    assert permutation == expected
+    assert permutation == get_engine(REFERENCE).order_permutation(columns)

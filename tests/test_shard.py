@@ -1,0 +1,141 @@
+"""Unit tests for the shard subsystem's primitives.
+
+Partitioner (plans are functions of ``(n, k)`` only), bitonic merge
+(sorted-run reassembly + comparator accounting), and the executor
+(pool vs inline equivalence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InputError
+from repro.shard.executor import check_workers, run_tasks
+from repro.shard.merge import (
+    bitonic_merge_two,
+    merge_comparator_count,
+    oblivious_merge_runs,
+)
+from repro.shard.partition import (
+    partition_pairs,
+    partition_plan,
+    shard_capacity,
+    shard_counts,
+)
+
+# -- partitioner -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n,k", [(0, 1), (0, 3), (1, 1), (7, 3), (8, 4), (5, 8)])
+def test_partition_plan_shapes(n, k):
+    capacity, counts = partition_plan(n, k)
+    assert len(counts) == k
+    assert sum(counts) == n
+    assert capacity == -(-n // k)
+    assert all(count <= capacity for count in counts)
+    # Counts differ by at most one: "k equal shards".
+    assert max(counts) - min(counts) <= 1
+
+
+def test_partition_plan_is_data_independent():
+    # Any two same-size tables — identical plan, whatever the data.
+    assert partition_plan(10, 3) == (4, (4, 3, 3))
+    uniform = partition_pairs([(i, i) for i in range(10)], 3)
+    skewed = partition_pairs([(0, 7)] * 10, 3)
+    assert [p.real for p in uniform] == [p.real for p in skewed] == [4, 3, 3]
+    assert [p.capacity for p in uniform] == [p.capacity for p in skewed] == [4, 4, 4]
+
+
+def test_partition_is_positional_and_padded():
+    parts = partition_pairs([(i, 10 * i) for i in range(5)], 2)
+    assert parts[0].rows().tolist() == [[0, 0], [1, 10], [2, 20]]
+    assert parts[1].rows().tolist() == [[3, 30], [4, 40]]
+    # Padding cells exist and are zero (uniform message shape).
+    assert parts[1].j.tolist() == [3, 4, 0]
+    assert parts[1].d.tolist() == [30, 40, 0]
+
+
+def test_partition_validates_inputs():
+    with pytest.raises(InputError):
+        shard_counts(4, 0)
+    with pytest.raises(InputError):
+        shard_capacity(-1, 2)
+    with pytest.raises(InputError):
+        partition_pairs([(1, 2, 3)], 2)
+
+
+# -- oblivious merge ---------------------------------------------------------
+
+
+def _run(values: list[tuple[int, int]]) -> dict[str, np.ndarray]:
+    array = np.asarray(sorted(values), dtype=np.int64).reshape(len(values), 2)
+    return {"a": array[:, 0].copy(), "b": array[:, 1].copy()}
+
+
+@given(
+    chunks=st.lists(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=12,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_tournament_equals_global_sort(chunks):
+    runs = [_run(chunk) for chunk in chunks]
+    counter = [0]
+    merged = oblivious_merge_runs(runs, [("a", True), ("b", True)], counter=counter)
+    expected = sorted(pair for chunk in chunks for pair in chunk)
+    got = list(zip(merged["a"].tolist(), merged["b"].tolist()))
+    assert got == expected
+    # Comparator count is a pure function of the run lengths.
+    assert counter[0] == merge_comparator_count([len(c) for c in chunks])
+
+
+def test_merge_two_handles_empty_runs():
+    a = _run([(1, 1), (3, 3)])
+    empty = _run([])
+    assert bitonic_merge_two(a, empty, [("a", True)])["a"].tolist() == [1, 3]
+    assert bitonic_merge_two(empty, a, [("a", True)])["a"].tolist() == [1, 3]
+
+
+def test_merge_respects_descending_keys():
+    a = _run([(1, 0), (3, 0)])
+    b = _run([(2, 0), (5, 0)])
+    for run in (a, b):
+        run["a"] = run["a"][::-1].copy()
+    merged = bitonic_merge_two(a, b, [("a", False)])
+    assert merged["a"].tolist() == [5, 3, 2, 1]
+
+
+# -- executor ----------------------------------------------------------------
+
+
+def _double(x):
+    return x * 2
+
+
+def test_run_tasks_inline_and_pool_agree():
+    payloads = list(range(6))
+    inline = run_tasks(_double, payloads, workers=1)
+    pooled = run_tasks(_double, payloads, workers=2)
+    assert inline == pooled == [0, 2, 4, 6, 8, 10]
+
+
+def test_run_tasks_preserves_payload_order():
+    assert run_tasks(_double, [3, 1, 2], workers=1) == [6, 2, 4]
+
+
+def test_worker_validation():
+    with pytest.raises(InputError):
+        check_workers(0)
+    with pytest.raises(InputError):
+        run_tasks(_double, [1], workers=-1)

@@ -1,0 +1,209 @@
+"""The sharded engine: differential equivalence and schedule obliviousness.
+
+The cross-engine property suite (``test_engine_properties.py``) already
+fuzzes the sharded engine's outputs; this module pins the parts specific to
+sharding — the partition plan and primitive schedules being functions of
+``(n1, n2, k)`` (plus deliberately revealed sizes) only, the knobs, and the
+db/CLI integration.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.db.query import ObliviousEngine
+from repro.db.table import DBTable
+from repro.engines import ShardedEngine, get_engine
+from repro.errors import InputError
+from repro.shard.aggregate import ShardedAggregateStats, sharded_join_aggregate
+from repro.shard.join import ShardedJoinStats, sharded_oblivious_join
+from repro.shard.multiway import ShardedMultiwayStats, sharded_multiway_join
+from repro.vector.join import vector_oblivious_join
+
+
+def _matched_pair(n, key_shift, data_seed):
+    """Same-shape inputs: n 1-1-matched keys, arbitrary payloads.
+
+    For a fixed ``n`` every instance has the same partition plan, the same
+    per-task ``m_ij`` grid (keys are position-aligned), hence — if the
+    engine is schedule-oblivious — the same schedule.
+    """
+    rng = random.Random(data_seed)
+    left = [(key_shift + k, rng.randrange(1 << 20)) for k in range(n)]
+    right = [(key_shift + k, rng.randrange(1 << 20)) for k in range(n)]
+    return left, right
+
+
+# -- bit identity at scale knobs --------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 9])
+def test_sharded_join_matches_vector_for_any_shard_count(shards):
+    rng = random.Random(shards)
+    left = [(rng.randrange(5), rng.randrange(4)) for _ in range(23)]
+    right = [(rng.randrange(5), rng.randrange(4)) for _ in range(17)]
+    expected, _ = vector_oblivious_join(left, right)
+    pairs, stats = sharded_oblivious_join(left, right, shards=shards)
+    assert pairs.tolist() == expected.tolist()
+    assert stats.m == len(expected)
+    assert len(stats.task_m) == shards * shards
+
+
+def test_sharded_pool_output_equals_inline():
+    left, right = _matched_pair(12, key_shift=0, data_seed=3)
+    inline, _ = sharded_oblivious_join(left, right, shards=2, workers=1)
+    pooled, _ = sharded_oblivious_join(left, right, shards=2, workers=2)
+    assert pooled.tolist() == inline.tolist()
+
+
+# -- schedule obliviousness (the satellite contract) -------------------------
+
+
+def test_join_partition_plan_depends_only_on_sizes():
+    # Wildly different data — all-duplicate vs all-distinct keys — but the
+    # partition plan and presort schedule must not move at all.
+    dup = sharded_oblivious_join([(0, 0)] * 11, [(0, 1)] * 7, shards=3)[1]
+    distinct = sharded_oblivious_join(
+        [(i, i) for i in range(11)], [(100 + i, i) for i in range(7)], shards=3
+    )[1]
+    assert dup.schedule[0] == distinct.schedule[0]  # partition plans
+    assert dup.schedule[1] == distinct.schedule[1]  # presort comparators
+
+
+def test_join_schedule_depends_only_on_shape():
+    schedules = []
+    for key_shift, data_seed in ((0, 1), (900, 2)):
+        left, right = _matched_pair(12, key_shift, data_seed)
+        stats = ShardedJoinStats()
+        sharded_oblivious_join(left, right, shards=3, stats=stats)
+        schedules.append(stats.schedule)
+    assert schedules[0] == schedules[1]
+
+
+def test_join_schedule_changes_with_sizes_and_shards():
+    def schedule(n, k):
+        left, right = _matched_pair(n, 0, data_seed=n)
+        return sharded_oblivious_join(left, right, shards=k)[1].schedule
+
+    assert schedule(8, 2) != schedule(12, 2)  # function *of* n
+    assert schedule(8, 2) != schedule(8, 4)  # and of k
+
+
+def test_aggregate_schedule_depends_only_on_shape():
+    schedules = []
+    for key_shift, data_seed in ((0, 5), (400, 6)):
+        left, right = _matched_pair(10, key_shift, data_seed)
+        stats = ShardedAggregateStats()
+        sharded_join_aggregate(left, right, shards=2, stats=stats)
+        schedules.append(stats.schedule)
+    assert schedules[0] == schedules[1]
+    assert len(schedules[0][1]) == 2  # one comparator record per shard task
+
+
+def test_multiway_schedule_depends_only_on_shape():
+    def chain(key_shift, data_seed):
+        rng = random.Random(data_seed)
+        t1 = [(key_shift + k, rng.randrange(1 << 20)) for k in range(8)]
+        t2 = [(key_shift + k, 100 + k) for k in range(8)]
+        t3 = [(100 + k, rng.randrange(1 << 20)) for k in range(8)]
+        return [t1, t2, t3], [(0, 0), (3, 0)]
+
+    schedules = []
+    for key_shift, data_seed in ((0, 1), (500, 2)):
+        tables, keys = chain(key_shift, data_seed)
+        stats = ShardedMultiwayStats()
+        result = sharded_multiway_join(tables, keys, shards=2, stats=stats)
+        assert result.intermediate_sizes == [8, 8]
+        schedules.append(stats.schedule)
+    assert schedules[0] == schedules[1]
+
+
+def test_stats_expose_revealed_sizes():
+    stats = ShardedJoinStats()
+    sharded_oblivious_join([(0, 1), (1, 2)], [(0, 3), (2, 4)], shards=2, stats=stats)
+    assert stats.m == 1
+    assert sum(stats.task_m) == 1
+    assert stats.total_comparisons > 0
+    assert stats.partition == (((1, (1, 1))), ((1, (1, 1))))
+
+
+# -- knobs -------------------------------------------------------------------
+
+
+def test_shards_default_tracks_workers():
+    assert ShardedEngine().shards == 2
+    assert ShardedEngine(workers=4).shards == 4
+    assert ShardedEngine(shards=3, workers=4).shards == 3
+
+
+def test_get_engine_forwards_options():
+    engine = get_engine("sharded", shards=5, workers=2)
+    assert (engine.shards, engine.workers) == (5, 2)
+    # The registered instance is never mutated.
+    assert get_engine("sharded").shards == 2
+
+
+def test_engine_option_validation():
+    with pytest.raises(InputError, match="accepts no options"):
+        get_engine("vector", workers=2)
+    with pytest.raises(InputError, match="shards"):
+        get_engine("sharded", gpu=True)
+    with pytest.raises(InputError):
+        ShardedEngine(shards=0)
+    with pytest.raises(InputError):
+        ShardedEngine(workers=0)
+
+
+# -- db layer and CLI --------------------------------------------------------
+
+
+def test_db_layer_rides_sharded_engine():
+    orders = DBTable.from_rows(
+        ["oid:int", "cid:int", "total:int"],
+        [(1, 7, 30), (2, 7, 30), (3, 9, 5), (4, 8, 12), (5, 7, 1)],
+    )
+    customers = DBTable.from_rows(["cid:int", "name:str"], [(7, "ana"), (9, "bo")])
+    reference = ObliviousEngine()
+    sharded = ObliviousEngine(engine="sharded", shards=3)
+    assert sharded.engine.shards == 3
+    for op in (
+        lambda e: e.join(customers, orders, on=("cid", "cid")).rows,
+        lambda e: e.group_by(orders, key="cid", value="total").rows,
+        lambda e: e.join_aggregate(
+            customers, orders, on=("cid", "cid"), values=("cid", "total")
+        ).rows,
+        lambda e: e.filter(orders, lambda row: row[2] >= 12).rows,
+        lambda e: e.order_by(orders, [("total", False), ("oid", True)]).rows,
+        lambda e: e.order_by(customers, [("name", True)]).rows,
+    ):
+        assert op(sharded) == op(reference)
+
+
+def test_order_by_is_stable_on_ties():
+    table = DBTable.from_rows(
+        ["k:int", "tag:str"], [(1, "first"), (0, "x"), (1, "second"), (1, "third")]
+    )
+    for name in ("traced", "vector", "sharded"):
+        ordered = ObliviousEngine(engine=name).order_by(table, [("k", True)])
+        assert [row[1] for row in ordered.rows] == ["x", "first", "second", "third"]
+
+
+def test_cli_sharded_engine_matches_traced(tmp_path):
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    left.write_text("pid,name\n1,ana\n2,bo\n3,cy\n")
+    right.write_text("pid,drug\n1,aspirin\n1,statin\n3,insulin\n")
+    outputs = {}
+    for engine, extra in (("traced", []), ("sharded", ["--workers", "1", "--shards", "2"])):
+        out = tmp_path / f"{engine}.csv"
+        code = main(
+            ["join", str(left), str(right), "--left-on", "pid", "--right-on", "pid",
+             "--engine", engine, "--output", str(out)] + extra
+        )
+        assert code == 0
+        outputs[engine] = list(csv.reader(out.open()))
+    assert outputs["traced"] == outputs["sharded"]

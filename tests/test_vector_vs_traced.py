@@ -13,8 +13,10 @@ import random
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.join import oblivious_join
+from repro.engines import get_engine
 from repro.vector.join import vector_oblivious_join
 from repro.workloads.generators import (
     ones_groups,
@@ -84,3 +86,49 @@ def test_one_to_one_shuffled_keys():
 def test_mostly_unmatched_keys():
     w = uniform_random(24, 24, key_space=100, seed=13)
     assert_bit_identical(w.left, w.right)
+
+
+# -- filter / order-by fast paths -------------------------------------------
+#
+# The db layer's FILTER and ORDER BY ride the engine protocol too; the
+# vector fast paths (bitonic compaction / stable sort permutation in
+# `repro.vector.relational`) must agree with the traced networks cell for
+# cell, including on duplicate sort keys and on the string-column fallback.
+
+
+@given(mask=st.lists(st.booleans(), max_size=33))
+@settings(max_examples=60, deadline=None)
+def test_filter_indices_bit_identical(mask):
+    traced = get_engine("traced").filter_indices(mask)
+    vector = get_engine("vector").filter_indices(mask)
+    assert traced == vector == [i for i, keep in enumerate(mask) if keep]
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=-5, max_value=5),
+            st.integers(min_value=0, max_value=2),
+        ),
+        max_size=20,
+    ),
+    first_ascending=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_order_permutation_bit_identical(rows, first_ascending):
+    columns = [
+        ([row[0] for row in rows], first_ascending),
+        ([row[1] for row in rows], True),
+    ]
+    traced = get_engine("traced").order_permutation(columns)
+    vector = get_engine("vector").order_permutation(columns)
+    assert traced == vector
+    assert sorted(traced) == list(range(len(rows)))
+
+
+def test_order_permutation_string_fallback_matches_traced():
+    values = ["pear", "fig", "apple", "fig", "plum"]
+    columns = [(values, True)]
+    traced = get_engine("traced").order_permutation(columns)
+    vector = get_engine("vector").order_permutation(columns)
+    assert traced == vector == [2, 1, 3, 0, 4]  # stable: first "fig" first
