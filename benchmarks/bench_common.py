@@ -1,7 +1,7 @@
 """Shared benchmark helpers.
 
 Every bench prints the table/figure it regenerates and also writes it to
-``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can cite stable artifacts.
+``benchmarks/out/<name>.txt`` as a stable, citable artifact.
 ``REPRO_BENCH_SCALE`` (default 1) multiplies sweep sizes for beefier runs.
 
 (Deliberately *not* named ``conftest.py``: a module by that name here used

@@ -6,21 +6,27 @@ grouped aggregation — and verifies the engines emit identical outputs: the
 justification for benchmarking on the vector engine while proving security
 properties on the traced one.
 
-Runs two ways:
+Runs three ways:
 
 * ``pytest benchmarks/bench_engines.py`` — the regression benchmarks below;
 * ``python benchmarks/bench_engines.py --engine vector --n 4096`` — a
   script sweep that times the selected engine against the traced baseline
-  and reports the speedup per workload (the CI smoke run uses ``--n 64``).
+  and reports the speedup per workload (the CI smoke run uses ``--n 64``);
+* ``python benchmarks/bench_engines.py --n 256 --json BENCH_engines.json``
+  — the CI perf artifact: every engine x padding mode x workload, one JSON
+  record each, so the performance trajectory is tracked run over run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import time
 
-from repro.cli import engine_options
+from repro.cli import check_padding_args, engine_options
 from repro.core.join import oblivious_join
+from repro.core.padding import PADDING_MODES, compact_pairs
 from repro.engines import available_engines, get_engine
 from repro.memory.tracer import HashSink, NullSink, Tracer
 from repro.vector.join import vector_oblivious_join
@@ -58,19 +64,44 @@ def _workloads(n: int, seed: int = 0):
 
 
 def run_sweep(
-    engine_name: str, n: int, seed: int = 0, options: dict | None = None
+    engine_name: str,
+    n: int,
+    seed: int = 0,
+    options: dict | None = None,
+    records: list[dict] | None = None,
+    baseline_cache: dict | None = None,
 ) -> list[list]:
-    """Time ``engine_name`` against the traced baseline on every workload."""
+    """Time ``engine_name`` against the traced baseline on every workload.
+
+    ``options`` may include ``padding``/``bound`` — padded results are
+    compacted before the divergence check, so the sweep doubles as a
+    padded-vs-unpadded bit-identity check.  When ``records`` is given,
+    one machine-readable dict per workload is appended to it (the
+    ``BENCH_engines.json`` artifact).  ``baseline_cache`` (keyed by
+    ``(workload, n, seed)``) lets the JSON matrix reuse one traced
+    baseline run per workload instead of re-timing the slowest engine
+    once per combo.
+    """
+    options = options or {}
     baseline = get_engine("traced")
-    engine = get_engine(engine_name, **(options or {}))
+    engine = get_engine(engine_name, **options)
+    padding = options.get("padding", "revealed")
     rows = []
     for workload, runner in _workloads(n, seed=seed):
-        start = time.perf_counter()
-        expected = runner(baseline)
-        t_traced = time.perf_counter() - start
+        cache_key = (workload, n, seed)
+        if baseline_cache is not None and cache_key in baseline_cache:
+            expected, t_traced = baseline_cache[cache_key]
+        else:
+            start = time.perf_counter()
+            expected = runner(baseline)
+            t_traced = time.perf_counter() - start
+            if baseline_cache is not None:
+                baseline_cache[cache_key] = (expected, t_traced)
         start = time.perf_counter()
         got = runner(engine)
         t_engine = time.perf_counter() - start
+        if workload == "join" and padding != "revealed":
+            got = compact_pairs(got)
         assert got == expected, f"{engine_name} diverges from traced on {workload}"
         rows.append(
             [
@@ -81,7 +112,66 @@ def run_sweep(
                 f"{t_traced / t_engine:.1f}x",
             ]
         )
+        if records is not None:
+            records.append(
+                {
+                    "engine": engine_name,
+                    "workload": workload,
+                    "padding": padding,
+                    "n": n,
+                    "seed": seed,
+                    "seconds": t_engine,
+                    "traced_seconds": t_traced,
+                    "speedup": t_traced / t_engine,
+                }
+            )
     return rows
+
+
+#: worst_case pads the 3-table chain to n^3 rows at step 2, so its sweep
+#: sizes are capped per engine (traced pays ~10^3x per row on top).
+_WORST_CASE_CAPS = {"traced": 16}
+_WORST_CASE_DEFAULT_CAP = 64
+
+
+def collect_json_records(n: int, seed: int = 0) -> dict:
+    """The ``BENCH_engines.json`` payload: every engine x padding mode.
+
+    ``bounded`` uses the chain's true intermediate size ``n`` as its public
+    cap — the best-case padding cost; ``worst_case`` runs at a capped size
+    (each record carries its own ``n``, so the artifact stays honest).
+    """
+    records: list[dict] = []
+    baseline_cache: dict = {}
+    for engine_name in available_engines():
+        for padding in PADDING_MODES:
+            options: dict = {}
+            n_run = n
+            if padding != "revealed":
+                options["padding"] = padding
+            if padding == "bounded":
+                options["bound"] = n
+            if padding == "worst_case":
+                n_run = min(
+                    n, _WORST_CASE_CAPS.get(engine_name, _WORST_CASE_DEFAULT_CAP)
+                )
+            run_sweep(
+                engine_name,
+                n_run,
+                seed=seed,
+                options=options,
+                records=records,
+                baseline_cache=baseline_cache,
+            )
+    return {
+        "bench": "engines",
+        "n": n,
+        "seed": seed,
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": records,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,10 +180,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        default="vector",
+        default=None,
         choices=available_engines(),
         help="engine under test; the traced baseline always runs alongside "
-        "for the speedup column (default: vector)",
+        "for the speedup column (default: vector; not valid with --json, "
+        "which sweeps every engine)",
     )
     parser.add_argument(
         "--n", type=int, default=4096, help="rows per input table (default: 4096)"
@@ -117,11 +208,53 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="sharded engine: partitions per input (default: workers, min 2)",
     )
+    parser.add_argument(
+        "--padding",
+        default="revealed",
+        choices=PADDING_MODES,
+        help="padded execution for the engine under test (default: revealed)",
+    )
+    parser.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        help="public bound for --padding bounded",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="instead of a single sweep, run every engine x padding mode and "
+        "write the machine-readable records to PATH (the BENCH_engines.json "
+        "CI artifact); worst_case sweeps run at capped sizes",
+    )
     args = parser.parse_args(argv)
-    rows = run_sweep(args.engine, args.n, seed=args.seed, options=engine_options(args))
+    if args.json:
+        # The JSON matrix fixes its own engine/padding grid; accepting (and
+        # ignoring) the single-sweep knobs would record a configuration the
+        # operator never ran.
+        if (
+            args.engine is not None
+            or args.workers is not None
+            or args.shards is not None
+            or args.padding != "revealed"
+            or args.bound is not None
+        ):
+            parser.error(
+                "--json sweeps every engine x padding mode; "
+                "--engine/--workers/--shards/--padding/--bound do not apply"
+            )
+        payload = collect_json_records(args.n, seed=args.seed)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(payload['records'])} records to {args.json}")
+        return 0
+    check_padding_args(args.padding, args.bound)
+    engine_name = args.engine or "vector"
+    rows = run_sweep(engine_name, args.n, seed=args.seed, options=engine_options(args))
     report(
-        f"engines_{args.engine}_sweep",
-        fmt_table(["workload", "n", "traced", args.engine, "speedup"], rows),
+        f"engines_{engine_name}_sweep",
+        fmt_table(["workload", "n", "traced", engine_name, "speedup"], rows),
     )
     return 0
 
@@ -184,6 +317,16 @@ def test_all_workloads_sweep_vector_vs_traced(benchmark):
     )
     tables, keys = _chain(n)
     benchmark(lambda: get_engine("vector").multiway_join(tables, keys))
+
+
+def test_json_artifact(tmp_path):
+    """The CI artifact must cover every engine x padding combination."""
+    path = tmp_path / "BENCH_engines.json"
+    assert main(["--n", "16", "--json", str(path)]) == 0
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    combos = {(r["engine"], r["padding"]) for r in payload["records"]}
+    assert len(combos) == len(available_engines()) * len(PADDING_MODES)
+    assert all(r["seconds"] > 0 for r in payload["records"])
 
 
 def test_hash_sink_overhead(benchmark):

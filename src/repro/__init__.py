@@ -3,9 +3,11 @@
 The package implements Krastnikov, Kerschbaum and Stebila's oblivious
 equi-join algorithm end to end: the traced reference engine whose
 public-memory access pattern is provably input-independent, a vectorised
-numpy engine for benchmark-scale runs, the Table 1 baselines, the Figure 6
-type system, an SGX cost model for the Figure 8 series, and a small
-oblivious relational layer.
+numpy engine for benchmark-scale runs, a sharded multi-process engine,
+padded multiway cascades that hide intermediate result sizes behind public
+bounds (``padding="bounded"|"worst_case"``; see ``docs/leakage.md``), the
+Table 1 baselines, the Figure 6 type system, an SGX cost model for the
+Figure 8 series, and a small oblivious relational layer.
 
 Quickstart::
 
@@ -13,8 +15,10 @@ Quickstart::
     result = oblivious_join([(1, 10), (2, 20)], [(1, 77), (1, 78)])
     result.pairs   # [(10, 77), (10, 78)]
 
-See README.md for the architecture tour and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for the quickstart and engine matrix, docs/architecture.md
+for the layer map, docs/leakage.md for the per-engine leakage profiles,
+and benchmarks/ for the paper-vs-measured record of every table and
+figure.
 """
 
 from . import analysis, baselines, core, db, enclave, engines, memory, obliv, security
@@ -22,10 +26,12 @@ from . import typesys, vector, workloads
 from .core.aggregate import GroupAggregate, oblivious_group_by, oblivious_join_aggregate
 from .core.join import JoinResult, oblivious_join
 from .core.multiway import MultiwayResult, oblivious_multiway_join
+from .core.padding import PADDING_MODES, cascade_bounds, compact_pairs, join_bound
 from .db.query import ObliviousEngine
 from .db.table import DBTable
 from .engines import Engine, available_engines, get_engine, register_engine
 from .errors import (
+    BoundError,
     CapacityError,
     EnclaveError,
     InjectivityError,
@@ -68,8 +74,13 @@ __all__ = [
     "oblivious_join",
     "MultiwayResult",
     "oblivious_multiway_join",
+    "PADDING_MODES",
+    "cascade_bounds",
+    "compact_pairs",
+    "join_bound",
     "ObliviousEngine",
     "DBTable",
+    "BoundError",
     "CapacityError",
     "EnclaveError",
     "InjectivityError",

@@ -3,11 +3,12 @@
 Commands
 --------
 ``join``     oblivious equi-join of two CSV files
-             (``--engine traced|vector|sharded``, ``--workers``/``--shards``)
+             (``--engine traced|vector|sharded``, ``--workers``/``--shards``,
+             ``--padding revealed|bounded|worst_case`` with ``--bound``)
 ``verify``   run the §6.1 trace-equality experiment and print the hashes
 ``trace``    print a Figure-7-style access-pattern raster for a small join
 ``predict``  Figure-8 enclave cost predictions for a given input size
-``engines``  list the registered execution engines
+``engines``  list the registered execution engines and their options
 
 Every engine produces identical results; ``traced`` is the per-access-traced
 reference implementation, ``vector`` the numpy fast path (~10^3x faster),
@@ -22,11 +23,13 @@ import sys
 
 from .analysis.viz import rasterize, render_text
 from .core.join import oblivious_join
+from .core.padding import PADDING_MODES
 from .db.query import ObliviousEngine
-from .engines import available_engines, get_engine
+from .engines import available_engines, engine_option_names, get_engine
 from .db.schema import Schema
 from .db.table import DBTable
 from .enclave.costmodel import EnclaveCostModel
+from .errors import BoundError
 from .memory.monitor import run_hashed, run_logged
 from .workloads.generators import matched_class
 
@@ -62,26 +65,61 @@ def _infer_table(path: str) -> DBTable:
     return DBTable(schema, typed)
 
 
+def check_padding_args(padding: str, bound) -> None:
+    """Reject ``--padding``/``--bound`` combinations that silently no-op.
+
+    Shared by the CLI join command and the bench script: a bound without
+    bounded padding would leave the trace fully revealed while the user
+    believes it capped, and bounded padding without a bound has no public
+    cap to pad to.
+    """
+    if bound is not None and padding != "bounded":
+        raise SystemExit(
+            f"--bound only applies with --padding bounded (got --padding {padding})"
+        )
+    if padding == "bounded" and bound is None:
+        raise SystemExit("--padding bounded needs an explicit --bound")
+    if bound is not None and bound < 0:
+        raise SystemExit(f"--bound must be >= 0, got {bound}")
+
+
 def engine_options(args: argparse.Namespace) -> dict:
-    """Collect the engine knobs (``--workers``/``--shards``) that were set."""
+    """Collect the engine knobs that were set on the command line.
+
+    ``--workers``/``--shards`` configure the sharded engine;
+    ``--padding``/``--bound`` configure padded execution on any engine.
+    """
     options = {}
     if getattr(args, "workers", None) is not None:
         options["workers"] = args.workers
     if getattr(args, "shards", None) is not None:
         options["shards"] = args.shards
+    if getattr(args, "padding", None) not in (None, "revealed"):
+        options["padding"] = args.padding
+    if getattr(args, "bound", None) is not None:
+        options["bound"] = args.bound
     return options
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
+    check_padding_args(args.padding, args.bound)
     left = _infer_table(args.left)
     right = _infer_table(args.right)
     engine = ObliviousEngine(engine=args.engine, **engine_options(args))
-    result = engine.join(left, right, on=(args.left_on, args.right_on))
+    try:
+        result = engine.join(left, right, on=(args.left_on, args.right_on))
+    except BoundError as error:
+        # The documented bounded-mode abort (a deliberate one-bit leak, see
+        # docs/leakage.md) — a clean message, not a traceback.
+        raise SystemExit(f"padding bound exceeded: {error}") from None
     writer = csv.writer(sys.stdout if args.output == "-" else open(args.output, "w", newline=""))
     writer.writerow(result.schema.names())
     for row in result.rows:
         writer.writerow(row)
-    print(f"m = {len(result)} rows", file=sys.stderr)
+    note = ""
+    if args.padding != "revealed":
+        note = f" (trace padded: {args.padding})"
+    print(f"m = {len(result)} rows{note}", file=sys.stderr)
     return 0
 
 
@@ -120,6 +158,9 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         engine = get_engine(name)
         lines = (type(engine).__doc__ or "").strip().splitlines()
         print(f"{name:10s} {lines[0] if lines else ''}".rstrip())
+        options = engine_option_names(engine)
+        if options:
+            print(f"{'':10s} options: {', '.join(options)}")
     return 0
 
 
@@ -166,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="sharded engine: partitions per input (default: workers, min 2)",
+    )
+    join.add_argument(
+        "--padding",
+        default="revealed",
+        choices=PADDING_MODES,
+        help="output-size padding: 'revealed' leaks m (default), 'bounded' "
+        "pads the trace to --bound, 'worst_case' pads to n1*n2; the CSV "
+        "output is compacted either way (see docs/leakage.md)",
+    )
+    join.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        help="public output bound for --padding bounded",
     )
     join.set_defaults(func=_cmd_join)
 

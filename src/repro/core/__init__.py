@@ -12,6 +12,16 @@ from .entry import Entry, EntryCodec, entries_from_pairs, pairs_from_entries
 from .expand import assign_first_slots, fill_down, oblivious_expand
 from .join import JoinResult, oblivious_join, oblivious_join_arrays
 from .multiway import MultiwayResult, oblivious_multiway_join
+from .padding import (
+    ANCHOR_KEY,
+    DUMMY_KEY_BASE,
+    PADDING_MODES,
+    cascade_bounds,
+    check_padding,
+    compact_pairs,
+    join_bound,
+    padded_cascade,
+)
 from .stats import TABLE3_GROUPS, JoinCounters
 
 __all__ = [
@@ -37,6 +47,14 @@ __all__ = [
     "oblivious_join_arrays",
     "MultiwayResult",
     "oblivious_multiway_join",
+    "ANCHOR_KEY",
+    "DUMMY_KEY_BASE",
+    "PADDING_MODES",
+    "cascade_bounds",
+    "check_padding",
+    "compact_pairs",
+    "join_bound",
+    "padded_cascade",
     "TABLE3_GROUPS",
     "JoinCounters",
 ]

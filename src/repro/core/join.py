@@ -8,6 +8,12 @@ Total cost `O(n log^2 n + m log m)` public-memory operations with a
 constant-size local working set; the access trace depends only on
 ``(n1, n2, m)`` — verified formally in :mod:`repro.typesys` and empirically
 in ``tests/test_join_trace_obliviousness.py``.
+
+With ``target_m`` set, the output is padded to that public bound instead:
+one anchor row rides along in each input, its group dimensions are rewritten
+after augmentation so both expansions produce exactly ``target_m`` rows, and
+the trace becomes a function of ``(n1, n2, target_m)`` — ``m`` itself stays
+hidden.  See :mod:`repro.core.padding` and ``docs/leakage.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +27,14 @@ from .align import align_table
 from .augment import augment_tables
 from .entry import Entry, entries_from_pairs
 from .expand import oblivious_expand
+from .padding import (
+    ANCHOR_KEY,
+    DUMMY_HANDLE,
+    check_anchor_headroom,
+    check_payload_headroom,
+    check_target_m,
+    exceeds_bound,
+)
 from .stats import (
     PHASE_ALIGN_SORT,
     PHASE_EXPAND1_ROUTE,
@@ -53,21 +67,60 @@ class JoinResult:
         return self.m
 
 
+def _apply_output_padding(
+    t1: PublicArray,
+    t2: PublicArray,
+    m_augmented: int,
+    target_m: int,
+    tracer: Tracer,
+    local: LocalContext,
+) -> None:
+    """Rewrite the anchor rows' group dimensions to pad the output.
+
+    The anchors carry :data:`~repro.core.padding.ANCHOR_KEY`, the maximum
+    join key, so after augmentation they sit at the *last* cell of each
+    table — a fixed public position.  ``m_augmented`` includes the anchor
+    group's own ``1 * 1`` contribution; the real join size is one less.
+    Setting the left anchor's α2 and the right anchor's α1 to
+    ``target_m - m`` makes both expansions total exactly ``target_m``
+    (α = 0 simply drops the anchor), with the dummy block landing after
+    every real output row.  Two fixed-position read-modify-writes: the
+    trace is identical for every ``m``.
+    """
+    exceeds_bound(m_augmented - 1, target_m)
+    pad = target_m - (m_augmented - 1)
+    with tracer.phase("pad:anchors"), local.slot(1):
+        anchor1 = t1.read(len(t1) - 1).copy()
+        anchor1.a2 = pad
+        t1.write(len(t1) - 1, anchor1)
+        anchor2 = t2.read(len(t2) - 1).copy()
+        anchor2.a1 = pad
+        t2.write(len(t2) - 1, anchor2)
+
+
 def oblivious_join_arrays(
     table1: list[Entry],
     table2: list[Entry],
     tracer: Tracer,
     counters: JoinCounters | None = None,
     local: LocalContext | None = None,
+    target_m: int | None = None,
 ) -> tuple[PublicArray, int, JoinCounters]:
     """Algorithm 1 over entry lists; returns ``(TD, m, counters)``.
 
     ``TD`` is the m-cell output array whose cells are ``(d1, d2)`` tuples.
+    With ``target_m``, the inputs must already carry their anchor entries
+    (as :func:`oblivious_join` appends them) and the output is exactly
+    ``target_m`` cells — real rows first, ``(DUMMY_HANDLE, DUMMY_HANDLE)``
+    padding after.
     """
     counters = counters or JoinCounters()
     local = local or LocalContext()
 
     t1, t2, _m = augment_tables(table1, table2, tracer, counters=counters, local=local)
+    if target_m is not None:
+        _apply_output_padding(t1, t2, _m, target_m, tracer, local)
+        _m = target_m
 
     with tracer.phase("expand:S1"), counters.timed("expand1"):
         s1, m1 = oblivious_expand(
@@ -106,6 +159,7 @@ def oblivious_join(
     right: list[tuple[int, int]],
     tracer: Tracer | None = None,
     counters: JoinCounters | None = None,
+    target_m: int | None = None,
 ) -> JoinResult:
     """Compute the equi-join of two tables of ``(j, d)`` pairs obliviously.
 
@@ -122,6 +176,15 @@ def oblivious_join(
         the paper's §6.1 experiments.
     counters:
         Optional per-phase cost accumulator (Table 3).
+    target_m:
+        Optional public output bound, clamped to the cross product
+        ``n1 * n2`` (uniformly across engines; the clamp is a public
+        function).  The result is padded to exactly that many pairs — the
+        true ``m`` real pairs in canonical order, then
+        ``(DUMMY_HANDLE, DUMMY_HANDLE)`` dummies — and the access trace
+        depends on ``(n1, n2, target_m)`` only.  Raises
+        :class:`~repro.errors.BoundError` if the true output exceeds the
+        bound (itself a one-bit leak; see :mod:`repro.core.padding`).
 
     Returns
     -------
@@ -133,5 +196,13 @@ def oblivious_join(
     counters = counters or JoinCounters()
     t1 = entries_from_pairs(left, tid=1)
     t2 = entries_from_pairs(right, tid=2)
-    output, m, counters = oblivious_join_arrays(t1, t2, tracer, counters=counters)
+    if target_m is not None:
+        target_m = check_target_m(target_m, len(left), len(right))
+        for table in (t1, t2):
+            check_anchor_headroom(e.j for e in table)
+            check_payload_headroom(e.d for e in table)
+            table.append(Entry(j=ANCHOR_KEY, d=DUMMY_HANDLE))
+    output, m, counters = oblivious_join_arrays(
+        t1, t2, tracer, counters=counters, target_m=target_m
+    )
     return JoinResult(pairs=output.snapshot(), m=m, n1=len(left), n2=len(right), counters=counters)

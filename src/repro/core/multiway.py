@@ -3,9 +3,13 @@
 The paper leaves compound queries as future work; the natural composition —
 folding a sequence of binary oblivious joins left to right — is implemented
 here.  Each step is the full Algorithm 1, so every intermediate access
-pattern stays oblivious; what *is* revealed is each intermediate result
-size (the same deliberate leak as ``m`` for a single join, compounded once
-per step — callers who need to hide intermediate sizes must pad upstream).
+pattern stays oblivious; by default what *is* revealed is each intermediate
+result size (the same deliberate leak as ``m`` for a single join,
+compounded once per step).  ``padding="bounded"|"worst_case"`` removes that
+leak: every intermediate is padded to a public bound with tagged dummy rows
+(:mod:`repro.core.padding`), the trace becomes a function of the input
+sizes and the bounds alone, and only the final compacted output size is
+revealed — the paper's "pad upstream" remark, implemented.
 
 Rows are tuples; the payload threaded through the integer-only core engine
 is an index into a row catalogue kept in (untraced) client memory, mirroring
@@ -24,14 +28,23 @@ from dataclasses import dataclass
 from ..errors import InputError
 from ..memory.tracer import Tracer
 from .join import JoinResult, oblivious_join
+from .padding import cascade_bounds, check_padding, padded_cascade
 
 
 @dataclass
 class MultiwayResult:
-    """Result of a cascade of binary oblivious joins."""
+    """Result of a cascade of binary oblivious joins.
+
+    ``intermediate_sizes`` are the true per-step sizes.  Under padded
+    execution they are *client-side knowledge only* — the adversary-visible
+    trace depends on ``bounds`` instead, and ``rows`` holds the compacted
+    (dummy-free) result, bit-identical to the unpadded cascade's.
+    """
 
     rows: list[tuple]
     intermediate_sizes: list[int]
+    padding: str = "revealed"
+    bounds: tuple[int, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -83,6 +96,8 @@ def oblivious_multiway_join(
     keys: list[tuple[int, int]],
     tracer: Tracer | None = None,
     engine: str | None = None,
+    padding: str | None = None,
+    bound=None,
 ) -> MultiwayResult:
     """Join ``tables[0] ⋈ tables[1] ⋈ ... ⋈ tables[k]`` pairwise.
 
@@ -101,6 +116,13 @@ def oblivious_multiway_join(
         ``None``/``"traced"`` runs this reference cascade; any other name is
         resolved through :func:`repro.engines.get_engine` (e.g. ``"vector"``
         for the numpy fast path, which produces bit-identical rows).
+    padding / bound:
+        ``"revealed"`` (default) reveals every intermediate size;
+        ``"bounded"`` pads each intermediate to the public cap(s) in
+        ``bound``; ``"worst_case"`` pads to the cross-product bounds.
+        Padded cascades return the same compacted rows, but their trace
+        depends only on the input sizes and the bounds
+        (:mod:`repro.core.padding`, ``docs/leakage.md``).
 
     Returns
     -------
@@ -110,9 +132,25 @@ def oblivious_multiway_join(
     if engine not in (None, "traced"):
         from ..engines import get_engine  # deferred: engines imports this module
 
-        return get_engine(engine).multiway_join(tables, keys, tracer=tracer)
+        return get_engine(engine).multiway_join(
+            tables, keys, tracer=tracer, padding=padding, bound=bound
+        )
+    padding = check_padding(padding)
     validate_cascade(tables, keys)
     tracer = tracer or Tracer()
+
+    if padding != "revealed":
+        bounds = cascade_bounds([len(t) for t in tables], padding, bound)
+
+        def run_step(step, left_pairs, right_pairs, target):
+            return oblivious_join(
+                left_pairs, right_pairs, tracer=tracer, target_m=target
+            ).pairs
+
+        rows, sizes = padded_cascade(tables, keys, bounds, run_step)
+        return MultiwayResult(
+            rows=rows, intermediate_sizes=sizes, padding=padding, bounds=bounds
+        )
 
     accumulated = list(tables[0])
     sizes: list[int] = []

@@ -15,12 +15,21 @@ for the multi-process scale-out path; results are identical).  Engine knobs
 pass straight through: ``ObliviousEngine(engine="sharded", workers=4)``.
 ``order_by`` is a *stable* sort (original row order breaks ties), which is
 what keeps the permutation identical across engines.
+
+Padded execution rides the same knobs:
+``ObliviousEngine(engine="vector", padding="worst_case")`` (or
+``padding="bounded", bound=...``) hides every intermediate size of
+:meth:`ObliviousEngine.multiway_join` behind public bounds and pads single
+joins to their bound too; the relational layer compacts the tagged dummy
+rows out, so results stay bit-identical while only the *final* output size
+is revealed.  See :mod:`repro.core.padding` and ``docs/leakage.md``.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..core.padding import compact_pairs
 from ..engines import Engine, get_engine
 from ..errors import SchemaError
 from ..memory.tracer import Tracer
@@ -71,8 +80,12 @@ class ObliviousEngine:
         pairs_right = list(zip(right_keys, range(len(right))))
         result = self.engine.join(pairs_left, pairs_right, tracer=self.tracer)
         schema = left.schema.concat(right.schema, prefixes)
+        # Padded engines append (-1, -1) dummy pairs after the real rows;
+        # compaction is exact because real handles are >= 0 (and a no-op
+        # for unpadded engines).
         rows = [
-            left.rows[li] + right.rows[ri] for li, ri in result.pairs
+            left.rows[li] + right.rows[ri]
+            for li, ri in compact_pairs(result.pairs)
         ]
         return DBTable(schema, rows)
 
@@ -172,12 +185,101 @@ class ObliviousEngine:
         ``on[k] = (accumulated_col, next_col)`` names the key columns for
         step k; accumulated column names follow :meth:`join`'s prefixing.
         Every step runs on the engine selected at construction time.
+
+        With a padding-configured engine, the cascade runs as *one* padded
+        engine-level multiway join instead of a step-by-step loop — that is
+        what keeps the intermediate sizes hidden: the intermediates (and
+        their dummy tails) never surface as relational tables, and only the
+        final compacted result does.  Both paths dictionary-encode ``str``
+        key columns in base-table row order (the encoder is pre-warmed), so
+        the canonical output order — which sorts by encoded code — is the
+        same whichever path runs.
         """
         if len(tables) < 2 or len(on) != len(tables) - 1:
             raise SchemaError("need k tables and k-1 key column pairs")
+        keys, encoded, offsets, folded = self._multiway_key_plan(tables, on)
+        # Pre-warm the encoder so codes are assigned in base-table row
+        # order; the step-by-step loop's per-step _encode_key then reuses
+        # them (encoding is idempotent), keeping both paths' row order
+        # identical even for str keys first seen mid-cascade.
+        for owner, col in sorted(encoded):
+            for row in tables[owner].rows:
+                self.encoder.encode(row[col])
+        if getattr(self.engine, "padding", "revealed") != "revealed":
+            return self._padded_multiway_join(tables, keys, encoded, offsets, folded)
         current = tables[0]
         for step, next_table in enumerate(tables[1:]):
             current = self.join(
                 current, next_table, on[step], prefixes=(f"t{step}", f"t{step + 1}")
             )
         return current
+
+    def _multiway_key_plan(self, tables: list[DBTable], on: list[tuple[str, str]]):
+        """Resolve a cascade's key columns against the folding schemas.
+
+        Returns ``(keys, encoded, offsets, folded)``: per-step global/local
+        key indices, the ``(table, column)`` pairs needing dictionary
+        encoding, each table's column offset in the folded row, and the
+        final folded schema (same ``t<k>`` prefixing as the join loop).
+        """
+        offsets = [0]
+        for table in tables:
+            offsets.append(offsets[-1] + len(table.schema.columns))
+        folded = tables[0].schema
+        keys: list[tuple[int, int]] = []
+        encoded: set[tuple[int, int]] = set()  # (table index, column index)
+        for step, next_table in enumerate(tables[1:]):
+            left_index = folded.index(on[step][0])
+            right_index = next_table.schema.index(on[step][1])
+            keys.append((left_index, right_index))
+            owner = max(t for t in range(len(tables)) if offsets[t] <= left_index)
+            owner_col = left_index - offsets[owner]
+            if tables[owner].schema.columns[owner_col].type == "str":
+                encoded.add((owner, owner_col))
+            if next_table.schema.columns[right_index].type == "str":
+                encoded.add((step + 1, right_index))
+            folded = folded.concat(
+                next_table.schema, (f"t{step}", f"t{step + 1}")
+            )
+        return keys, encoded, offsets, folded
+
+    def _padded_multiway_join(
+        self,
+        tables: list[DBTable],
+        keys: list[tuple[int, int]],
+        encoded: set[tuple[int, int]],
+        offsets: list[int],
+        folded: Schema,
+    ) -> DBTable:
+        """Run the cascade through ``engine.multiway_join`` with padding.
+
+        Rows travel through the cascade as opaque tuples; only the key
+        columns must be ints, so ``str`` key columns are dictionary-encoded
+        in place and decoded again in the result.
+        """
+        rows_per_table: list[list[tuple]] = []
+        for index, table in enumerate(tables):
+            key_cols = {col for owner, col in encoded if owner == index}
+            if not key_cols:
+                rows_per_table.append(list(table.rows))
+            else:
+                rows_per_table.append(
+                    [
+                        tuple(
+                            self.encoder.encode(value) if col in key_cols else value
+                            for col, value in enumerate(row)
+                        )
+                        for row in table.rows
+                    ]
+                )
+
+        result = self.engine.multiway_join(rows_per_table, keys, tracer=self.tracer)
+        decode_positions = {offsets[owner] + col for owner, col in encoded}
+        rows = [
+            tuple(
+                self.encoder.decode(value) if pos in decode_positions else value
+                for pos, value in enumerate(row)
+            )
+            for row in result.rows
+        ]
+        return DBTable(folded, rows)

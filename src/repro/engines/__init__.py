@@ -6,6 +6,7 @@ Usage::
 
     engine = get_engine("vector")               # or "traced" / "sharded"
     engine = get_engine("sharded", workers=4)   # engines with knobs
+    engine = get_engine("vector", padding="worst_case")  # hide result sizes
     result = engine.join(left, right)           # same results on every engine
 
 The registry is the architectural seam future backends plug into: implement
@@ -17,7 +18,12 @@ Picking an engine
 -----------------
 All engines produce bit-identical results (the cross-engine differential
 suite in ``tests/test_engines.py`` and ``tests/test_engine_properties.py``
-enforces it); they differ in speed, leakage granularity, and parallelism:
+enforces it); they differ in speed, leakage granularity, and parallelism.
+All three also support *padded execution* —
+``get_engine(name, padding="bounded"|"worst_case", bound=...)`` — which
+hides result sizes (including every multiway intermediate, the sharded
+``m_ij`` grid, and per-shard partial group counts) behind public bounds;
+``docs/leakage.md`` is the full leakage-profile table.
 
 ``traced``
     The reference. Pure Python, every public-memory access routed through a
@@ -47,7 +53,14 @@ enforces it); they differ in speed, leakage granularity, and parallelism:
     ``get_engine("sharded", shards=K, workers=N)``.
 """
 
-from .base import Engine, Pairs, available_engines, get_engine, register_engine
+from .base import (
+    Engine,
+    Pairs,
+    available_engines,
+    engine_option_names,
+    get_engine,
+    register_engine,
+)
 from .sharded import ShardedEngine
 from .traced import TracedEngine
 from .vector import VectorEngine
@@ -61,6 +74,7 @@ __all__ = [
     "Engine",
     "Pairs",
     "available_engines",
+    "engine_option_names",
     "get_engine",
     "register_engine",
     "ShardedEngine",

@@ -24,11 +24,51 @@ from typing import Protocol, runtime_checkable
 from ..core.aggregate import GroupAggregate
 from ..core.join import JoinResult
 from ..core.multiway import MultiwayResult
+from ..core.padding import check_padding, join_bound
 from ..errors import InputError
 from ..memory.tracer import Tracer
 
 #: A table in the paper's model: a list of ``(join_value, data_value)`` pairs.
 Pairs = list[tuple[int, int]]
+
+
+class PaddingOptionsMixin:
+    """Shared ``padding`` / ``bound`` engine configuration.
+
+    Engines default to ``padding="revealed"``; a configured copy from
+    ``get_engine(name, padding=..., bound=...)`` pads every join and
+    multiway cascade it runs (:mod:`repro.core.padding`).  Aggregation
+    obeys the flag where it leaks more than the output size (the sharded
+    engine's partial group counts); the traced/vector aggregations already
+    reveal only the final group count, so the flag changes nothing there.
+    Backends extend ``OPTIONS`` with their own knobs (the sharded engine
+    adds ``shards``/``workers``).
+    """
+
+    OPTIONS = ("padding", "bound")
+
+    def _init_padding(self, padding: str | None, bound) -> None:
+        self.padding = check_padding(padding)
+        self.bound = bound
+
+    def _join_target(self, left: Pairs, right: Pairs, target_m: int | None):
+        if target_m is not None:
+            return target_m
+        return join_bound(len(left), len(right), self.padding, self.bound)
+
+    def _cascade_padding(self, padding: str | None, bound):
+        return (
+            self.padding if padding is None else padding,
+            self.bound if bound is None else bound,
+        )
+
+    def _check_options(self, options: dict) -> None:
+        unknown = set(options) - set(self.OPTIONS)
+        if unknown:
+            raise InputError(
+                f"{self.name} engine options are {', '.join(self.OPTIONS)}; "
+                f"got {sorted(unknown)}"
+            )
 
 
 @runtime_checkable
@@ -38,6 +78,17 @@ class Engine(Protocol):
     Engines that have no per-access trace (the vector and sharded engines)
     accept and ignore ``tracer``; their adversary view is the primitive
     schedule instead.
+
+    Every in-tree engine also understands *padded execution*
+    (:mod:`repro.core.padding`): configure it with
+    ``get_engine(name, padding="worst_case")`` (plus ``bound=...`` for
+    ``"bounded"``), or per call via ``join(..., target_m=...)`` and
+    ``multiway_join(..., padding=..., bound=...)``.  Padded calls return
+    the same real rows plus tagged dummies, and their trace/schedule is a
+    function of input sizes and public bounds only — ``docs/leakage.md``
+    tabulates exactly what each engine reveals in each mode.  The
+    ``OPTIONS`` class attribute names the keywords an engine's
+    ``with_options`` accepts (``python -m repro engines`` prints them).
 
     ``filter_indices`` and ``order_permutation`` are the index-level
     primitives behind the db layer's FILTER and ORDER BY.  The order-by
@@ -49,7 +100,11 @@ class Engine(Protocol):
     name: str
 
     def join(
-        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+        self,
+        left: Pairs,
+        right: Pairs,
+        tracer: Tracer | None = None,
+        target_m: int | None = None,
     ) -> JoinResult: ...
 
     def multiway_join(
@@ -57,6 +112,8 @@ class Engine(Protocol):
         tables: list[list[tuple]],
         keys: list[tuple[int, int]],
         tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
     ) -> MultiwayResult: ...
 
     def aggregate(
@@ -89,11 +146,17 @@ def register_engine(engine: Engine) -> Engine:
     return engine
 
 
+def engine_option_names(engine: Engine) -> tuple[str, ...]:
+    """The keyword options ``engine.with_options`` accepts (may be empty)."""
+    return tuple(getattr(engine, "OPTIONS", ()))
+
+
 def get_engine(engine: str | Engine, **options) -> Engine:
     """Resolve an engine by name (or pass an instance straight through).
 
-    Keyword options (e.g. ``workers=4, shards=4`` for the sharded engine)
-    are forwarded to the engine's ``with_options`` hook, which returns a
+    Keyword options (``workers=4, shards=4`` for the sharded engine,
+    ``padding="worst_case"`` / ``bound=...`` for every in-tree engine) are
+    forwarded to the engine's ``with_options`` hook, which returns a
     configured copy; engines without the hook reject any options.
     """
     if isinstance(engine, str):

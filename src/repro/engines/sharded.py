@@ -7,7 +7,7 @@ primitives run per shard on a multiprocessing pool
 (:mod:`repro.shard.executor`), and a bitonic merge tournament
 (:mod:`repro.shard.merge`) reassembles the bit-identical result.
 
-Two knobs:
+Four knobs:
 
 ``shards``
     How many partitions each input is split into.  The binary join runs
@@ -19,13 +19,20 @@ Two knobs:
     list inline — deterministic, fork-free, and what the test suite uses;
     ``workers>1`` forks a pool and is where multi-core wall-clock wins
     come from.
+``padding`` / ``bound``
+    Padded execution (:mod:`repro.core.padding`).  This engine's extra
+    reveals — the join's per-task ``m_ij`` grid and aggregation's
+    per-shard partial group counts — fold into the same padded story:
+    under ``"bounded"``/``"worst_case"`` every grid task and every partial
+    table runs at its public worst case, so the schedule reveals only
+    ``(n1, n2, k)`` and the bounds (``docs/leakage.md``).
 
 Configured copies come from :func:`repro.engines.get_engine`::
 
-    get_engine("sharded", shards=4, workers=4)
+    get_engine("sharded", shards=4, workers=4, padding="worst_case")
 
 or equivalently ``ObliviousEngine(engine="sharded", shards=4, workers=4)``
-and ``--engine sharded --workers 4`` on the CLI.
+and ``--engine sharded --workers 4 --padding worst_case`` on the CLI.
 """
 
 from __future__ import annotations
@@ -41,18 +48,26 @@ from ..shard.join import sharded_oblivious_join
 from ..shard.multiway import sharded_multiway_join
 from ..shard.partition import check_shards
 from ..shard.relational import sharded_filter_indices, sharded_order_permutation
-from .base import Pairs
+from .base import PaddingOptionsMixin, Pairs
 from .traced import traced_order_permutation
 
 
-class ShardedEngine:
+class ShardedEngine(PaddingOptionsMixin):
     """Sharded multi-process engine: padded partitions, identical outputs."""
 
     name = "sharded"
+    OPTIONS = ("shards", "workers", "padding", "bound")
 
-    def __init__(self, shards: int | None = None, workers: int = 1) -> None:
+    def __init__(
+        self,
+        shards: int | None = None,
+        workers: int = 1,
+        padding: str | None = None,
+        bound=None,
+    ) -> None:
         self.workers = check_workers(workers)
         self._shards = None if shards is None else check_shards(shards)
+        self._init_padding(padding, bound)
 
     @property
     def shards(self) -> int:
@@ -61,22 +76,27 @@ class ShardedEngine:
 
     def with_options(self, **options) -> "ShardedEngine":
         """A configured copy; unknown options are rejected loudly."""
-        unknown = set(options) - {"shards", "workers"}
-        if unknown:
-            raise InputError(
-                f"sharded engine options are 'shards' and 'workers', "
-                f"got {sorted(unknown)}"
-            )
+        self._check_options(options)
         return ShardedEngine(
             shards=options.get("shards", self._shards),
             workers=options.get("workers", self.workers),
+            padding=options.get("padding", self.padding),
+            bound=options.get("bound", self.bound),
         )
 
     def join(
-        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+        self,
+        left: Pairs,
+        right: Pairs,
+        tracer: Tracer | None = None,
+        target_m: int | None = None,
     ) -> JoinResult:
         pairs, stats = sharded_oblivious_join(
-            left, right, shards=self.shards, workers=self.workers
+            left,
+            right,
+            shards=self.shards,
+            workers=self.workers,
+            target_m=self._join_target(left, right, target_m),
         )
         return JoinResult(
             pairs=[tuple(p) for p in pairs.tolist()],
@@ -90,22 +110,39 @@ class ShardedEngine:
         tables: list[list[tuple]],
         keys: list[tuple[int, int]],
         tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
     ) -> MultiwayResult:
+        padding, bound = self._cascade_padding(padding, bound)
         return sharded_multiway_join(
-            tables, keys, shards=self.shards, workers=self.workers
+            tables,
+            keys,
+            shards=self.shards,
+            workers=self.workers,
+            padding=padding,
+            bound=bound,
         )
 
     def aggregate(
         self, left: Pairs, right: Pairs, tracer: Tracer | None = None
     ) -> list[GroupAggregate]:
         return sharded_join_aggregate(
-            left, right, shards=self.shards, workers=self.workers
+            left,
+            right,
+            shards=self.shards,
+            workers=self.workers,
+            padded=self.padding != "revealed",
         )
 
     def group_by(
         self, table: Pairs, tracer: Tracer | None = None
     ) -> list[GroupAggregate]:
-        return sharded_group_by(table, shards=self.shards, workers=self.workers)
+        return sharded_group_by(
+            table,
+            shards=self.shards,
+            workers=self.workers,
+            padded=self.padding != "revealed",
+        )
 
     def filter_indices(
         self, mask: list[bool], tracer: Tracer | None = None

@@ -20,7 +20,7 @@ from ..memory.tracer import Tracer
 from ..obliv.bitonic import bitonic_sort
 from ..obliv.compact import compact_by_routing
 from ..obliv.compare import SortKey, SortSpec
-from .base import Pairs
+from .base import PaddingOptionsMixin, Pairs
 
 
 def traced_filter_indices(mask: list[bool], tracer: Tracer | None = None) -> list[int]:
@@ -65,23 +65,45 @@ def traced_order_permutation(
     return [cells.read(i)[-1] for i in range(n)]
 
 
-class TracedEngine:
+class TracedEngine(PaddingOptionsMixin):
     """Reference engine with per-access tracing (the paper's prototype)."""
 
     name = "traced"
 
+    def __init__(self, padding: str | None = None, bound=None) -> None:
+        self._init_padding(padding, bound)
+
+    def with_options(self, **options) -> "TracedEngine":
+        """A configured copy; unknown options are rejected loudly."""
+        self._check_options(options)
+        return TracedEngine(
+            padding=options.get("padding", self.padding),
+            bound=options.get("bound", self.bound),
+        )
+
     def join(
-        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+        self,
+        left: Pairs,
+        right: Pairs,
+        tracer: Tracer | None = None,
+        target_m: int | None = None,
     ) -> JoinResult:
-        return oblivious_join(left, right, tracer=tracer)
+        return oblivious_join(
+            left, right, tracer=tracer, target_m=self._join_target(left, right, target_m)
+        )
 
     def multiway_join(
         self,
         tables: list[list[tuple]],
         keys: list[tuple[int, int]],
         tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
     ) -> MultiwayResult:
-        return oblivious_multiway_join(tables, keys, tracer=tracer)
+        padding, bound = self._cascade_padding(padding, bound)
+        return oblivious_multiway_join(
+            tables, keys, tracer=tracer, padding=padding, bound=bound
+        )
 
     def aggregate(
         self, left: Pairs, right: Pairs, tracer: Tracer | None = None

@@ -19,19 +19,36 @@ from ..vector.aggregate import vector_group_by, vector_join_aggregate
 from ..vector.join import vector_oblivious_join
 from ..vector.multiway import vector_multiway_join
 from ..vector.relational import vector_filter_indices, vector_order_permutation
-from .base import Pairs
+from .base import PaddingOptionsMixin, Pairs
 from .traced import traced_order_permutation
 
 
-class VectorEngine:
+class VectorEngine(PaddingOptionsMixin):
     """Vectorised engine: whole-array numpy primitives, identical outputs."""
 
     name = "vector"
 
+    def __init__(self, padding: str | None = None, bound=None) -> None:
+        self._init_padding(padding, bound)
+
+    def with_options(self, **options) -> "VectorEngine":
+        """A configured copy; unknown options are rejected loudly."""
+        self._check_options(options)
+        return VectorEngine(
+            padding=options.get("padding", self.padding),
+            bound=options.get("bound", self.bound),
+        )
+
     def join(
-        self, left: Pairs, right: Pairs, tracer: Tracer | None = None
+        self,
+        left: Pairs,
+        right: Pairs,
+        tracer: Tracer | None = None,
+        target_m: int | None = None,
     ) -> JoinResult:
-        pairs, stats = vector_oblivious_join(left, right)
+        pairs, stats = vector_oblivious_join(
+            left, right, target_m=self._join_target(left, right, target_m)
+        )
         return JoinResult(
             pairs=[tuple(p) for p in pairs.tolist()],
             m=stats.m,
@@ -44,8 +61,11 @@ class VectorEngine:
         tables: list[list[tuple]],
         keys: list[tuple[int, int]],
         tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
     ) -> MultiwayResult:
-        return vector_multiway_join(tables, keys)
+        padding, bound = self._cascade_padding(padding, bound)
+        return vector_multiway_join(tables, keys, padding=padding, bound=bound)
 
     def aggregate(
         self, left: Pairs, right: Pairs, tracer: Tracer | None = None

@@ -24,6 +24,17 @@ class CapacityError(InputError):
     """A destination array is too small for the requested operation."""
 
 
+class BoundError(InputError):
+    """A true output size exceeded its public padding bound.
+
+    Raised by padded execution (``padding="bounded"``) when an intermediate
+    join result is larger than the bound the caller declared public.  Note
+    that *aborting is itself a one-bit leak* ("the result exceeded B") —
+    callers who cannot afford it must use ``padding="worst_case"``, whose
+    bounds can never be exceeded.  See ``docs/leakage.md``.
+    """
+
+
 class InjectivityError(InputError):
     """A destination map handed to oblivious distribution is not injective."""
 

@@ -12,6 +12,13 @@ Three nested levels of obliviousness:
 Table 2 maps each level to the side-channel attacks it still admits in each
 deployment setting; :func:`vulnerability_profile` reproduces that matrix and
 :func:`classify` assigns a level from a program's declared properties.
+
+Orthogonal to the *levels* (how faithfully a trace hides data) is the
+question of *what public values the trace is allowed to depend on* — the
+leakage profile.  :data:`LEAKAGE_PROFILES` / :func:`leakage_profile` give
+the machine-readable answer per engine and padding mode; the prose version,
+with the threat model and the residual leaks spelled out, is the
+first-class guide in ``docs/leakage.md``.
 """
 
 from __future__ import annotations
@@ -162,6 +169,55 @@ KNOWN_PROFILES: dict[str, ProgramProfile] = {
         circuit_like=False,
     ),
 }
+
+
+#: What each engine's adversary view is a function of, per padding mode —
+#: the machine-readable twin of the table in ``docs/leakage.md`` (which
+#: also defines each symbol).  Symbols: ``n1``/``n2``/``n_i`` input sizes,
+#: ``m`` join output size, ``step_sizes`` multiway intermediate sizes,
+#: ``bound``/``bounds`` the public padding bounds, ``k`` shard count,
+#: ``partition_plan`` the (n, k)-determined shard layout, ``m_ij_grid``
+#: per-task output sizes, ``partial_group_counts`` per-shard distinct-key
+#: counts, ``g`` the final group count, ``m_final`` the compacted final
+#: output size (always revealed — the paper's model accepts it).
+#: ``m_final`` and ``g`` (final output / group count after compaction) are
+#: revealed in *every* mode — the paper's model accepts that — so every
+#: profile lists them.
+LEAKAGE_PROFILES: dict[tuple[str, str], tuple[str, ...]] = {
+    ("traced", "revealed"): ("n1", "n2", "m", "step_sizes", "m_final", "g"),
+    ("traced", "bounded"): ("n1", "n2", "bound", "bounds", "m_final", "g"),
+    ("traced", "worst_case"): ("n1", "n2", "m_final", "g"),
+    ("vector", "revealed"): ("n1", "n2", "m", "step_sizes", "m_final", "g"),
+    ("vector", "bounded"): ("n1", "n2", "bound", "bounds", "m_final", "g"),
+    ("vector", "worst_case"): ("n1", "n2", "m_final", "g"),
+    ("sharded", "revealed"): (
+        "n1", "n2", "k", "partition_plan", "m", "step_sizes",
+        "m_ij_grid", "partial_group_counts", "m_final", "g",
+    ),
+    ("sharded", "bounded"): (
+        "n1", "n2", "k", "partition_plan", "bound", "bounds", "m_final", "g",
+    ),
+    ("sharded", "worst_case"): (
+        "n1", "n2", "k", "partition_plan", "m_final", "g",
+    ),
+}
+
+
+def leakage_profile(engine: str, padding: str = "revealed") -> tuple[str, ...]:
+    """Public values the (engine, padding) adversary view may depend on.
+
+    The authoritative prose table — including what each symbol means, the
+    abort leak of ``"bounded"`` mode, and the reveals padding does *not*
+    remove (e.g. the sharded filter's per-shard survivor counts) — lives in
+    ``docs/leakage.md``; keep the two in sync (a test cross-checks them).
+    """
+    try:
+        return LEAKAGE_PROFILES[(engine, padding)]
+    except KeyError:
+        raise KeyError(
+            f"no leakage profile for engine={engine!r}, padding={padding!r}; "
+            f"known: {sorted(LEAKAGE_PROFILES)}"
+        ) from None
 
 
 def render_table2() -> str:

@@ -19,6 +19,11 @@ Total comparator work is ``k * (n/k) log^2 (n/k)`` for the shard sorts —
 table.  Revealed: the per-shard partial group counts (how many distinct
 keys each position block holds) and the final group count ``g``; the former
 is the sharded analogue of the multiway cascade's intermediate sizes.
+With ``padded=True`` each shard's partial table is padded to its public
+worst case (the block's row count — a block cannot hold more distinct keys
+than rows) with neutral anchor-keyed dummies that the combine's own filter
+compacts away, so only ``(n1, n2, k)`` and the final ``g`` are revealed —
+the same padded story the join's ``m_ij`` grid folds into.
 
 Outputs are bit-identical to :mod:`repro.vector.aggregate` — asserted by
 the cross-engine differential suite — including the refusal of inputs whose
@@ -33,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.aggregate import GroupAggregate
+from ..core.padding import ANCHOR_KEY, check_anchor_headroom
 from ..errors import InputError
 from ..vector.sort import vector_bitonic_sort
 from .executor import check_workers, run_tasks
@@ -91,9 +97,35 @@ def _segment_starts(j: np.ndarray) -> np.ndarray:
     return np.flatnonzero(np.concatenate([[True], j[1:] != j[:-1]]))
 
 
+def _pad_partials(
+    partials: dict[str, np.ndarray], pad_to: int
+) -> dict[str, np.ndarray]:
+    """Pad a shard's partial table to its public bound with neutral rows.
+
+    Dummy partials carry the anchor key (sorts after every real key), zero
+    counts/sums, and min/max identity elements, so the combine's segmented
+    reduction and presence filter eliminate them without a dedicated path.
+    """
+    extra = pad_to - len(partials["j"])
+    neutral = {
+        "j": ANCHOR_KEY, "c1": 0, "c2": 0, "s1": 0, "s2": 0,
+        "mn1": _INT_MAX, "mx1": _INT_MIN, "mn2": _INT_MAX, "mx2": _INT_MIN,
+    }
+    return {
+        name: np.concatenate(
+            [partials[name], np.full(extra, neutral[name], dtype=_INT)]
+        )
+        for name in _PARTIAL_COLUMNS
+    }
+
+
 def _aggregate_task(payload) -> tuple[dict[str, np.ndarray], int]:
-    """One shard: sort the block by ``(j, tid)``, emit per-key partials."""
-    lj, ld, lreal, rj, rd, rreal = payload
+    """One shard: sort the block by ``(j, tid)``, emit per-key partials.
+
+    ``pad_to`` (``None`` when revealing) pads the emitted partial table to
+    the block's public row count, hiding how many distinct keys it held.
+    """
+    lj, ld, lreal, rj, rd, rreal, pad_to = payload
     j = np.concatenate([lj[:lreal], rj[:rreal]])
     d = np.concatenate([ld[:lreal], rd[:rreal]])
     tid = np.concatenate(
@@ -121,6 +153,8 @@ def _aggregate_task(payload) -> tuple[dict[str, np.ndarray], int]:
         "mn2": np.minimum.reduceat(np.where(is_left, _INT_MAX, d), starts),
         "mx2": np.maximum.reduceat(np.where(is_left, _INT_MIN, d), starts),
     }
+    if pad_to is not None:
+        partials = _pad_partials(partials, pad_to)
     return partials, counter[0]
 
 
@@ -186,6 +220,7 @@ def _run_sharded_aggregation(
     workers: int,
     left_only: bool,
     stats: ShardedAggregateStats,
+    padded: bool = False,
 ) -> list[GroupAggregate]:
     check_workers(workers)
     stats.shards = shards
@@ -200,9 +235,23 @@ def _run_sharded_aggregation(
     _overflow_guard(
         [part.d[: part.real] for part in left_parts + right_parts], n1 + n2
     )
+    if padded:
+        check_anchor_headroom(
+            int(part.j[: part.real].max())
+            for part in left_parts + right_parts
+            if part.real
+        )
     stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
     payloads = [
-        (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real)
+        (
+            lp.j,
+            lp.d,
+            lp.real,
+            rp.j,
+            rp.d,
+            rp.real,
+            lp.real + rp.real if padded else None,
+        )
         for lp, rp in zip(left_parts, right_parts)
     ]
     stats.seconds_by_phase["partition"] = time.perf_counter() - start
@@ -224,16 +273,18 @@ def sharded_join_aggregate(
     shards: int = 2,
     workers: int = 1,
     stats: ShardedAggregateStats | None = None,
+    padded: bool = False,
 ) -> list[GroupAggregate]:
     """Sharded counterpart of :func:`repro.vector.aggregate.vector_join_aggregate`.
 
     One :class:`~repro.core.aggregate.GroupAggregate` per join value present
     in *both* tables, ordered by join value — bit-identical to the vector
-    and traced engines.
+    and traced engines.  ``padded=True`` hides the per-shard partial group
+    counts (each partial table ships at its public worst-case size).
     """
     stats = stats if stats is not None else ShardedAggregateStats()
     return _run_sharded_aggregation(
-        left, right, shards, workers, left_only=False, stats=stats
+        left, right, shards, workers, left_only=False, stats=stats, padded=padded
     )
 
 
@@ -242,9 +293,10 @@ def sharded_group_by(
     shards: int = 2,
     workers: int = 1,
     stats: ShardedAggregateStats | None = None,
+    padded: bool = False,
 ) -> list[GroupAggregate]:
     """Sharded counterpart of :func:`repro.vector.aggregate.vector_group_by`."""
     stats = stats if stats is not None else ShardedAggregateStats()
     return _run_sharded_aggregation(
-        table, [], shards, workers, left_only=True, stats=stats
+        table, [], shards, workers, left_only=True, stats=stats, padded=padded
     )

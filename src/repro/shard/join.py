@@ -27,8 +27,15 @@ Leakage: the partition plans and every primitive schedule are functions of
 ``(n1, n2, k)`` plus the per-task output sizes ``m_ij``.  The ``m_ij`` grid
 is a *finer* deliberate reveal than the single join's ``m`` (it localises
 output volume to position-block pairs) — the same trade the multiway
-cascade makes for intermediate sizes; hiding it needs upstream output
-padding (see ROADMAP).
+cascade makes for intermediate sizes.  With ``target_m`` set, the grid is
+folded into the padded story: every task runs the padded vector join at
+its own public worst case ``real_i * real_j`` (a row pair cannot emit more
+than its cross product), the merge tournament therefore processes runs of
+public lengths summing to ``n1 * n2``, and the output is the first
+``target_m`` merged rows — real rows sort before the anchor-keyed dummies,
+so that truncation is public too.  Task grid, schedule, and ``task_m`` all
+become functions of ``(n1, n2, k, target_m)``; see
+:mod:`repro.core.padding` and ``docs/leakage.md``.
 """
 
 from __future__ import annotations
@@ -38,6 +45,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.padding import (
+    DUMMY_HANDLE,
+    check_anchor_headroom,
+    check_payload_headroom,
+    check_target_m,
+    exceeds_bound,
+)
 from ..vector.join import vector_oblivious_join
 from ..vector.sort import vector_bitonic_sort
 from .executor import check_workers, run_tasks
@@ -126,12 +140,16 @@ def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
     The payload carries padded column arrays plus the public real counts;
     slicing off the padding reveals nothing because the counts are part of
     the partition plan.  Returns the keyed ``(m_ij, 3)`` output run (sorted
-    by ``(j, left_rank, d2)``) and the task's comparator counts.
+    by ``(j, left_rank, d2)``) and the task's comparator counts.  Under
+    padded execution ``task_target`` is the cell's public bound
+    ``lreal * rreal`` and the run comes back padded to exactly that size.
     """
-    lj, ld, lreal, rj, rd, rreal = payload
+    lj, ld, lreal, rj, rd, rreal, task_target = payload
     left = np.stack([lj[:lreal], ld[:lreal]], axis=1)
     right = np.stack([rj[:rreal], rd[:rreal]], axis=1)
-    keyed, stats = vector_oblivious_join(left, right, with_keys=True)
+    keyed, stats = vector_oblivious_join(
+        left, right, with_keys=True, target_m=task_target
+    )
     return keyed, dict(stats.comparisons_by_phase)
 
 
@@ -153,12 +171,23 @@ def _sharded_rank_sort(
     return merged
 
 
+def _check_padded_input(pairs) -> None:
+    """Key- and payload-headroom validation for one padded input table."""
+    array = np.asarray(pairs, dtype=_INT)
+    if array.size == 0:
+        return
+    array = array.reshape(-1, 2)
+    check_anchor_headroom((int(array[:, 0].max()),))
+    check_payload_headroom((int(array[:, 1].min()),))
+
+
 def sharded_oblivious_join(
     left,
     right,
     shards: int = 2,
     workers: int = 1,
     stats: ShardedJoinStats | None = None,
+    target_m: int | None = None,
 ) -> tuple[np.ndarray, ShardedJoinStats]:
     """Sharded Algorithm 1; returns ``(pairs, stats)``.
 
@@ -166,10 +195,20 @@ def sharded_oblivious_join(
     :func:`~repro.vector.join.vector_oblivious_join` produces — bit-identical
     rows in the canonical order — computed as ``shards**2`` independent
     sub-joins on up to ``workers`` processes.
+
+    ``target_m`` selects padded execution: every grid cell is padded to its
+    public worst case, the merged output is truncated at the public bound,
+    and the whole schedule (grid, ``task_m``, merge) reveals only
+    ``(n1, n2, k, target_m)``.  Like every engine, ``target_m`` is clamped
+    to the cross-product worst case ``n1 * n2`` (a public function).
     """
     check_workers(workers)
     stats = stats if stats is not None else ShardedJoinStats()
     stats.shards = shards
+    if target_m is not None:
+        target_m = check_target_m(target_m, len(left), len(right))
+        _check_padded_input(left)
+        _check_padded_input(right)
 
     sorted_left = _sharded_rank_sort(left, shards, workers, stats)
     n1 = len(sorted_left["j"])
@@ -183,7 +222,15 @@ def sharded_oblivious_join(
     n2 = sum(part.real for part in right_parts)
     stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
     payloads = [
-        (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real)
+        (
+            lp.j,
+            lp.d,
+            lp.real,
+            rp.j,
+            rp.d,
+            rp.real,
+            None if target_m is None else lp.real * rp.real,
+        )
         for lp in left_parts
         for rp in right_parts
     ]
@@ -194,7 +241,7 @@ def sharded_oblivious_join(
     stats.seconds_by_phase["tasks"] = time.perf_counter() - start
     stats.task_comparisons = [comparisons for _, comparisons in results]
     stats.task_m = [len(keyed) for keyed, _ in results]
-    stats.m = sum(stats.task_m)
+    stats.m = sum(stats.task_m) if target_m is None else target_m
 
     start = time.perf_counter()
     runs = [
@@ -205,7 +252,21 @@ def sharded_oblivious_join(
     merged = oblivious_merge_runs(runs, MERGE_KEYS, counter=counter)
     stats.merge_comparisons = counter[0]
 
-    if stats.m == 0:
+    if target_m is not None:
+        # Client-side bound check (no trace impact): every real row carries
+        # a rank >= 0, dummies carry -1.
+        exceeds_bound(int(np.count_nonzero(merged["d1"] >= 0)), target_m)
+        # All real rows sort before the anchor-keyed dummies, so keeping
+        # the first target_m merged rows is a public truncation; the dummy
+        # ranks (-1) must not index the gather below.
+        merged = {name: column[:target_m] for name, column in merged.items()}
+        ranks = merged["d1"]
+        real = ranks >= 0
+        gathered = np.where(
+            real, sorted_left["d"][np.where(real, ranks, 0)], DUMMY_HANDLE
+        )
+        pairs = np.stack([gathered, merged["d2"]], axis=1)
+    elif stats.m == 0:
         pairs = np.zeros((0, 2), dtype=_INT)
     else:
         # The merged d1 column holds left *ranks*; gather the data values

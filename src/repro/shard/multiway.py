@@ -10,6 +10,10 @@ engines; the differential suite pins that.
 
 Revealed per step: the intermediate size (as in every engine) plus the
 sharded join's per-task ``m_ij`` grid (see :mod:`repro.shard.join`).
+Under ``padding="bounded"|"worst_case"`` both collapse into the public
+bounds: each step runs the padded sharded join at its planner bound, so
+the whole cascade's task grids and schedules are functions of the input
+sizes, ``k``, and the bounds alone (:mod:`repro.core.padding`).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from ..core.multiway import (
     encode_handles,
     validate_cascade,
 )
+from ..core.padding import cascade_bounds, check_padding, padded_cascade
 from .join import ShardedJoinStats, sharded_oblivious_join
 
 
@@ -54,10 +59,35 @@ def sharded_multiway_join(
     shards: int = 2,
     workers: int = 1,
     stats: ShardedMultiwayStats | None = None,
+    padding: str | None = None,
+    bound=None,
 ) -> MultiwayResult:
     """Sharded left-deep cascade; same contract as the traced/vector versions."""
+    padding = check_padding(padding)
     validate_cascade(tables, keys)
     stats = stats if stats is not None else ShardedMultiwayStats()
+
+    if padding != "revealed":
+        bounds = cascade_bounds([len(t) for t in tables], padding, bound)
+
+        def run_step(step, left_pairs, right_pairs, target):
+            step_stats = ShardedJoinStats()
+            handles, step_stats = sharded_oblivious_join(
+                left_pairs,
+                right_pairs,
+                shards=shards,
+                workers=workers,
+                stats=step_stats,
+                target_m=target,
+            )
+            stats.step_stats.append(step_stats)
+            stats.intermediate_sizes.append(step_stats.m)
+            return [tuple(pair) for pair in handles.tolist()]
+
+        rows, sizes = padded_cascade(tables, keys, bounds, run_step)
+        return MultiwayResult(
+            rows=rows, intermediate_sizes=sizes, padding=padding, bounds=bounds
+        )
 
     accumulated = list(tables[0])
     for step, table in enumerate(tables[1:]):

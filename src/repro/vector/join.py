@@ -16,6 +16,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.padding import (
+    ANCHOR_KEY,
+    DUMMY_HANDLE,
+    check_anchor_headroom,
+    check_payload_headroom,
+    check_target_m,
+    exceeds_bound,
+)
 from ..errors import InputError
 from ..obliv.routing import largest_hop
 from .sort import vector_bitonic_sort
@@ -166,11 +174,24 @@ def _align(s2: dict[str, np.ndarray], m: int, stats: VectorJoinStats) -> dict[st
     return s2
 
 
+def _append_anchor(columns: dict[str, np.ndarray], tid: int) -> dict[str, np.ndarray]:
+    """One anchor row per table under padded execution (see core.padding)."""
+    if len(columns["j"]):
+        check_anchor_headroom((int(columns["j"].max()),))
+        check_payload_headroom((int(columns["d"].min()),))
+    return {
+        "j": np.append(columns["j"], np.asarray([ANCHOR_KEY], dtype=_INT)),
+        "d": np.append(columns["d"], np.asarray([DUMMY_HANDLE], dtype=_INT)),
+        "tid": np.append(columns["tid"], np.asarray([tid], dtype=_INT)),
+    }
+
+
 def vector_oblivious_join(
     left,
     right,
     stats: VectorJoinStats | None = None,
     with_keys: bool = False,
+    target_m: int | None = None,
 ) -> tuple[np.ndarray, VectorJoinStats]:
     """Vectorised Algorithm 1; returns ``(pairs, stats)``.
 
@@ -181,11 +202,21 @@ def vector_oblivious_join(
     payloads emit interleaved rows; see ``repro/shard/join.py``.)  With
     ``with_keys=True`` the array is ``(m, 3)``: ``(j, d1, d2)`` rows, which
     is what lets the sharded engine rank rows for its oblivious merge.
+
+    ``target_m`` pads the output to that public bound exactly as the traced
+    engine does (anchor rows, rewritten group dimensions — see
+    :mod:`repro.core.padding`): real rows first, ``DUMMY_HANDLE`` rows
+    after, and a primitive schedule that is a function of
+    ``(n1, n2, target_m)`` only.
     """
     stats = stats or VectorJoinStats()
     width = 3 if with_keys else 2
     left_cols = _as_columns(left, tid=1)
     right_cols = _as_columns(right, tid=2)
+    if target_m is not None:
+        target_m = check_target_m(target_m, len(left_cols["j"]), len(right_cols["j"]))
+        left_cols = _append_anchor(left_cols, tid=1)
+        right_cols = _append_anchor(right_cols, tid=2)
     n1 = len(left_cols["j"])
     n2 = len(right_cols["j"])
     n = n1 + n2
@@ -224,6 +255,19 @@ def vector_oblivious_join(
 
     table1 = {name: col[:n1].copy() for name, col in combined.items() if name != "tid"}
     table2 = {name: col[n1:].copy() for name, col in combined.items() if name != "tid"}
+
+    if target_m is not None:
+        # The anchors hold the maximum key, so after the (tid, j, d) sort
+        # they are each table's last row — a public position.  The anchor
+        # group contributed 1*1 to m; rewriting its dimensions to the pad
+        # size makes both expansions total exactly target_m (see
+        # repro.core.padding — value writes don't shape the schedule).
+        exceeds_bound(m - 1, target_m)
+        pad = target_m - (m - 1)
+        table1["a2"][-1] = pad
+        table2["a1"][-1] = pad
+        m = target_m
+        stats.m = m
 
     if m == 0:
         return np.zeros((0, width), dtype=_INT), stats

@@ -13,8 +13,13 @@ rows in bit-identical order.
 What the numpy engine reveals is the *primitive schedule*: which bitonic
 networks and routing networks run, at which sizes.  That schedule — exposed
 as :attr:`VectorMultiwayStats.schedule` — is a function of the input sizes
-and the (deliberately revealed) intermediate sizes only, the same leakage
-profile as the traced cascade's access trace.
+and, by default, the (deliberately revealed) intermediate sizes, the same
+leakage profile as the traced cascade's access trace.  Under
+``padding="bounded"|"worst_case"`` every step runs at its public bound
+instead (:mod:`repro.core.padding`), so the schedule depends on input sizes
+and bounds only; the stats then record the *padded* step sizes — the
+adversary's view — while the returned ``intermediate_sizes`` stay the true,
+client-side ones.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from ..core.multiway import (
     encode_handles,
     validate_cascade,
 )
+from ..core.padding import cascade_bounds, check_padding, padded_cascade
 from .join import VectorJoinStats, vector_oblivious_join
 
 
@@ -64,15 +70,36 @@ def vector_multiway_join(
     tables: list[list[tuple]],
     keys: list[tuple[int, int]],
     stats: VectorMultiwayStats | None = None,
+    padding: str | None = None,
+    bound=None,
 ) -> MultiwayResult:
     """Vectorised left-deep cascade; same contract as the traced version.
 
     ``tables`` / ``keys`` follow
     :func:`repro.core.multiway.oblivious_multiway_join`; rows may carry
-    arbitrary payloads as long as the key columns are ints.
+    arbitrary payloads as long as the key columns are ints.  ``padding`` /
+    ``bound`` select padded execution with the same semantics (and
+    bit-identical compacted rows).
     """
+    padding = check_padding(padding)
     validate_cascade(tables, keys)
     stats = stats if stats is not None else VectorMultiwayStats()
+
+    if padding != "revealed":
+        bounds = cascade_bounds([len(t) for t in tables], padding, bound)
+
+        def run_step(step, left_pairs, right_pairs, target):
+            handles, join_stats = vector_oblivious_join(
+                left_pairs, right_pairs, target_m=target
+            )
+            stats.step_stats.append(join_stats)
+            stats.intermediate_sizes.append(join_stats.m)
+            return [tuple(pair) for pair in handles.tolist()]
+
+        rows, sizes = padded_cascade(tables, keys, bounds, run_step)
+        return MultiwayResult(
+            rows=rows, intermediate_sizes=sizes, padding=padding, bounds=bounds
+        )
 
     accumulated = list(tables[0])
     for step, table in enumerate(tables[1:]):

@@ -64,6 +64,62 @@ def test_engines_command_lists_both(capsys):
     assert "traced" in out and "vector" in out
 
 
+def test_engines_command_lists_accepted_options(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "options: shards, workers, padding, bound" in out  # sharded
+    assert out.count("options: padding, bound") == 2  # traced + vector
+
+
+def test_join_padding_flag_output_identical_and_noted(csv_pair, tmp_path, capsys):
+    left, right = csv_pair
+    outputs = {}
+    for mode, extra in [
+        ("revealed", []),
+        ("worst_case", []),
+        ("bounded", ["--bound", "5"]),
+    ]:
+        out = tmp_path / f"{mode}.csv"
+        code = main(
+            ["join", left, right, "--left-on", "pid", "--right-on", "pid",
+             "--engine", "vector", "--padding", mode, "--output", str(out)]
+            + extra
+        )
+        assert code == 0
+        outputs[mode] = out.read_text()
+    assert outputs["revealed"] == outputs["worst_case"] == outputs["bounded"]
+    err = capsys.readouterr().err
+    assert "trace padded: worst_case" in err and "trace padded: bounded" in err
+
+
+def test_join_rejects_unknown_padding_mode(csv_pair):
+    left, right = csv_pair
+    with pytest.raises(SystemExit):
+        main(["join", left, right, "--left-on", "pid", "--right-on", "pid",
+              "--padding", "mystery"])
+
+
+def test_join_rejects_inconsistent_bound_flags(csv_pair):
+    """--bound without bounded padding would silently reveal; reject it."""
+    left, right = csv_pair
+    base = ["join", left, right, "--left-on", "pid", "--right-on", "pid"]
+    with pytest.raises(SystemExit, match="only applies"):
+        main(base + ["--bound", "100"])
+    with pytest.raises(SystemExit, match="needs an explicit --bound"):
+        main(base + ["--padding", "bounded"])
+    with pytest.raises(SystemExit, match=">= 0"):
+        main(base + ["--padding", "bounded", "--bound", "-3"])
+
+
+def test_join_bounded_overflow_is_a_clean_error(csv_pair):
+    """The documented bounded-mode abort surfaces as a message, not a
+    traceback (the true join size here is 3 > bound 2)."""
+    left, right = csv_pair
+    with pytest.raises(SystemExit, match="padding bound exceeded"):
+        main(["join", left, right, "--left-on", "pid", "--right-on", "pid",
+              "--padding", "bounded", "--bound", "2"])
+
+
 def test_join_infers_string_keys(tmp_path, capsys):
     a = tmp_path / "a.csv"
     b = tmp_path / "b.csv"

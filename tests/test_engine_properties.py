@@ -177,6 +177,68 @@ def test_multiway_matches_oracle_and_reference(configuration, t1, t2, t3):
     assert result.intermediate_sizes == reference.intermediate_sizes
 
 
+# -- padded execution --------------------------------------------------------
+
+PADDINGS = ["worst_case", "bounded"]
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@pytest.mark.parametrize("padding", PADDINGS)
+@given(t1=table(max_rows=5), t2=table(max_rows=5), t3=table(max_rows=5))
+@settings(max_examples=10, deadline=None)
+@example(t1=[(0, 0), (0, 0)], t2=[(0, 1), (0, 1)], t3=[(1, 9)])
+@example(t1=[], t2=[(0, 1)], t3=[(0, 2)])
+def test_padded_multiway_compacts_to_unpadded_result(
+    configuration, padding, t1, t2, t3
+):
+    """Padded cascades return bit-identical rows and true sizes, on every
+    engine, with the adversary-facing bounds a pure function of sizes."""
+    engine = _engines(configuration)
+    tables, keys = [t1, t2, t3], [(0, 0), (3, 0)]
+    reference = get_engine(REFERENCE).multiway_join(tables, keys)
+    # Worst-case bounds always hold; "bounded" uses them as explicit caps,
+    # exercising the cap plumbing without risking a BoundError.
+    bound = [len(t1) * len(t2), len(t1) * len(t2) * len(t3)]
+    result = engine.multiway_join(
+        tables, keys, padding=padding, bound=bound if padding == "bounded" else None
+    )
+    assert result.rows == reference.rows
+    assert result.intermediate_sizes == reference.intermediate_sizes
+    assert result.padding == padding
+    assert result.bounds == tuple(bound)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(left=table(max_rows=8), right=table(max_rows=8))
+@settings(max_examples=10, deadline=None)
+@example(left=[], right=[])
+@example(left=[(0, 0), (0, 1)], right=[(0, 3), (0, 4)])
+def test_padded_join_prefix_matches_unpadded(configuration, left, right):
+    engine = _engines(configuration)
+    reference = get_engine(REFERENCE).join(left, right)
+    target = len(left) * len(right)
+    padded = engine.join(left, right, target_m=target)
+    assert padded.m == target
+    assert padded.pairs[: reference.m] == reference.pairs
+    assert all(pair == (-1, -1) for pair in padded.pairs[reference.m :])
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(left=table(max_rows=10), right=table(max_rows=10))
+@settings(max_examples=10, deadline=None)
+@example(left=[(0, 0), (1, 1)], right=[(0, 2), (1, 3)])
+def test_padding_configured_engines_aggregate_identically(
+    configuration, left, right
+):
+    """padding="worst_case" as an engine *option*: joins/aggregates/group-bys
+    still agree with the reference after compaction."""
+    engine = get_engine(_engines(configuration), padding="worst_case")
+    assert engine.aggregate(left, right) == get_engine(REFERENCE).aggregate(
+        left, right
+    )
+    assert engine.group_by(left) == get_engine(REFERENCE).group_by(left)
+
+
 # -- filter / order-by -------------------------------------------------------
 
 

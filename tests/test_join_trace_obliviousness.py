@@ -4,12 +4,21 @@ For all inputs with equal (n1, n2, m) the join's public-memory trace must
 be byte-identical (our algorithm is deterministic).  The insecure
 sort-merge baseline must FAIL the same experiment — otherwise the
 experiment itself would be vacuous.
+
+Padded execution widens the classes: under ``target_m`` a join's trace may
+depend only on (n1, n2, target_m) — the true ``m`` drops out — and a padded
+multiway cascade's trace only on the input sizes and the public bounds.
+The second half of this file pins that, including the converse (the
+*revealed* cascade does distinguish the same inputs, so the experiment is
+not vacuous).
 """
 
 import pytest
 
 from repro.baselines.sort_merge import sort_merge_join
 from repro.core.join import oblivious_join
+from repro.core.multiway import oblivious_multiway_join
+from repro.errors import BoundError
 from repro.memory.monitor import (
     distinguishing_events,
     run_hashed,
@@ -84,6 +93,106 @@ def test_insecure_sort_merge_fails_the_same_experiment():
         (left_b, right_b),
     )
     assert where is not None
+
+
+# -- padded execution: traces are functions of sizes and bounds only --------
+
+#: Same input sizes (2, 2, 2), wildly different intermediate/output sizes.
+CASCADE_A = [[(0, 0), (1, 1)], [(0, 5), (1, 6)], [(5, 9), (6, 8)]]  # 2, 2
+CASCADE_B = [[(0, 0), (0, 1)], [(0, 5), (0, 6)], [(9, 9), (9, 8)]]  # 4, 0
+CASCADE_KEYS = [(0, 0), (3, 0)]
+
+
+def test_padded_join_trace_ignores_m():
+    """Under target_m the class widens to (n1, n2, target_m): any m fits."""
+    inputs = [
+        ([(0, 0), (1, 1), (2, 2)], [(0, 7), (0, 8), (2, 9)]),  # m = 3
+        ([(0, 0), (0, 1), (0, 2)], [(0, 7), (0, 8), (0, 9)]),  # m = 9
+        ([(0, 0), (1, 1), (2, 2)], [(5, 7), (6, 8), (7, 9)]),  # m = 0
+    ]
+    hashes, counts = set(), set()
+    for left, right in inputs:
+        digest, count, _ = run_hashed(
+            lambda t, l=left, r=right: oblivious_join(l, r, tracer=t, target_m=9)
+        )
+        hashes.add(digest)
+        counts.add(count)
+    assert len(hashes) == 1 and len(counts) == 1
+
+
+def test_padded_join_output_is_real_rows_then_dummies():
+    left = [(0, 0), (1, 1), (2, 2)]
+    right = [(0, 7), (0, 8), (2, 9)]
+    plain = oblivious_join(left, right)
+    padded = oblivious_join(left, right, target_m=8)
+    assert padded.m == 8
+    assert padded.pairs[: plain.m] == plain.pairs
+    assert padded.pairs[plain.m :] == [(-1, -1)] * (8 - plain.m)
+
+
+def test_padded_join_bound_exceeded_raises():
+    left = [(0, i) for i in range(3)]
+    right = [(0, i) for i in range(3)]  # m = 9
+    with pytest.raises(BoundError, match="exceeds the public padding bound"):
+        oblivious_join(left, right, target_m=4)
+
+
+def test_worst_case_cascade_trace_is_byte_identical():
+    """The acceptance experiment: equal input sizes, different intermediate
+    sizes, byte-identical full logs under worst-case padding."""
+    logs = [
+        run_logged(
+            lambda t, tables=tables: oblivious_multiway_join(
+                tables, CASCADE_KEYS, tracer=t, padding="worst_case"
+            )
+        )[0]
+        for tables in (CASCADE_A, CASCADE_B)
+    ]
+    assert logs[0] == logs[1]
+
+
+def test_bounded_cascade_trace_depends_only_on_bounds():
+    h1, c1, _ = run_hashed(
+        lambda t: oblivious_multiway_join(
+            CASCADE_A, CASCADE_KEYS, tracer=t, padding="bounded", bound=4
+        )
+    )
+    h2, c2, _ = run_hashed(
+        lambda t: oblivious_multiway_join(
+            CASCADE_B, CASCADE_KEYS, tracer=t, padding="bounded", bound=4
+        )
+    )
+    assert h1 == h2 and c1 == c2
+    # A different bound is a different public class.
+    h3, _, _ = run_hashed(
+        lambda t: oblivious_multiway_join(
+            CASCADE_A, CASCADE_KEYS, tracer=t, padding="bounded", bound=3
+        )
+    )
+    assert h3 != h1
+
+
+def test_revealed_cascade_distinguishes_the_same_inputs():
+    """Converse control: without padding the experiment must fail."""
+    h1, _, _ = run_hashed(
+        lambda t: oblivious_multiway_join(CASCADE_A, CASCADE_KEYS, tracer=t)
+    )
+    h2, _, _ = run_hashed(
+        lambda t: oblivious_multiway_join(CASCADE_B, CASCADE_KEYS, tracer=t)
+    )
+    assert h1 != h2
+
+
+def test_padded_cascade_rows_bit_identical_after_compaction():
+    for tables in (CASCADE_A, CASCADE_B):
+        plain = oblivious_multiway_join(tables, CASCADE_KEYS)
+        for mode, bound in (("worst_case", None), ("bounded", 4)):
+            padded = oblivious_multiway_join(
+                tables, CASCADE_KEYS, padding=mode, bound=bound
+            )
+            assert padded.rows == plain.rows
+            assert padded.intermediate_sizes == plain.intermediate_sizes
+            assert padded.padding == mode
 
 
 def test_oblivious_join_constant_local_memory():

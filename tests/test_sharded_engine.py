@@ -148,7 +148,7 @@ def test_get_engine_forwards_options():
 
 
 def test_engine_option_validation():
-    with pytest.raises(InputError, match="accepts no options"):
+    with pytest.raises(InputError, match="options are padding, bound"):
         get_engine("vector", workers=2)
     with pytest.raises(InputError, match="shards"):
         get_engine("sharded", gpu=True)
