@@ -11,9 +11,15 @@ fraction of the total runtime."  Two views:
 * the *scaling* sweep (``python benchmarks/bench_parallelism.py --n 16384
   --workers 1 2 4``) measures the sharded engine's wall-clock as worker
   processes are added, against the single-process vector engine baseline —
-  the paper's parallelism remark made concrete.  Speedup requires real
-  cores: the sweep reports ``os.cpu_count()`` alongside so a flat curve on
-  a 1-core box reads as hardware, not a regression.
+  the paper's parallelism remark made concrete.  Every row reports which
+  *executor* ran the shard tasks and its payload transport (``none`` for
+  inline, ``shared_memory`` for the pool, ``pickle`` for async pool
+  dispatch), because since the compile-then-execute refactor those are the
+  knobs that move the curve.  ``--executor`` sweeps executors explicitly
+  (``--executor inline pool async``); without it each worker count uses
+  the default rule (inline at 1, shared-memory pool above).  Speedup
+  requires real cores: the sweep reports ``os.cpu_count()`` alongside so a
+  flat curve on a 1-core box reads as hardware, not a regression.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import time
 
 from repro.analysis.counts import total_comparisons_exact
 from repro.analysis.depth import depth_series, join_depth
-from repro.shard.executor import warm_pool
+from repro.plan.executors import available_executors, resolve_executor, warm_pool
 from repro.shard.join import sharded_oblivious_join
 from repro.vector.join import vector_oblivious_join
 from repro.workloads.generators import balanced_output
@@ -34,36 +40,58 @@ from bench_common import fmt_table, report
 
 SIZES = [2**10, 2**14, 2**18, 2**20]
 
+SCALING_HEADER = [
+    "engine", "shards", "workers", "executor", "transport", "join", "vs vector"
+]
+
 
 def run_scaling(
-    n: int, workers_list: list[int], shards: int | None, seed: int
+    n: int,
+    workers_list: list[int],
+    shards: int | None,
+    seed: int,
+    executors: list[str] | None = None,
 ) -> list[list]:
-    """Time the sharded join at each worker count against the vector engine."""
+    """Time the sharded join per (executor, workers) against the vector engine.
+
+    ``executors=None`` uses the default rule per worker count; naming
+    executors sweeps each of them at every worker count.
+    """
     w = balanced_output(n, seed=seed)
 
     start = time.perf_counter()
     expected, _ = vector_oblivious_join(w.left, w.right)
     t_vector = time.perf_counter() - start
 
-    rows = [["vector", "-", "-", f"{t_vector:.3f}s", "1.00x"]]
-    for workers in workers_list:
-        k = shards if shards is not None else max(2, workers)
-        warm_pool(workers)  # measure steady state, not process start-up
-        start = time.perf_counter()
-        pairs, stats = sharded_oblivious_join(
-            w.left, w.right, shards=k, workers=workers
-        )
-        t_sharded = time.perf_counter() - start
-        assert pairs.tolist() == expected.tolist(), "sharded diverges from vector"
-        rows.append(
-            ["sharded", k, workers, f"{t_sharded:.3f}s", f"{t_vector / t_sharded:.2f}x"]
-        )
+    rows = [["vector", "-", "-", "-", "-", f"{t_vector:.3f}s", "1.00x"]]
+    for name in executors if executors else [None]:
+        for workers in workers_list:
+            k = shards if shards is not None else max(2, workers)
+            warm_pool(workers)  # measure steady state, not process start-up
+            executor = resolve_executor(name, workers=workers)
+            start = time.perf_counter()
+            pairs, stats = sharded_oblivious_join(
+                w.left, w.right, shards=k, workers=workers, executor=executor
+            )
+            t_sharded = time.perf_counter() - start
+            assert pairs.tolist() == expected.tolist(), "sharded diverges from vector"
+            rows.append(
+                [
+                    "sharded",
+                    k,
+                    workers,
+                    executor.name,
+                    executor.transport,
+                    f"{t_sharded:.3f}s",
+                    f"{t_vector / t_sharded:.2f}x",
+                ]
+            )
     return rows
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="sharded-engine scaling sweep (workers vs wall-clock)"
+        description="sharded-engine scaling sweep (workers/executors vs wall-clock)"
     )
     parser.add_argument(
         "--n", type=int, default=2**14, help="rows per input table (default: 2^14)"
@@ -81,15 +109,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="partitions per input (default: max(2, workers) per point)",
     )
+    parser.add_argument(
+        "--executor",
+        nargs="+",
+        default=None,
+        choices=available_executors(),
+        help="executors to sweep at every worker count (default: the "
+        "worker-derived rule — inline at 1, shared-memory pool above); "
+        "e.g. --executor inline pool async",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     args = parser.parse_args(argv)
-    rows = run_scaling(args.n, args.workers, args.shards, args.seed)
+    rows = run_scaling(args.n, args.workers, args.shards, args.seed, args.executor)
+    header = SCALING_HEADER[:5] + [f"join n={args.n}", "vs vector"]
     text = (
-        fmt_table(
-            ["engine", "shards", "workers", f"join n={args.n}", "vs vector"], rows
-        )
+        fmt_table(header, rows)
         + f"\n\n(host reports {os.cpu_count()} cpu core(s); speedup over the"
-        "\n single-worker sharded row needs at least that many real cores)"
+        "\n single-worker sharded row needs at least that many real cores;"
+        "\n transport: none = inline calls, shared_memory = columns written"
+        "\n once per dispatch and attached zero-copy, pickle = per-task"
+        "\n payload serialization)"
     )
     report("parallelism_scaling", text)
     return 0
@@ -135,12 +174,30 @@ def test_sharded_scaling_smoke(benchmark):
     """The scaling sweep runs end to end and the engines agree (tiny n)."""
     rows = run_scaling(256, [1, 2], shards=None, seed=1)
     assert len(rows) == 3
+    assert rows[1][3:5] == ["inline", "none"]
+    assert rows[2][3:5] == ["pool", "shared_memory"]
     report("parallelism_scaling_smoke", fmt_table(
-        ["engine", "shards", "workers", "join n=256", "vs vector"], rows))
+        SCALING_HEADER[:5] + ["join n=256", "vs vector"], rows))
 
     benchmark(lambda: sharded_oblivious_join(
         balanced_output(256, seed=1).left, balanced_output(256, seed=1).right,
         shards=2, workers=1))
+
+
+def test_executor_sweep_mode():
+    """--executor sweeps every named executor and labels its transport."""
+    rows = run_scaling(
+        128, [1, 2], shards=2, seed=2, executors=["inline", "pool", "async"]
+    )
+    got = {(row[3], row[4]) for row in rows[1:]}
+    # async reports its real transport: threads (none) at 1 worker,
+    # pickle through the process pool above.
+    assert got == {
+        ("inline", "none"),
+        ("pool", "shared_memory"),
+        ("async", "none"),
+        ("async", "pickle"),
+    }
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+"""CI gate: fail when ``BENCH_engines.json`` regresses vs the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_engines.json \
+        [--baseline benchmarks/BENCH_engines.baseline.json] [--factor 2.0]
+
+Every record in the artifact carries both the engine-under-test seconds and
+the traced-baseline seconds *measured in the same run*, so the comparison
+metric is the **relative cost** ``seconds / traced_seconds`` — normalising
+out machine speed, which is what makes a committed baseline from one box
+meaningful on another.  A record regresses when its relative cost grows by
+more than ``--factor`` (default 2x, per the CI contract) against the
+baseline record with the same ``(engine, workload, padding, n)`` key.
+
+Sub-5ms timings are too noisy to judge at the smoke sizes CI runs; such
+records are reported as skipped rather than gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Engine timings below this are measurement noise at smoke sizes.
+MIN_SECONDS = 0.005
+
+
+def record_key(record: dict) -> tuple:
+    return (record["engine"], record["workload"], record["padding"], record["n"])
+
+
+def relative_cost(record: dict) -> float:
+    return record["seconds"] / record["traced_seconds"]
+
+
+def compare(current: dict, baseline: dict, factor: float) -> tuple[list, list]:
+    """Returns ``(regressions, rows)``; rows describe every comparison."""
+    baseline_by_key = {record_key(r): r for r in baseline["records"]}
+    regressions, rows = [], []
+    for record in current["records"]:
+        key = record_key(record)
+        base = baseline_by_key.get(key)
+        if base is None:
+            rows.append((key, None, relative_cost(record), "new"))
+            continue
+        ratio = relative_cost(record) / relative_cost(base)
+        # Both the engine seconds and the traced-seconds denominator must
+        # be above the noise floor for the ratio to mean anything.
+        noisy = (
+            record["seconds"] < MIN_SECONDS and base["seconds"] < MIN_SECONDS
+        ) or min(record["traced_seconds"], base["traced_seconds"]) < MIN_SECONDS
+        if noisy:
+            rows.append((key, ratio, relative_cost(record), "skipped (sub-5ms)"))
+            continue
+        status = "ok"
+        if ratio > factor:
+            status = f"REGRESSION (> {factor:.1f}x)"
+            regressions.append(key)
+        rows.append((key, ratio, relative_cost(record), status))
+    return regressions, rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when the engine bench regresses vs the committed baseline"
+    )
+    parser.add_argument("artifact", help="freshly generated BENCH_engines.json")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_engines.baseline.json",
+        help="committed baseline (default: benchmarks/BENCH_engines.baseline.json)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum allowed relative-cost growth (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.artifact, encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    regressions, rows = compare(current, baseline, args.factor)
+    for key, ratio, cost, status in rows:
+        engine, workload, padding, n = key
+        ratio_text = "  new" if ratio is None else f"{ratio:5.2f}"
+        print(
+            f"{engine:8s} {workload:9s} {padding:10s} n={n:<6d} "
+            f"cost={cost:8.3f}x traced  vs-baseline={ratio_text}  {status}"
+        )
+    if regressions:
+        print(f"\n{len(regressions)} regression(s): {regressions}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.factor:.1f}x (of {len(rows)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

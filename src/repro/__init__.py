@@ -5,9 +5,11 @@ equi-join algorithm end to end: the traced reference engine whose
 public-memory access pattern is provably input-independent, a vectorised
 numpy engine for benchmark-scale runs, a sharded multi-process engine,
 padded multiway cascades that hide intermediate result sizes behind public
-bounds (``padding="bounded"|"worst_case"``; see ``docs/leakage.md``), the
-Table 1 baselines, the Figure 6 type system, an SGX cost model for the
-Figure 8 series, and a small oblivious relational layer.
+bounds (``padding="bounded"|"worst_case"``; see ``docs/leakage.md``), a
+compile-then-execute core (:mod:`repro.plan`: a public Plan IR compiled
+from input shapes, run by pluggable inline / shared-memory pool / async
+executors), the Table 1 baselines, the Figure 6 type system, an SGX cost
+model for the Figure 8 series, and a small oblivious relational layer.
 
 Quickstart::
 
@@ -21,8 +23,14 @@ and benchmarks/ for the paper-vs-measured record of every table and
 figure.
 """
 
-from . import analysis, baselines, core, db, enclave, engines, memory, obliv, security
-from . import typesys, vector, workloads
+from . import analysis, baselines, core, db, enclave, engines, memory, obliv, plan
+from . import security, typesys, vector, workloads
+from .plan import (
+    Plan,
+    available_executors,
+    compile_workload,
+    get_executor,
+)
 from .core.aggregate import GroupAggregate, oblivious_group_by, oblivious_join_aggregate
 from .core.join import JoinResult, oblivious_join
 from .core.multiway import MultiwayResult, oblivious_multiway_join
@@ -59,6 +67,7 @@ __all__ = [
     "engines",
     "memory",
     "obliv",
+    "plan",
     "security",
     "typesys",
     "vector",
@@ -67,6 +76,10 @@ __all__ = [
     "available_engines",
     "get_engine",
     "register_engine",
+    "Plan",
+    "available_executors",
+    "compile_workload",
+    "get_executor",
     "GroupAggregate",
     "oblivious_group_by",
     "oblivious_join_aggregate",

@@ -3,8 +3,14 @@
 Commands
 --------
 ``join``     oblivious equi-join of two CSV files
-             (``--engine traced|vector|sharded``, ``--workers``/``--shards``,
+             (``--engine traced|vector|sharded``, ``--workers``/``--shards``/
+             ``--executor inline|pool|async``,
              ``--padding revealed|bounded|worst_case`` with ``--bound``)
+``plan``     compile and print a query's *public plan* — the serialized
+             schedule of oblivious primitives, a pure function of input
+             sizes, the shard count and the padding bounds
+             (``python -m repro plan --engine sharded --padding worst_case
+             --n1 1024 --n2 1024``)
 ``verify``   run the §6.1 trace-equality experiment and print the hashes
 ``trace``    print a Figure-7-style access-pattern raster for a small join
 ``predict``  Figure-8 enclave cost predictions for a given input size
@@ -12,7 +18,8 @@ Commands
 
 Every engine produces identical results; ``traced`` is the per-access-traced
 reference implementation, ``vector`` the numpy fast path (~10^3x faster),
-``sharded`` the multi-process scale-out path (``--engine sharded --workers 4``).
+``sharded`` the multi-process scale-out path (``--engine sharded --workers 4``,
+with ``--executor`` selecting inline / shared-memory pool / async overlap).
 """
 
 from __future__ import annotations
@@ -29,8 +36,9 @@ from .engines import available_engines, engine_option_names, get_engine
 from .db.schema import Schema
 from .db.table import DBTable
 from .enclave.costmodel import EnclaveCostModel
-from .errors import BoundError
+from .errors import BoundError, InputError
 from .memory.monitor import run_hashed, run_logged
+from .plan import WORKLOADS, available_executors
 from .workloads.generators import matched_class
 
 
@@ -86,7 +94,7 @@ def check_padding_args(padding: str, bound) -> None:
 def engine_options(args: argparse.Namespace) -> dict:
     """Collect the engine knobs that were set on the command line.
 
-    ``--workers``/``--shards`` configure the sharded engine;
+    ``--workers``/``--shards``/``--executor`` configure the sharded engine;
     ``--padding``/``--bound`` configure padded execution on any engine.
     """
     options = {}
@@ -94,6 +102,8 @@ def engine_options(args: argparse.Namespace) -> dict:
         options["workers"] = args.workers
     if getattr(args, "shards", None) is not None:
         options["shards"] = args.shards
+    if getattr(args, "executor", None) is not None:
+        options["executor"] = args.executor
     if getattr(args, "padding", None) not in (None, "revealed"):
         options["padding"] = args.padding
     if getattr(args, "bound", None) is not None:
@@ -153,6 +163,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Compile and print a workload's public plan (no data touched).
+
+    The serialization is a pure function of the sizes, the shard count and
+    the padding bounds — ``tests/test_plan.py`` pins that — so the printed
+    artifact is exactly what an adversary may learn from the eventual run.
+    """
+    check_padding_args(args.padding, args.bound)
+    engine = get_engine(args.engine, **engine_options(args))
+    shapes = {}
+    if args.n1 is not None:
+        shapes["n1"] = args.n1
+    if args.n2 is not None:
+        shapes["n2"] = args.n2
+    if args.n is not None:
+        shapes["n"] = args.n
+    if args.sizes is not None:
+        shapes["sizes"] = args.sizes
+    try:
+        plan = engine.compile_plan(args.workload, **shapes)
+    except InputError as error:
+        raise SystemExit(str(error)) from None
+    if args.json:
+        sys.stdout.write(plan.serialize().decode("utf-8") + "\n")
+    else:
+        print(plan.render())
+    return 0
+
+
 def _cmd_engines(args: argparse.Namespace) -> int:
     for name in available_engines():
         engine = get_engine(name)
@@ -209,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded engine: partitions per input (default: workers, min 2)",
     )
     join.add_argument(
+        "--executor",
+        default=None,
+        choices=available_executors(),
+        help="sharded engine: execution substrate — 'inline' (calling "
+        "process), 'pool' (persistent process pool, shared-memory column "
+        "transport), 'async' (asyncio compute/gather overlap); default: "
+        "inline at --workers 1, pool above",
+    )
+    join.add_argument(
         "--padding",
         default="revealed",
         choices=PADDING_MODES,
@@ -223,6 +271,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="public output bound for --padding bounded",
     )
     join.set_defaults(func=_cmd_join)
+
+    plan = sub.add_parser(
+        "plan",
+        help="compile and print a query's public plan (no data touched)",
+    )
+    plan.add_argument(
+        "--workload",
+        default="join",
+        choices=WORKLOADS,
+        help="which workload to compile (default: join)",
+    )
+    plan.add_argument(
+        "--engine",
+        default="vector",
+        choices=available_engines(),
+        help="engine whose schedule to compile (default: vector)",
+    )
+    plan.add_argument("--n1", type=int, default=None, help="left table size")
+    plan.add_argument("--n2", type=int, default=None, help="right table size")
+    plan.add_argument(
+        "--n", type=int, default=None, help="table size (filter/group_by/order_by)"
+    )
+    plan.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="table sizes of a multiway cascade (one per table)",
+    )
+    plan.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sharded engine: partitions per input (default: 2)",
+    )
+    plan.add_argument(
+        "--padding",
+        default="revealed",
+        choices=PADDING_MODES,
+        help="padding mode to compile for (default: revealed; sizes the "
+        "plan cannot fix at compile time print as null)",
+    )
+    plan.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        help="public output bound for --padding bounded",
+    )
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical serialization instead of the rendering "
+        "(byte equality of this output is plan equality)",
+    )
+    plan.set_defaults(func=_cmd_plan)
 
     verify = sub.add_parser("verify", help="trace-equality experiment (§6.1)")
     verify.add_argument("--n1", type=int, default=8)

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from ..errors import InputError
 from ..memory.tracer import Tracer
 from .join import JoinResult, oblivious_join
-from .padding import cascade_bounds, check_padding, padded_cascade
+from .padding import check_padding, padded_cascade
 
 
 @dataclass
@@ -140,7 +140,16 @@ def oblivious_multiway_join(
     tracer = tracer or Tracer()
 
     if padding != "revealed":
-        bounds = cascade_bounds([len(t) for t in tables], padding, bound)
+        # The cascade consumes its compiled public plan: the per-step
+        # bounds come from the same compiler the CLI `plan` command and
+        # the plan-equality tests use (which itself reuses
+        # `cascade_bounds`), so artifact and execution cannot drift.
+        from ..plan.compile import compile_multiway  # deferred: plan imports core
+
+        plan = compile_multiway(
+            [len(t) for t in tables], "traced", padding=padding, bound=bound
+        )
+        bounds = plan.shape("bounds")
 
         def run_step(step, left_pairs, right_pairs, target):
             return oblivious_join(

@@ -218,6 +218,30 @@ def encode_padded_handles(
     return pairs
 
 
+def encode_tail_handles(
+    rows: list[tuple], n_dummies: int, key_column: int
+) -> list[tuple[int, int]]:
+    """``(join_key, handle)`` pairs for real rows plus an all-dummy tail.
+
+    The fused cascade keeps its catalogue compact — real rows only — and
+    carries the dummy padding as a public *count*; this helper re-expands
+    the tail into the same ``DUMMY_KEY_BASE + position`` keys
+    :func:`encode_padded_handles` would have produced for materialised
+    dummy rows, so the engine input (and therefore the schedule) is
+    byte-identical to the unfused cascade's.
+    """
+    pairs = [
+        (check_padded_key(row[key_column]), index)
+        for index, row in enumerate(rows)
+    ]
+    base = len(rows)
+    pairs.extend(
+        (DUMMY_KEY_BASE + base + offset, base + offset)
+        for offset in range(n_dummies)
+    )
+    return pairs
+
+
 def compact_pairs(pairs):
     """Strip the dummy tail a padded join appends (client-side, final step).
 
@@ -239,51 +263,81 @@ def exceeds_bound(true_size: int, target: int) -> None:
 
 
 def padded_cascade(tables, keys, bounds, run_step):
-    """The engine-independent padded left-deep cascade.
+    """The engine-independent padded left-deep cascade, fused.
 
     ``run_step(step, left_pairs, right_pairs, target)`` executes one padded
     binary join and returns its ``target``-row ``(left_handle,
     right_handle)`` pairs — real rows first (handles >= 0), then dummy rows
     (:data:`DUMMY_HANDLE`).  This helper owns everything around it: the
-    dummy mask threaded between steps, re-keying, the client-side row
+    dummy tail threaded between steps, re-keying, the client-side row
     catalogue, and the final compaction.  Returns ``(rows, true_sizes)``
     where ``rows`` is bit-identical to the unpadded cascade's output and
     ``true_sizes`` are the *client-side* intermediate sizes (the adversary
     never sees them; the trace reveals only ``bounds``).
+
+    **Fused expand-truncate.**  A dummy row can never survive any later
+    step's bound — it joins nothing by construction — so the catalogue
+    drops dummy handles the moment a step returns them, *before* merging
+    the step's output rows into the catalogue: real rows are accumulated,
+    the dummy tail is kept only as a public *count* and re-expanded into
+    engine input positions by :func:`encode_tail_handles`.  The engine
+    sees byte-identical inputs (same sizes, same reserved keys at the same
+    positions — the leakage profile is unchanged) while the client-side
+    cost per step falls from ``O(bound * row_width)`` materialised filler
+    tuples to ``O(true_size * row_width)`` — the dominant constant of
+    ``worst_case`` cascades, whose bounds compound multiplicatively.
     """
     from .multiway import check_step_columns  # deferred: multiway imports us
 
     accumulated = [tuple(row) for row in tables[0]]
-    dummy = [False] * len(accumulated)
+    dummies = 0  # public tail length; accumulated holds real rows only
+    # Folded row width, None while no row (real or padding) has ever
+    # existed — an empty initial table makes the width unknowable, and the
+    # materialised cascade never validated key columns against it either.
+    width = len(accumulated[0]) if accumulated else None
     true_sizes: list[int] = []
     for step, table in enumerate(tables[1:]):
         next_table = [tuple(row) for row in table]
         left_col, right_col = keys[step]
+        # The catalogue no longer carries filler rows, so validate the left
+        # key column against the folded row width explicitly whenever the
+        # materialised cascade would have had (real or filler) rows to
+        # check against.
+        if (
+            width is not None
+            and (accumulated or dummies)
+            and not 0 <= left_col < width
+        ):
+            raise InputError(
+                f"left key column {left_col} out of range at step {step}"
+            )
         check_step_columns(step, accumulated, next_table, left_col, right_col)
         pairs = run_step(
             step,
-            encode_padded_handles(accumulated, dummy, left_col),
+            encode_tail_handles(accumulated, dummies, left_col),
             encode_padded_handles(next_table, None, right_col),
             bounds[step],
         )
-        filler: tuple | None = None
         new_accumulated: list[tuple] = []
-        new_dummy: list[bool] = []
         for left_index, right_index in pairs:
             if left_index == DUMMY_HANDLE:
-                if filler is None:
-                    width = len(accumulated[0]) + (
-                        len(next_table[0]) if next_table else 0
-                    )
-                    filler = (None,) * width
-                new_accumulated.append(filler)
-                new_dummy.append(True)
-            else:
-                new_accumulated.append(
-                    accumulated[left_index] + next_table[right_index]
-                )
-                new_dummy.append(False)
-        accumulated, dummy = new_accumulated, new_dummy
-        true_sizes.append(sum(1 for flag in dummy if not flag))
-    rows = [row for row, flag in zip(accumulated, dummy) if not flag]
-    return rows, true_sizes
+                break
+            new_accumulated.append(
+                accumulated[left_index] + next_table[right_index]
+            )
+        # Engines contract to emit real rows first; a real handle after the
+        # first dummy would silently lose output, so verify the tail.
+        if any(
+            left_index != DUMMY_HANDLE
+            for left_index, _ in pairs[len(new_accumulated) :]
+        ):
+            raise InputError(
+                "padded join emitted a real row after its dummy tail; "
+                "engines must return real rows first"
+            )
+        accumulated = new_accumulated
+        dummies = bounds[step] - len(accumulated)
+        if width is not None and next_table:
+            width += len(next_table[0])
+        true_sizes.append(len(accumulated))
+    return accumulated, true_sizes

@@ -12,7 +12,9 @@ filter, order-by — runs on a pluggable execution engine from
 :mod:`repro.engines` (``engine="traced"`` for the per-access-traced
 reference, ``engine="vector"`` for the numpy fast path, ``engine="sharded"``
 for the multi-process scale-out path; results are identical).  Engine knobs
-pass straight through: ``ObliviousEngine(engine="sharded", workers=4)``.
+pass straight through — including the sharded engine's execution substrate:
+``ObliviousEngine(engine="sharded", workers=4, executor="pool")`` (or
+``executor="async"``; see :mod:`repro.plan.executors`).
 ``order_by`` is a *stable* sort (original row order breaks ties), which is
 what keeps the permutation identical across engines.
 

@@ -40,17 +40,27 @@ hides result sizes (including every multiway intermediate, the sharded
 
 ``sharded``
     The multi-process scale-out path: inputs split into ``shards`` equal,
-    padded, position-based partitions; the vector primitives run per shard
-    on a pool of ``workers`` processes; a bitonic merge reassembles the
-    result.  Aggregation/GROUP BY/FILTER do strictly *less* total
-    comparator work than single-shot vector (``k`` smaller networks); the
-    binary join runs a ``shards**2`` task grid — more total work, but
-    embarrassingly parallel, so it wins wall-clock once ``workers``
-    processes land on real cores.  Additionally reveals the per-task
-    output-size grid (``m_ij``) and per-shard partial group counts — the
-    positional analogue of the multiway cascade's revealed intermediate
-    sizes.  Prefer it at ``n >= 2^14`` on multi-core hardware; knobs via
-    ``get_engine("sharded", shards=K, workers=N)``.
+    padded, position-based partitions; the public schedule compiled into a
+    :class:`~repro.plan.ir.Plan` up front; the vector primitives run per
+    shard on a pluggable *executor* (``executor="inline"|"pool"|"async"``
+    — calling process, shared-memory process pool, or asyncio overlap);
+    a bitonic merge reassembles the result.  Aggregation/GROUP BY/FILTER
+    do strictly *less* total comparator work than single-shot vector
+    (``k`` smaller networks); the binary join runs a ``shards**2`` task
+    grid — more total work, but embarrassingly parallel, so it wins
+    wall-clock once ``workers`` processes land on real cores.
+    Additionally reveals the per-task output-size grid (``m_ij``),
+    per-shard partial group counts, and per-shard filter survivor counts
+    (all folded into public bounds under padded modes) — the positional
+    analogue of the multiway cascade's revealed intermediate sizes.
+    Prefer it at ``n >= 2^14`` on multi-core hardware; knobs via
+    ``get_engine("sharded", shards=K, workers=N, executor="pool")``.
+
+Every engine also *emits* its public schedule before execution:
+``engine.compile_plan(workload, **shapes)`` returns the serializable
+:class:`~repro.plan.ir.Plan` the run will follow (``python -m repro plan``
+prints it) — plan equality across same-shape inputs is the obliviousness
+contract, tested in ``tests/test_plan.py``.
 """
 
 from .base import (

@@ -27,6 +27,8 @@ from ..core.multiway import MultiwayResult
 from ..core.padding import check_padding, join_bound
 from ..errors import InputError
 from ..memory.tracer import Tracer
+from ..plan.compile import compile_workload
+from ..plan.ir import Plan
 
 #: A table in the paper's model: a list of ``(join_value, data_value)`` pairs.
 Pairs = list[tuple[int, int]]
@@ -70,6 +72,25 @@ class PaddingOptionsMixin:
                 f"got {sorted(unknown)}"
             )
 
+    def compile_plan(self, workload: str = "join", **shapes) -> Plan:
+        """Compile this engine's public plan for a workload shape.
+
+        ``shapes`` are the workload's public inputs (``n1=..., n2=...`` for
+        join/aggregate, ``n=...`` for filter/group-by/order-by,
+        ``sizes=[...]`` for multiway) plus optional ``padding``/``bound``
+        overrides; the engine's own configuration (padding mode, bound,
+        shard count) fills everything left unset.  The result — the same
+        plan the engine consumes when it executes — serializes canonically,
+        so it can be audited and compared offline (``python -m repro
+        plan``).
+        """
+        shapes.setdefault("padding", self.padding)
+        shapes.setdefault("bound", self.bound)
+        shapes.setdefault("shards", getattr(self, "shards", None))
+        if shapes["padding"] == "revealed":
+            shapes["bound"] = None  # a cap is meaningless without padding
+        return compile_workload(workload, engine=self.name, **shapes)
+
 
 @runtime_checkable
 class Engine(Protocol):
@@ -95,6 +116,13 @@ class Engine(Protocol):
     contract is a *stable* sort (original position breaks ties), which
     makes the permutation engine-independent and keeps the differential
     suite's bit-identical guarantee.
+
+    ``compile_plan`` exposes the engine's public schedule as a
+    :class:`~repro.plan.ir.Plan` — a pure function of workload shapes and
+    the engine's configuration, compiled by :mod:`repro.plan.compile`
+    before any data is touched.  Sharded execution *consumes* the same
+    plans (grid bounds, padded block sizes come from plan nodes), so the
+    printed artifact and the executed schedule cannot drift apart.
     """
 
     name: str
@@ -133,6 +161,8 @@ class Engine(Protocol):
         columns: list[tuple[list, bool]],
         tracer: Tracer | None = None,
     ) -> list[int]: ...
+
+    def compile_plan(self, workload: str = "join", **shapes) -> Plan: ...
 
 
 _REGISTRY: dict[str, Engine] = {}

@@ -2,12 +2,12 @@
 
 The first backend to carry a genuinely new *execution strategy* through the
 engine seam: every workload is split into equal, padded, position-based
-shards (:mod:`repro.shard.partition`), the vector engine's column-layout
-primitives run per shard on a multiprocessing pool
-(:mod:`repro.shard.executor`), and a bitonic merge tournament
-(:mod:`repro.shard.merge`) reassembles the bit-identical result.
+shards (:mod:`repro.shard.partition`), its public schedule is compiled into
+a plan up front (:mod:`repro.plan.compile`), and the plan's tasks run on a
+pluggable executor (:mod:`repro.plan.executors`) before a bitonic merge
+tournament (:mod:`repro.shard.merge`) reassembles the bit-identical result.
 
-Four knobs:
+Five knobs:
 
 ``shards``
     How many partitions each input is split into.  The binary join runs
@@ -15,24 +15,32 @@ Four knobs:
     FILTER run one task per shard.  Defaults to ``max(2, workers)`` so the
     task grid always saturates the pool.
 ``workers``
-    Pool size.  ``workers=1`` (the registered default) executes the task
-    list inline — deterministic, fork-free, and what the test suite uses;
-    ``workers>1`` forks a pool and is where multi-core wall-clock wins
-    come from.
+    Parallelism of the executor.  ``workers=1`` defaults to the inline
+    executor — deterministic, fork-free, what the test suite uses;
+    ``workers>1`` defaults to the shared-memory process pool.
+``executor``
+    The execution substrate, overriding the workers-derived default:
+    ``"inline"`` (calling process), ``"pool"`` (persistent process pool
+    with shared-memory column transport — shard payloads are not pickled),
+    or ``"async"`` (asyncio overlap of shard compute and result gather).
+    Executors cannot change results or leakage, only wall-clock; the
+    executor-parametrised differential suite pins the former.
 ``padding`` / ``bound``
     Padded execution (:mod:`repro.core.padding`).  This engine's extra
-    reveals — the join's per-task ``m_ij`` grid and aggregation's
-    per-shard partial group counts — fold into the same padded story:
-    under ``"bounded"``/``"worst_case"`` every grid task and every partial
-    table runs at its public worst case, so the schedule reveals only
-    ``(n1, n2, k)`` and the bounds (``docs/leakage.md``).
+    reveals — the join's per-task ``m_ij`` grid, aggregation's per-shard
+    partial group counts, and FILTER's per-shard survivor counts — fold
+    into the same padded story: under ``"bounded"``/``"worst_case"`` every
+    grid task, partial table and survivor block runs at its public worst
+    case, so the schedule reveals only ``(n1, n2, k)`` and the bounds
+    (``docs/leakage.md``).
 
 Configured copies come from :func:`repro.engines.get_engine`::
 
-    get_engine("sharded", shards=4, workers=4, padding="worst_case")
+    get_engine("sharded", shards=4, workers=4, executor="async",
+               padding="worst_case")
 
 or equivalently ``ObliviousEngine(engine="sharded", shards=4, workers=4)``
-and ``--engine sharded --workers 4 --padding worst_case`` on the CLI.
+and ``--engine sharded --workers 4 --executor pool`` on the CLI.
 """
 
 from __future__ import annotations
@@ -42,11 +50,11 @@ from ..core.join import JoinResult
 from ..core.multiway import MultiwayResult
 from ..errors import InputError
 from ..memory.tracer import Tracer
+from ..plan.executors import check_workers, resolve_executor
+from ..plan.partition import check_shards
 from ..shard.aggregate import sharded_group_by, sharded_join_aggregate
-from ..shard.executor import check_workers
 from ..shard.join import sharded_oblivious_join
 from ..shard.multiway import sharded_multiway_join
-from ..shard.partition import check_shards
 from ..shard.relational import sharded_filter_indices, sharded_order_permutation
 from .base import PaddingOptionsMixin, Pairs
 from .traced import traced_order_permutation
@@ -56,17 +64,21 @@ class ShardedEngine(PaddingOptionsMixin):
     """Sharded multi-process engine: padded partitions, identical outputs."""
 
     name = "sharded"
-    OPTIONS = ("shards", "workers", "padding", "bound")
+    OPTIONS = ("shards", "workers", "executor", "padding", "bound")
 
     def __init__(
         self,
         shards: int | None = None,
         workers: int = 1,
+        executor: str | None = None,
         padding: str | None = None,
         bound=None,
     ) -> None:
         self.workers = check_workers(workers)
         self._shards = None if shards is None else check_shards(shards)
+        self._executor_name = executor
+        # Resolve eagerly so an unknown name fails at configuration time.
+        self.executor = resolve_executor(executor, workers=self.workers)
         self._init_padding(padding, bound)
 
     @property
@@ -80,6 +92,7 @@ class ShardedEngine(PaddingOptionsMixin):
         return ShardedEngine(
             shards=options.get("shards", self._shards),
             workers=options.get("workers", self.workers),
+            executor=options.get("executor", self._executor_name),
             padding=options.get("padding", self.padding),
             bound=options.get("bound", self.bound),
         )
@@ -95,8 +108,8 @@ class ShardedEngine(PaddingOptionsMixin):
             left,
             right,
             shards=self.shards,
-            workers=self.workers,
             target_m=self._join_target(left, right, target_m),
+            executor=self.executor,
         )
         return JoinResult(
             pairs=[tuple(p) for p in pairs.tolist()],
@@ -118,9 +131,9 @@ class ShardedEngine(PaddingOptionsMixin):
             tables,
             keys,
             shards=self.shards,
-            workers=self.workers,
             padding=padding,
             bound=bound,
+            executor=self.executor,
         )
 
     def aggregate(
@@ -130,8 +143,8 @@ class ShardedEngine(PaddingOptionsMixin):
             left,
             right,
             shards=self.shards,
-            workers=self.workers,
             padded=self.padding != "revealed",
+            executor=self.executor,
         )
 
     def group_by(
@@ -140,15 +153,18 @@ class ShardedEngine(PaddingOptionsMixin):
         return sharded_group_by(
             table,
             shards=self.shards,
-            workers=self.workers,
             padded=self.padding != "revealed",
+            executor=self.executor,
         )
 
     def filter_indices(
         self, mask: list[bool], tracer: Tracer | None = None
     ) -> list[int]:
         return sharded_filter_indices(
-            mask, shards=self.shards, workers=self.workers
+            mask,
+            shards=self.shards,
+            padded=self.padding != "revealed",
+            executor=self.executor,
         )
 
     def order_permutation(
@@ -157,7 +173,7 @@ class ShardedEngine(PaddingOptionsMixin):
         n = len(columns[0][0]) if columns else 0
         try:
             return sharded_order_permutation(
-                columns, n, shards=self.shards, workers=self.workers
+                columns, n, shards=self.shards, executor=self.executor
             )
         except InputError:
             return traced_order_permutation(columns, tracer=tracer)

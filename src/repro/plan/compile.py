@@ -1,0 +1,456 @@
+"""Compilers: public workload shapes -> :class:`~repro.plan.ir.Plan`.
+
+One compiler per workload (join / multiway cascade / aggregate / group-by /
+filter / order-by), each a *pure function of public values* — input sizes,
+the shard count ``k``, and the padding bounds.  They reuse the padding
+planner (:mod:`repro.core.padding`: ``join_bound`` / ``cascade_bounds``)
+and the partitioner's plan functions (:mod:`repro.shard.partition`:
+``partition_plan``), so a compiled plan and the engine that executes it
+agree by construction.
+
+Two levels of entry point:
+
+* the ``sharded_*_plan`` / ``inline_*_plan`` functions take already
+  resolved bounds (``target``/``bounds``/``pad`` arguments) — these are
+  what the shard drivers consume at run time;
+* :func:`compile_workload` (and the per-workload ``compile_*`` wrappers)
+  additionally resolve a ``padding`` mode + ``bound`` cap into bounds, and
+  are what the engines' ``compile_plan`` method and the CLI ``plan``
+  subcommand call.
+
+Everywhere, an attribute value of ``None`` means "not fixed at compile
+time": the size will be *revealed* at run time, which is exactly the
+``"revealed"`` padding mode's documented leak.  Under
+``"bounded"``/``"worst_case"`` every size is resolved up front, so the
+serialized plan — and therefore the execution schedule — is a function of
+``(sizes, k, bounds)`` alone.
+"""
+
+from __future__ import annotations
+
+from ..core.padding import cascade_bounds, check_padding, join_bound
+from ..errors import InputError
+from .ir import Plan, PlanBuilder
+from .partition import check_shards, partition_plan
+
+#: Workload names `compile_workload` accepts.
+WORKLOADS = (
+    "join",
+    "multiway",
+    "aggregate",
+    "group_by",
+    "filter",
+    "order_by",
+)
+
+#: Engines whose plans are a single-process primitive pipeline.
+_INLINE_ENGINES = ("traced", "vector")
+
+
+# -- join --------------------------------------------------------------------
+
+
+def inline_join_plan(engine: str, n1: int, n2: int, target: int | None) -> Plan:
+    """Algorithm 1 as a linear pipeline at public sizes.
+
+    ``target`` is the padded output bound (``None`` = unpadded; the
+    expansion sizes are then the revealed ``m``).  Padded runs append one
+    anchor row per input, hence the ``+ 1`` input sizes.
+    """
+    builder = PlanBuilder("join", engine, n1=n1, n2=n2, target=target)
+    extra = 0 if target is None else 1
+    left = builder.add("input", side="left", rows=n1 + extra)
+    right = builder.add("input", side="right", rows=n2 + extra)
+    augment = builder.add(
+        "augment", inputs=(left, right), rows=n1 + n2 + 2 * extra
+    )
+    expand_1 = builder.add("expand", inputs=(augment,), side="left", rows=target)
+    expand_2 = builder.add("expand", inputs=(augment,), side="right", rows=target)
+    align = builder.add("align", inputs=(expand_2,), rows=target)
+    builder.add("zip", inputs=(expand_1, align), rows=target)
+    return builder.build()
+
+
+def sharded_join_plan(n1: int, n2: int, k: int, target: int | None) -> Plan:
+    """The sharded join's full public schedule: presort, grid, merge.
+
+    Everything here — the partition plans, each grid cell's input sizes and
+    padded output bound, the merge tournament's run lengths, the output
+    truncation point — is derived from ``(n1, n2, k, target)`` only.  The
+    driver (:func:`repro.shard.join.sharded_oblivious_join`) *consumes*
+    this plan: its per-task bounds come from the ``grid_join`` nodes.
+    """
+    check_shards(k)
+    builder = PlanBuilder("join", "sharded", n1=n1, n2=n2, k=k, target=target)
+    cap1, counts1 = partition_plan(n1, k)
+    cap2, counts2 = partition_plan(n2, k)
+
+    presort_part = builder.add(
+        "partition", side="left", n=n1, k=k, capacity=cap1, counts=counts1
+    )
+    sorts = tuple(
+        builder.add(
+            "shard_sort", inputs=(presort_part,), shard=i, rows=counts1[i]
+        )
+        for i in range(k)
+    )
+    presort_merge = builder.add(
+        "merge", inputs=sorts, stage="presort", run_lengths=counts1
+    )
+    left_part = builder.add(
+        "partition",
+        inputs=(presort_merge,),
+        side="left_ranked",
+        n=n1,
+        k=k,
+        capacity=cap1,
+        counts=counts1,
+    )
+    right_part = builder.add(
+        "partition", side="right", n=n2, k=k, capacity=cap2, counts=counts2
+    )
+    cells = []
+    for i in range(k):
+        for j in range(k):
+            cells.append(
+                builder.add(
+                    "grid_join",
+                    inputs=(left_part, right_part),
+                    cell=(i, j),
+                    n1=counts1[i],
+                    n2=counts2[j],
+                    target=None if target is None else counts1[i] * counts2[j],
+                )
+            )
+    run_lengths = (
+        None
+        if target is None
+        else tuple(ci * cj for ci in counts1 for cj in counts2)
+    )
+    merge = builder.add(
+        "merge",
+        inputs=tuple(cells),
+        stage="output",
+        run_lengths=run_lengths,
+        truncate=target,
+    )
+    builder.add("gather", inputs=(merge,), rows=target)
+    return builder.build()
+
+
+# -- aggregate / group-by ----------------------------------------------------
+
+
+def inline_aggregate_plan(engine: str, workload: str, n1: int, n2: int) -> Plan:
+    """Single-shot aggregation: one sort + segmented reduce at ``n1 + n2``."""
+    builder = PlanBuilder(workload, engine, n1=n1, n2=n2)
+    left = builder.add("input", side="left", rows=n1)
+    right = builder.add("input", side="right", rows=n2)
+    sort = builder.add("sort", inputs=(left, right), rows=n1 + n2)
+    builder.add("reduce", inputs=(sort,), rows=n1 + n2)
+    return builder.build()
+
+
+def sharded_aggregate_plan(
+    workload: str, n1: int, n2: int, k: int, padded: bool
+) -> Plan:
+    """Per-shard partial aggregation + one combine, at public sizes.
+
+    ``padded`` pads every shard's partial table to its public worst case
+    (the block's row count), so the combine's input size — and with it the
+    whole schedule — is fixed by ``(n1, n2, k)``.  Unpadded, each partial
+    table ships at its revealed distinct-key count (``pad = None``).
+    """
+    check_shards(k)
+    builder = PlanBuilder(workload, "sharded", n1=n1, n2=n2, k=k, padded=padded)
+    cap1, counts1 = partition_plan(n1, k)
+    cap2, counts2 = partition_plan(n2, k)
+    left_part = builder.add(
+        "partition", side="left", n=n1, k=k, capacity=cap1, counts=counts1
+    )
+    right_part = builder.add(
+        "partition", side="right", n=n2, k=k, capacity=cap2, counts=counts2
+    )
+    tasks = []
+    for i in range(k):
+        rows = counts1[i] + counts2[i]
+        tasks.append(
+            builder.add(
+                "partial_aggregate",
+                inputs=(left_part, right_part),
+                shard=i,
+                rows=rows,
+                pad=rows if padded else None,
+            )
+        )
+    builder.add(
+        "combine",
+        inputs=tuple(tasks),
+        rows=n1 + n2 if padded else None,
+    )
+    return builder.build()
+
+
+# -- filter ------------------------------------------------------------------
+
+
+def inline_filter_plan(engine: str, n: int) -> Plan:
+    builder = PlanBuilder("filter", engine, n=n)
+    mask = builder.add("input", side="mask", rows=n)
+    builder.add("compact", inputs=(mask,), rows=n)
+    return builder.build()
+
+
+def sharded_filter_plan(n: int, k: int, padded: bool) -> Plan:
+    """Per-block compaction; ``padded`` ships every survivor list at the
+    block capacity (tagged tail), hiding the per-shard survivor counts."""
+    check_shards(k)
+    builder = PlanBuilder("filter", "sharded", n=n, k=k, padded=padded)
+    capacity, counts = partition_plan(n, k)
+    part = builder.add(
+        "partition", side="mask", n=n, k=k, capacity=capacity, counts=counts
+    )
+    blocks = tuple(
+        builder.add(
+            "block_filter",
+            inputs=(part,),
+            shard=i,
+            rows=counts[i],
+            pad=capacity if padded else None,
+        )
+        for i in range(k)
+    )
+    builder.add("concat", inputs=blocks, rows=n if padded else None)
+    return builder.build()
+
+
+# -- order-by ----------------------------------------------------------------
+
+
+def inline_order_plan(engine: str, n: int) -> Plan:
+    builder = PlanBuilder("order_by", engine, n=n)
+    rows = builder.add("input", side="keys", rows=n)
+    builder.add("sort", inputs=(rows,), rows=n)
+    return builder.build()
+
+
+def sharded_order_plan(n: int, k: int) -> Plan:
+    check_shards(k)
+    builder = PlanBuilder("order_by", "sharded", n=n, k=k)
+    capacity, counts = partition_plan(n, k)
+    part = builder.add(
+        "partition", side="keys", n=n, k=k, capacity=capacity, counts=counts
+    )
+    sorts = tuple(
+        builder.add("shard_sort", inputs=(part,), shard=i, rows=counts[i])
+        for i in range(k)
+    )
+    builder.add("merge", inputs=sorts, stage="output", run_lengths=counts)
+    return builder.build()
+
+
+# -- multiway ----------------------------------------------------------------
+
+
+def multiway_step_shapes(
+    sizes: list[int], bounds: tuple[int, ...]
+) -> list[tuple[int | None, int, int | None]]:
+    """Per-step ``(left_size, right_size, target)`` of a padded cascade.
+
+    The left input of step ``s`` is the previous step's *bound* (the padded
+    intermediate never reveals its true size); unpadded cascades
+    (``bounds == ()``) have data-dependent left sizes from step 1 on, so
+    those come back ``None``.
+    """
+    shapes: list[tuple[int | None, int, int | None]] = []
+    for step in range(len(sizes) - 1):
+        if bounds:
+            left = sizes[0] if step == 0 else bounds[step - 1]
+            shapes.append((left, sizes[step + 1], bounds[step]))
+        else:
+            left = sizes[0] if step == 0 else None
+            shapes.append((left, sizes[step + 1], None))
+    return shapes
+
+
+def multiway_plan(
+    sizes: list[int],
+    engine: str,
+    bounds: tuple[int, ...] = (),
+    k: int | None = None,
+) -> Plan:
+    """A whole cascade's public schedule: one embedded join plan per step.
+
+    ``bounds`` comes from :func:`repro.core.padding.cascade_bounds` (empty
+    = unpadded).  The per-step sub-plans are produced by the *same*
+    functions the drivers consume, so the cascade artifact and the executed
+    schedule cannot drift apart.
+    """
+    if len(sizes) < 2:
+        raise InputError("a multiway plan needs at least two table sizes")
+    if bounds and len(bounds) != len(sizes) - 1:
+        raise InputError(
+            f"{len(sizes) - 1}-step cascade needs {len(sizes) - 1} bounds, "
+            f"got {len(bounds)}"
+        )
+    shapes: dict = {"sizes": tuple(sizes), "bounds": tuple(bounds)}
+    if engine == "sharded":
+        shapes["k"] = check_shards(k if k is not None else 2)
+    builder = PlanBuilder("multiway", engine, **shapes)
+    last: tuple[int, ...] = ()
+    for step, (left, right, target) in enumerate(
+        multiway_step_shapes(sizes, bounds)
+    ):
+        if engine == "sharded":
+            if left is None:
+                step_plan = PlanBuilder("join", "sharded")
+                step_plan.add(
+                    "grid_join_deferred",
+                    n1=None,
+                    n2=right,
+                    k=shapes["k"],
+                    target=None,
+                )
+                sub = step_plan.build()
+            else:
+                sub = sharded_join_plan(left, right, shapes["k"], target)
+        else:
+            if left is None:
+                step_plan = PlanBuilder("join", engine)
+                step_plan.add("join_deferred", n1=None, n2=right, target=None)
+                sub = step_plan.build()
+            else:
+                sub = inline_join_plan(engine, left, right, target)
+        last = builder.embed(sub, step=step)
+    builder.add("compact", inputs=(last[-1],) if last else ())
+    return builder.build()
+
+
+# -- mode-resolving front door ----------------------------------------------
+
+
+def compile_join(
+    n1: int,
+    n2: int,
+    engine: str = "vector",
+    *,
+    shards: int | None = None,
+    padding: str | None = None,
+    bound=None,
+    target_m: int | None = None,
+) -> Plan:
+    """Compile a binary join's plan, resolving ``padding`` into a bound."""
+    target = target_m if target_m is not None else join_bound(n1, n2, padding, bound)
+    if engine == "sharded":
+        return sharded_join_plan(n1, n2, shards if shards is not None else 2, target)
+    if engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+    return inline_join_plan(engine, n1, n2, target)
+
+
+def compile_multiway(
+    sizes: list[int],
+    engine: str = "vector",
+    *,
+    shards: int | None = None,
+    padding: str | None = None,
+    bound=None,
+) -> Plan:
+    bounds = cascade_bounds(list(sizes), padding, bound)
+    if engine != "sharded" and engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+    return multiway_plan(list(sizes), engine, bounds=bounds, k=shards)
+
+
+def compile_aggregate(
+    n1: int,
+    n2: int,
+    engine: str = "vector",
+    *,
+    workload: str = "aggregate",
+    shards: int | None = None,
+    padding: str | None = None,
+) -> Plan:
+    padded = check_padding(padding) != "revealed"
+    if engine == "sharded":
+        return sharded_aggregate_plan(
+            workload, n1, n2, shards if shards is not None else 2, padded
+        )
+    if engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+    return inline_aggregate_plan(engine, workload, n1, n2)
+
+
+def compile_filter(
+    n: int,
+    engine: str = "vector",
+    *,
+    shards: int | None = None,
+    padding: str | None = None,
+) -> Plan:
+    padded = check_padding(padding) != "revealed"
+    if engine == "sharded":
+        return sharded_filter_plan(n, shards if shards is not None else 2, padded)
+    if engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+    return inline_filter_plan(engine, n)
+
+
+def compile_order_by(
+    n: int, engine: str = "vector", *, shards: int | None = None
+) -> Plan:
+    if engine == "sharded":
+        return sharded_order_plan(n, shards if shards is not None else 2)
+    if engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+    return inline_order_plan(engine, n)
+
+
+def compile_workload(
+    workload: str,
+    engine: str = "vector",
+    *,
+    n1: int | None = None,
+    n2: int | None = None,
+    n: int | None = None,
+    sizes: list[int] | None = None,
+    shards: int | None = None,
+    padding: str | None = None,
+    bound=None,
+) -> Plan:
+    """Dispatch to the right compiler from CLI-shaped arguments."""
+    if workload not in WORKLOADS:
+        raise InputError(
+            f"unknown workload {workload!r}; expected one of {WORKLOADS}"
+        )
+    if workload == "join":
+        if n1 is None or n2 is None:
+            raise InputError("join plans need n1 and n2")
+        return compile_join(
+            n1, n2, engine, shards=shards, padding=padding, bound=bound
+        )
+    if workload == "multiway":
+        if not sizes:
+            raise InputError("multiway plans need sizes (one per table)")
+        return compile_multiway(
+            sizes, engine, shards=shards, padding=padding, bound=bound
+        )
+    if workload == "aggregate":
+        if n1 is None or n2 is None:
+            raise InputError("aggregate plans need n1 and n2")
+        return compile_aggregate(
+            n1, n2, engine, shards=shards, padding=padding
+        )
+    if workload == "group_by":
+        if n is None:
+            raise InputError("group_by plans need n")
+        return compile_aggregate(
+            n, 0, engine, workload="group_by", shards=shards, padding=padding
+        )
+    if workload == "filter":
+        if n is None:
+            raise InputError("filter plans need n")
+        return compile_filter(n, engine, shards=shards, padding=padding)
+    if n is None:
+        raise InputError("order_by plans need n")
+    return compile_order_by(n, engine, shards=shards)

@@ -1,0 +1,418 @@
+"""Pluggable executors: *how* a compiled plan's tasks run.
+
+A :class:`~repro.plan.ir.Plan` fixes the public schedule — which tasks run
+at which sizes, in which order.  Executors fix the substrate.  The contract
+is deliberately tiny::
+
+    executor.map(task, payloads) -> list   # results in payload order
+
+``task`` must be a module-level (picklable) function of one payload; every
+payload's *shape* is already data-independent (padded shards), so no
+executor can change the leakage — only the wall clock.  Three ship
+in-tree:
+
+``inline``
+    Runs the task list in the calling process.  Deterministic, fork-free,
+    the default for ``workers=1`` and what the test suite hammers.
+``pool``
+    A persistent ``multiprocessing`` pool with **shared-memory column
+    transport**: every distinct numpy array in a dispatch is written once
+    into a ``multiprocessing.shared_memory`` segment and workers attach
+    zero-copy, read-only views.  This replaces pickling the shard payloads
+    — the sharded join's ``k x k`` grid references each shard's columns
+    ``k`` times, which pickle would serialize ``k`` times per dispatch and
+    shared memory writes exactly once.  A worker attaches a dispatch's
+    segment once and keeps it mapped for the dispatch's remaining tasks
+    (one segment per dispatch, so one resident slot captures all the reuse
+    there is).
+``async``
+    An asyncio wrapper that overlaps shard compute with result gather:
+    every payload is dispatched immediately (to the shared process pool,
+    or to threads at ``workers=1``) and results are awaited as they
+    complete.  This is the seam a streaming engine plugs into — a consumer
+    can start folding result ``i`` while task ``i+1`` is still running.
+
+Pools are *persistent*: the first ``workers=N`` dispatch forks the pool,
+later dispatches reuse it (:func:`shutdown_pools` tears them down; an
+``atexit`` hook does so at interpreter exit).  All executors return results
+in payload order, so the execution strategy never changes the output — the
+executor-parametrised differential suite pins that bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import multiprocessing
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..errors import InputError
+
+#: Live pools keyed by worker count (see :func:`_pool`).
+_POOLS: dict[int, multiprocessing.pool.Pool] = {}
+
+#: The segment a worker currently has attached (name -> SharedMemory).
+#: One dispatch = one segment, so a single slot captures all the reuse
+#: there is (consecutive tasks of the same dispatch); keeping more would
+#: only pin dead, already-unlinked arenas in memory.
+_ATTACHED: "OrderedDict[str, object]" = OrderedDict()
+
+#: How many segments a worker keeps resident before closing the oldest.
+_ATTACH_LIMIT = 1
+
+
+def check_workers(workers: int) -> int:
+    """Validate a worker count; returns it for chaining."""
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise InputError(f"worker count must be an int >= 1, got {workers!r}")
+    return workers
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, POSIX) and fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _pool(workers: int) -> multiprocessing.pool.Pool:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _context().Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (idempotent)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def warm_pool(workers: int) -> None:
+    """Fork the ``workers``-process pool ahead of time (bench warm-up)."""
+    check_workers(workers)
+    if workers > 1:
+        _pool(workers)
+
+
+# -- shared-memory column transport ------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    """Wire stand-in for one ndarray: segment name + layout, no bytes."""
+
+    segment: str
+    offset: int
+    dtype: str
+    shape: tuple[int, ...]
+
+
+def _encode(obj, arena: dict, chunks: list):
+    """Replace every ndarray in a payload tree with an :class:`_ArrayRef`.
+
+    ``arena`` maps ``id(array)`` to its assigned ref so an array referenced
+    by many payloads (each shard's columns appear in ``k`` grid tasks) is
+    written exactly once; ``chunks`` collects ``(offset, array)`` copy
+    instructions for :func:`_pack`.  Offsets are 64-byte aligned.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes == 0:
+            return obj  # zero-size arrays ship inline (nothing to share)
+        ref = arena.get(id(obj))
+        if ref is None:
+            contiguous = np.ascontiguousarray(obj)
+            if chunks:
+                last_offset, last = chunks[-1]
+                offset = -(-(last_offset + last.nbytes) // 64) * 64
+            else:
+                offset = 0
+            ref = _ArrayRef(
+                segment="",  # patched by _pack once the segment exists
+                offset=offset,
+                dtype=contiguous.dtype.str,
+                shape=tuple(contiguous.shape),
+            )
+            arena[id(obj)] = ref
+            chunks.append((offset, contiguous))
+        return ref
+    if isinstance(obj, tuple):
+        return tuple(_encode(item, arena, chunks) for item in obj)
+    if isinstance(obj, list):
+        return [_encode(item, arena, chunks) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _encode(value, arena, chunks) for key, value in obj.items()}
+    return obj
+
+
+def _pack(payloads: Sequence) -> tuple[object, list]:
+    """Encode a batch: one shared segment for all arrays, refs in payloads."""
+    from multiprocessing import shared_memory
+
+    arena: dict = {}
+    chunks: list = []
+    encoded = [_encode(payload, arena, chunks) for payload in payloads]
+    if not chunks:
+        return None, encoded
+    last_offset, last = chunks[-1]
+    segment = shared_memory.SharedMemory(
+        create=True, size=last_offset + last.nbytes
+    )
+    for offset, array in chunks:
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
+        )
+        view[...] = array
+    encoded = _rename(encoded, segment.name)
+    return segment, encoded
+
+
+def _rename(obj, name: str):
+    """Stamp the final segment name into every ref of an encoded tree."""
+    if isinstance(obj, _ArrayRef):
+        return _ArrayRef(name, obj.offset, obj.dtype, obj.shape)
+    if isinstance(obj, tuple):
+        return tuple(_rename(item, name) for item in obj)
+    if isinstance(obj, list):
+        return [_rename(item, name) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _rename(value, name) for key, value in obj.items()}
+    return obj
+
+
+def _attach(name: str):
+    """Worker side: map a segment by name, caching the current dispatch's.
+
+    The parent owns the segment lifecycle (it unlinks after the dispatch);
+    a worker's mapping stays valid until closed, which is what lets the
+    tasks of one dispatch share a single attach.  The cache holds exactly
+    one segment — a new dispatch's first task evicts (and frees) the
+    previous dispatch's arena, so long-lived workers never pin dead
+    segments.
+    """
+    from multiprocessing import shared_memory
+
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        # The parent owns the segment's lifecycle (it registered it and
+        # will unlink it); attaching must not register it a second time
+        # with the (shared, under fork) resource tracker, or the tracker's
+        # books go inconsistent and it prints spurious KeyErrors at exit.
+        # Pool workers are single-threaded, so the patch window is safe.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHED[name] = segment
+        while len(_ATTACHED) > _ATTACH_LIMIT:
+            _, oldest = _ATTACHED.popitem(last=False)
+            try:
+                oldest.close()
+            except BufferError:  # a stale traceback still holds a view;
+                pass  # dropping the reference frees it with the gc instead
+    else:
+        _ATTACHED.move_to_end(name)
+    return segment
+
+
+def _decode(obj):
+    """Rebuild a payload tree, materialising refs as read-only shm views."""
+    if isinstance(obj, _ArrayRef):
+        segment = _attach(obj.segment)
+        view = np.ndarray(
+            obj.shape,
+            dtype=np.dtype(obj.dtype),
+            buffer=segment.buf,
+            offset=obj.offset,
+        )
+        view.flags.writeable = False  # tasks must copy before mutating
+        return view
+    if isinstance(obj, tuple):
+        return tuple(_decode(item) for item in obj)
+    if isinstance(obj, list):
+        return [_decode(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _decode(value) for key, value in obj.items()}
+    return obj
+
+
+def _run_encoded(call):
+    """Worker entry point: decode one payload and run the task on it."""
+    task, payload = call
+    return task(_decode(payload))
+
+
+# -- executors ---------------------------------------------------------------
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The execution substrate contract: ordered map over padded payloads."""
+
+    name: str
+    #: How payload bytes reach the compute: "none", "shared_memory", "pickle".
+    transport: str
+
+    def map(self, task: Callable, payloads: Sequence) -> list: ...
+
+
+class InlineExecutor:
+    """Run the task list in the calling process (no pool, no transport)."""
+
+    name = "inline"
+    transport = "none"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = check_workers(workers)  # accepted for uniformity
+
+    def map(self, task: Callable, payloads: Sequence) -> list:
+        return [task(payload) for payload in payloads]
+
+
+class PoolExecutor:
+    """Persistent process pool + shared-memory column transport."""
+
+    name = "pool"
+    transport = "shared_memory"
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = check_workers(workers)
+
+    def map(self, task: Callable, payloads: Sequence) -> list:
+        if len(payloads) <= 1 or self.workers == 1:
+            # A single task (or a 1-process pool) gains nothing from the
+            # round-trip; inline keeps the fast path fast.  Results are
+            # identical either way — executors cannot change outputs.
+            return [task(payload) for payload in payloads]
+        segment, encoded = _pack(payloads)
+        try:
+            return _pool(self.workers).map(
+                _run_encoded, [(task, payload) for payload in encoded]
+            )
+        finally:
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+
+
+class AsyncExecutor:
+    """Asyncio overlap of shard compute and result gather.
+
+    Every payload is dispatched up front; an asyncio task per payload then
+    awaits its result, so results are gathered (and, in a streaming
+    consumer, processed) as they complete rather than after a barrier.
+    ``workers > 1`` dispatches to the shared process pool (pickle
+    transport); ``workers = 1`` overlaps on threads, which keeps the
+    executor fork-free for tests and small inputs.
+    """
+
+    name = "async"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = check_workers(workers)
+
+    @property
+    def transport(self) -> str:
+        """Pickle through the process pool; nothing crosses at workers=1."""
+        return "pickle" if self.workers > 1 else "none"
+
+    def map(self, task: Callable, payloads: Sequence) -> list:
+        if len(payloads) <= 1:
+            return [task(payload) for payload in payloads]
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self._gather(task, list(payloads)))
+        # Called from inside a running event loop (e.g. a streaming
+        # consumer driving queries from an async app): ``map`` is a
+        # blocking call by contract, and a nested asyncio.run on this
+        # thread would raise, so run the gather on its own loop in a
+        # helper thread and block here.
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(1) as runner:
+            return runner.submit(
+                asyncio.run, self._gather(task, list(payloads))
+            ).result()
+
+    async def _gather(self, task: Callable, payloads: list) -> list:
+        loop = asyncio.get_running_loop()
+        if self.workers > 1:
+            pending = [
+                _pool(self.workers).apply_async(task, (payload,))
+                for payload in payloads
+            ]
+            futures = [
+                loop.run_in_executor(None, result.get) for result in pending
+            ]
+        else:
+            futures = [
+                loop.run_in_executor(None, task, payload)
+                for payload in payloads
+            ]
+        return list(await asyncio.gather(*futures))
+
+
+#: Executor factories by name (the ``--executor`` choices).
+_EXECUTORS: dict[str, type] = {
+    InlineExecutor.name: InlineExecutor,
+    PoolExecutor.name: PoolExecutor,
+    AsyncExecutor.name: AsyncExecutor,
+}
+
+
+def register_executor(factory: type) -> type:
+    """Register an executor class under ``factory.name``; returns it."""
+    if not getattr(factory, "name", ""):
+        raise InputError("executors must carry a non-empty name")
+    _EXECUTORS[factory.name] = factory
+    return factory
+
+
+def available_executors() -> list[str]:
+    """Sorted names of all registered executors."""
+    return sorted(_EXECUTORS)
+
+
+def get_executor(executor: str | Executor, workers: int = 1) -> Executor:
+    """Resolve an executor by name (instances pass straight through)."""
+    if not isinstance(executor, str):
+        return executor
+    try:
+        factory = _EXECUTORS[executor]
+    except KeyError:
+        raise InputError(
+            f"unknown executor {executor!r}; "
+            f"available: {', '.join(available_executors())}"
+        ) from None
+    return factory(workers=check_workers(workers))
+
+
+def resolve_executor(executor: str | Executor | None, workers: int = 1) -> Executor:
+    """The drivers' default rule: explicit choice wins, else by workers.
+
+    ``None`` keeps the historical behaviour — ``workers=1`` runs inline,
+    ``workers>1`` runs on the (shared-memory) process pool.
+    """
+    check_workers(workers)
+    if executor is None:
+        executor = "inline" if workers == 1 else "pool"
+    return get_executor(executor, workers=workers)
+
+
+def run_tasks(task: Callable, payloads: Sequence, workers: int = 1) -> list:
+    """Back-compat shim: map ``payloads`` under the default executor rule."""
+    return resolve_executor(None, workers=workers).map(task, payloads)

@@ -1,0 +1,221 @@
+"""The public Plan IR: the oblivious schedule as an explicit artifact.
+
+The paper's security argument is that the *schedule* of oblivious
+primitives — which networks run, at which sizes, in which order — is a
+function of public values only.  Until now that schedule was an emergent
+property, re-derived ad hoc inside each engine; this module makes it a
+first-class, serializable value.  A :class:`Plan` is a DAG of
+:class:`OpNode` operator nodes whose shapes, bounds and shard grids are
+computed *up front* from the public inputs (``n1, n2, …, k, padding
+bounds``) by :mod:`repro.plan.compile`, before any data is touched.
+
+Two properties make the IR useful:
+
+1. **Obliviousness becomes checkable by equality.**  Two runs over inputs
+   with the same public shapes must compile — and execute — byte-identical
+   serialized plans (:meth:`Plan.serialize`); ``tests/test_plan.py`` pins
+   this across adversarial key distributions, and ``python -m repro plan``
+   prints the artifact for any query so it can be audited offline.
+2. **Execution is substrate-independent.**  A plan says *what* runs at
+   which public sizes; the :mod:`repro.plan.executors` layer decides *how*
+   (inline, shared-memory process pool, asyncio overlap).  Nothing in a
+   plan depends on the executor, so changing the substrate provably cannot
+   change the leakage.
+
+Attribute values are restricted to a JSON-safe, deterministic subset
+(ints, strings, bools, ``None`` and nested sequences thereof);
+``None`` marks a size that is *not* known at compile time and will be
+revealed at run time (the ``"revealed"`` padding mode's deliberate leak).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+from dataclasses import dataclass
+
+from ..errors import InputError
+
+#: Serialization format tag, bumped on any change to the byte layout.
+PLAN_FORMAT = 1
+
+
+def _freeze(value, context: str):
+    """Normalise one public attribute value to a hashable, JSON-safe form.
+
+    Sequences become tuples recursively; floats are rejected outright
+    (their serialization is platform-dependent and no public shape in this
+    system is fractional), as is any other type that could make two
+    equal plans serialize differently.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)  # collapses numpy integer scalars too
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item, context) for item in value)
+    raise InputError(
+        f"plan attribute {context} must be int/str/bool/None or a sequence "
+        f"of those, got {type(value).__name__}"
+    )
+
+
+def _thaw(value):
+    """Tuples back to lists for JSON emission."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One operator of a plan: a public op name, public attributes, edges.
+
+    ``attrs`` is a name-sorted tuple of ``(name, value)`` pairs — sorted so
+    that equal nodes are equal values and serialize identically.
+    ``inputs`` are indices of upstream nodes in the owning plan's ``nodes``
+    tuple (always smaller than the node's own index: plans are built in
+    topological order).
+    """
+
+    op: str
+    attrs: tuple[tuple[str, object], ...] = ()
+    inputs: tuple[int, ...] = ()
+
+    def attr(self, name: str, default=None):
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "attrs": {name: _thaw(value) for name, value in self.attrs},
+            "inputs": list(self.inputs),
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A compiled oblivious schedule: workload + public shapes + node DAG.
+
+    ``shapes`` carries the public inputs the plan was compiled from
+    (``n1``, ``n2``, ``k``, ``target``, ``bounds`` …) — everything the
+    adversary view of the eventual execution is allowed to depend on, and
+    *nothing else*.  Serialization is canonical (sorted keys, no
+    whitespace), so byte equality of :meth:`serialize` is plan equality.
+    """
+
+    workload: str
+    engine: str
+    shapes: tuple[tuple[str, object], ...]
+    nodes: tuple[OpNode, ...]
+
+    def shape(self, name: str, default=None):
+        for key, value in self.shapes:
+            if key == name:
+                return value
+        return default
+
+    def nodes_by_op(self, op: str) -> list[OpNode]:
+        """All nodes with the given op name, in plan (topological) order."""
+        return [node for node in self.nodes if node.op == op]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": PLAN_FORMAT,
+            "workload": self.workload,
+            "engine": self.engine,
+            "shapes": {name: _thaw(value) for name, value in self.shapes},
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def serialize(self) -> bytes:
+        """Canonical bytes; byte equality ⇔ identical public schedule."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`serialize` — the plan's public fingerprint."""
+        return hashlib.sha256(self.serialize()).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable one-node-per-line view (the CLI ``plan`` output)."""
+        shape_text = ", ".join(f"{k}={_thaw(v)!r}" for k, v in self.shapes)
+        lines = [
+            f"plan {self.workload} on {self.engine} ({shape_text})",
+            f"digest {self.digest()}",
+        ]
+        for index, node in enumerate(self.nodes):
+            attrs = " ".join(f"{k}={_thaw(v)!r}" for k, v in node.attrs)
+            arrows = (
+                " <- " + ",".join(str(i) for i in node.inputs)
+                if node.inputs
+                else ""
+            )
+            lines.append(f"  [{index:3d}] {node.op} {attrs}{arrows}")
+        return "\n".join(lines)
+
+
+class PlanBuilder:
+    """Accumulates nodes in topological order and freezes them into a Plan."""
+
+    def __init__(self, workload: str, engine: str, **shapes) -> None:
+        self.workload = workload
+        self.engine = engine
+        self.shapes = tuple(
+            (name, _freeze(value, f"shape {name!r}"))
+            for name, value in sorted(shapes.items())
+        )
+        self._nodes: list[OpNode] = []
+
+    def add(self, op: str, inputs: tuple[int, ...] = (), **attrs) -> int:
+        """Append a node; returns its index for downstream edges."""
+        for index in inputs:
+            if not 0 <= index < len(self._nodes):
+                raise InputError(
+                    f"plan node {op!r} references unknown input {index}"
+                )
+        self._nodes.append(
+            OpNode(
+                op=op,
+                attrs=tuple(
+                    (name, _freeze(value, f"{op}.{name}"))
+                    for name, value in sorted(attrs.items())
+                ),
+                inputs=tuple(int(i) for i in inputs),
+            )
+        )
+        return len(self._nodes) - 1
+
+    def embed(self, plan: Plan, **extra_attrs) -> tuple[int, ...]:
+        """Inline another plan's nodes (e.g. one cascade step's join plan).
+
+        Node indices are offset to stay valid; ``extra_attrs`` (typically
+        ``step=s``) are merged into every embedded node so the flattened
+        DAG remains self-describing.  Returns the new indices.
+        """
+        offset = len(self._nodes)
+        for node in plan.nodes:
+            merged = dict(node.attrs)
+            for name, value in extra_attrs.items():
+                merged[name] = _freeze(value, f"{node.op}.{name}")
+            self._nodes.append(
+                OpNode(
+                    op=node.op,
+                    attrs=tuple(sorted(merged.items())),
+                    inputs=tuple(i + offset for i in node.inputs),
+                )
+            )
+        return tuple(range(offset, len(self._nodes)))
+
+    def build(self) -> Plan:
+        return Plan(
+            workload=self.workload,
+            engine=self.engine,
+            shapes=self.shapes,
+            nodes=tuple(self._nodes),
+        )

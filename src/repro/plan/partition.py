@@ -1,0 +1,51 @@
+"""Pure partition-plan functions: shard layout as f(n, k) and nothing else.
+
+These used to live in :mod:`repro.shard.partition` next to the code that
+actually moves rows; they are the *public* half of partitioning — the shard
+capacity and per-shard real counts an adversary is allowed to learn — and
+the plan compiler is their primary consumer now, so they live in the plan
+layer.  :mod:`repro.shard.partition` re-exports them unchanged.
+
+Rows are assigned to shards by *position* — shard ``i`` receives the
+``i``-th contiguous block — so shard membership is independent of every key
+and payload byte, and the whole layout is a pure function of ``(n, k)``:
+the first ``n mod k`` shards carry ``ceil(n / k)`` rows, the rest
+``floor(n / k)``, and every shard is padded to the common capacity
+``ceil(n / k)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import InputError
+
+
+def check_shards(shards: int) -> int:
+    """Validate a shard count; returns it for chaining."""
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise InputError(f"shard count must be an int >= 1, got {shards!r}")
+    return shards
+
+
+def shard_capacity(n: int, k: int) -> int:
+    """Common padded size of every shard: ``ceil(n / k)`` — f(n, k) only."""
+    check_shards(k)
+    if n < 0:
+        raise InputError(f"table size must be >= 0, got {n}")
+    return -(-n // k)
+
+
+def shard_counts(n: int, k: int) -> tuple[int, ...]:
+    """Real rows per shard — a pure function of ``(n, k)``."""
+    check_shards(k)
+    base, rem = divmod(n, k)
+    return tuple(base + (1 if i < rem else 0) for i in range(k))
+
+
+def partition_plan(n: int, k: int) -> tuple[int, tuple[int, ...]]:
+    """The public partition plan ``(capacity, per-shard real counts)``.
+
+    This tuple is everything the adversary learns from the partitioning
+    step; the obliviousness suite asserts it is identical across any two
+    inputs of the same size.
+    """
+    return shard_capacity(n, k), shard_counts(n, k)

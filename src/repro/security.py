@@ -178,6 +178,7 @@ KNOWN_PROFILES: dict[str, ProgramProfile] = {
 #: ``bound``/``bounds`` the public padding bounds, ``k`` shard count,
 #: ``partition_plan`` the (n, k)-determined shard layout, ``m_ij_grid``
 #: per-task output sizes, ``partial_group_counts`` per-shard distinct-key
+#: counts, ``filter_block_counts`` the sharded FILTER's per-shard survivor
 #: counts, ``g`` the final group count, ``m_final`` the compacted final
 #: output size (always revealed — the paper's model accepts it).
 #: ``m_final`` and ``g`` (final output / group count after compaction) are
@@ -192,7 +193,8 @@ LEAKAGE_PROFILES: dict[tuple[str, str], tuple[str, ...]] = {
     ("vector", "worst_case"): ("n1", "n2", "m_final", "g"),
     ("sharded", "revealed"): (
         "n1", "n2", "k", "partition_plan", "m", "step_sizes",
-        "m_ij_grid", "partial_group_counts", "m_final", "g",
+        "m_ij_grid", "partial_group_counts", "filter_block_counts",
+        "m_final", "g",
     ),
     ("sharded", "bounded"): (
         "n1", "n2", "k", "partition_plan", "bound", "bounds", "m_final", "g",

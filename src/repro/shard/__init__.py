@@ -4,16 +4,21 @@ The subsystem behind the ``sharded`` engine (:mod:`repro.engines.sharded`):
 
 :mod:`~repro.shard.partition`
     Oblivious positional partitioner — ``k`` equal shards padded to a
-    capacity that is a function of ``(n, k)`` only.
+    capacity that is a function of ``(n, k)`` only (the pure plan half
+    lives in :mod:`repro.plan.partition`).
 :mod:`~repro.shard.executor`
-    The multiprocessing pool (``workers=1`` runs inline).
+    Back-compat shim; the executor layer (inline / shared-memory pool /
+    async) lives in :mod:`repro.plan.executors` now.
 :mod:`~repro.shard.merge`
     Bitonic merge tournament + padding compaction that reassembles sorted
     sub-results into the engines' canonical order.
 :mod:`~repro.shard.join` / :mod:`~repro.shard.aggregate` /
 :mod:`~repro.shard.multiway` / :mod:`~repro.shard.relational`
     The sharded workloads themselves, each bit-identical to the vector
-    engine and validated by the cross-engine differential suite.
+    engine and validated by the cross-engine differential suite.  Every
+    driver compiles its public plan (:mod:`repro.plan.compile`) before
+    touching data and consumes the plan's node attributes for all padded
+    bounds; tasks dispatch through a pluggable executor.
 """
 
 from .aggregate import (

@@ -40,8 +40,10 @@ import numpy as np
 from ..core.aggregate import GroupAggregate
 from ..core.padding import ANCHOR_KEY, check_anchor_headroom
 from ..errors import InputError
+from ..plan.compile import sharded_aggregate_plan
+from ..plan.executors import Executor, resolve_executor
+from ..plan.ir import Plan
 from ..vector.sort import vector_bitonic_sort
-from .executor import check_workers, run_tasks
 from .partition import partition_pairs, partition_plan
 
 _INT = np.int64
@@ -57,6 +59,7 @@ class ShardedAggregateStats:
     """Cost/schedule record of one sharded aggregation."""
 
     shards: int = 1
+    plan: Plan | None = None
     partition: tuple = ()
     task_comparisons: list[int] = field(default_factory=list)
     partial_group_counts: list[int] = field(default_factory=list)
@@ -221,8 +224,9 @@ def _run_sharded_aggregation(
     left_only: bool,
     stats: ShardedAggregateStats,
     padded: bool = False,
+    executor: str | Executor | None = None,
 ) -> list[GroupAggregate]:
-    check_workers(workers)
+    executor = resolve_executor(executor, workers=workers)
     stats.shards = shards
 
     start = time.perf_counter()
@@ -242,22 +246,21 @@ def _run_sharded_aggregation(
             if part.real
         )
     stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
+    # Per-shard input sizes and padded partial-table bounds come from the
+    # compiled plan (pure f(n1, n2, k)); the data only fills the slots.
+    plan = sharded_aggregate_plan(
+        "group_by" if left_only else "aggregate", n1, n2, shards, padded
+    )
+    stats.plan = plan
+    pads = [node.attr("pad") for node in plan.nodes_by_op("partial_aggregate")]
     payloads = [
-        (
-            lp.j,
-            lp.d,
-            lp.real,
-            rp.j,
-            rp.d,
-            rp.real,
-            lp.real + rp.real if padded else None,
-        )
-        for lp, rp in zip(left_parts, right_parts)
+        (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real, pad)
+        for (lp, rp), pad in zip(zip(left_parts, right_parts), pads)
     ]
     stats.seconds_by_phase["partition"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    results = run_tasks(_aggregate_task, payloads, workers=workers)
+    results = executor.map(_aggregate_task, payloads)
     stats.seconds_by_phase["tasks"] = time.perf_counter() - start
     stats.task_comparisons = [comparisons for _, comparisons in results]
     stats.partial_group_counts = [len(partials["j"]) for partials, _ in results]
@@ -274,6 +277,7 @@ def sharded_join_aggregate(
     workers: int = 1,
     stats: ShardedAggregateStats | None = None,
     padded: bool = False,
+    executor: str | Executor | None = None,
 ) -> list[GroupAggregate]:
     """Sharded counterpart of :func:`repro.vector.aggregate.vector_join_aggregate`.
 
@@ -284,7 +288,14 @@ def sharded_join_aggregate(
     """
     stats = stats if stats is not None else ShardedAggregateStats()
     return _run_sharded_aggregation(
-        left, right, shards, workers, left_only=False, stats=stats, padded=padded
+        left,
+        right,
+        shards,
+        workers,
+        left_only=False,
+        stats=stats,
+        padded=padded,
+        executor=executor,
     )
 
 
@@ -294,9 +305,17 @@ def sharded_group_by(
     workers: int = 1,
     stats: ShardedAggregateStats | None = None,
     padded: bool = False,
+    executor: str | Executor | None = None,
 ) -> list[GroupAggregate]:
     """Sharded counterpart of :func:`repro.vector.aggregate.vector_group_by`."""
     stats = stats if stats is not None else ShardedAggregateStats()
     return _run_sharded_aggregation(
-        table, [], shards, workers, left_only=True, stats=stats, padded=padded
+        table,
+        [],
+        shards,
+        workers,
+        left_only=True,
+        stats=stats,
+        padded=padded,
+        executor=executor,
     )

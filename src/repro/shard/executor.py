@@ -1,80 +1,38 @@
-"""The multiprocessing executor behind the sharded engine.
+"""Back-compat shim: the executor layer moved to :mod:`repro.plan.executors`.
 
-Dispatches per-shard tasks to a pool of worker processes.  Every payload a
-worker receives is a padded shard (see :mod:`repro.shard.partition`), so for
-a fixed ``(n, k)`` the inter-process traffic has a data-independent shape:
-the same number of messages, each the same size, in the same order.
+The sharded engine's process pool grew into a first-class, pluggable
+*executor* abstraction (inline / shared-memory pool / asyncio overlap) as
+part of the compile-then-execute refactor; the implementation now lives in
+the plan layer, next to the Plan IR whose tasks it runs.  This module
+re-exports the historical names so existing imports keep working:
 
-``workers=1`` runs the tasks inline in the calling process — no pool, no
-pickling — which is both the fast path for small inputs and the reason the
-differential test suite can hammer the sharded engine without forking
-hundreds of pools.  Pools are *persistent*: the first ``workers=N`` call
-forks the pool, later calls reuse it, so a steady stream of queries pays
-process start-up once, not per query (:func:`shutdown_pools` tears them
-down; an ``atexit`` hook does so at interpreter exit).  Results are always
-returned in payload order (``pool.map`` preserves order), so the execution
-strategy never changes the output.
+``run_tasks(task, payloads, workers)``
+    Maps payloads under the default executor rule — ``workers=1`` inline,
+    ``workers>1`` on the persistent shared-memory pool.
+``check_workers`` / ``warm_pool`` / ``shutdown_pools``
+    Unchanged contracts, same persistent-pool semantics.
+
+New code should pass an executor explicitly::
+
+    from repro.plan import resolve_executor
+    executor = resolve_executor("async", workers=4)
+    executor.map(task, payloads)
 """
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing
-from typing import Callable, Sequence
+from ..plan.executors import (  # noqa: F401 (re-exports)
+    check_workers,
+    resolve_executor,
+    run_tasks,
+    shutdown_pools,
+    warm_pool,
+)
 
-from ..errors import InputError
-
-#: Live pools keyed by worker count (see :func:`run_tasks`).
-_POOLS: dict[int, multiprocessing.pool.Pool] = {}
-
-
-def check_workers(workers: int) -> int:
-    """Validate a worker count; returns it for chaining."""
-    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
-        raise InputError(f"worker count must be an int >= 1, got {workers!r}")
-    return workers
-
-
-def _context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, POSIX) and fall back to spawn elsewhere."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-def _pool(workers: int) -> multiprocessing.pool.Pool:
-    pool = _POOLS.get(workers)
-    if pool is None:
-        pool = _context().Pool(processes=workers)
-        _POOLS[workers] = pool
-    return pool
-
-
-def shutdown_pools() -> None:
-    """Terminate every cached worker pool (idempotent)."""
-    for pool in _POOLS.values():
-        pool.terminate()
-        pool.join()
-    _POOLS.clear()
-
-
-atexit.register(shutdown_pools)
-
-
-def warm_pool(workers: int) -> None:
-    """Fork the ``workers``-process pool ahead of time (bench warm-up)."""
-    check_workers(workers)
-    if workers > 1:
-        _pool(workers)
-
-
-def run_tasks(task: Callable, payloads: Sequence, workers: int = 1) -> list:
-    """Run ``task`` over ``payloads``; results in payload order.
-
-    ``workers=1`` (or a single payload) executes inline; otherwise the
-    cached pool of ``workers`` processes maps over the payloads.  The task
-    must be a module-level function (picklable) taking one payload.
-    """
-    check_workers(workers)
-    if workers == 1 or len(payloads) <= 1:
-        return [task(payload) for payload in payloads]
-    return _pool(workers).map(task, payloads)
+__all__ = [
+    "check_workers",
+    "resolve_executor",
+    "run_tasks",
+    "shutdown_pools",
+    "warm_pool",
+]

@@ -1,15 +1,25 @@
-"""The sharded oblivious join: padded partitions, a task grid, one merge.
+"""The sharded oblivious join: one compiled plan, a task grid, one merge.
 
-Pipeline::
+Pipeline (all public sizes fixed by the compiled plan)::
 
+    compile    sharded_join_plan(n1, n2, k, target) — partition plans,
+               presort layout, the k*k grid with per-cell bounds, the merge
+               tournament's run lengths and truncation point
     presort    shard-sort the left table by (j, d): k local bitonic sorts
                + a bitonic merge tournament; rank rows by sorted position
     partition  ranked left / raw right -> k equal, padded shards each
-               (plans are functions of (n1, k) and (n2, k) only)
-    grid       run the k*k shard-pair sub-joins on the executor, each a
-               full vectorised Algorithm 1 over its (public-size) slice
+    grid       run the k*k shard-pair sub-joins on the *executor*
+               (inline / shared-memory pool / async), each a full
+               vectorised Algorithm 1 over its (public-size) slice
     merge      bitonic-merge the k*k sorted (j, rank, d2) runs, compact
                the padding, and gather d1 back through the rank handles
+
+The plan is compiled *before* any data is touched — it is a pure function
+of ``(n1, n2, k, target_m)`` — and the driver consumes it: every grid
+cell's padded bound and the merge truncation point come from plan nodes,
+not from the data.  ``stats.plan`` exposes the executed plan so the
+obliviousness suite can assert byte-identical serializations across inputs
+that share a shape.
 
 Because shard membership is positional, every joinable row pair meets in
 exactly one grid cell, so the union of sub-join outputs is exactly the join
@@ -30,11 +40,13 @@ output volume to position-block pairs) — the same trade the multiway
 cascade makes for intermediate sizes.  With ``target_m`` set, the grid is
 folded into the padded story: every task runs the padded vector join at
 its own public worst case ``real_i * real_j`` (a row pair cannot emit more
-than its cross product), the merge tournament therefore processes runs of
-public lengths summing to ``n1 * n2``, and the output is the first
-``target_m`` merged rows — real rows sort before the anchor-keyed dummies,
-so that truncation is public too.  Task grid, schedule, and ``task_m`` all
-become functions of ``(n1, n2, k, target_m)``; see
+than its cross product), and the merge tournament truncates every merged
+run at the public bound (*fused expand-truncate*: a row past position
+``target_m`` of a sorted run can never reach the first ``target_m`` rows
+of the final merge, so dropping it early is a public, data-independent
+cut — the run lengths stay functions of ``(n1, n2, k, target_m)``).  Task
+grid, schedule, and ``task_m`` all become functions of
+``(n1, n2, k, target_m)``; see :mod:`repro.plan.compile`,
 :mod:`repro.core.padding` and ``docs/leakage.md``.
 """
 
@@ -52,9 +64,11 @@ from ..core.padding import (
     check_target_m,
     exceeds_bound,
 )
+from ..plan.compile import sharded_join_plan
+from ..plan.executors import Executor, resolve_executor
+from ..plan.ir import Plan
 from ..vector.join import vector_oblivious_join
 from ..vector.sort import vector_bitonic_sort
-from .executor import check_workers, run_tasks
 from .merge import oblivious_merge_runs
 from .partition import partition_pairs, partition_plan
 
@@ -71,14 +85,16 @@ PRESORT_KEYS = [("j", True), ("d", True)]
 class ShardedJoinStats:
     """Cost/schedule record of one sharded join.
 
-    ``partition`` is the public partition plan for both inputs;
-    ``presort_comparisons`` / ``presort_merge_comparisons`` cover the
-    left-ranking sort, ``task_comparisons`` each grid task's per-phase
-    comparator counts, ``task_m`` the revealed per-task output sizes and
-    ``merge_comparisons`` the output merge tournament.
+    ``plan`` is the compiled public plan the run consumed; ``partition`` is
+    the public partition plan for both inputs; ``presort_comparisons`` /
+    ``presort_merge_comparisons`` cover the left-ranking sort,
+    ``task_comparisons`` each grid task's per-phase comparator counts,
+    ``task_m`` the revealed per-task output sizes and ``merge_comparisons``
+    the output merge tournament.
     """
 
     shards: int = 1
+    plan: Plan | None = None
     partition: tuple = ()
     presort_comparisons: list[int] = field(default_factory=list)
     presort_merge_comparisons: int = 0
@@ -109,7 +125,7 @@ class ShardedJoinStats:
         ``(task, phase, comparators)`` triples, and the merge comparator
         count.  For fixed ``(n1, n2, k)`` and fixed (revealed) ``m_ij``
         sizes this tuple is identical across inputs — the obliviousness
-        suite pins that.
+        suite pins that (and pins ``plan.serialize()`` the same way).
         """
         tasks = tuple(
             (index, phase, count)
@@ -142,7 +158,8 @@ def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
     the partition plan.  Returns the keyed ``(m_ij, 3)`` output run (sorted
     by ``(j, left_rank, d2)``) and the task's comparator counts.  Under
     padded execution ``task_target`` is the cell's public bound
-    ``lreal * rreal`` and the run comes back padded to exactly that size.
+    ``lreal * rreal`` (a ``grid_join`` plan node) and the run comes back
+    padded to exactly that size.
     """
     lj, ld, lreal, rj, rd, rreal, task_target = payload
     left = np.stack([lj[:lreal], ld[:lreal]], axis=1)
@@ -154,13 +171,13 @@ def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
 
 
 def _sharded_rank_sort(
-    pairs, shards: int, workers: int, stats: ShardedJoinStats
+    pairs, shards: int, executor: Executor, stats: ShardedJoinStats
 ) -> dict[str, np.ndarray]:
     """Sort ``pairs`` by ``(j, d)`` via shard-local sorts + a merge tournament."""
     start = time.perf_counter()
     parts = partition_pairs(pairs, shards)
     payloads = [(part.j, part.d, part.real) for part in parts]
-    results = run_tasks(_sort_task, payloads, workers=workers)
+    results = executor.map(_sort_task, payloads)
     stats.presort_comparisons = [count for _, count in results]
     counter = [0]
     merged = oblivious_merge_runs(
@@ -188,29 +205,39 @@ def sharded_oblivious_join(
     workers: int = 1,
     stats: ShardedJoinStats | None = None,
     target_m: int | None = None,
+    executor: str | Executor | None = None,
+    plan: Plan | None = None,
 ) -> tuple[np.ndarray, ShardedJoinStats]:
     """Sharded Algorithm 1; returns ``(pairs, stats)``.
 
     ``pairs`` is the same ``(m, 2)`` int64 array
     :func:`~repro.vector.join.vector_oblivious_join` produces — bit-identical
     rows in the canonical order — computed as ``shards**2`` independent
-    sub-joins on up to ``workers`` processes.
+    sub-joins on the given executor (``executor=None`` keeps the historical
+    rule: inline at ``workers=1``, the shared-memory pool above).
 
     ``target_m`` selects padded execution: every grid cell is padded to its
-    public worst case, the merged output is truncated at the public bound,
+    public worst case, the merge tournament truncates at the public bound,
     and the whole schedule (grid, ``task_m``, merge) reveals only
     ``(n1, n2, k, target_m)``.  Like every engine, ``target_m`` is clamped
     to the cross-product worst case ``n1 * n2`` (a public function).
+
+    ``plan`` is the compiled public plan to consume; ``None`` compiles it
+    here from the same public values (``sharded_join_plan``) — passing one
+    in (as the multiway cascade does per step) is exactly equivalent.
     """
-    check_workers(workers)
+    executor = resolve_executor(executor, workers=workers)
     stats = stats if stats is not None else ShardedJoinStats()
     stats.shards = shards
     if target_m is not None:
         target_m = check_target_m(target_m, len(left), len(right))
         _check_padded_input(left)
         _check_padded_input(right)
+    if plan is None:
+        plan = sharded_join_plan(len(left), len(right), shards, target_m)
+    stats.plan = plan
 
-    sorted_left = _sharded_rank_sort(left, shards, workers, stats)
+    sorted_left = _sharded_rank_sort(left, shards, executor, stats)
     n1 = len(sorted_left["j"])
 
     start = time.perf_counter()
@@ -221,44 +248,49 @@ def sharded_oblivious_join(
     right_parts = partition_pairs(right, shards)
     n2 = sum(part.real for part in right_parts)
     stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
+    # The grid's public bounds come from the plan, not from the data: one
+    # grid_join node per (i, j) cell, row-major — the same order as the
+    # payload list below.
+    cell_targets = [node.attr("target") for node in plan.nodes_by_op("grid_join")]
     payloads = [
-        (
-            lp.j,
-            lp.d,
-            lp.real,
-            rp.j,
-            rp.d,
-            rp.real,
-            None if target_m is None else lp.real * rp.real,
+        (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real, target)
+        for (lp, rp), target in zip(
+            ((lp, rp) for lp in left_parts for rp in right_parts), cell_targets
         )
-        for lp in left_parts
-        for rp in right_parts
     ]
     stats.seconds_by_phase["partition"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    results = run_tasks(_join_task, payloads, workers=workers)
+    results = executor.map(_join_task, payloads)
     stats.seconds_by_phase["tasks"] = time.perf_counter() - start
     stats.task_comparisons = [comparisons for _, comparisons in results]
     stats.task_m = [len(keyed) for keyed, _ in results]
     stats.m = sum(stats.task_m) if target_m is None else target_m
 
     start = time.perf_counter()
+    if target_m is not None:
+        # Client-side bound check (no trace impact): every real row carries
+        # a rank >= 0, dummies carry -1.  Checked *before* the truncating
+        # merge, which may legitimately drop over-bound real rows.
+        exceeds_bound(
+            sum(int(np.count_nonzero(keyed[:, 1] >= 0)) for keyed, _ in results),
+            target_m,
+        )
     runs = [
         {"j": keyed[:, 0], "d1": keyed[:, 1], "d2": keyed[:, 2]}
         for keyed, _ in results
     ]
     counter = [0]
-    merged = oblivious_merge_runs(runs, MERGE_KEYS, counter=counter)
+    merged = oblivious_merge_runs(
+        runs, MERGE_KEYS, counter=counter, truncate=target_m
+    )
     stats.merge_comparisons = counter[0]
 
     if target_m is not None:
-        # Client-side bound check (no trace impact): every real row carries
-        # a rank >= 0, dummies carry -1.
-        exceeds_bound(int(np.count_nonzero(merged["d1"] >= 0)), target_m)
         # All real rows sort before the anchor-keyed dummies, so keeping
-        # the first target_m merged rows is a public truncation; the dummy
-        # ranks (-1) must not index the gather below.
+        # the first target_m merged rows is a public truncation (the
+        # tournament already applied it round by round); the dummy ranks
+        # (-1) must not index the gather below.
         merged = {name: column[:target_m] for name, column in merged.items()}
         ranks = merged["d1"]
         real = ranks >= 0

@@ -94,13 +94,16 @@ def bitonic_merge_two(
     return {name: work[name][:total] for name in names}
 
 
-def merge_comparator_count(lengths: list[int]) -> int:
+def merge_comparator_count(lengths: list[int], truncate: int | None = None) -> int:
     """Comparators the tournament executes for runs of the given lengths.
 
-    A pure function of the run lengths — used to document (and test) that
-    the merge schedule is independent of the data being merged.
+    A pure function of the run lengths (and the public ``truncate`` bound,
+    when given) — used to document (and test) that the merge schedule is
+    independent of the data being merged.
     """
     lengths = list(lengths)
+    if truncate is not None:
+        lengths = [min(length, truncate) for length in lengths]
     count = 0
     while len(lengths) > 1:
         merged = []
@@ -112,7 +115,8 @@ def merge_comparator_count(lengths: list[int]) -> int:
                 while gap >= 1:
                     count += padded // 2
                     gap //= 2
-            merged.append(la + lb)
+            total = la + lb
+            merged.append(total if truncate is None else min(total, truncate))
         if len(lengths) % 2:
             merged.append(lengths[-1])
         lengths = merged
@@ -123,22 +127,43 @@ def oblivious_merge_runs(
     runs: list[dict[str, np.ndarray]],
     keys: list[Key],
     counter: list | None = None,
+    truncate: int | None = None,
 ) -> dict[str, np.ndarray]:
     """Tournament-merge sorted runs into one run sorted ascending by ``keys``.
 
     Runs are merged pairwise round by round (a balanced tournament), so the
     network depth over the runs is ``ceil(log2(len(runs)))`` rounds; the
     comparator schedule depends only on the run lengths.
+
+    ``truncate`` is the fused expand-truncate of padded execution: every
+    run — input runs first, then every round's merge output — is cut to
+    its first ``truncate`` rows before the next round.  A row past
+    position ``truncate`` of a sorted run is preceded by at least
+    ``truncate`` rows that order before it in every later round, so it can
+    never reach the first ``truncate`` rows of the final output — dropping
+    it early is exact.  The cut points are ``min(run lengths, truncate)``,
+    pure functions of the (public) run lengths and the bound, so the
+    comparator schedule stays data-independent while the padded sharded
+    join's merge cost drops from the grid total (``n1 * n2`` rows under a
+    cascade step's full cross product) to ``O(runs * truncate)``.
     """
     if not runs:
         return {}
+    if truncate is not None:
+        runs = [
+            {name: column[:truncate] for name, column in run.items()}
+            if _run_length(run) > truncate
+            else run
+            for run in runs
+        ]
     current = [_copy(run) for run in runs]
     while len(current) > 1:
         merged = []
         for i in range(0, len(current) - 1, 2):
-            merged.append(
-                bitonic_merge_two(current[i], current[i + 1], keys, counter=counter)
-            )
+            pair = bitonic_merge_two(current[i], current[i + 1], keys, counter=counter)
+            if truncate is not None and _run_length(pair) > truncate:
+                pair = {name: column[:truncate] for name, column in pair.items()}
+            merged.append(pair)
         if len(current) % 2:
             merged.append(current[-1])
         current = merged

@@ -2,18 +2,20 @@
 
 Structurally identical to :func:`repro.vector.multiway.vector_multiway_join`
 — a left-deep fold of binary joins over a client-side row catalogue — with
-every step executed by :func:`repro.shard.join.sharded_oblivious_join`.
-Because the sharded join returns the exact pairs in the exact canonical
-order the vector engine produces, the accumulated catalogues (and therefore
-the final rows and intermediate sizes) are bit-identical across the three
-engines; the differential suite pins that.
+every step executed by :func:`repro.shard.join.sharded_oblivious_join` on
+the configured executor.  Because the sharded join returns the exact pairs
+in the exact canonical order the vector engine produces, the accumulated
+catalogues (and therefore the final rows and intermediate sizes) are
+bit-identical across the three engines; the differential suite pins that.
 
-Revealed per step: the intermediate size (as in every engine) plus the
-sharded join's per-task ``m_ij`` grid (see :mod:`repro.shard.join`).
-Under ``padding="bounded"|"worst_case"`` both collapse into the public
-bounds: each step runs the padded sharded join at its planner bound, so
-the whole cascade's task grids and schedules are functions of the input
-sizes, ``k``, and the bounds alone (:mod:`repro.core.padding`).
+Under padded execution the whole cascade's public schedule is compiled
+up front (:func:`repro.plan.compile.multiway_plan`): each step's left size
+is the *previous step's bound*, so every per-step join plan — partition
+layout, grid bounds, merge truncation — is a function of the input sizes,
+``k``, and the bounds alone, and the driver hands each step its compiled
+sub-plan.  Revealed per step without padding: the intermediate size (as in
+every engine) plus the sharded join's per-task ``m_ij`` grid (see
+:mod:`repro.shard.join`).
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ from ..core.multiway import (
     validate_cascade,
 )
 from ..core.padding import cascade_bounds, check_padding, padded_cascade
+from ..plan.compile import multiway_step_shapes, sharded_join_plan
+from ..plan.executors import Executor, resolve_executor
 from .join import ShardedJoinStats, sharded_oblivious_join
 
 
@@ -61,14 +65,23 @@ def sharded_multiway_join(
     stats: ShardedMultiwayStats | None = None,
     padding: str | None = None,
     bound=None,
+    executor: str | Executor | None = None,
 ) -> MultiwayResult:
     """Sharded left-deep cascade; same contract as the traced/vector versions."""
     padding = check_padding(padding)
     validate_cascade(tables, keys)
     stats = stats if stats is not None else ShardedMultiwayStats()
+    executor = resolve_executor(executor, workers=workers)
 
     if padding != "revealed":
-        bounds = cascade_bounds([len(t) for t in tables], padding, bound)
+        sizes = [len(t) for t in tables]
+        bounds = cascade_bounds(sizes, padding, bound)
+        # The cascade's public schedule, fixed before any data moves: one
+        # compiled join plan per step at (previous bound, n_s, bound_s).
+        step_plans = [
+            sharded_join_plan(left, right, shards, target)
+            for left, right, target in multiway_step_shapes(sizes, bounds)
+        ]
 
         def run_step(step, left_pairs, right_pairs, target):
             step_stats = ShardedJoinStats()
@@ -76,9 +89,10 @@ def sharded_multiway_join(
                 left_pairs,
                 right_pairs,
                 shards=shards,
-                workers=workers,
                 stats=step_stats,
                 target_m=target,
+                executor=executor,
+                plan=step_plans[step],
             )
             stats.step_stats.append(step_stats)
             stats.intermediate_sizes.append(step_stats.m)
@@ -99,8 +113,8 @@ def sharded_multiway_join(
             encode_handles(accumulated, left_col),
             encode_handles(next_table, right_col),
             shards=shards,
-            workers=workers,
             stats=step_stats,
+            executor=executor,
         )
         stats.step_stats.append(step_stats)
         stats.intermediate_sizes.append(step_stats.m)

@@ -29,6 +29,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InputError
+from ..plan.partition import (  # noqa: F401 (re-exports: the pure plan half)
+    check_shards,
+    partition_plan,
+    shard_capacity,
+    shard_counts,
+)
 
 _INT = np.int64
 
@@ -52,38 +58,6 @@ class ShardPart:
     def rows(self) -> np.ndarray:
         """The real rows as an ``(real, 2)`` array (padding stripped)."""
         return np.stack([self.j[: self.real], self.d[: self.real]], axis=1)
-
-
-def check_shards(shards: int) -> int:
-    """Validate a shard count; returns it for chaining."""
-    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
-        raise InputError(f"shard count must be an int >= 1, got {shards!r}")
-    return shards
-
-
-def shard_capacity(n: int, k: int) -> int:
-    """Common padded size of every shard: ``ceil(n / k)`` — f(n, k) only."""
-    check_shards(k)
-    if n < 0:
-        raise InputError(f"table size must be >= 0, got {n}")
-    return -(-n // k)
-
-
-def shard_counts(n: int, k: int) -> tuple[int, ...]:
-    """Real rows per shard — a pure function of ``(n, k)``."""
-    check_shards(k)
-    base, rem = divmod(n, k)
-    return tuple(base + (1 if i < rem else 0) for i in range(k))
-
-
-def partition_plan(n: int, k: int) -> tuple[int, tuple[int, ...]]:
-    """The public partition plan ``(capacity, per-shard real counts)``.
-
-    This tuple is everything the adversary learns from the partitioning
-    step; the obliviousness suite asserts it is identical across any two
-    inputs of the same size.
-    """
-    return shard_capacity(n, k), shard_counts(n, k)
 
 
 def partition_columns(

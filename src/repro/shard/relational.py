@@ -9,6 +9,15 @@ Both relational operators decompose over positional shards:
     tasks of ``~n/k`` cells replace one ``n``-cell network — strictly less
     comparator work, embarrassingly parallel.
 
+    Unpadded, each block's survivor list ships at its true length — the
+    per-shard survivor *counts* are a finer reveal than the public total.
+    ``padded=True`` closes that (the last ROADMAP residual): every block's
+    survivor indices are padded to the block *capacity* with a
+    :data:`~repro.core.padding.DUMMY_HANDLE`-tagged tail, so every message
+    has the ``(n, k)``-determined shape and the parent compacts the tags
+    away client-side.  Only the global survivor count (public in every
+    engine, like ``m_final``) is revealed.
+
 ``order_by``
     The order-by contract is a *stable* sort (original position is the
     final tiebreak key — see :mod:`repro.vector.relational`), which makes
@@ -17,7 +26,8 @@ Both relational operators decompose over positional shards:
     exact global permutation.
 
 Per-task schedules depend only on the partition plan; the merge schedule
-only on the (public) block sizes.
+only on the (public) block sizes.  Both drivers compile their public plan
+(:mod:`repro.plan.compile`) up front and consume the block shapes from it.
 """
 
 from __future__ import annotations
@@ -26,30 +36,52 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.padding import DUMMY_HANDLE
+from ..plan.compile import sharded_filter_plan, sharded_order_plan
+from ..plan.executors import Executor, resolve_executor
 from ..vector.relational import order_columns, vector_filter_indices
 from ..vector.sort import vector_bitonic_sort
-from .executor import check_workers, run_tasks
 from .merge import oblivious_merge_runs
 from .partition import partition_columns
 
 
 def _filter_task(payload) -> list[int]:
-    block, real = payload
-    return vector_filter_indices(block["mask"][:real])
+    """Survivor indices of one block; padded to ``pad`` with tagged slots."""
+    block, real, pad = payload
+    kept = vector_filter_indices(block["mask"][:real])
+    if pad is not None:
+        kept = kept + [DUMMY_HANDLE] * (pad - len(kept))
+    return kept
 
 
 def sharded_filter_indices(
-    mask: Sequence[bool], shards: int = 2, workers: int = 1
+    mask: Sequence[bool],
+    shards: int = 2,
+    workers: int = 1,
+    padded: bool = False,
+    executor: str | Executor | None = None,
 ) -> list[int]:
-    """Indices of the true cells of ``mask`` via per-shard compaction."""
-    check_workers(workers)
+    """Indices of the true cells of ``mask`` via per-shard compaction.
+
+    ``padded=True`` pads every block's survivor list to the block capacity
+    (tagged tail, compacted here client-side), hiding the per-shard
+    survivor counts; the result is bit-identical either way.
+    """
+    executor = resolve_executor(executor, workers=workers)
     flags = np.asarray(mask, dtype=bool)
-    payloads = partition_columns({"mask": flags}, shards)
-    results = run_tasks(_filter_task, payloads, workers=workers)
+    plan = sharded_filter_plan(len(flags), shards, padded)
+    pads = [node.attr("pad") for node in plan.nodes_by_op("block_filter")]
+    payloads = [
+        (block, real, pad)
+        for (block, real), pad in zip(partition_columns({"mask": flags}, shards), pads)
+    ]
+    results = executor.map(_filter_task, payloads)
     kept: list[int] = []
     offset = 0
-    for (_, real), block in zip(payloads, results):
-        kept.extend(offset + index for index in block)
+    for (_, real, _), block in zip(payloads, results):
+        kept.extend(
+            offset + index for index in block if index != DUMMY_HANDLE
+        )
         offset += real
     return kept
 
@@ -66,19 +98,25 @@ def sharded_order_permutation(
     n: int,
     shards: int = 2,
     workers: int = 1,
+    executor: str | Executor | None = None,
 ) -> list[int]:
     """The stable sort permutation, computed shard-by-shard then merged.
 
     Raises :class:`~repro.errors.InputError` for non-int64 key columns, like
     the vector path — callers fall back to the traced engine.
     """
-    check_workers(workers)
+    executor = resolve_executor(executor, workers=workers)
     if n <= 1:
         return list(range(n))
     table, keys = order_columns(columns, n)
+    # Per-shard real counts come from the compiled plan, like the filter's
+    # pad sizes and the join's grid bounds.
+    plan = sharded_order_plan(n, shards)
+    counts = [node.attr("rows") for node in plan.nodes_by_op("shard_sort")]
     payloads = [
-        (block, keys, real) for block, real in partition_columns(table, shards)
+        (block, keys, rows)
+        for (block, _), rows in zip(partition_columns(table, shards), counts)
     ]
-    runs = run_tasks(_order_task, payloads, workers=workers)
+    runs = executor.map(_order_task, payloads)
     merged = oblivious_merge_runs(runs, keys)
     return merged["pos"].tolist()

@@ -32,7 +32,7 @@ from ..core.multiway import (
     encode_handles,
     validate_cascade,
 )
-from ..core.padding import cascade_bounds, check_padding, padded_cascade
+from ..core.padding import check_padding, padded_cascade
 from .join import VectorJoinStats, vector_oblivious_join
 
 
@@ -86,7 +86,15 @@ def vector_multiway_join(
     stats = stats if stats is not None else VectorMultiwayStats()
 
     if padding != "revealed":
-        bounds = cascade_bounds([len(t) for t in tables], padding, bound)
+        # Consume the compiled public plan's bounds (the compiler reuses
+        # `cascade_bounds`, so the printed artifact and this execution
+        # agree by construction; `tests/test_plan.py` pins it).
+        from ..plan.compile import compile_multiway  # deferred: plan imports core
+
+        plan = compile_multiway(
+            [len(t) for t in tables], "vector", padding=padding, bound=bound
+        )
+        bounds = plan.shape("bounds")
 
         def run_step(step, left_pairs, right_pairs, target):
             handles, join_stats = vector_oblivious_join(

@@ -67,7 +67,7 @@ def test_engines_command_lists_both(capsys):
 def test_engines_command_lists_accepted_options(capsys):
     assert main(["engines"]) == 0
     out = capsys.readouterr().out
-    assert "options: shards, workers, padding, bound" in out  # sharded
+    assert "options: shards, workers, executor, padding, bound" in out  # sharded
     assert out.count("options: padding, bound") == 2  # traced + vector
 
 

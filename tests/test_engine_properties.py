@@ -7,8 +7,14 @@ non-oblivious hash-join oracle and, bit for bit, with every other engine.
 A future backend only has to call ``register_engine`` to inherit this
 fuzzing.
 
-``REPRO_ENGINES`` (comma-separated names) restricts the engine list — the
-CI matrix uses it to parametrise the differential job per engine.
+The sharded engine additionally runs once per *executor* substrate
+(inline / shared-memory pool / asyncio overlap): executors may only change
+wall-clock, never a single output bit, and this suite is what enforces
+that.
+
+``REPRO_ENGINES`` (comma-separated names) restricts the engine list and
+``REPRO_EXECUTORS`` the executor list — the CI matrix uses them to
+parametrise the differential job per (engine, executor).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.hash_join import join_multiset
 from repro.engines import ShardedEngine, available_engines, get_engine
+from repro.plan import available_executors
 
 #: Engines under test: the full registry, or the REPRO_ENGINES subset.
 ENGINES = [
@@ -30,13 +37,32 @@ ENGINES = [
     if name in os.environ.get("REPRO_ENGINES", ",".join(available_engines())).split(",")
 ]
 
+#: Executor substrates under test (sharded engine only): the full registry,
+#: or the REPRO_EXECUTORS subset.  "inline" is the registry default
+#: configuration, so only the non-default substrates add configurations.
+EXECUTORS = [
+    name
+    for name in available_executors()
+    if name
+    in os.environ.get("REPRO_EXECUTORS", ",".join(available_executors())).split(",")
+]
+
 #: Differential comparisons need >= 2 engines; always keep the oracle's peer.
 REFERENCE = "traced"
 
 #: Engine *configurations*: registry defaults plus a deliberately lopsided
-#: sharded setup (more shards than most generated tables have rows).
+#: sharded setup (more shards than most generated tables have rows) plus
+#: one sharded configuration per non-default executor substrate.
 CONFIGURATIONS = ENGINES + (
     [pytest.param(ShardedEngine(shards=5), id="sharded[shards=5]")]
+    + [
+        pytest.param(
+            ShardedEngine(shards=3, workers=2, executor=name),
+            id=f"sharded[executor={name}]",
+        )
+        for name in EXECUTORS
+        if name != "inline"
+    ]
     if "sharded" in ENGINES
     else []
 )

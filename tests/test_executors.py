@@ -1,0 +1,245 @@
+"""The executor layer: registry, shared-memory transport, async overlap,
+and the contract that substrates cannot change a single output bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines import get_engine
+from repro.errors import InputError
+from repro.plan import (
+    AsyncExecutor,
+    InlineExecutor,
+    PoolExecutor,
+    available_executors,
+    get_executor,
+    resolve_executor,
+    run_tasks,
+)
+from repro.plan.executors import _decode, _pack
+
+#: One executor of each substrate; pool/async at 2 workers to force the
+#: real dispatch paths (persistent pools are shared across the suite).
+EXECUTOR_PARAMS = [
+    pytest.param(InlineExecutor(), id="inline"),
+    pytest.param(PoolExecutor(workers=2), id="pool"),
+    pytest.param(AsyncExecutor(workers=2), id="async-pool"),
+    pytest.param(AsyncExecutor(workers=1), id="async-threads"),
+]
+
+
+def _sum_task(payload):
+    """Module-level (picklable) task: fold a nested payload to one int."""
+    block, real, extra = payload
+    return int(block["j"][:real].sum() + block["d"][:real].sum()) + sum(extra)
+
+
+def _shape_task(payload):
+    """Report the dtypes/shapes/writability a worker actually received."""
+    array = payload["array"]
+    return (str(array.dtype), array.shape, bool(array.flags.writeable), array.tolist())
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_lists_all_three():
+    assert available_executors() == ["async", "inline", "pool"]
+
+
+def test_get_executor_resolves_names_and_rejects_unknown():
+    assert get_executor("inline").name == "inline"
+    assert get_executor("pool", workers=3).workers == 3
+    instance = AsyncExecutor()
+    assert get_executor(instance) is instance
+    with pytest.raises(InputError, match="unknown executor"):
+        get_executor("gpu")
+
+
+def test_resolve_executor_default_rule():
+    assert resolve_executor(None, workers=1).name == "inline"
+    assert resolve_executor(None, workers=2).name == "pool"
+    assert resolve_executor("async", workers=2).name == "async"
+    with pytest.raises(InputError, match="worker count"):
+        resolve_executor(None, workers=0)
+
+
+def test_run_tasks_shim_matches_inline():
+    payloads = [
+        ({"j": np.arange(4, dtype=np.int64), "d": np.ones(4, dtype=np.int64)}, 3, [i])
+        for i in range(5)
+    ]
+    assert run_tasks(_sum_task, payloads, workers=1) == [
+        _sum_task(p) for p in payloads
+    ]
+
+
+# -- transport ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_PARAMS)
+def test_every_executor_maps_in_payload_order(executor):
+    payloads = [
+        (
+            {
+                "j": np.arange(10, dtype=np.int64) * (index + 1),
+                "d": np.full(10, index, dtype=np.int64),
+            },
+            7,
+            [index, index],
+        )
+        for index in range(6)
+    ]
+    expected = [_sum_task(payload) for payload in payloads]
+    assert executor.map(_sum_task, payloads) == expected
+
+
+def test_async_executor_works_inside_a_running_event_loop():
+    """map() is blocking by contract but must not crash when the caller is
+    already inside asyncio (the streaming-consumer scenario)."""
+    import asyncio
+
+    executor = AsyncExecutor(workers=1)
+    payloads = [
+        ({"j": np.arange(4, dtype=np.int64), "d": np.ones(4, dtype=np.int64)}, 2, [i])
+        for i in range(4)
+    ]
+    expected = [_sum_task(payload) for payload in payloads]
+
+    async def drive():
+        return executor.map(_sum_task, payloads)
+
+    assert asyncio.run(drive()) == expected
+
+
+def test_pool_ships_bool_and_int_columns_faithfully():
+    executor = PoolExecutor(workers=2)
+    payloads = [
+        {"array": np.array([True, False, True])},
+        {"array": np.arange(6, dtype=np.int64).reshape(2, 3)},
+        {"array": np.zeros(0, dtype=np.int64)},  # zero-size ships inline
+    ]
+    results = executor.map(_shape_task, payloads)
+    assert results[0] == ("bool", (3,), False, [True, False, True])
+    assert results[1] == ("int64", (2, 3), False, [[0, 1, 2], [3, 4, 5]])
+    # Zero-size arrays bypass shared memory, so they stay writable.
+    assert results[2][:2] == ("int64", (0,))
+
+
+def test_pack_writes_each_distinct_array_once():
+    shared = np.arange(100, dtype=np.int64)
+    other = np.ones(3, dtype=np.int64)
+    segment, encoded = _pack([(shared, other), (shared, 1), (shared,)])
+    try:
+        assert segment is not None
+        refs = {ref.offset for payload in encoded for ref in payload if hasattr(ref, "offset")}
+        assert len(refs) == 2  # shared written once, other once
+        decoded = [_decode(payload) for payload in encoded]
+        assert np.array_equal(decoded[0][0], shared)
+        assert np.array_equal(decoded[0][1], other)
+        assert decoded[1][1] == 1
+        assert not decoded[2][0].flags.writeable
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_pack_without_arrays_creates_no_segment():
+    segment, encoded = _pack([(1, 2), (3, 4)])
+    assert segment is None
+    assert encoded == [(1, 2), (3, 4)]
+
+
+# -- engine integration ------------------------------------------------------
+
+LEFT = [(k % 5, k) for k in range(40)]
+RIGHT = [(k % 7, 2 * k) for k in range(40)]
+TABLES = [LEFT[:12], RIGHT[:12], [(d, j) for j, d in RIGHT[:6]]]
+KEYS = [(0, 0), (3, 0)]
+MASK = [k % 3 != 0 for k in range(40)]
+COLUMNS = [([j for j, _ in LEFT], False)]
+
+
+@pytest.mark.parametrize("executor", ["inline", "pool", "async"])
+def test_every_workload_is_bit_identical_across_executors(executor):
+    """The acceptance contract: executors change wall-clock, not outputs."""
+    reference = get_engine("vector")
+    engine = get_engine("sharded", shards=3, workers=2, executor=executor)
+    assert engine.join(LEFT, RIGHT).pairs == reference.join(LEFT, RIGHT).pairs
+    assert (
+        engine.multiway_join(TABLES, KEYS).rows
+        == reference.multiway_join(TABLES, KEYS).rows
+    )
+    assert engine.aggregate(LEFT, RIGHT) == reference.aggregate(LEFT, RIGHT)
+    assert engine.group_by(LEFT) == reference.group_by(LEFT)
+    assert engine.filter_indices(MASK) == reference.filter_indices(MASK)
+    assert engine.order_permutation(COLUMNS) == reference.order_permutation(COLUMNS)
+
+
+@pytest.mark.parametrize("executor", ["inline", "pool", "async"])
+def test_padded_workloads_match_across_executors(executor):
+    reference = get_engine("traced", padding="worst_case")
+    engine = get_engine(
+        "sharded", shards=2, workers=2, executor=executor, padding="worst_case"
+    )
+    left, right = LEFT[:10], RIGHT[:10]
+    assert engine.join(left, right).pairs == reference.join(left, right).pairs
+    tables = [left[:6], right[:6], [(1, 2), (2, 3)]]
+    assert (
+        engine.multiway_join(tables, KEYS).rows
+        == reference.multiway_join(tables, KEYS).rows
+    )
+    assert engine.filter_indices(MASK[:10]) == reference.filter_indices(MASK[:10])
+
+
+def test_engine_executor_option_roundtrip():
+    engine = get_engine("sharded", executor="async", workers=2, shards=3)
+    assert engine.executor.name == "async"
+    copy = engine.with_options(workers=4)
+    assert copy.executor.name == "async" and copy.workers == 4
+    repadded = engine.with_options(executor="pool")
+    assert repadded.executor.name == "pool"
+    assert "executor" in type(engine).OPTIONS
+
+
+def test_engine_rejects_unknown_executor():
+    with pytest.raises(InputError, match="unknown executor"):
+        get_engine("sharded", executor="gpu")
+    with pytest.raises(InputError, match="engine options"):
+        get_engine("vector", executor="pool")
+
+
+def test_db_layer_threads_executor_through():
+    from repro.db.query import ObliviousEngine
+    from repro.db.schema import Schema
+    from repro.db.table import DBTable
+
+    schema = Schema.of("k:int", "v:int")
+    left = DBTable(schema, [(k % 3, k) for k in range(9)])
+    right = DBTable(Schema.of("k:int", "w:int"), [(k % 3, 10 * k) for k in range(9)])
+    sharded = ObliviousEngine(engine="sharded", executor="async", shards=2)
+    plain = ObliviousEngine(engine="traced")
+    assert (
+        sharded.join(left, right, on=("k", "k")).rows
+        == plain.join(left, right, on=("k", "k")).rows
+    )
+
+
+def test_cli_join_accepts_executor_flag(tmp_path, capsys):
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    left.write_text("k,v\n1,10\n2,20\n", encoding="utf-8")
+    right.write_text("k,w\n1,5\n1,6\n", encoding="utf-8")
+    from repro.cli import main
+
+    assert (
+        main(
+            ["join", str(left), str(right), "--left-on", "k", "--right-on", "k",
+             "--engine", "sharded", "--executor", "async"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.splitlines()[0] == "l.k,v,r.k,w"
+    assert len(out.splitlines()) == 3

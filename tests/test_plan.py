@@ -1,0 +1,345 @@
+"""The Plan IR: compilation, canonical serialization, and plan-equality
+obliviousness — same public shapes ⇒ byte-identical serialized plans,
+across engines, key distributions, and padding modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.padding import cascade_bounds, join_bound
+from repro.engines import get_engine
+from repro.errors import InputError
+from repro.plan import (
+    Plan,
+    PlanBuilder,
+    compile_join,
+    compile_multiway,
+    compile_workload,
+    partition_plan,
+)
+from repro.plan.compile import (
+    sharded_aggregate_plan,
+    sharded_filter_plan,
+    sharded_join_plan,
+)
+from repro.shard.aggregate import ShardedAggregateStats, sharded_join_aggregate
+from repro.shard.join import ShardedJoinStats, sharded_oblivious_join
+from repro.shard.multiway import ShardedMultiwayStats, sharded_multiway_join
+from repro.shard.relational import sharded_filter_indices
+
+
+# -- IR mechanics ------------------------------------------------------------
+
+
+def test_plan_serialization_is_canonical_and_digest_stable():
+    plan = sharded_join_plan(10, 7, 3, 70)
+    again = sharded_join_plan(10, 7, 3, 70)
+    assert plan == again
+    assert plan.serialize() == again.serialize()
+    assert plan.digest() == again.digest()
+    payload = json.loads(plan.serialize())
+    assert payload["workload"] == "join"
+    assert payload["shapes"] == {"n1": 10, "n2": 7, "k": 3, "target": 70}
+
+
+def test_plan_attrs_are_sorted_and_queryable():
+    builder = PlanBuilder("join", "vector", n1=4, n2=2)
+    index = builder.add("input", zeta=1, alpha=2, rows=3)
+    plan = builder.build()
+    node = plan.nodes[index]
+    assert [name for name, _ in node.attrs] == ["alpha", "rows", "zeta"]
+    assert node.attr("alpha") == 2
+    assert node.attr("missing", "fallback") == "fallback"
+    assert plan.shape("n1") == 4 and plan.shape("absent") is None
+
+
+def test_plan_rejects_floats_and_unknown_inputs():
+    builder = PlanBuilder("join", "vector")
+    with pytest.raises(InputError, match="int/str/bool/None"):
+        builder.add("input", rows=1.5)
+    with pytest.raises(InputError, match="unknown input"):
+        builder.add("zip", inputs=(3,))
+
+
+def test_embed_offsets_inputs_and_tags_steps():
+    inner = sharded_join_plan(4, 4, 2, None)
+    builder = PlanBuilder("multiway", "sharded", sizes=(4, 4))
+    builder.add("marker")
+    indices = builder.embed(inner, step=7)
+    plan = builder.build()
+    assert indices[0] == 1
+    for index in indices:
+        node = plan.nodes[index]
+        assert node.attr("step") == 7
+        assert all(i >= 1 for i in node.inputs)
+
+
+def test_render_mentions_every_node_and_digest():
+    plan = compile_join(8, 8, "vector", padding="worst_case")
+    text = plan.render()
+    assert plan.digest() in text
+    assert text.count("\n") >= len(plan.nodes)
+
+
+# -- compilers reuse the padding/partition planners --------------------------
+
+
+@pytest.mark.parametrize("engine", ["traced", "vector", "sharded"])
+@pytest.mark.parametrize(
+    "padding,bound", [("revealed", None), ("bounded", 13), ("worst_case", None)]
+)
+def test_compile_join_target_matches_join_bound(engine, padding, bound):
+    plan = compile_join(9, 5, engine, shards=2, padding=padding, bound=bound)
+    assert plan.shape("target") == join_bound(9, 5, padding, bound)
+
+
+def test_compile_multiway_bounds_match_cascade_bounds():
+    sizes = [5, 4, 3]
+    plan = compile_multiway(sizes, "vector", padding="worst_case")
+    assert plan.shape("bounds") == cascade_bounds(sizes, "worst_case")
+    capped = compile_multiway(sizes, "sharded", shards=2, padding="bounded", bound=6)
+    assert capped.shape("bounds") == cascade_bounds(sizes, "bounded", 6)
+
+
+def test_sharded_join_plan_grid_uses_partition_counts():
+    n1, n2, k = 10, 7, 3
+    plan = sharded_join_plan(n1, n2, k, n1 * n2)
+    _, counts1 = partition_plan(n1, k)
+    _, counts2 = partition_plan(n2, k)
+    cells = plan.nodes_by_op("grid_join")
+    assert len(cells) == k * k
+    assert [node.attr("target") for node in cells] == [
+        c1 * c2 for c1 in counts1 for c2 in counts2
+    ]
+    merge = plan.nodes_by_op("merge")[-1]
+    assert merge.attr("truncate") == n1 * n2
+
+
+def test_revealed_plans_mark_runtime_sizes_as_null():
+    plan = sharded_join_plan(6, 6, 2, None)
+    assert all(n.attr("target") is None for n in plan.nodes_by_op("grid_join"))
+    cascade = compile_multiway([4, 4, 4], "vector", padding=None)
+    assert cascade.shape("bounds") == ()
+
+
+def test_compile_workload_validates_inputs():
+    with pytest.raises(InputError, match="unknown workload"):
+        compile_workload("scan", "vector", n=4)
+    with pytest.raises(InputError, match="join plans need"):
+        compile_workload("join", "vector", n1=4)
+    with pytest.raises(InputError, match="multiway plans need"):
+        compile_workload("multiway", "vector")
+    with pytest.raises(InputError, match="no plan compiler"):
+        compile_join(4, 4, "gpu")
+
+
+# -- engines emit plans ------------------------------------------------------
+
+
+def test_engine_compile_plan_uses_engine_configuration():
+    engine = get_engine("sharded", shards=4, padding="worst_case")
+    plan = engine.compile_plan("join", n1=12, n2=6)
+    assert plan == compile_workload(
+        "join", "sharded", n1=12, n2=6, shards=4, padding="worst_case"
+    )
+    assert plan.shape("k") == 4 and plan.shape("target") == 72
+
+
+@pytest.mark.parametrize("engine", ["traced", "vector"])
+def test_inline_engines_compile_linear_pipelines(engine):
+    plan = get_engine(engine).compile_plan("join", n1=5, n2=5, padding="worst_case")
+    assert plan.engine == engine
+    assert [node.op for node in plan.nodes] == [
+        "input", "input", "augment", "expand", "expand", "align", "zip",
+    ]
+    assert plan.nodes_by_op("augment")[0].attr("rows") == 12  # anchors included
+
+
+def test_engine_compile_plan_covers_every_workload():
+    engine = get_engine("sharded", shards=3, padding="worst_case")
+    for workload, shapes in [
+        ("join", {"n1": 6, "n2": 6}),
+        ("multiway", {"sizes": [4, 4, 4]}),
+        ("aggregate", {"n1": 6, "n2": 6}),
+        ("group_by", {"n": 6}),
+        ("filter", {"n": 6}),
+        ("order_by", {"n": 6}),
+    ]:
+        plan = engine.compile_plan(workload, **shapes)
+        assert isinstance(plan, Plan) and plan.workload == workload
+
+
+# -- plan-equality obliviousness ---------------------------------------------
+
+#: Two same-shape, very differently distributed inputs (8 rows each side).
+DATASET_A = (
+    [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8)],
+    [(0, 9), (0, 8), (0, 7), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)],
+)
+DATASET_B = (
+    [(7, 1), (6, 1), (5, 1), (4, 1), (3, 1), (2, 1), (1, 1), (0, 1)],
+    [(9, 0), (9, 0), (9, 0), (9, 0), (9, 0), (9, 0), (9, 0), (7, 2)],
+)
+
+
+def _executed_join_plan(left, right, target):
+    stats = ShardedJoinStats()
+    sharded_oblivious_join(left, right, shards=3, stats=stats, target_m=target)
+    return stats.plan
+
+
+def test_padded_join_plans_are_byte_identical_across_key_distributions():
+    target = 64
+    plan_a = _executed_join_plan(*DATASET_A, target)
+    plan_b = _executed_join_plan(*DATASET_B, target)
+    assert plan_a.serialize() == plan_b.serialize()
+    # ... and identical to the plan compiled with no data in sight.
+    assert plan_a.serialize() == sharded_join_plan(8, 8, 3, target).serialize()
+
+
+def test_padded_multiway_step_plans_are_byte_identical_across_data():
+    t3 = [(1, 0), (2, 0), (3, 0)]
+    serialized = []
+    for left, right in (DATASET_A, DATASET_B):
+        stats = ShardedMultiwayStats()
+        sharded_multiway_join(
+            [left, right, t3],
+            [(0, 0), (3, 0)],
+            shards=2,
+            stats=stats,
+            padding="worst_case",
+        )
+        serialized.append(
+            tuple(step.plan.serialize() for step in stats.step_stats)
+        )
+    assert serialized[0] == serialized[1]
+
+
+def test_aggregate_plans_are_byte_identical_across_data():
+    serialized = []
+    for left, right in (DATASET_A, DATASET_B):
+        stats = ShardedAggregateStats()
+        sharded_join_aggregate(left, right, shards=3, stats=stats, padded=True)
+        serialized.append(stats.plan.serialize())
+    assert serialized[0] == serialized[1]
+    assert serialized[0] == sharded_aggregate_plan(
+        "aggregate", 8, 8, 3, True
+    ).serialize()
+
+
+def test_engine_level_plan_depends_only_on_shapes_not_data():
+    """compile_plan never sees data, so this is equality by construction —
+    pinned anyway as the contract the CLI `plan` command sells."""
+    engine = get_engine("sharded", shards=2, padding="worst_case")
+    one = engine.compile_plan("multiway", sizes=[8, 8, 3])
+    two = engine.compile_plan("multiway", sizes=[8, 8, 3])
+    other = engine.compile_plan("multiway", sizes=[8, 8, 4])
+    assert one.serialize() == two.serialize()
+    assert one.serialize() != other.serialize()
+
+
+# -- padded sharded FILTER (the closed residual) ------------------------------
+
+
+class CapturingExecutor:
+    """Inline executor that records every task's result shape."""
+
+    name = "capturing"
+    transport = "none"
+
+    def __init__(self) -> None:
+        self.result_lengths: list[list[int]] = []
+
+    def map(self, task, payloads):
+        results = [task(payload) for payload in payloads]
+        self.result_lengths.append([len(r) for r in results])
+        return results
+
+
+@pytest.mark.parametrize(
+    "mask",
+    [
+        [True] * 10,
+        [False] * 10,
+        [True, False] * 5,
+        [False] * 9 + [True],
+    ],
+)
+def test_padded_filter_blocks_all_ship_at_capacity(mask):
+    """Padded mode: every survivor block has the (n, k)-determined shape —
+    the per-shard survivor counts are no longer visible on the wire."""
+    capacity, _ = partition_plan(len(mask), 3)
+    executor = CapturingExecutor()
+    kept = sharded_filter_indices(mask, shards=3, padded=True, executor=executor)
+    assert kept == [i for i, keep in enumerate(mask) if keep]
+    assert executor.result_lengths == [[capacity] * 3]
+
+
+def test_unpadded_filter_blocks_reveal_their_counts():
+    executor = CapturingExecutor()
+    sharded_filter_indices([True, True, False, False], shards=2, executor=executor)
+    assert executor.result_lengths == [[2, 0]]
+
+
+def test_filter_plan_pads_to_capacity_only_when_padded():
+    padded = sharded_filter_plan(10, 3, True)
+    revealed = sharded_filter_plan(10, 3, False)
+    assert [n.attr("pad") for n in padded.nodes_by_op("block_filter")] == [4, 4, 4]
+    assert [n.attr("pad") for n in revealed.nodes_by_op("block_filter")] == [
+        None, None, None,
+    ]
+
+
+def test_padded_filter_via_engine_matches_reference():
+    mask = [True, False, True, False, True]
+    padded_engine = get_engine("sharded", padding="worst_case", shards=2)
+    assert padded_engine.filter_indices(mask) == get_engine(
+        "traced"
+    ).filter_indices(mask)
+
+
+# -- the CLI plan command -----------------------------------------------------
+
+
+def test_cli_plan_json_is_deterministic(capsys):
+    args = [
+        "plan", "--workload", "join", "--engine", "sharded",
+        "--padding", "worst_case", "--n1", "16", "--n2", "16",
+        "--shards", "4", "--json",
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert payload["shapes"] == {"k": 4, "n1": 16, "n2": 16, "target": 256}
+
+
+def test_cli_plan_renders_human_readable(capsys):
+    assert main(["plan", "--n1", "8", "--n2", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "plan join on vector" in out and "digest" in out
+
+
+def test_cli_plan_multiway_and_scalar_workloads(capsys):
+    assert main(
+        ["plan", "--workload", "multiway", "--sizes", "4", "4", "4",
+         "--engine", "sharded", "--padding", "worst_case", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shapes"]["bounds"] == [16, 64]
+    assert main(["plan", "--workload", "filter", "--n", "9"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_plan_rejects_missing_shapes_and_bad_bounds(capsys):
+    with pytest.raises(SystemExit):
+        main(["plan", "--workload", "join"])  # no sizes given
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["plan", "--n1", "4", "--n2", "4", "--bound", "3"])  # bound sans bounded
+    capsys.readouterr()
