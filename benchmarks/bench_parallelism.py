@@ -12,21 +12,30 @@ fraction of the total runtime."  Two views:
   --workers 1 2 4``) measures the sharded engine's wall-clock as worker
   processes are added, against the single-process vector engine baseline —
   the paper's parallelism remark made concrete.  Every row reports which
-  *executor* ran the shard tasks and its payload transport (``none`` for
-  inline, ``shared_memory`` for the pool, ``pickle`` for async pool
-  dispatch), because since the compile-then-execute refactor those are the
-  knobs that move the curve.  ``--executor`` sweeps executors explicitly
-  (``--executor inline pool async``); without it each worker count uses
-  the default rule (inline at 1, shared-memory pool above).  Speedup
-  requires real cores: the sweep reports ``os.cpu_count()`` alongside so a
-  flat curve on a 1-core box reads as hardware, not a regression.
+  *executor* ran the shard tasks, the payload transport the dispatch
+  actually took (``none`` for in-process calls, ``shared_memory`` for the
+  pool/async column transport), and the **merge phase** seconds — the
+  reassembly tail left after grid results stream into the tournament,
+  which is the cost the streaming merge exists to shrink.  ``--executor``
+  sweeps executors explicitly (``--executor inline pool async``); without
+  it each worker count uses the default rule (inline at 1, shared-memory
+  pool above).  ``--json PATH`` writes one machine-readable record per
+  sharded row (total *and* merge-phase seconds, normalised by the vector
+  baseline measured in the same run) — the ``BENCH_parallelism.json`` CI
+  artifact that ``check_bench_regression.py`` gates, so a regression in
+  the reassembly phase fails CI even when the end-to-end time hides it.
+  Speedup requires real cores: the sweep reports ``os.cpu_count()``
+  alongside so a flat curve on a 1-core box reads as hardware, not a
+  regression.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
+import platform
 import time
 
 from repro.analysis.counts import total_comparisons_exact
@@ -41,7 +50,8 @@ from bench_common import fmt_table, report
 SIZES = [2**10, 2**14, 2**18, 2**20]
 
 SCALING_HEADER = [
-    "engine", "shards", "workers", "executor", "transport", "join", "vs vector"
+    "engine", "shards", "workers", "executor", "transport", "join", "merge",
+    "vs vector",
 ]
 
 
@@ -51,11 +61,16 @@ def run_scaling(
     shards: int | None,
     seed: int,
     executors: list[str] | None = None,
+    records: list[dict] | None = None,
 ) -> list[list]:
     """Time the sharded join per (executor, workers) against the vector engine.
 
     ``executors=None`` uses the default rule per worker count; naming
-    executors sweeps each of them at every worker count.
+    executors sweeps each of them at every worker count.  When ``records``
+    is given, one machine-readable dict per sharded row is appended (the
+    ``BENCH_parallelism.json`` artifact): total seconds, merge-phase
+    seconds, and the vector baseline as ``reference_seconds`` so the
+    regression gate can normalise out machine speed.
     """
     w = balanced_output(n, seed=seed)
 
@@ -63,7 +78,7 @@ def run_scaling(
     expected, _ = vector_oblivious_join(w.left, w.right)
     t_vector = time.perf_counter() - start
 
-    rows = [["vector", "-", "-", "-", "-", f"{t_vector:.3f}s", "1.00x"]]
+    rows = [["vector", "-", "-", "-", "-", f"{t_vector:.3f}s", "-", "1.00x"]]
     for name in executors if executors else [None]:
         for workers in workers_list:
             k = shards if shards is not None else max(2, workers)
@@ -75,6 +90,7 @@ def run_scaling(
             )
             t_sharded = time.perf_counter() - start
             assert pairs.tolist() == expected.tolist(), "sharded diverges from vector"
+            t_merge = stats.seconds_by_phase.get("merge", 0.0)
             rows.append(
                 [
                     "sharded",
@@ -83,9 +99,27 @@ def run_scaling(
                     executor.name,
                     executor.transport,
                     f"{t_sharded:.3f}s",
+                    f"{t_merge:.3f}s",
                     f"{t_vector / t_sharded:.2f}x",
                 ]
             )
+            if records is not None:
+                records.append(
+                    {
+                        "engine": "sharded",
+                        "workload": "join",
+                        "padding": "revealed",
+                        "n": n,
+                        "seed": seed,
+                        "shards": k,
+                        "workers": workers,
+                        "executor": executor.name,
+                        "transport": executor.transport,
+                        "seconds": t_sharded,
+                        "merge_seconds": t_merge,
+                        "reference_seconds": t_vector,
+                    }
+                )
     return rows
 
 
@@ -118,19 +152,44 @@ def main(argv: list[str] | None = None) -> int:
         "worker-derived rule — inline at 1, shared-memory pool above); "
         "e.g. --executor inline pool async",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write one machine-readable record per sharded row to "
+        "PATH (the BENCH_parallelism.json CI artifact: total + merge-phase "
+        "seconds, vector baseline as reference_seconds)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     args = parser.parse_args(argv)
-    rows = run_scaling(args.n, args.workers, args.shards, args.seed, args.executor)
-    header = SCALING_HEADER[:5] + [f"join n={args.n}", "vs vector"]
+    records: list[dict] | None = [] if args.json else None
+    rows = run_scaling(
+        args.n, args.workers, args.shards, args.seed, args.executor,
+        records=records,
+    )
+    header = SCALING_HEADER[:5] + [f"join n={args.n}", "merge", "vs vector"]
     text = (
         fmt_table(header, rows)
         + f"\n\n(host reports {os.cpu_count()} cpu core(s); speedup over the"
         "\n single-worker sharded row needs at least that many real cores;"
-        "\n transport: none = inline calls, shared_memory = columns written"
-        "\n once per dispatch and attached zero-copy, pickle = per-task"
-        "\n payload serialization)"
+        "\n transport: none = in-process calls, shared_memory = columns"
+        "\n written once per dispatch and attached zero-copy; merge = the"
+        "\n reassembly tail after grid results stream into the tournament)"
     )
     report("parallelism_scaling", text)
+    if args.json:
+        payload = {
+            "bench": "parallelism",
+            "n": args.n,
+            "seed": args.seed,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "records": records,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(records)} records to {args.json}")
     return 0
 
 
@@ -172,12 +231,17 @@ def test_parallel_depth_profile(benchmark):
 
 def test_sharded_scaling_smoke(benchmark):
     """The scaling sweep runs end to end and the engines agree (tiny n)."""
-    rows = run_scaling(256, [1, 2], shards=None, seed=1)
+    records: list[dict] = []
+    rows = run_scaling(256, [1, 2], shards=None, seed=1, records=records)
     assert len(rows) == 3
     assert rows[1][3:5] == ["inline", "none"]
     assert rows[2][3:5] == ["pool", "shared_memory"]
+    # Every sharded record carries the merge phase and the vector baseline.
+    assert all(
+        r["merge_seconds"] >= 0 and r["reference_seconds"] > 0 for r in records
+    )
     report("parallelism_scaling_smoke", fmt_table(
-        SCALING_HEADER[:5] + ["join n=256", "vs vector"], rows))
+        SCALING_HEADER[:5] + ["join n=256", "merge", "vs vector"], rows))
 
     benchmark(lambda: sharded_oblivious_join(
         balanced_output(256, seed=1).left, balanced_output(256, seed=1).right,
@@ -185,18 +249,20 @@ def test_sharded_scaling_smoke(benchmark):
 
 
 def test_executor_sweep_mode():
-    """--executor sweeps every named executor and labels its transport."""
+    """--executor sweeps every named executor and labels the transport the
+    dispatches actually used (not the configured intent)."""
     rows = run_scaling(
         128, [1, 2], shards=2, seed=2, executors=["inline", "pool", "async"]
     )
     got = {(row[3], row[4]) for row in rows[1:]}
-    # async reports its real transport: threads (none) at 1 worker,
-    # pickle through the process pool above.
+    # pool/async report the real path: nothing crosses at 1 worker; the
+    # shared-memory column transport above (async no longer pickles).
     assert got == {
         ("inline", "none"),
+        ("pool", "none"),
         ("pool", "shared_memory"),
         ("async", "none"),
-        ("async", "pickle"),
+        ("async", "shared_memory"),
     }
 
 

@@ -1,20 +1,34 @@
-"""CI gate: fail when ``BENCH_engines.json`` regresses vs the committed baseline.
+"""CI gate: fail when a bench artifact regresses vs its committed baseline.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_engines.json \
         [--baseline benchmarks/BENCH_engines.baseline.json] [--factor 2.0]
 
-Every record in the artifact carries both the engine-under-test seconds and
-the traced-baseline seconds *measured in the same run*, so the comparison
-metric is the **relative cost** ``seconds / traced_seconds`` — normalising
-out machine speed, which is what makes a committed baseline from one box
-meaningful on another.  A record regresses when its relative cost grows by
-more than ``--factor`` (default 2x, per the CI contract) against the
-baseline record with the same ``(engine, workload, padding, n)`` key.
+    python benchmarks/check_bench_regression.py BENCH_parallelism.json \
+        --baseline benchmarks/BENCH_parallelism.baseline.json
+
+Every record in an artifact carries both the engine-under-test seconds and
+a reference engine's seconds *measured in the same run* (``traced_seconds``
+in the engines artifact, ``reference_seconds`` — the vector baseline — in
+the parallelism artifact), so the comparison metric is the **relative
+cost** ``seconds / reference`` — normalising out machine speed, which is
+what makes a committed baseline from one box meaningful on another.  A
+record regresses when its relative cost grows by more than ``--factor``
+(default 2x, per the CI contract) against the baseline record with the
+same key — ``(engine, workload, padding, n)`` plus, when present, the
+``(executor, workers)`` pair the parallelism sweep varies.
+
+Records carrying ``merge_seconds`` (the parallelism artifact since the
+streaming-merge change) are additionally gated on the **merge phase**
+alone: a reassembly-tail regression fails CI even when faster grid tasks
+hide it in the end-to-end number.
 
 Sub-5ms timings are too noisy to judge at the smoke sizes CI runs; such
-records are reported as skipped rather than gated.
+records are reported as skipped rather than gated.  A phase whose
+*current* value is sub-noise is skipped; a phase whose *baseline* is
+sub-noise gates against a floor of 5ms, so a genuine reassembly blow-up
+fails CI while jitter around the floor passes.
 """
 
 from __future__ import annotations
@@ -28,11 +42,28 @@ MIN_SECONDS = 0.005
 
 
 def record_key(record: dict) -> tuple:
-    return (record["engine"], record["workload"], record["padding"], record["n"])
+    key = (
+        record["engine"],
+        record["workload"],
+        record.get("padding", "revealed"),
+        record["n"],
+    )
+    if "executor" in record or "workers" in record:
+        key += (record.get("executor", "-"), record.get("workers", "-"))
+    return key
 
 
-def relative_cost(record: dict) -> float:
-    return record["seconds"] / record["traced_seconds"]
+def reference_seconds(record: dict) -> float:
+    """The same-run reference denominator, whichever artifact shape."""
+    return record.get("reference_seconds", record.get("traced_seconds"))
+
+
+def record_metrics(record: dict) -> list[tuple[str, float]]:
+    """The gated ``(phase, seconds)`` pairs of one record."""
+    metrics = [("total", record["seconds"])]
+    if "merge_seconds" in record:
+        metrics.append(("merge", record["merge_seconds"]))
+    return metrics
 
 
 def compare(current: dict, baseline: dict, factor: float) -> tuple[list, list]:
@@ -42,31 +73,57 @@ def compare(current: dict, baseline: dict, factor: float) -> tuple[list, list]:
     for record in current["records"]:
         key = record_key(record)
         base = baseline_by_key.get(key)
-        if base is None:
-            rows.append((key, None, relative_cost(record), "new"))
-            continue
-        ratio = relative_cost(record) / relative_cost(base)
-        # Both the engine seconds and the traced-seconds denominator must
-        # be above the noise floor for the ratio to mean anything.
-        noisy = (
-            record["seconds"] < MIN_SECONDS and base["seconds"] < MIN_SECONDS
-        ) or min(record["traced_seconds"], base["traced_seconds"]) < MIN_SECONDS
-        if noisy:
-            rows.append((key, ratio, relative_cost(record), "skipped (sub-5ms)"))
-            continue
-        status = "ok"
-        if ratio > factor:
-            status = f"REGRESSION (> {factor:.1f}x)"
-            regressions.append(key)
-        rows.append((key, ratio, relative_cost(record), status))
+        reference = reference_seconds(record)
+        for phase, seconds in record_metrics(record):
+            phase_key = key + (phase,)
+            cost = seconds / reference
+            if base is None:
+                rows.append((phase_key, None, cost, "new"))
+                continue
+            base_metrics = dict(record_metrics(base))
+            base_seconds = base_metrics.get(phase)
+            base_reference = reference_seconds(base)
+            if base_seconds is None:
+                rows.append((phase_key, None, cost, "new phase"))
+                continue
+            # The reference denominators must clear the noise floor for
+            # any ratio to mean anything.  For the total, the historical
+            # rule stands: gate unless both sides are sub-noise (so a
+            # 1ms -> 100ms blow-up is still caught).  Phase metrics
+            # (merge) are fractions of already-small totals: a sub-noise
+            # *current* phase is skipped (jitter, and improvements need
+            # no gate), while a sub-noise *baseline* phase is floored at
+            # MIN_SECONDS — jitter around the floor stays under the
+            # factor, but a genuine 0.3ms -> 30ms reassembly blow-up
+            # still fails even when the end-to-end total hides it.
+            base_effective = base_seconds
+            if phase == "total":
+                noisy = seconds < MIN_SECONDS and base_seconds < MIN_SECONDS
+            else:
+                noisy = seconds < MIN_SECONDS
+                base_effective = max(base_seconds, MIN_SECONDS)
+            noisy = noisy or min(reference, base_reference) < MIN_SECONDS
+            base_cost = base_effective / base_reference
+            if noisy:
+                rows.append((phase_key, None, cost, "skipped (sub-5ms)"))
+                continue
+            if base_cost == 0:
+                rows.append((phase_key, None, cost, "skipped (zero baseline)"))
+                continue
+            ratio = cost / base_cost
+            status = "ok"
+            if ratio > factor:
+                status = f"REGRESSION (> {factor:.1f}x)"
+                regressions.append(phase_key)
+            rows.append((phase_key, ratio, cost, status))
     return regressions, rows
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="fail when the engine bench regresses vs the committed baseline"
+        description="fail when a bench artifact regresses vs its committed baseline"
     )
-    parser.add_argument("artifact", help="freshly generated BENCH_engines.json")
+    parser.add_argument("artifact", help="freshly generated bench JSON artifact")
     parser.add_argument(
         "--baseline",
         default="benchmarks/BENCH_engines.baseline.json",
@@ -85,17 +142,18 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.load(handle)
 
     regressions, rows = compare(current, baseline, args.factor)
-    for key, ratio, cost, status in rows:
-        engine, workload, padding, n = key
+    for phase_key, ratio, cost, status in rows:
+        key, phase = phase_key[:-1], phase_key[-1]
+        label = " ".join(str(part) for part in key)
         ratio_text = "  new" if ratio is None else f"{ratio:5.2f}"
         print(
-            f"{engine:8s} {workload:9s} {padding:10s} n={n:<6d} "
-            f"cost={cost:8.3f}x traced  vs-baseline={ratio_text}  {status}"
+            f"{label:44s} {phase:6s} cost={cost:8.3f}x ref  "
+            f"vs-baseline={ratio_text}  {status}"
         )
     if regressions:
         print(f"\n{len(regressions)} regression(s): {regressions}", file=sys.stderr)
         return 1
-    print(f"\nno regressions beyond {args.factor:.1f}x (of {len(rows)} records)")
+    print(f"\nno regressions beyond {args.factor:.1f}x (of {len(rows)} comparisons)")
     return 0
 
 

@@ -4,7 +4,7 @@ Commands
 --------
 ``join``     oblivious equi-join of two CSV files
              (``--engine traced|vector|sharded``, ``--workers``/``--shards``/
-             ``--executor inline|pool|async``,
+             ``--executor inline|pool|async|shuffle``,
              ``--padding revealed|bounded|worst_case`` with ``--bound``)
 ``plan``     compile and print a query's *public plan* — the serialized
              schedule of oblivious primitives, a pure function of input
@@ -19,7 +19,9 @@ Commands
 Every engine produces identical results; ``traced`` is the per-access-traced
 reference implementation, ``vector`` the numpy fast path (~10^3x faster),
 ``sharded`` the multi-process scale-out path (``--engine sharded --workers 4``,
-with ``--executor`` selecting inline / shared-memory pool / async overlap).
+with ``--executor`` selecting inline / shared-memory pool / async overlap /
+adversarially shuffled completion order; grid results stream into the merge
+tournament as tasks complete, on every substrate).
 """
 
 from __future__ import annotations
@@ -171,7 +173,6 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     artifact is exactly what an adversary may learn from the eventual run.
     """
     check_padding_args(args.padding, args.bound)
-    engine = get_engine(args.engine, **engine_options(args))
     shapes = {}
     if args.n1 is not None:
         shapes["n1"] = args.n1
@@ -182,6 +183,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.sizes is not None:
         shapes["sizes"] = args.sizes
     try:
+        engine = get_engine(args.engine, **engine_options(args))
         plan = engine.compile_plan(args.workload, **shapes)
     except InputError as error:
         raise SystemExit(str(error)) from None
@@ -253,8 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_executors(),
         help="sharded engine: execution substrate — 'inline' (calling "
         "process), 'pool' (persistent process pool, shared-memory column "
-        "transport), 'async' (asyncio compute/gather overlap); default: "
-        "inline at --workers 1, pool above",
+        "transport), 'async' (asyncio compute/gather overlap), 'shuffle' "
+        "(inline compute, adversarial completion order — validates the "
+        "streaming merge); default: inline at --workers 1, pool above",
     )
     join.add_argument(
         "--padding",

@@ -4,8 +4,11 @@ The first backend to carry a genuinely new *execution strategy* through the
 engine seam: every workload is split into equal, padded, position-based
 shards (:mod:`repro.shard.partition`), its public schedule is compiled into
 a plan up front (:mod:`repro.plan.compile`), and the plan's tasks run on a
-pluggable executor (:mod:`repro.plan.executors`) before a bitonic merge
-tournament (:mod:`repro.shard.merge`) reassembles the bit-identical result.
+pluggable executor (:mod:`repro.plan.executors`) whose completed results
+*stream* into a bitonic merge tournament (:mod:`repro.shard.merge`) that
+reassembles the bit-identical result — runs fold in as their producing
+tasks finish, and the tournament's pairwise merges are themselves executor
+tasks, so no single-process barrier sits between the grid and the output.
 
 Five knobs:
 
@@ -21,10 +24,14 @@ Five knobs:
 ``executor``
     The execution substrate, overriding the workers-derived default:
     ``"inline"`` (calling process), ``"pool"`` (persistent process pool
-    with shared-memory column transport — shard payloads are not pickled),
-    or ``"async"`` (asyncio overlap of shard compute and result gather).
-    Executors cannot change results or leakage, only wall-clock; the
-    executor-parametrised differential suite pins the former.
+    with shared-memory column transport — shard payloads are not pickled,
+    and merge-tournament runs stay cached in shared memory between
+    rounds), ``"async"`` (asyncio overlap of shard compute and result
+    gather, same shared-memory transport), or ``"shuffle"`` (inline
+    compute completing in adversarially shuffled order — the validation
+    substrate for the streaming seam).  Executors cannot change results
+    or leakage, only wall-clock; the executor-parametrised differential
+    suite pins the former.
 ``padding`` / ``bound``
     Padded execution (:mod:`repro.core.padding`).  This engine's extra
     reveals — the join's per-task ``m_ij`` grid, aggregation's per-shard

@@ -14,7 +14,10 @@ emergent property into an explicit, testable artifact:
     The pure shard-layout functions (``partition_plan`` et al.) — f(n, k).
 :mod:`~repro.plan.executors`
     Pluggable execution substrates: ``inline``, ``pool`` (shared-memory
-    process pool), ``async`` (asyncio compute/gather overlap).
+    process pool), ``async`` (asyncio compute/gather overlap), ``shuffle``
+    (adversarial completion order, for validation) — each exposing the
+    ordered-completion seam (``imap``/``submit``) the streaming merge
+    tournament folds through.
 
 Usage::
 
@@ -44,25 +47,30 @@ from .executors import (
     Executor,
     InlineExecutor,
     PoolExecutor,
+    ShuffleExecutor,
     available_executors,
+    completion_stream,
     get_executor,
     register_executor,
     resolve_executor,
     run_tasks,
     shutdown_pools,
+    submit_task,
     warm_pool,
 )
-from .ir import OpNode, Plan, PlanBuilder
+from .ir import MergeNode, OpNode, Plan, PlanBuilder, tournament_schedule
 from .partition import check_shards, partition_plan, shard_capacity, shard_counts
 
 __all__ = [
     "AsyncExecutor",
     "Executor",
     "InlineExecutor",
+    "MergeNode",
     "OpNode",
     "Plan",
     "PlanBuilder",
     "PoolExecutor",
+    "ShuffleExecutor",
     "WORKLOADS",
     "available_executors",
     "check_shards",
@@ -72,6 +80,7 @@ __all__ = [
     "compile_multiway",
     "compile_order_by",
     "compile_workload",
+    "completion_stream",
     "get_executor",
     "partition_plan",
     "register_executor",
@@ -80,5 +89,7 @@ __all__ = [
     "shard_capacity",
     "shard_counts",
     "shutdown_pools",
+    "submit_task",
+    "tournament_schedule",
     "warm_pool",
 ]

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from ..core.padding import cascade_bounds, check_padding, join_bound
 from ..errors import InputError
-from .ir import Plan, PlanBuilder
+from .ir import Plan, PlanBuilder, tournament_schedule
 from .partition import check_shards, partition_plan
 
 #: Workload names `compile_workload` accepts.
@@ -45,6 +45,55 @@ WORKLOADS = (
 
 #: Engines whose plans are a single-process primitive pipeline.
 _INLINE_ENGINES = ("traced", "vector")
+
+
+# -- merge tournaments -------------------------------------------------------
+
+
+def _add_merge_tournament(
+    builder: PlanBuilder,
+    leaves: tuple[int, ...],
+    run_lengths,
+    truncate: int | None,
+    stage: str,
+) -> int:
+    """Emit one ``merge_pair`` node per tournament pairing; returns the root.
+
+    The pairing schedule comes from :func:`~repro.plan.ir.tournament_schedule`
+    — the same pure function the runtime streaming tournament walks — so a
+    plan's ``merge_pair`` nodes *are* the bracket the drivers execute, with
+    carries (odd tail runs) skipping straight to the next round without a
+    node (they execute zero comparators).  ``run_lengths=None`` compiles
+    the bracket structure with run-time-revealed lengths (``rows=None``).
+    """
+    current = list(leaves)
+    schedule = tournament_schedule(len(leaves), run_lengths, truncate)
+    rnd = 0
+    nxt: list[int] = []
+    for node in schedule:
+        if node.round != rnd:
+            if rnd:
+                current = nxt
+            nxt = []
+            rnd = node.round
+        if node.is_carry:
+            nxt.append(current[node.left])
+            continue
+        nxt.append(
+            builder.add(
+                "merge_pair",
+                inputs=(current[node.left], current[node.right]),
+                stage=stage,
+                round=node.round,
+                slot=node.slot,
+                left_rows=node.left_rows,
+                right_rows=node.right_rows,
+                rows=node.rows,
+            )
+        )
+    if schedule:
+        current = nxt
+    return current[0]
 
 
 # -- join --------------------------------------------------------------------
@@ -94,8 +143,9 @@ def sharded_join_plan(n1: int, n2: int, k: int, target: int | None) -> Plan:
         )
         for i in range(k)
     )
+    presort_root = _add_merge_tournament(builder, sorts, counts1, None, "presort")
     presort_merge = builder.add(
-        "merge", inputs=sorts, stage="presort", run_lengths=counts1
+        "merge", inputs=(presort_root,), stage="presort", run_lengths=counts1
     )
     left_part = builder.add(
         "partition",
@@ -127,9 +177,12 @@ def sharded_join_plan(n1: int, n2: int, k: int, target: int | None) -> Plan:
         if target is None
         else tuple(ci * cj for ci in counts1 for cj in counts2)
     )
+    output_root = _add_merge_tournament(
+        builder, tuple(cells), run_lengths, target, "output"
+    )
     merge = builder.add(
         "merge",
-        inputs=tuple(cells),
+        inputs=(output_root,),
         stage="output",
         run_lengths=run_lengths,
         truncate=target,
@@ -245,7 +298,8 @@ def sharded_order_plan(n: int, k: int) -> Plan:
         builder.add("shard_sort", inputs=(part,), shard=i, rows=counts[i])
         for i in range(k)
     )
-    builder.add("merge", inputs=sorts, stage="output", run_lengths=counts)
+    root = _add_merge_tournament(builder, sorts, counts, None, "output")
+    builder.add("merge", inputs=(root,), stage="output", run_lengths=counts)
     return builder.build()
 
 

@@ -2,14 +2,23 @@
 
 A :class:`~repro.plan.ir.Plan` fixes the public schedule — which tasks run
 at which sizes, in which order.  Executors fix the substrate.  The contract
-is deliberately tiny::
+has two seams::
 
-    executor.map(task, payloads) -> list   # results in payload order
+    executor.map(task, payloads)  -> list                  # payload order
+    executor.imap(task, payloads) -> iter[(index, result)] # completion order
+    executor.submit(task, payload) -> completion           # one deferred task
 
 ``task`` must be a module-level (picklable) function of one payload; every
 payload's *shape* is already data-independent (padded shards), so no
-executor can change the leakage — only the wall clock.  Three ship
-in-tree:
+executor can change the leakage — only the wall clock.  ``imap`` is the
+**ordered-completion seam**: it hands results back as they finish, so a
+streaming consumer (the sharded drivers' merge tournaments) can fold
+result ``i`` while task ``i + 1`` is still running, instead of waiting on
+a barrier.  Consumers must therefore be *arrival-order independent* —
+``tests/test_streaming_merge.py`` pins that with the adversarial
+``shuffle`` executor.  ``submit`` dispatches one task (a tournament's
+pairwise merge) and returns a completion whose ``.result()`` blocks.
+Four executors ship in-tree:
 
 ``inline``
     Runs the task list in the calling process.  Deterministic, fork-free,
@@ -21,21 +30,31 @@ in-tree:
     zero-copy, read-only views.  This replaces pickling the shard payloads
     — the sharded join's ``k x k`` grid references each shard's columns
     ``k`` times, which pickle would serialize ``k`` times per dispatch and
-    shared memory writes exactly once.  A worker attaches a dispatch's
-    segment once and keeps it mapped for the dispatch's remaining tasks
-    (one segment per dispatch, so one resident slot captures all the reuse
-    there is).
+    shared memory writes exactly once.
 ``async``
     An asyncio wrapper that overlaps shard compute with result gather:
-    every payload is dispatched immediately (to the shared process pool,
-    or to threads at ``workers=1``) and results are awaited as they
-    complete.  This is the seam a streaming engine plugs into — a consumer
-    can start folding result ``i`` while task ``i+1`` is still running.
+    every payload is dispatched immediately (to the shared process pool —
+    over the same shared-memory transport as ``pool`` — or to threads at
+    ``workers=1``) and results are awaited as they complete, without
+    parking a helper thread per pending result.
+``shuffle``
+    A validation substrate: inline compute, adversarially shuffled
+    *completion* order.  It exists to prove (in tests and the CI
+    differential matrix) that no consumer depends on arrival order.
+
+Worker-side results can also stay in shared memory across dispatches (the
+**cross-dispatch column cache**): a task calls :func:`publish_columns` to
+write its output into a fresh segment and returns the ref tree instead of
+the bytes; the parent holds the refs, ships them verbatim inside later
+payloads (``_encode`` passes refs through), and only
+:func:`materialize_columns` / :func:`release_segments` at the very end.
+This is what lets a merge tournament run round after round on workers
+without the intermediate runs ever round-tripping through the parent.
 
 Pools are *persistent*: the first ``workers=N`` dispatch forks the pool,
 later dispatches reuse it (:func:`shutdown_pools` tears them down; an
-``atexit`` hook does so at interpreter exit).  All executors return results
-in payload order, so the execution strategy never changes the output — the
+``atexit`` hook does so at interpreter exit).  ``map`` returns results in
+payload order, so the execution strategy never changes the output — the
 executor-parametrised differential suite pins that bit for bit.
 """
 
@@ -44,9 +63,13 @@ from __future__ import annotations
 import asyncio
 import atexit
 import multiprocessing
+import os
+import queue as queue_module
+import random
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -55,14 +78,23 @@ from ..errors import InputError
 #: Live pools keyed by worker count (see :func:`_pool`).
 _POOLS: dict[int, multiprocessing.pool.Pool] = {}
 
-#: The segment a worker currently has attached (name -> SharedMemory).
-#: One dispatch = one segment, so a single slot captures all the reuse
-#: there is (consecutive tasks of the same dispatch); keeping more would
-#: only pin dead, already-unlinked arenas in memory.
-_ATTACHED: "OrderedDict[str, object]" = OrderedDict()
+#: The dispatch *arena* a worker currently has attached (name -> shm).
+#: One dispatch = one arena, so a single slot captures all the reuse there
+#: is (consecutive tasks of the same dispatch); keeping more would only
+#: pin dead, already-unlinked arenas in memory — a new dispatch's first
+#: task evicts (and frees) the previous dispatch's arena.
+_ATTACHED_ARENAS: "OrderedDict[str, object]" = OrderedDict()
+_ARENA_LIMIT = 1
 
-#: How many segments a worker keeps resident before closing the oldest.
-_ATTACH_LIMIT = 1
+#: Worker-*published* run segments (the merge tournament's cross-dispatch
+#: column cache) a worker has attached.  A merge task touches two at
+#: once, so a short LRU keeps round-to-round reuse warm; late tournament
+#: rounds can be ``O(m)`` each, so the cache is *byte*-bounded as well as
+#: count-bounded — a persistent worker must not pin dead, parent-unlinked
+#: runs from a finished query until the next large attach evicts them.
+_ATTACHED_RUNS: "OrderedDict[str, object]" = OrderedDict()
+_RUN_LIMIT = 8
+_RUN_BYTES_LIMIT = 64 * 2**20
 
 
 def check_workers(workers: int) -> int:
@@ -109,12 +141,60 @@ def warm_pool(workers: int) -> None:
 
 @dataclass(frozen=True)
 class _ArrayRef:
-    """Wire stand-in for one ndarray: segment name + layout, no bytes."""
+    """Wire stand-in for one ndarray: segment name + layout, no bytes.
+
+    ``published`` marks refs into worker-published run segments (the
+    cross-dispatch cache) as opposed to a dispatch's arena — the worker
+    attach cache treats the two differently.
+    """
 
     segment: str
     offset: int
     dtype: str
     shape: tuple[int, ...]
+    published: bool = False
+
+
+@contextmanager
+def _borrowed_segment_ownership():
+    """Suppress resource-tracker bookkeeping inside the block.
+
+    One process owns each segment's tracker entry (the process that
+    creates it under normal registration); every *borrowed* open — a
+    worker attach, a worker creating a published-run segment whose
+    lifecycle it immediately hands to the parent, the parent
+    materialising or unlinking a published run it never registered — must
+    neither register the name a second time with the (shared, under fork)
+    resource tracker nor unregister a name the tracker never booked, or
+    the tracker's books go inconsistent and it prints spurious KeyErrors
+    at exit.  Pool workers and the parent's dispatch path are
+    single-threaded, so the patch window is safe.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    original_unregister = resource_tracker.unregister
+    resource_tracker.register = lambda *args, **kwargs: None
+    resource_tracker.unregister = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original_register
+        resource_tracker.unregister = original_unregister
+
+
+def _map_tree(node, leaf):
+    """Rebuild a payload tree (tuples/lists/dicts), applying ``leaf`` to
+    every non-container value — the one traversal all transport walkers
+    (:func:`_encode`, :func:`_rename`, :func:`_decode`,
+    :func:`materialize_columns`) share."""
+    if isinstance(node, tuple):
+        return tuple(_map_tree(item, leaf) for item in node)
+    if isinstance(node, list):
+        return [_map_tree(item, leaf) for item in node]
+    if isinstance(node, dict):
+        return {key: _map_tree(value, leaf) for key, value in node.items()}
+    return leaf(node)
 
 
 def _encode(obj, arena: dict, chunks: list):
@@ -124,13 +204,19 @@ def _encode(obj, arena: dict, chunks: list):
     by many payloads (each shard's columns appear in ``k`` grid tasks) is
     written exactly once; ``chunks`` collects ``(offset, array)`` copy
     instructions for :func:`_pack`.  Offsets are 64-byte aligned.
+    :class:`_ArrayRef` leaves already in the tree (runs published by a
+    worker in an earlier dispatch) pass through untouched — that is the
+    cross-dispatch cache's no-round-trip property.
     """
-    if isinstance(obj, np.ndarray):
-        if obj.nbytes == 0:
-            return obj  # zero-size arrays ship inline (nothing to share)
-        ref = arena.get(id(obj))
+
+    def leaf(value):
+        if not isinstance(value, np.ndarray):
+            return value
+        if value.nbytes == 0:
+            return value  # zero-size arrays ship inline (nothing to share)
+        ref = arena.get(id(value))
         if ref is None:
-            contiguous = np.ascontiguousarray(obj)
+            contiguous = np.ascontiguousarray(value)
             if chunks:
                 last_offset, last = chunks[-1]
                 offset = -(-(last_offset + last.nbytes) // 64) * 64
@@ -142,20 +228,26 @@ def _encode(obj, arena: dict, chunks: list):
                 dtype=contiguous.dtype.str,
                 shape=tuple(contiguous.shape),
             )
-            arena[id(obj)] = ref
+            arena[id(value)] = ref
             chunks.append((offset, contiguous))
         return ref
-    if isinstance(obj, tuple):
-        return tuple(_encode(item, arena, chunks) for item in obj)
-    if isinstance(obj, list):
-        return [_encode(item, arena, chunks) for item in obj]
-    if isinstance(obj, dict):
-        return {key: _encode(value, arena, chunks) for key, value in obj.items()}
-    return obj
+
+    return _map_tree(obj, leaf)
 
 
-def _pack(payloads: Sequence) -> tuple[object, list]:
-    """Encode a batch: one shared segment for all arrays, refs in payloads."""
+def _pack(
+    payloads: Sequence, run_sized: bool = False, owned: bool = True
+) -> tuple[object, list]:
+    """Encode a batch: one shared segment for all arrays, refs in payloads.
+
+    ``run_sized`` marks the segment for the worker's published-run LRU
+    rather than the single dispatch-arena slot — used by ``submit`` (one
+    merge's pair of runs), whose small segments must not evict a live
+    grid arena between two of its dispatch's tasks.  ``owned=False``
+    creates the segment under borrowed ownership (no tracker entry):
+    the caller is handing the lifecycle to another process
+    (:func:`publish_columns`).
+    """
     from multiprocessing import shared_memory
 
     arena: dict = {}
@@ -164,89 +256,94 @@ def _pack(payloads: Sequence) -> tuple[object, list]:
     if not chunks:
         return None, encoded
     last_offset, last = chunks[-1]
-    segment = shared_memory.SharedMemory(
-        create=True, size=last_offset + last.nbytes
-    )
+    size = last_offset + last.nbytes
+    if owned:
+        segment = shared_memory.SharedMemory(create=True, size=size)
+    else:
+        with _borrowed_segment_ownership():
+            segment = shared_memory.SharedMemory(create=True, size=size)
     for offset, array in chunks:
         view = np.ndarray(
             array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
         )
         view[...] = array
-    encoded = _rename(encoded, segment.name)
+    encoded = _rename(encoded, segment.name, published=run_sized)
     return segment, encoded
 
 
-def _rename(obj, name: str):
-    """Stamp the final segment name into every ref of an encoded tree."""
-    if isinstance(obj, _ArrayRef):
-        return _ArrayRef(name, obj.offset, obj.dtype, obj.shape)
-    if isinstance(obj, tuple):
-        return tuple(_rename(item, name) for item in obj)
-    if isinstance(obj, list):
-        return [_rename(item, name) for item in obj]
-    if isinstance(obj, dict):
-        return {key: _rename(value, name) for key, value in obj.items()}
-    return obj
+def _rename(obj, name: str, published: bool = False):
+    """Stamp the final segment name into every *unnamed* ref of a tree.
+
+    Refs that already carry a segment name (published runs from earlier
+    dispatches) keep it — only the refs this pack created are patched.
+    """
+
+    def leaf(value):
+        if isinstance(value, _ArrayRef) and not value.segment:
+            return _ArrayRef(name, value.offset, value.dtype, value.shape, published)
+        return value
+
+    return _map_tree(obj, leaf)
 
 
-def _attach(name: str):
-    """Worker side: map a segment by name, caching the current dispatch's.
+def _attach(name: str, published: bool = False):
+    """Worker side: map a segment by name, caching recent attachments.
 
-    The parent owns the segment lifecycle (it unlinks after the dispatch);
-    a worker's mapping stays valid until closed, which is what lets the
-    tasks of one dispatch share a single attach.  The cache holds exactly
-    one segment — a new dispatch's first task evicts (and frees) the
-    previous dispatch's arena, so long-lived workers never pin dead
-    segments.
+    The parent owns every segment's lifecycle (it unlinks after the
+    dispatch, or — for published runs — when the consuming tournament
+    finishes); a worker's mapping stays valid until closed, which is what
+    lets the tasks of one dispatch share a single attach.  Dispatch arenas
+    and published run segments cache separately: a new dispatch's first
+    task evicts (and frees) the previous dispatch's O(n) arena immediately,
+    while the small published-run segments keep a short LRU of their own —
+    so long-lived workers never pin dead arenas.
     """
     from multiprocessing import shared_memory
 
-    segment = _ATTACHED.get(name)
+    cache, limit = (
+        (_ATTACHED_RUNS, _RUN_LIMIT) if published else (_ATTACHED_ARENAS, _ARENA_LIMIT)
+    )
+    segment = cache.get(name)
     if segment is None:
-        # The parent owns the segment's lifecycle (it registered it and
-        # will unlink it); attaching must not register it a second time
-        # with the (shared, under fork) resource tracker, or the tracker's
-        # books go inconsistent and it prints spurious KeyErrors at exit.
-        # Pool workers are single-threaded, so the patch window is safe.
-        from multiprocessing import resource_tracker
-
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
+        with _borrowed_segment_ownership():
             segment = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original_register
-        _ATTACHED[name] = segment
-        while len(_ATTACHED) > _ATTACH_LIMIT:
-            _, oldest = _ATTACHED.popitem(last=False)
+        cache[name] = segment
+
+        def over_budget() -> bool:
+            if len(cache) > limit:
+                return True
+            return published and len(cache) > 1 and (
+                sum(entry.size for entry in cache.values()) > _RUN_BYTES_LIMIT
+            )
+
+        while over_budget():
+            _, oldest = cache.popitem(last=False)
             try:
                 oldest.close()
-            except BufferError:  # a stale traceback still holds a view;
+            except BufferError:  # a live view still references the buffer;
                 pass  # dropping the reference frees it with the gc instead
     else:
-        _ATTACHED.move_to_end(name)
+        cache.move_to_end(name)
     return segment
 
 
 def _decode(obj):
     """Rebuild a payload tree, materialising refs as read-only shm views."""
-    if isinstance(obj, _ArrayRef):
-        segment = _attach(obj.segment)
+
+    def leaf(value):
+        if not isinstance(value, _ArrayRef):
+            return value
+        segment = _attach(value.segment, value.published)
         view = np.ndarray(
-            obj.shape,
-            dtype=np.dtype(obj.dtype),
+            value.shape,
+            dtype=np.dtype(value.dtype),
             buffer=segment.buf,
-            offset=obj.offset,
+            offset=value.offset,
         )
         view.flags.writeable = False  # tasks must copy before mutating
         return view
-    if isinstance(obj, tuple):
-        return tuple(_decode(item) for item in obj)
-    if isinstance(obj, list):
-        return [_decode(item) for item in obj]
-    if isinstance(obj, dict):
-        return {key: _decode(value) for key, value in obj.items()}
-    return obj
+
+    return _map_tree(obj, leaf)
 
 
 def _run_encoded(call):
@@ -255,18 +352,251 @@ def _run_encoded(call):
     return task(_decode(payload))
 
 
+# -- cross-dispatch column cache ---------------------------------------------
+
+
+def publish_columns(tree) -> tuple[object, str | None]:
+    """Worker side: park a task's output arrays in a fresh shm segment.
+
+    Returns ``(encoded, segment_name)`` — the encoded tree references the
+    new segment by name and the calling process keeps **no** mapping, so
+    the result can be handed to the parent as a few hundred bytes of refs
+    instead of the array payload.  The parent adopts ownership: it should
+    :func:`adopt_segments` the name on receipt (crash-safe tracker
+    booking) and must eventually :func:`release_segments` it (the
+    streaming tournament does both).  A tree with no (non-empty) arrays
+    publishes nothing and comes back with ``segment_name=None``.
+    """
+    segment, encoded = _pack([tree], run_sized=True, owned=False)
+    if segment is None:
+        return encoded[0], None
+    name = segment.name
+    segment.close()
+    return encoded[0], name
+
+
+def adopt_segments(names) -> None:
+    """Parent side: take resource-tracker ownership of published segments.
+
+    The worker created each segment under borrowed ownership — no tracker
+    entry anywhere — so a hard parent crash (SIGKILL, OOM) between publish
+    and release would orphan the shm until reboot.  Booking the name here,
+    the moment the parent learns it, leaves the (shared, under fork)
+    resource tracker to unlink it when the process tree dies.
+    :func:`release_segments` unlinks normally, which unregisters the
+    booking again.  POSIX only; Windows shared memory has no tracker and
+    frees on last close.
+    """
+    if os.name != "posix":
+        return
+    from multiprocessing import resource_tracker
+
+    for name in names:
+        # SharedMemory registers the slash-prefixed internal name on
+        # POSIX; book the same form so unlink()'s unregister matches.
+        resource_tracker.register(f"/{name}", "shared_memory")
+
+
+def materialize_columns(tree):
+    """Parent side: copy a (possibly ref-encoded) result tree into local arrays.
+
+    Plain trees pass through unchanged; :class:`_ArrayRef` leaves are read
+    out of their segments into fresh owned copies, and every mapping this
+    call opened is closed before returning (unlinking stays the caller's
+    job — :func:`release_segments`).
+    """
+    from multiprocessing import shared_memory
+
+    segments: dict[str, object] = {}
+
+    def leaf(value):
+        if not isinstance(value, _ArrayRef):
+            return value
+        segment = segments.get(value.segment)
+        if segment is None:
+            with _borrowed_segment_ownership():
+                segment = shared_memory.SharedMemory(name=value.segment)
+            segments[value.segment] = segment
+        view = np.ndarray(
+            value.shape,
+            dtype=np.dtype(value.dtype),
+            buffer=segment.buf,
+            offset=value.offset,
+        )
+        return view.copy()
+
+    try:
+        return _map_tree(tree, leaf)
+    finally:
+        for segment in segments.values():
+            segment.close()
+
+
+def release_segments(names) -> None:
+    """Unlink published segments the parent adopted and has finished with.
+
+    Pairs with :func:`adopt_segments`: the unlink also unregisters the
+    tracker booking made there.  Idempotent and tolerant of already-gone
+    names (a crashed worker, a double release) — and a name released
+    without ever being unlinked here is still reclaimed by the tracker at
+    process-tree death, never leaked past it.
+    """
+    from multiprocessing import shared_memory
+
+    for name in names:
+        try:
+            with _borrowed_segment_ownership():
+                segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        try:
+            segment.unlink()  # unregisters the adopt_segments() booking
+        except FileNotFoundError:
+            pass
+
+
+# -- completions -------------------------------------------------------------
+
+
+@dataclass
+class _Immediate:
+    """A completion whose task already ran (inline substrates)."""
+
+    value: object
+
+    def result(self):
+        return self.value
+
+
+class _LazyCall:
+    """A completion that runs its task on first ``result()`` (shuffle)."""
+
+    def __init__(self, task: Callable, payload) -> None:
+        self._task = task
+        self._payload = payload
+        self._value = None
+        self._ran = False
+
+    def result(self):
+        if not self._ran:
+            self._value = self._task(self._payload)
+            self._task = self._payload = None
+            self._ran = True
+        return self._value
+
+
+class _PoolCompletion:
+    """A completion backed by ``apply_async``; owns its dispatch segment."""
+
+    def __init__(self, async_result, segment) -> None:
+        self._async_result = async_result
+        self._segment = segment
+
+    def result(self):
+        try:
+            return self._async_result.get()
+        finally:
+            if self._segment is not None:
+                self._segment.close()
+                self._segment.unlink()
+                self._segment = None
+
+
+def _pool_imap(
+    pool, task: Callable, payloads: Sequence
+) -> Iterator[tuple[int, object]]:
+    """Dispatch a packed batch and yield ``(index, result)`` as they finish.
+
+    One shared-memory arena for the whole batch; per-task completion
+    callbacks push into a thread-safe queue (no helper thread per pending
+    result), and the arena is unlinked once every result is in.
+    """
+    segment, encoded = _pack(payloads)
+    results: queue_module.SimpleQueue = queue_module.SimpleQueue()
+    try:
+        for index, payload in enumerate(encoded):
+            pool.apply_async(
+                _run_encoded,
+                ((task, payload),),
+                callback=lambda value, index=index: results.put(
+                    (index, value, None)
+                ),
+                error_callback=lambda error, index=index: results.put(
+                    (index, None, error)
+                ),
+            )
+        for _ in range(len(encoded)):
+            index, value, error = results.get()
+            if error is not None:
+                raise error
+            yield index, value
+    finally:
+        if segment is not None:
+            segment.close()
+            segment.unlink()
+
+
+def _pool_submit(pool, task: Callable, payload) -> _PoolCompletion:
+    """Dispatch one task over its own (run-sized) shared-memory segment."""
+    segment, encoded = _pack([payload], run_sized=True)
+    return _PoolCompletion(
+        pool.apply_async(_run_encoded, ((task, encoded[0]),)), segment
+    )
+
+
 # -- executors ---------------------------------------------------------------
 
 
 @runtime_checkable
 class Executor(Protocol):
-    """The execution substrate contract: ordered map over padded payloads."""
+    """The execution substrate contract: ordered map over padded payloads.
+
+    ``transport`` reports how the *last* dispatch's payload bytes reached
+    the compute ("none" for in-process calls, "shared_memory" for the
+    column transport) — before any dispatch it reports the configured
+    default.  ``imap``/``submit`` are optional seams; drivers reach them
+    through :func:`completion_stream` / :func:`submit_task`, which fall
+    back to ordered ``map`` / inline execution for executors that only
+    implement the minimal contract.
+    """
 
     name: str
-    #: How payload bytes reach the compute: "none", "shared_memory", "pickle".
+    #: How the most recent dispatch's bytes reached the compute.
     transport: str
 
     def map(self, task: Callable, payloads: Sequence) -> list: ...
+
+
+def completion_stream(
+    executor, task: Callable, payloads: Sequence
+) -> Iterator[tuple[int, object]]:
+    """Yield ``(index, result)`` pairs as tasks complete.
+
+    The streaming seam the sharded drivers consume: uses the executor's
+    ``imap`` when it has one (completion order — arbitrary, even
+    adversarial), else falls back to ``map`` and yields in payload order.
+    Consumers must not depend on arrival order; the fold they feed must be
+    a pure function of the index space (the compiled bracket).
+    """
+    payloads = list(payloads)
+    imap = getattr(executor, "imap", None)
+    if imap is not None:
+        yield from imap(task, payloads)
+        return
+    for index, result in enumerate(executor.map(task, payloads)):
+        yield index, result
+
+
+def submit_task(executor, task: Callable, payload):
+    """Dispatch one task; returns a completion with ``.result()``.
+
+    Falls back to running inline for executors without ``submit``.
+    """
+    submit = getattr(executor, "submit", None)
+    if submit is not None:
+        return submit(task, payload)
+    return _Immediate(task(payload))
 
 
 class InlineExecutor:
@@ -274,6 +604,8 @@ class InlineExecutor:
 
     name = "inline"
     transport = "none"
+    #: Inline submits stay in-process: published runs would be pure waste.
+    remote_submit = False
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = check_workers(workers)  # accepted for uniformity
@@ -281,22 +613,98 @@ class InlineExecutor:
     def map(self, task: Callable, payloads: Sequence) -> list:
         return [task(payload) for payload in payloads]
 
+    def imap(self, task: Callable, payloads: Sequence):
+        for index, payload in enumerate(payloads):
+            yield index, task(payload)
+
+    def submit(self, task: Callable, payload):
+        return _Immediate(task(payload))
+
+
+class ShuffleExecutor:
+    """Inline compute, adversarial completion order (a validation substrate).
+
+    Every task runs in the calling process, but ``map``/``imap`` *execute*
+    (and ``imap`` yields) the tasks in a deterministic shuffled order, and
+    ``submit`` defers execution until the consumer first blocks on the
+    completion.  Outputs are bit-identical to ``inline`` by the executor
+    contract; what this substrate exists to falsify is any *consumer*
+    assumption about arrival order — the streaming-merge suite and the CI
+    differential matrix run the sharded engine on it.  The shuffle is
+    seeded (``seed`` plus a per-dispatch counter), so failures reproduce.
+    """
+
+    name = "shuffle"
+    transport = "none"
+    remote_submit = False
+
+    def __init__(self, workers: int = 1, seed: int = 0) -> None:
+        self.workers = check_workers(workers)  # accepted for uniformity
+        self.seed = seed
+        self._dispatches = 0
+
+    def _order(self, count: int) -> list[int]:
+        order = list(range(count))
+        random.Random(1_000_003 * self.seed + self._dispatches).shuffle(order)
+        self._dispatches += 1
+        return order
+
+    def map(self, task: Callable, payloads: Sequence) -> list:
+        payloads = list(payloads)
+        results: dict[int, object] = {}
+        for index in self._order(len(payloads)):
+            results[index] = task(payloads[index])
+        return [results[index] for index in range(len(payloads))]
+
+    def imap(self, task: Callable, payloads: Sequence):
+        payloads = list(payloads)
+        for index in self._order(len(payloads)):
+            yield index, task(payloads[index])
+
+    def submit(self, task: Callable, payload):
+        return _LazyCall(task, payload)
+
 
 class PoolExecutor:
     """Persistent process pool + shared-memory column transport."""
 
     name = "pool"
-    transport = "shared_memory"
 
     def __init__(self, workers: int = 2) -> None:
         self.workers = check_workers(workers)
+        self._last_transport: str | None = None
+
+    @property
+    def transport(self) -> str:
+        """The path the last dispatch actually took.
+
+        ``workers=1`` always runs inline, so nothing ever crosses; above
+        that, single-payload dispatches short-circuit inline ("none") and
+        real batches ship over shared memory.
+        """
+        if self.workers == 1:
+            return "none"
+        return self._last_transport or "shared_memory"
+
+    @property
+    def remote_submit(self) -> bool:
+        """Submits cross a process boundary (so published runs pay off).
+
+        POSIX-only: publishing relies on a segment surviving after its
+        creating worker closes its mapping, which Windows named shared
+        memory (freed on last close) does not guarantee — there the
+        tournament falls back to plain result dicts.
+        """
+        return self.workers > 1 and os.name == "posix"
 
     def map(self, task: Callable, payloads: Sequence) -> list:
         if len(payloads) <= 1 or self.workers == 1:
             # A single task (or a 1-process pool) gains nothing from the
             # round-trip; inline keeps the fast path fast.  Results are
             # identical either way — executors cannot change outputs.
+            self._last_transport = "none"
             return [task(payload) for payload in payloads]
+        self._last_transport = "shared_memory"
         segment, encoded = _pack(payloads)
         try:
             return _pool(self.workers).map(
@@ -307,31 +715,63 @@ class PoolExecutor:
                 segment.close()
                 segment.unlink()
 
+    def imap(self, task: Callable, payloads: Sequence):
+        payloads = list(payloads)
+        if len(payloads) <= 1 or self.workers == 1:
+            self._last_transport = "none"
+            for index, payload in enumerate(payloads):
+                yield index, task(payload)
+            return
+        self._last_transport = "shared_memory"
+        yield from _pool_imap(_pool(self.workers), task, payloads)
+
+    def submit(self, task: Callable, payload):
+        if self.workers == 1:
+            self._last_transport = "none"
+            return _Immediate(task(payload))
+        self._last_transport = "shared_memory"
+        return _pool_submit(_pool(self.workers), task, payload)
+
 
 class AsyncExecutor:
     """Asyncio overlap of shard compute and result gather.
 
-    Every payload is dispatched up front; an asyncio task per payload then
-    awaits its result, so results are gathered (and, in a streaming
-    consumer, processed) as they complete rather than after a barrier.
-    ``workers > 1`` dispatches to the shared process pool (pickle
-    transport); ``workers = 1`` overlaps on threads, which keeps the
-    executor fork-free for tests and small inputs.
+    Every payload is dispatched up front; per-task completion callbacks
+    resolve asyncio futures, so results are gathered (and, in a streaming
+    consumer, processed) as they complete rather than after a barrier —
+    without parking a helper thread per pending result (the old
+    ``run_in_executor(None, result.get)`` pattern silently degraded to
+    batched gathers past the default thread cap).  ``workers > 1``
+    dispatches to the shared process pool over the same shared-memory
+    column transport as ``pool`` (payloads are packed once per dispatch,
+    never pickled per task); ``workers = 1`` overlaps on threads, which
+    keeps the executor fork-free for tests and small inputs.
     """
 
     name = "async"
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = check_workers(workers)
+        self._last_transport: str | None = None
 
     @property
     def transport(self) -> str:
-        """Pickle through the process pool; nothing crosses at workers=1."""
-        return "pickle" if self.workers > 1 else "none"
+        """Shared memory through the process pool; in-memory at workers=1."""
+        if self.workers == 1:
+            return "none"
+        return self._last_transport or "shared_memory"
+
+    @property
+    def remote_submit(self) -> bool:
+        """See :attr:`PoolExecutor.remote_submit` (POSIX-only publish)."""
+        return self.workers > 1 and os.name == "posix"
 
     def map(self, task: Callable, payloads: Sequence) -> list:
         if len(payloads) <= 1:
+            self._last_transport = "none"
             return [task(payload) for payload in payloads]
+        if self.workers > 1:
+            self._last_transport = "shared_memory"
         try:
             asyncio.get_running_loop()
         except RuntimeError:
@@ -350,20 +790,90 @@ class AsyncExecutor:
 
     async def _gather(self, task: Callable, payloads: list) -> list:
         loop = asyncio.get_running_loop()
-        if self.workers > 1:
-            pending = [
-                _pool(self.workers).apply_async(task, (payload,))
-                for payload in payloads
-            ]
-            futures = [
-                loop.run_in_executor(None, result.get) for result in pending
-            ]
-        else:
+        if self.workers == 1:
             futures = [
                 loop.run_in_executor(None, task, payload)
                 for payload in payloads
             ]
-        return list(await asyncio.gather(*futures))
+            return list(await asyncio.gather(*futures))
+        segment, encoded = _pack(payloads)
+        try:
+            pool = _pool(self.workers)
+            futures = []
+            for payload in encoded:
+                future = loop.create_future()
+                pool.apply_async(
+                    _run_encoded,
+                    ((task, payload),),
+                    callback=lambda value, future=future: _post_to_loop(
+                        loop, future, value, None
+                    ),
+                    error_callback=lambda error, future=future: _post_to_loop(
+                        loop, future, None, error
+                    ),
+                )
+                futures.append(future)
+            return list(await asyncio.gather(*futures))
+        finally:
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+
+    def imap(self, task: Callable, payloads: Sequence):
+        payloads = list(payloads)
+        if len(payloads) <= 1:
+            self._last_transport = "none"
+            for index, payload in enumerate(payloads):
+                yield index, task(payload)
+            return
+        if self.workers > 1:
+            self._last_transport = "shared_memory"
+            yield from _pool_imap(_pool(self.workers), task, payloads)
+            return
+        # Thread overlap at workers=1: completion order, no forks.  The
+        # pool is sized to the batch (not the default cpu-derived cap) so
+        # small dispatches don't pay for threads they never use.
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(32, len(payloads))
+        ) as threads:
+            futures = {
+                threads.submit(task, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+
+    def submit(self, task: Callable, payload):
+        if self.workers == 1:
+            return _Immediate(task(payload))
+        self._last_transport = "shared_memory"
+        return _pool_submit(_pool(self.workers), task, payload)
+
+
+def _post_to_loop(loop, future, value, error) -> None:
+    """Pool-thread half of the apply_async callback handshake.
+
+    Runs on the pool's result-handler thread, so it must never raise: an
+    escaped exception would kill that thread and hang every later dispatch
+    on the shared persistent pool.  A closed loop (the gather already
+    aborted on a sibling task's error) just drops the straggler.
+    """
+    try:
+        loop.call_soon_threadsafe(_resolve_future, future, value, error)
+    except RuntimeError:
+        pass
+
+
+def _resolve_future(future, value, error) -> None:
+    """Loop-thread half of the apply_async callback handshake."""
+    if future.cancelled():
+        return
+    if error is not None:
+        future.set_exception(error)
+    else:
+        future.set_result(value)
 
 
 #: Executor factories by name (the ``--executor`` choices).
@@ -371,6 +881,7 @@ _EXECUTORS: dict[str, type] = {
     InlineExecutor.name: InlineExecutor,
     PoolExecutor.name: PoolExecutor,
     AsyncExecutor.name: AsyncExecutor,
+    ShuffleExecutor.name: ShuffleExecutor,
 }
 
 

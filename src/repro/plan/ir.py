@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from ..errors import InputError
 
 #: Serialization format tag, bumped on any change to the byte layout.
-PLAN_FORMAT = 1
+PLAN_FORMAT = 2
 
 
 def _freeze(value, context: str):
@@ -158,6 +158,95 @@ class Plan:
             )
             lines.append(f"  [{index:3d}] {node.op} {attrs}{arrows}")
         return "\n".join(lines)
+
+
+# -- the merge tournament's public schedule ----------------------------------
+
+
+@dataclass(frozen=True)
+class MergeNode:
+    """One slot of a bitonic merge tournament round, as public schedule.
+
+    ``round`` counts from 1 (round 0 is the input runs); ``slot`` is the
+    node's position within its round.  ``left``/``right`` are *slot*
+    indices in the previous round; ``right is None`` marks a carry — an odd
+    tail run promoted unmerged to the next round, executing zero
+    comparators.  ``left_rows``/``right_rows``/``rows`` are the public run
+    lengths (post-truncation), or ``None`` when the lengths are only
+    revealed at run time (the ``"revealed"`` padding mode).
+
+    The whole tournament — which pairs merge, in which bracket position,
+    at which sizes — is produced by :func:`tournament_schedule`, a pure
+    function of ``(run count, run lengths, truncate)``.  Both the plan
+    compilers (which emit one ``merge_pair`` op node per pairing) and the
+    runtime streaming tournament (:class:`repro.shard.merge.StreamingTournament`)
+    consume this same function, so the executed pairing order cannot drift
+    from the compiled artifact no matter in which order grid tasks finish.
+    """
+
+    round: int
+    slot: int
+    left: int
+    right: int | None
+    left_rows: int | None = None
+    right_rows: int | None = None
+    rows: int | None = None
+
+    @property
+    def is_carry(self) -> bool:
+        return self.right is None
+
+
+def tournament_schedule(
+    runs: int,
+    run_lengths=None,
+    truncate: int | None = None,
+) -> tuple[MergeNode, ...]:
+    """The balanced tournament's full pairing schedule for ``runs`` runs.
+
+    Pure in ``(runs, run_lengths, truncate)`` — the public values the merge
+    schedule is allowed to depend on.  Round ``r`` pairs the previous
+    round's slots ``(2s, 2s+1)`` in order; an odd tail slot is carried.
+    With ``run_lengths`` given, every node also carries its public input
+    and output lengths, with ``truncate`` applied to the inputs first and
+    to every merge output (the fused expand-truncate of padded execution),
+    mirroring :func:`repro.shard.merge.oblivious_merge_runs` exactly.
+    """
+    if runs < 0:
+        raise InputError(f"tournament needs a non-negative run count, got {runs}")
+    if run_lengths is not None and len(run_lengths) != runs:
+        raise InputError(
+            f"tournament over {runs} runs got {len(run_lengths)} run lengths"
+        )
+    if run_lengths is None:
+        lengths: list[int | None] = [None] * runs
+    else:
+        lengths = [
+            int(length) if truncate is None else min(int(length), truncate)
+            for length in run_lengths
+        ]
+    nodes: list[MergeNode] = []
+    rnd = 0
+    while len(lengths) > 1:
+        rnd += 1
+        merged: list[int | None] = []
+        for slot in range((len(lengths) + 1) // 2):
+            li, ri = 2 * slot, 2 * slot + 1
+            if ri >= len(lengths):
+                nodes.append(
+                    MergeNode(rnd, slot, li, None, lengths[li], None, lengths[li])
+                )
+                merged.append(lengths[li])
+                continue
+            la, lb = lengths[li], lengths[ri]
+            if la is None or lb is None:
+                rows = None
+            else:
+                rows = la + lb if truncate is None else min(la + lb, truncate)
+            nodes.append(MergeNode(rnd, slot, li, ri, la, lb, rows))
+            merged.append(rows)
+        lengths = merged
+    return tuple(nodes)
 
 
 class PlanBuilder:

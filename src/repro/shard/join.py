@@ -6,13 +6,18 @@ Pipeline (all public sizes fixed by the compiled plan)::
                presort layout, the k*k grid with per-cell bounds, the merge
                tournament's run lengths and truncation point
     presort    shard-sort the left table by (j, d): k local bitonic sorts
-               + a bitonic merge tournament; rank rows by sorted position
+               streamed into a bitonic merge tournament; rank rows by
+               sorted position
     partition  ranked left / raw right -> k equal, padded shards each
     grid       run the k*k shard-pair sub-joins on the *executor*
-               (inline / shared-memory pool / async), each a full
-               vectorised Algorithm 1 over its (public-size) slice
-    merge      bitonic-merge the k*k sorted (j, rank, d2) runs, compact
-               the padding, and gather d1 back through the rank handles
+               (inline / shared-memory pool / async / shuffle), each a
+               full vectorised Algorithm 1 over its (public-size) slice
+    merge      fold each sorted (j, rank, d2) run into the streaming
+               merge tournament *as its grid task completes* (the
+               executor's ordered-completion seam); pairwise merges run
+               as worker tasks with intermediate runs cached in shared
+               memory between rounds; compact the padding and gather d1
+               back through the rank handles
 
 The plan is compiled *before* any data is touched — it is a pure function
 of ``(n1, n2, k, target_m)`` — and the driver consumes it: every grid
@@ -64,12 +69,13 @@ from ..core.padding import (
     check_target_m,
     exceeds_bound,
 )
+from ..errors import InputError
 from ..plan.compile import sharded_join_plan
-from ..plan.executors import Executor, resolve_executor
+from ..plan.executors import Executor, completion_stream, resolve_executor
 from ..plan.ir import Plan
 from ..vector.join import vector_oblivious_join
 from ..vector.sort import vector_bitonic_sort
-from .merge import oblivious_merge_runs
+from .merge import StreamingTournament, truncate_run
 from .partition import partition_pairs, partition_plan
 
 _INT = np.int64
@@ -173,16 +179,32 @@ def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
 def _sharded_rank_sort(
     pairs, shards: int, executor: Executor, stats: ShardedJoinStats
 ) -> dict[str, np.ndarray]:
-    """Sort ``pairs`` by ``(j, d)`` via shard-local sorts + a merge tournament."""
+    """Sort ``pairs`` by ``(j, d)``: streamed shard sorts + merge tournament.
+
+    Each shard's sorted run is folded into the tournament the moment its
+    sort task completes (no barrier between sort and merge), and the
+    tournament's pairwise merges themselves run as executor tasks.  The
+    bracket is fixed by the run count, so arrival order cannot change the
+    output or the comparator schedule.
+    """
     start = time.perf_counter()
     parts = partition_pairs(pairs, shards)
     payloads = [(part.j, part.d, part.real) for part in parts]
-    results = executor.map(_sort_task, payloads)
-    stats.presort_comparisons = [count for _, count in results]
+    stats.presort_comparisons = [0] * len(payloads)
     counter = [0]
-    merged = oblivious_merge_runs(
-        [columns for columns, _ in results], PRESORT_KEYS, counter=counter
+    tournament = StreamingTournament(
+        len(payloads), PRESORT_KEYS, executor=executor, counter=counter
     )
+    try:
+        for index, (columns, count) in completion_stream(
+            executor, _sort_task, payloads
+        ):
+            stats.presort_comparisons[index] = count
+            tournament.add(index, columns)
+        merged = tournament.result()
+    except BaseException:
+        tournament.close()
+        raise
     stats.presort_merge_comparisons = counter[0]
     stats.seconds_by_phase["presort"] = time.perf_counter() - start
     return merged
@@ -235,6 +257,18 @@ def sharded_oblivious_join(
         _check_padded_input(right)
     if plan is None:
         plan = sharded_join_plan(len(left), len(right), shards, target_m)
+    else:
+        # A caller-supplied plan compiled for other shapes would silently
+        # mis-drive the grid (the payload/cell zip truncates); fail loudly.
+        supplied = tuple(
+            plan.shape(name) for name in ("n1", "n2", "k", "target")
+        )
+        expected = (len(left), len(right), shards, target_m)
+        if supplied != expected:
+            raise InputError(
+                f"plan compiled for (n1, n2, k, target)={supplied} cannot "
+                f"drive a join at {expected}"
+            )
     stats.plan = plan
 
     sorted_left = _sharded_rank_sort(left, shards, executor, stats)
@@ -260,30 +294,54 @@ def sharded_oblivious_join(
     ]
     stats.seconds_by_phase["partition"] = time.perf_counter() - start
 
+    # Grid tasks stream into the merge tournament as they complete: the
+    # bracket (and with it the comparator schedule) is fixed by the plan's
+    # merge_pair nodes — a pure function of (n1, n2, k, target) — so the
+    # completion order the executor happens to produce is scheduling
+    # jitter, not schedule.  Pairwise merges run as executor tasks too,
+    # overlapping reassembly with still-running grid cells.
     start = time.perf_counter()
-    results = executor.map(_join_task, payloads)
-    stats.seconds_by_phase["tasks"] = time.perf_counter() - start
-    stats.task_comparisons = [comparisons for _, comparisons in results]
-    stats.task_m = [len(keyed) for keyed, _ in results]
-    stats.m = sum(stats.task_m) if target_m is None else target_m
-
-    start = time.perf_counter()
-    if target_m is not None:
-        # Client-side bound check (no trace impact): every real row carries
-        # a rank >= 0, dummies carry -1.  Checked *before* the truncating
-        # merge, which may legitimately drop over-bound real rows.
-        exceeds_bound(
-            sum(int(np.count_nonzero(keyed[:, 1] >= 0)) for keyed, _ in results),
-            target_m,
-        )
-    runs = [
-        {"j": keyed[:, 0], "d1": keyed[:, 1], "d2": keyed[:, 2]}
-        for keyed, _ in results
-    ]
+    stats.task_comparisons = [{} for _ in payloads]
+    stats.task_m = [0] * len(payloads)
+    real_rows = 0
     counter = [0]
-    merged = oblivious_merge_runs(
-        runs, MERGE_KEYS, counter=counter, truncate=target_m
+    tournament = StreamingTournament(
+        len(payloads),
+        MERGE_KEYS,
+        executor=executor,
+        counter=counter,
+        truncate=target_m,
     )
+    try:
+        for index, (keyed, comparisons) in completion_stream(
+            executor, _join_task, payloads
+        ):
+            stats.task_comparisons[index] = comparisons
+            stats.task_m[index] = len(keyed)
+            if target_m is not None:
+                # Client-side bound check input (no trace impact): every
+                # real row carries a rank >= 0, dummies carry -1.  Counted
+                # from the untruncated grid outputs, so streaming the
+                # (truncating) merge early cannot hide over-bound rows.
+                real_rows += int(np.count_nonzero(keyed[:, 1] >= 0))
+            tournament.add(
+                index, {"j": keyed[:, 0], "d1": keyed[:, 1], "d2": keyed[:, 2]}
+            )
+        # Merge work executed eagerly inside add() (inline submits) is
+        # tournament time, not grid time — split it out so the reported
+        # merge phase covers the reassembly on every executor, not just
+        # the drain tail of the remote ones.
+        fold_seconds = tournament.seconds
+        stats.seconds_by_phase["tasks"] = time.perf_counter() - start - fold_seconds
+        stats.m = sum(stats.task_m) if target_m is None else target_m
+
+        start = time.perf_counter()
+        if target_m is not None:
+            exceeds_bound(real_rows, target_m)
+        merged = tournament.result()
+    except BaseException:
+        tournament.close()
+        raise
     stats.merge_comparisons = counter[0]
 
     if target_m is not None:
@@ -291,7 +349,7 @@ def sharded_oblivious_join(
         # the first target_m merged rows is a public truncation (the
         # tournament already applied it round by round); the dummy ranks
         # (-1) must not index the gather below.
-        merged = {name: column[:target_m] for name, column in merged.items()}
+        merged = truncate_run(merged, target_m)
         ranks = merged["d1"]
         real = ranks >= 0
         gathered = np.where(
@@ -304,5 +362,5 @@ def sharded_oblivious_join(
         # The merged d1 column holds left *ranks*; gather the data values
         # back through them (client-side handle gather, as in multiway).
         pairs = np.stack([sorted_left["d"][merged["d1"]], merged["d2"]], axis=1)
-    stats.seconds_by_phase["merge"] = time.perf_counter() - start
+    stats.seconds_by_phase["merge"] = time.perf_counter() - start + fold_seconds
     return pairs, stats

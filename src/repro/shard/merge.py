@@ -20,13 +20,46 @@ truncation.
 The comparator schedule of the whole tournament is determined by the run
 lengths only; the sharded engine exposes it through its stats object so the
 obliviousness tests can pin it.
+
+Two ways to run the tournament:
+
+:func:`oblivious_merge_runs`
+    The single-process barrier form: all runs in hand, merged round by
+    round on the calling core.
+
+:class:`StreamingTournament`
+    The streaming form the sharded drivers use: runs are *folded in as
+    their producing tasks complete* (fed from the executor's
+    ordered-completion seam), a pairwise merge fires the moment a run's
+    bracket mate exists, and — on executors whose ``submit`` crosses a
+    process boundary — the merges themselves run as worker tasks, with
+    intermediate runs parked in shared memory between rounds
+    (:func:`repro.plan.executors.publish_columns`) so they never
+    round-trip through the parent.  The bracket comes from
+    :func:`repro.plan.ir.tournament_schedule` — the same pure function of
+    the run count the plan compilers emit ``merge_pair`` nodes from — so
+    the pairing (and with it the comparator schedule) is fixed by the
+    compiled plan, never by arrival order, and the output is bit-identical
+    to the barrier form under any completion order.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+
 import numpy as np
 
+from ..errors import InputError
 from ..obliv.bitonic import next_power_of_two
+from ..plan.executors import (
+    adopt_segments,
+    materialize_columns,
+    publish_columns,
+    release_segments,
+    submit_task,
+)
+from ..plan.ir import tournament_schedule
 from ..vector.sort import Key, lexicographic_greater
 
 _INT = np.int64
@@ -41,6 +74,21 @@ def _run_length(run: dict[str, np.ndarray]) -> int:
 
 def _copy(run: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     return {name: col.copy() for name, col in run.items()}
+
+
+def truncate_run(
+    run: dict[str, np.ndarray], bound: int | None
+) -> dict[str, np.ndarray]:
+    """Cut a run to its first ``bound`` rows (``None`` or shorter = no-op).
+
+    The single definition of the fused expand-truncate cut, shared by the
+    barrier merge, the streaming tournament, the worker-side merge task
+    and the join driver — the streaming==barrier bit-identity contract
+    depends on every site truncating identically.
+    """
+    if bound is None or _run_length(run) <= bound:
+        return run
+    return {name: column[:bound] for name, column in run.items()}
 
 
 def bitonic_merge_two(
@@ -149,22 +197,210 @@ def oblivious_merge_runs(
     """
     if not runs:
         return {}
-    if truncate is not None:
-        runs = [
-            {name: column[:truncate] for name, column in run.items()}
-            if _run_length(run) > truncate
-            else run
-            for run in runs
-        ]
-    current = [_copy(run) for run in runs]
+    current = [_copy(truncate_run(run, truncate)) for run in runs]
     while len(current) > 1:
         merged = []
         for i in range(0, len(current) - 1, 2):
             pair = bitonic_merge_two(current[i], current[i + 1], keys, counter=counter)
-            if truncate is not None and _run_length(pair) > truncate:
-                pair = {name: column[:truncate] for name, column in pair.items()}
+            pair = truncate_run(pair, truncate)
             merged.append(pair)
         if len(current) % 2:
             merged.append(current[-1])
         current = merged
     return current[0]
+
+
+# -- the streaming tournament -------------------------------------------------
+
+
+def merge_pair_task(payload) -> tuple[object, str | None, int]:
+    """One tournament pairing as an executor task (worker side).
+
+    ``payload`` is ``(a, b, keys, truncate, publish)`` — two runs (column
+    dicts, possibly shared-memory views), the sort keys, the public
+    truncation bound, and whether to park the output in shared memory.
+    Returns ``(run_or_refs, segment_name, comparators)``: with ``publish``
+    the merged run stays in a freshly published segment and only its ref
+    tree travels back (the cross-dispatch column cache — the next round's
+    merge references the segment by name instead of re-shipping the rows);
+    without it the plain column dict returns, ``segment_name=None``.
+    """
+    a, b, keys, truncate, publish = payload
+    counter = [0]
+    merged = truncate_run(bitonic_merge_two(a, b, keys, counter=counter), truncate)
+    if publish:
+        encoded, segment = publish_columns(merged)
+        return encoded, segment, counter[0]
+    return merged, None, counter[0]
+
+
+class StreamingTournament:
+    """Fold sorted runs into the fixed merge bracket as they arrive.
+
+    The bracket — which leaf pairs with which, round by round — is
+    precomputed from the run *count* by
+    :func:`repro.plan.ir.tournament_schedule`, the same pure function the
+    plan compilers emit ``merge_pair`` nodes from.  :meth:`add` may be
+    called in **any** order (the executor's completion order is scheduling
+    jitter, not schedule): a pairwise merge is dispatched the moment both
+    bracket mates exist, and an odd tail run is carried to the next round
+    untouched.  Because every merge is a deterministic function of its two
+    inputs and the pairing is fixed, the final run — and the total
+    comparator count, accumulated into ``counter`` — is bit-identical to
+    :func:`oblivious_merge_runs` under every arrival order.
+
+    ``executor`` decides where the merges run: executors exposing
+    ``submit`` get each pairing as a task (overlapping merge work with
+    still-running producers), and when ``executor.remote_submit`` is true
+    the merge outputs are *published* to shared memory so successive
+    rounds hand refs between workers without a parent round-trip; the
+    parent materialises only the final run.  ``executor=None`` folds
+    inline.
+
+    ``truncate`` is the fused expand-truncate bound applied to every input
+    run and every merge output (see :func:`oblivious_merge_runs`).
+
+    ``seconds`` accumulates the wall-clock this tournament spent inside
+    :meth:`add` and :meth:`result` — for inline executors that is the
+    merge work itself (submits run eagerly), for pool/async it is the
+    dispatch plus the drain wait — so drivers can report a merge phase
+    that does not vanish into the task loop on the inline path.
+    """
+
+    def __init__(
+        self,
+        runs: int,
+        keys: list[Key],
+        executor=None,
+        counter: list | None = None,
+        truncate: int | None = None,
+    ) -> None:
+        if runs < 0:
+            raise InputError(f"tournament needs a non-negative run count, got {runs}")
+        self.runs = runs
+        self.keys = list(keys)
+        self.counter = counter
+        self.truncate = truncate
+        self._executor = executor
+        self._publish = bool(getattr(executor, "remote_submit", False))
+        #: child (round, slot) -> the MergeNode consuming it.
+        self._up = {}
+        for node in tournament_schedule(runs):
+            self._up[(node.round - 1, node.left)] = node
+            if node.right is not None:
+                self._up[(node.round - 1, node.right)] = node
+        self._slots: dict[tuple[int, int], object] = {}
+        #: dispatched merges, in dispatch order: (round, slot) -> completion.
+        self._pending: "OrderedDict[tuple[int, int], object]" = OrderedDict()
+        #: id(live run value) -> the published segment holding its columns.
+        self._borne: dict[int, str] = {}
+        #: pending merge -> the child segments it is reading (released on
+        #: collection: the merge has consumed them by then).
+        self._feeds: dict[tuple[int, int], list[str]] = {}
+        self._added: set[int] = set()
+        self._root = None
+        self.seconds = 0.0
+
+    def add(self, index: int, run: dict[str, np.ndarray]) -> None:
+        """Fold leaf run ``index`` in; safe in any arrival order."""
+        if not 0 <= index < self.runs:
+            raise InputError(
+                f"tournament over {self.runs} runs got leaf index {index}"
+            )
+        if index in self._added:
+            raise InputError(f"tournament leaf {index} was already added")
+        start = time.perf_counter()
+        run = truncate_run(run, self.truncate)
+        self._added.add(index)
+        self._place(0, index, run)
+        self.seconds += time.perf_counter() - start
+
+    def _place(self, rnd: int, slot: int, value) -> None:
+        node = self._up.get((rnd, slot))
+        if node is None:
+            self._root = value
+            return
+        if node.is_carry:
+            self._place(node.round, node.slot, value)
+            return
+        mate_slot = node.left if slot == node.right else node.right
+        mate = self._slots.pop((rnd, mate_slot), None)
+        if mate is None:
+            self._slots[(rnd, slot)] = value
+            return
+        left, right = (value, mate) if slot == node.left else (mate, value)
+        feeds = []
+        for child in (left, right):
+            segment = self._borne.pop(id(child), None)
+            if segment is not None:
+                feeds.append(segment)
+        key = (node.round, node.slot)
+        payload = (left, right, self.keys, self.truncate, self._publish)
+        self._pending[key] = submit_task(self._executor, merge_pair_task, payload)
+        self._feeds[key] = feeds
+
+    def _collect(self, key: tuple[int, int], completion) -> object:
+        value, segment, comparators = completion.result()
+        # The merge has consumed its children; their segments can go now,
+        # which keeps peak shared memory at one round, not the whole tree.
+        release_segments(self._feeds.pop(key, ()))
+        if segment is not None:
+            # Book the adopted name with the resource tracker the moment
+            # the parent learns it, so even a hard parent crash between
+            # here and release_segments() reclaims the segment.
+            adopt_segments([segment])
+            self._borne[id(value)] = segment
+        if self.counter is not None:
+            self.counter[0] += comparators
+        return value
+
+    def result(self) -> dict[str, np.ndarray]:
+        """Drain pending merges and return the final sorted run.
+
+        Requires every leaf to have been added.  The drain order is the
+        dispatch order (deterministic given arrival order), but the
+        result does not depend on it — each collected merge just fills
+        its bracket slot, possibly firing the next round's pairing.
+        """
+        if len(self._added) != self.runs:
+            raise InputError(
+                f"tournament expected {self.runs} runs, got {len(self._added)}"
+            )
+        start = time.perf_counter()
+        try:
+            while self._pending:
+                key, completion = next(iter(self._pending.items()))
+                del self._pending[key]
+                self._place(*key, self._collect(key, completion))
+            if self._root is None:
+                return {}
+            root = materialize_columns(self._root)
+        finally:
+            self.close()
+            self.seconds += time.perf_counter() - start
+        return root
+
+    def close(self) -> None:
+        """Best-effort cleanup: collect strays, unlink published segments.
+
+        Called by :meth:`result` on success *and* failure, and safe to
+        call directly when abandoning a tournament mid-stream (e.g. a
+        bound-exceeded abort): pending worker merges are drained so their
+        published segments can be unlinked rather than leaked.
+        """
+        while self._pending:
+            key, completion = self._pending.popitem(last=False)
+            try:
+                _, segment, _ = completion.result()
+            except Exception:
+                segment = None
+            if segment is not None:
+                adopt_segments([segment])
+                release_segments([segment])
+            release_segments(self._feeds.pop(key, ()))
+        for feeds in self._feeds.values():
+            release_segments(feeds)
+        self._feeds = {}
+        if self._borne:
+            release_segments(self._borne.values())
+            self._borne = {}

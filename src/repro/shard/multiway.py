@@ -11,9 +11,12 @@ bit-identical across the three engines; the differential suite pins that.
 Under padded execution the whole cascade's public schedule is compiled
 up front (:func:`repro.plan.compile.multiway_plan`): each step's left size
 is the *previous step's bound*, so every per-step join plan — partition
-layout, grid bounds, merge truncation — is a function of the input sizes,
-``k``, and the bounds alone, and the driver hands each step its compiled
-sub-plan.  Revealed per step without padding: the intermediate size (as in
+layout, grid bounds, the merge tournament's ``merge_pair`` bracket and its
+truncation — is a function of the input sizes, ``k``, and the bounds
+alone, and the driver hands each step its compiled sub-plan.  Each step
+inherits the streaming reassembly of :func:`repro.shard.join.sharded_oblivious_join`:
+grid results fold into the merge tournament as they complete, and the
+pairwise merges run as executor tasks.  Revealed per step without padding: the intermediate size (as in
 every engine) plus the sharded join's per-task ``m_ij`` grid (see
 :mod:`repro.shard.join`).
 """

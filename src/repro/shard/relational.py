@@ -22,12 +22,16 @@ Both relational operators decompose over positional shards:
     The order-by contract is a *stable* sort (original position is the
     final tiebreak key — see :mod:`repro.vector.relational`), which makes
     the ordering total.  Each shard sorts its block into a run, and the
-    bitonic merge tournament of :mod:`repro.shard.merge` reassembles the
-    exact global permutation.
+    streaming merge tournament of :mod:`repro.shard.merge` folds each run
+    in the moment its sort task completes, reassembling the exact global
+    permutation without a barrier between the sorts and the merge.
 
 Per-task schedules depend only on the partition plan; the merge schedule
-only on the (public) block sizes.  Both drivers compile their public plan
-(:mod:`repro.plan.compile`) up front and consume the block shapes from it.
+(the plan's ``merge_pair`` bracket) only on the (public) block sizes —
+never on the order tasks happen to finish in.  Both drivers compile their
+public plan (:mod:`repro.plan.compile`) up front, consume the block shapes
+from it, and fold results off the executor's ordered-completion seam
+(:func:`repro.plan.executors.completion_stream`).
 """
 
 from __future__ import annotations
@@ -38,10 +42,10 @@ import numpy as np
 
 from ..core.padding import DUMMY_HANDLE
 from ..plan.compile import sharded_filter_plan, sharded_order_plan
-from ..plan.executors import Executor, resolve_executor
+from ..plan.executors import Executor, completion_stream, resolve_executor
 from ..vector.relational import order_columns, vector_filter_indices
 from ..vector.sort import vector_bitonic_sort
-from .merge import oblivious_merge_runs
+from .merge import StreamingTournament
 from .partition import partition_columns
 
 
@@ -75,7 +79,11 @@ def sharded_filter_indices(
         (block, real, pad)
         for (block, real), pad in zip(partition_columns({"mask": flags}, shards), pads)
     ]
-    results = executor.map(_filter_task, payloads)
+    # Blocks complete in any order; each lands in its slot by index, so
+    # the concatenation below is arrival-order independent.
+    results: list[list[int] | None] = [None] * len(payloads)
+    for index, block in completion_stream(executor, _filter_task, payloads):
+        results[index] = block
     kept: list[int] = []
     offset = 0
     for (_, real, _), block in zip(payloads, results):
@@ -117,6 +125,12 @@ def sharded_order_permutation(
         (block, keys, rows)
         for (block, _), rows in zip(partition_columns(table, shards), counts)
     ]
-    runs = executor.map(_order_task, payloads)
-    merged = oblivious_merge_runs(runs, keys)
+    tournament = StreamingTournament(len(payloads), keys, executor=executor)
+    try:
+        for index, run in completion_stream(executor, _order_task, payloads):
+            tournament.add(index, run)
+        merged = tournament.result()
+    except BaseException:
+        tournament.close()
+        raise
     return merged["pos"].tolist()

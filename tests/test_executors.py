@@ -12,12 +12,22 @@ from repro.plan import (
     AsyncExecutor,
     InlineExecutor,
     PoolExecutor,
+    ShuffleExecutor,
     available_executors,
+    completion_stream,
     get_executor,
     resolve_executor,
     run_tasks,
+    submit_task,
 )
-from repro.plan.executors import _decode, _pack
+from repro.plan.executors import (
+    _decode,
+    _pack,
+    adopt_segments,
+    materialize_columns,
+    publish_columns,
+    release_segments,
+)
 
 #: One executor of each substrate; pool/async at 2 workers to force the
 #: real dispatch paths (persistent pools are shared across the suite).
@@ -26,6 +36,7 @@ EXECUTOR_PARAMS = [
     pytest.param(PoolExecutor(workers=2), id="pool"),
     pytest.param(AsyncExecutor(workers=2), id="async-pool"),
     pytest.param(AsyncExecutor(workers=1), id="async-threads"),
+    pytest.param(ShuffleExecutor(seed=3), id="shuffle"),
 ]
 
 
@@ -44,8 +55,8 @@ def _shape_task(payload):
 # -- registry ----------------------------------------------------------------
 
 
-def test_registry_lists_all_three():
-    assert available_executors() == ["async", "inline", "pool"]
+def test_registry_lists_all_four():
+    assert available_executors() == ["async", "inline", "pool", "shuffle"]
 
 
 def test_get_executor_resolves_names_and_rejects_unknown():
@@ -151,6 +162,141 @@ def test_pack_without_arrays_creates_no_segment():
     assert encoded == [(1, 2), (3, 4)]
 
 
+# -- transport reporting (the path actually taken) ----------------------------
+
+
+def _payloads(count, rows=8):
+    return [
+        (
+            {
+                "j": np.arange(rows, dtype=np.int64) * (index + 1),
+                "d": np.full(rows, index, dtype=np.int64),
+            },
+            rows - 1,
+            [index],
+        )
+        for index in range(count)
+    ]
+
+
+def test_pool_transport_reflects_the_path_taken():
+    # workers=1 never crosses a process boundary, whatever the batch size.
+    assert PoolExecutor(workers=1).transport == "none"
+    executor = PoolExecutor(workers=2)
+    assert executor.transport == "shared_memory"  # configured default
+    executor.map(_sum_task, _payloads(1))  # single payload -> inline shortcut
+    assert executor.transport == "none"
+    executor.map(_sum_task, _payloads(4))
+    assert executor.transport == "shared_memory"
+
+
+def test_async_transport_reflects_the_path_taken():
+    assert AsyncExecutor(workers=1).transport == "none"  # threads, in-memory
+    executor = AsyncExecutor(workers=2)
+    assert executor.transport == "shared_memory"  # configured default
+    executor.map(_sum_task, _payloads(1))  # <=1 shortcut runs inline
+    assert executor.transport == "none"
+    executor.map(_sum_task, _payloads(4))
+    assert executor.transport == "shared_memory"
+
+
+def test_async_pool_dispatch_uses_shared_memory_not_pickle():
+    """The workers>1 async path must ship columns through shm like pool:
+    a worker sees a read-only view (pickled arrays come back writable)."""
+    executor = AsyncExecutor(workers=2)
+    payloads = [{"array": np.arange(6, dtype=np.int64) + i} for i in range(4)]
+    results = executor.map(_shape_task, payloads)
+    assert all(result[2] is False for result in results)
+    assert [result[3] for result in results] == [
+        (np.arange(6) + i).tolist() for i in range(4)
+    ]
+
+
+# -- the ordered-completion seam ----------------------------------------------
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_PARAMS)
+def test_imap_yields_every_result_with_its_index(executor):
+    payloads = _payloads(6)
+    expected = {index: _sum_task(payload) for index, payload in enumerate(payloads)}
+    got = dict(completion_stream(executor, _sum_task, payloads))
+    assert got == expected
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_PARAMS)
+def test_submit_returns_a_blocking_completion(executor):
+    payloads = _payloads(3)
+    completions = [submit_task(executor, _sum_task, p) for p in payloads]
+    assert [c.result() for c in completions] == [_sum_task(p) for p in payloads]
+
+
+def test_shuffle_executor_completes_in_adversarial_order():
+    executor = ShuffleExecutor(seed=1)
+    payloads = _payloads(8)
+    order = [index for index, _ in completion_stream(executor, _sum_task, payloads)]
+    assert sorted(order) == list(range(8))
+    assert order != list(range(8))  # seed 1 scrambles 8 tasks
+    # ... while map still returns payload order (the executor contract).
+    assert executor.map(_sum_task, payloads) == [_sum_task(p) for p in payloads]
+
+
+def test_completion_stream_falls_back_to_map_only_executors():
+    class MapOnly:
+        name = "maponly"
+        transport = "none"
+
+        def map(self, task, payloads):
+            return [task(p) for p in payloads]
+
+    payloads = _payloads(4)
+    got = list(completion_stream(MapOnly(), _sum_task, payloads))
+    assert got == [(i, _sum_task(p)) for i, p in enumerate(payloads)]
+    assert submit_task(MapOnly(), _sum_task, payloads[0]).result() == _sum_task(
+        payloads[0]
+    )
+
+
+# -- the cross-dispatch column cache ------------------------------------------
+
+
+def _publish_task(payload):
+    """Worker task: double a column and park the result in shared memory."""
+    columns = {"x": payload["x"] * 2}
+    return publish_columns(columns)
+
+
+def _consume_refs_task(payload):
+    """Worker task reading a *published* run from an earlier dispatch."""
+    return int(payload["run"]["x"].sum())
+
+
+def test_published_runs_cross_dispatches_without_a_parent_round_trip():
+    executor = PoolExecutor(workers=2)
+    array = np.arange(10, dtype=np.int64)
+    encoded, segment = submit_task(
+        executor, _publish_task, {"x": array}
+    ).result()
+    assert segment is not None
+    adopt_segments([segment])  # crash-safe tracker booking on receipt
+    try:
+        # The parent holds refs, not bytes; a later dispatch consumes them.
+        total = submit_task(
+            executor, _consume_refs_task, {"run": encoded}
+        ).result()
+        assert total == int((array * 2).sum())
+        materialized = materialize_columns(encoded)
+        assert materialized["x"].tolist() == (array * 2).tolist()
+    finally:
+        release_segments([segment])
+    release_segments([segment])  # double release is tolerated
+
+
+def test_publish_without_arrays_creates_no_segment():
+    encoded, segment = publish_columns({"empty": np.zeros(0, dtype=np.int64)})
+    assert segment is None
+    assert materialize_columns(encoded)["empty"].size == 0
+
+
 # -- engine integration ------------------------------------------------------
 
 LEFT = [(k % 5, k) for k in range(40)]
@@ -161,7 +307,7 @@ MASK = [k % 3 != 0 for k in range(40)]
 COLUMNS = [([j for j, _ in LEFT], False)]
 
 
-@pytest.mark.parametrize("executor", ["inline", "pool", "async"])
+@pytest.mark.parametrize("executor", ["inline", "pool", "async", "shuffle"])
 def test_every_workload_is_bit_identical_across_executors(executor):
     """The acceptance contract: executors change wall-clock, not outputs."""
     reference = get_engine("vector")
@@ -177,7 +323,7 @@ def test_every_workload_is_bit_identical_across_executors(executor):
     assert engine.order_permutation(COLUMNS) == reference.order_permutation(COLUMNS)
 
 
-@pytest.mark.parametrize("executor", ["inline", "pool", "async"])
+@pytest.mark.parametrize("executor", ["inline", "pool", "async", "shuffle"])
 def test_padded_workloads_match_across_executors(executor):
     reference = get_engine("traced", padding="worst_case")
     engine = get_engine(

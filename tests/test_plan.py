@@ -118,6 +118,47 @@ def test_sharded_join_plan_grid_uses_partition_counts():
     assert merge.attr("truncate") == n1 * n2
 
 
+def test_sharded_plans_embed_the_merge_tournament_bracket():
+    """Every pairwise merge of the reassembly is a merge_pair node whose
+    (round, slot, lengths) come from tournament_schedule — the same pure
+    function the runtime streaming tournament walks."""
+    from repro.plan import tournament_schedule
+
+    n1, n2, k = 10, 7, 3
+    plan = sharded_join_plan(n1, n2, k, n1 * n2)
+    _, counts1 = partition_plan(n1, k)
+    _, counts2 = partition_plan(n2, k)
+    run_lengths = [c1 * c2 for c1 in counts1 for c2 in counts2]
+    output_pairs = [
+        node
+        for node in plan.nodes_by_op("merge_pair")
+        if node.attr("stage") == "output"
+    ]
+    expected = [
+        node
+        for node in tournament_schedule(k * k, run_lengths, truncate=n1 * n2)
+        if not node.is_carry
+    ]
+    assert [
+        (p.attr("round"), p.attr("slot"), p.attr("left_rows"),
+         p.attr("right_rows"), p.attr("rows"))
+        for p in output_pairs
+    ] == [(n.round, n.slot, n.left_rows, n.right_rows, n.rows) for n in expected]
+    presort_pairs = [
+        node
+        for node in plan.nodes_by_op("merge_pair")
+        if node.attr("stage") == "presort"
+    ]
+    assert len(presort_pairs) == len(
+        [n for n in tournament_schedule(k, counts1) if not n.is_carry]
+    )
+    # Revealed mode keeps the bracket but marks the lengths run-time.
+    revealed = sharded_join_plan(n1, n2, k, None)
+    for node in revealed.nodes_by_op("merge_pair"):
+        if node.attr("stage") == "output":
+            assert node.attr("rows") is None
+
+
 def test_revealed_plans_mark_runtime_sizes_as_null():
     plan = sharded_join_plan(6, 6, 2, None)
     assert all(n.attr("target") is None for n in plan.nodes_by_op("grid_join"))
@@ -198,6 +239,41 @@ def test_padded_join_plans_are_byte_identical_across_key_distributions():
     assert plan_a.serialize() == plan_b.serialize()
     # ... and identical to the plan compiled with no data in sight.
     assert plan_a.serialize() == sharded_join_plan(8, 8, 3, target).serialize()
+
+
+def test_join_rejects_a_plan_compiled_for_other_shapes():
+    """A mismatched supplied plan must fail loudly, not silently truncate
+    the grid against the wrong cell list."""
+    foreign = sharded_join_plan(8, 8, 2, None)
+    with pytest.raises(InputError, match="cannot drive"):
+        sharded_oblivious_join(*DATASET_A, shards=3, plan=foreign)
+    # The matching plan drives the join exactly like plan=None.
+    matching = sharded_join_plan(8, 8, 3, None)
+    with_plan, _ = sharded_oblivious_join(*DATASET_A, shards=3, plan=matching)
+    without, _ = sharded_oblivious_join(*DATASET_A, shards=3)
+    assert with_plan.tolist() == without.tolist()
+
+
+def test_executed_plan_bytes_survive_adversarial_completion_orders():
+    """The streaming merge folds grid results in whatever order they
+    complete; the executed plan's canonical bytes must stay a pure
+    function of (sizes, k, bounds) anyway — completion order is
+    scheduling jitter, not schedule."""
+    from repro.plan import ShuffleExecutor
+
+    target = 64
+    compiled = sharded_join_plan(8, 8, 3, target).serialize()
+    for data in (DATASET_A, DATASET_B):
+        for seed in range(3):
+            stats = ShardedJoinStats()
+            sharded_oblivious_join(
+                *data,
+                shards=3,
+                stats=stats,
+                target_m=target,
+                executor=ShuffleExecutor(seed=seed),
+            )
+            assert stats.plan.serialize() == compiled
 
 
 def test_padded_multiway_step_plans_are_byte_identical_across_data():
@@ -342,4 +418,7 @@ def test_cli_plan_rejects_missing_shapes_and_bad_bounds(capsys):
     capsys.readouterr()
     with pytest.raises(SystemExit):
         main(["plan", "--n1", "4", "--n2", "4", "--bound", "3"])  # bound sans bounded
+    capsys.readouterr()
+    with pytest.raises(SystemExit):  # engine-option errors exit cleanly too
+        main(["plan", "--engine", "vector", "--shards", "4", "--n1", "4", "--n2", "4"])
     capsys.readouterr()

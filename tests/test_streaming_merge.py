@@ -1,0 +1,224 @@
+"""The streaming parallel merge: runs fold into the tournament as their
+producing tasks complete, pairwise merges run as worker tasks, and neither
+the output bits nor the comparator schedule may depend on arrival order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engines import get_engine
+from repro.errors import BoundError, InputError
+from repro.plan.executors import (
+    AsyncExecutor,
+    InlineExecutor,
+    PoolExecutor,
+    ShuffleExecutor,
+)
+from repro.plan.ir import tournament_schedule
+from repro.shard.join import MERGE_KEYS, ShardedJoinStats, sharded_oblivious_join
+from repro.shard.merge import (
+    StreamingTournament,
+    merge_comparator_count,
+    oblivious_merge_runs,
+)
+from repro.shard.relational import sharded_order_permutation
+from repro.vector.join import vector_oblivious_join
+
+KEYS = [("a", True), ("b", True)]
+
+
+def _random_runs(rng, count, max_len=7):
+    runs = []
+    for _ in range(count):
+        length = rng.randrange(0, max_len)
+        runs.append(
+            {
+                "a": np.array(
+                    sorted(rng.randrange(10) for _ in range(length)), dtype=np.int64
+                ),
+                "b": np.arange(length, dtype=np.int64),
+            }
+        )
+    return runs
+
+
+# -- the public bracket (tournament_schedule) ---------------------------------
+
+
+def test_schedule_pairs_in_order_and_carries_odd_tails():
+    nodes = tournament_schedule(5, [3, 1, 4, 1, 5], truncate=4)
+    # Round 1: (0,1), (2,3), carry 4; round 2: pair + carry; round 3: root.
+    assert [(n.round, n.slot, n.left, n.right) for n in nodes] == [
+        (1, 0, 0, 1), (1, 1, 2, 3), (1, 2, 4, None),
+        (2, 0, 0, 1), (2, 1, 2, None),
+        (3, 0, 0, 1),
+    ]
+    # Lengths truncate on the way in and after every merge.
+    assert [n.rows for n in nodes] == [4, 4, 4, 4, 4, 4]
+    assert nodes[0].left_rows == 3 and nodes[0].right_rows == 1
+    assert nodes[2].is_carry and nodes[2].left_rows == 4
+
+
+def test_schedule_is_pure_in_count_lengths_and_truncate():
+    assert tournament_schedule(6, [2] * 6) == tournament_schedule(6, [2] * 6)
+    assert tournament_schedule(6) != tournament_schedule(7)
+    assert tournament_schedule(0) == () and tournament_schedule(1, [9]) == ()
+    with pytest.raises(InputError, match="run lengths"):
+        tournament_schedule(3, [1, 2])
+    with pytest.raises(InputError, match="non-negative"):
+        tournament_schedule(-1)
+
+
+# -- streaming tournament == barrier tournament -------------------------------
+
+
+@pytest.mark.parametrize(
+    "executor",
+    [
+        pytest.param(None, id="no-executor"),
+        pytest.param(InlineExecutor(), id="inline"),
+        pytest.param(ShuffleExecutor(seed=5), id="shuffle"),
+        pytest.param(PoolExecutor(workers=2), id="pool"),
+        pytest.param(AsyncExecutor(workers=2), id="async"),
+    ],
+)
+@pytest.mark.parametrize("truncate", [None, 3])
+def test_streaming_matches_barrier_bit_for_bit(executor, truncate):
+    rng = random.Random(17)
+    for trial in range(12):
+        runs = _random_runs(rng, rng.randrange(0, 8))
+        reference_counter = [0]
+        reference = oblivious_merge_runs(
+            runs, KEYS, counter=reference_counter, truncate=truncate
+        )
+        counter = [0]
+        tournament = StreamingTournament(
+            len(runs), KEYS, executor=executor, counter=counter, truncate=truncate
+        )
+        order = list(range(len(runs)))
+        rng.shuffle(order)
+        for index in order:
+            tournament.add(index, runs[index])
+        merged = tournament.result()
+        assert sorted(merged) == sorted(reference)
+        for name in reference:
+            assert np.array_equal(merged[name], reference[name]), (trial, name)
+        # The worker-side tournament executes the same comparator total as
+        # the single-process path, and both equal the pure schedule count.
+        assert counter[0] == reference_counter[0]
+        assert counter[0] == merge_comparator_count(
+            [len(run["a"]) for run in runs], truncate=truncate
+        )
+
+
+def test_tournament_validates_indices_and_completeness():
+    tournament = StreamingTournament(2, KEYS)
+    with pytest.raises(InputError, match="leaf index"):
+        tournament.add(2, {"a": np.zeros(0, dtype=np.int64)})
+    tournament.add(0, {"a": np.arange(2, dtype=np.int64)})
+    with pytest.raises(InputError, match="already added"):
+        tournament.add(0, {"a": np.arange(2, dtype=np.int64)})
+    with pytest.raises(InputError, match="expected 2 runs"):
+        tournament.result()
+
+
+# -- arrival-order independence of the full drivers ---------------------------
+
+
+def _join_fixture():
+    rng = random.Random(3)
+    left = [(rng.randrange(6), rng.randrange(5)) for _ in range(21)]
+    right = [(rng.randrange(6), rng.randrange(5)) for _ in range(19)]
+    return left, right
+
+
+@pytest.mark.parametrize("target", [None, 21 * 19])
+def test_join_is_bit_identical_under_adversarial_completion_orders(target):
+    """The acceptance pin: shuffled completion orders change nothing —
+    not the output bytes, not the schedule, not the executed plan bytes."""
+    left, right = _join_fixture()
+    reference, _ = sharded_oblivious_join(left, right, shards=3, target_m=target)
+    outputs, schedules, plans = set(), set(), set()
+    for seed in range(5):
+        stats = ShardedJoinStats()
+        pairs, stats = sharded_oblivious_join(
+            left,
+            right,
+            shards=3,
+            stats=stats,
+            target_m=target,
+            executor=ShuffleExecutor(seed=seed),
+        )
+        outputs.add(pairs.tobytes())
+        schedules.add(stats.schedule)
+        plans.add(stats.plan.serialize())
+    assert outputs == {reference.tobytes()}
+    assert len(schedules) == 1
+    assert len(plans) == 1
+
+
+def test_worker_side_tournament_matches_inline_join():
+    left, right = _join_fixture()
+    reference, reference_stats = sharded_oblivious_join(left, right, shards=3)
+    for executor in (PoolExecutor(workers=2), AsyncExecutor(workers=2)):
+        stats = ShardedJoinStats()
+        pairs, stats = sharded_oblivious_join(
+            left, right, shards=3, stats=stats, executor=executor
+        )
+        assert pairs.tobytes() == reference.tobytes()
+        # Same comparator totals: the merges moved to workers, the
+        # schedule did not move at all.
+        assert stats.merge_comparisons == reference_stats.merge_comparisons
+        assert stats.schedule == reference_stats.schedule
+
+
+def test_order_permutation_streams_identically():
+    rng = random.Random(11)
+    values = [rng.randrange(4) for _ in range(23)]
+    columns = [(values, True)]
+    reference = sharded_order_permutation(columns, len(values), shards=3)
+    for executor in (
+        ShuffleExecutor(seed=2),
+        PoolExecutor(workers=2),
+        AsyncExecutor(workers=2),
+    ):
+        assert (
+            sharded_order_permutation(
+                columns, len(values), shards=3, executor=executor
+            )
+            == reference
+        )
+
+
+def test_padded_join_streams_identically_across_substrates():
+    left, right = _join_fixture()
+    target = len(left) * len(right)
+    expected, _ = vector_oblivious_join(left, right, target_m=target)
+    for executor in ("shuffle", "pool", "async"):
+        engine = get_engine(
+            "sharded", shards=2, workers=2, executor=executor, padding="worst_case"
+        )
+        assert engine.join(left, right).pairs == [
+            tuple(pair) for pair in expected.tolist()
+        ]
+
+
+def test_bounded_abort_still_raises_while_merges_are_in_flight():
+    """The bound check counts untruncated grid outputs, so a too-small
+    bound aborts even though the streaming merge already started; the
+    tournament's close() path reclaims the in-flight worker merges."""
+    left = [(0, value) for value in range(8)]
+    right = [(0, value) for value in range(8)]
+    for executor in (ShuffleExecutor(seed=0), PoolExecutor(workers=2)):
+        with pytest.raises(BoundError, match="exceeds the public padding bound"):
+            sharded_oblivious_join(
+                left, right, shards=2, target_m=16, executor=executor
+            )
+
+
+def test_merge_keys_are_the_documented_total_order():
+    assert MERGE_KEYS == [("j", True), ("d1", True), ("d2", True)]
