@@ -40,6 +40,7 @@ import time
 
 from repro.analysis.counts import total_comparisons_exact
 from repro.analysis.depth import depth_series, join_depth
+from repro.engines import ShardedEngine, get_engine
 from repro.plan.executors import available_executors, resolve_executor, warm_pool
 from repro.shard.join import sharded_oblivious_join
 from repro.vector.join import vector_oblivious_join
@@ -123,6 +124,78 @@ def run_scaling(
     return rows
 
 
+PIPELINE_HEADER = [
+    "engine", "shards", "workers", "chain", "streamed edges", "seconds",
+    "vs vector",
+]
+
+
+def run_pipeline(
+    n: int,
+    workers_list: list[int],
+    shards: int | None,
+    seed: int,
+    records: list[dict] | None = None,
+) -> list[list]:
+    """Time the streamed filter -> join -> group_by chain end to end.
+
+    The whole chain compiles into one plan and the sharded engine streams
+    the inter-operator edges; the vector engine running the same chain
+    operator-at-a-time is the same-run baseline (``reference_seconds``),
+    so the artifact row gates the *streaming schedule*, not machine speed.
+    """
+    w = balanced_output(n, seed=seed)
+    mask = [index % 3 != 0 for index in range(len(w.left))]
+    stages = [
+        ("source", w.left), ("filter", mask), ("join", w.right), ("group_by",),
+    ]
+
+    start = time.perf_counter()
+    expected = get_engine("vector").pipeline(stages)
+    t_vector = time.perf_counter() - start
+
+    chain = "filter>join>group_by"
+    rows = [["vector", "-", "-", chain, "-", f"{t_vector:.3f}s", "1.00x"]]
+    for workers in workers_list:
+        k = shards if shards is not None else max(2, workers)
+        warm_pool(workers)
+        engine = ShardedEngine(shards=k, workers=workers)
+        start = time.perf_counter()
+        result = engine.pipeline(stages)
+        t_streamed = time.perf_counter() - start
+        assert result.groups == expected.groups, "streamed diverges from vector"
+        assert result.sizes == expected.sizes
+        edges = ",".join(edge for _, edge in result.stats.streamed_edges)
+        rows.append(
+            [
+                "sharded",
+                k,
+                workers,
+                chain,
+                edges,
+                f"{t_streamed:.3f}s",
+                f"{t_vector / t_streamed:.2f}x",
+            ]
+        )
+        if records is not None:
+            records.append(
+                {
+                    "engine": "sharded",
+                    "workload": "pipeline",
+                    "padding": "revealed",
+                    "n": n,
+                    "seed": seed,
+                    "shards": k,
+                    "workers": workers,
+                    "chain": chain,
+                    "streamed_edges": edges,
+                    "seconds": t_streamed,
+                    "reference_seconds": t_vector,
+                }
+            )
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="sharded-engine scaling sweep (workers/executors vs wall-clock)"
@@ -160,6 +233,13 @@ def main(argv: list[str] | None = None) -> int:
         "PATH (the BENCH_parallelism.json CI artifact: total + merge-phase "
         "seconds, vector baseline as reference_seconds)",
     )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="also time the streamed filter>join>group_by chain end to end "
+        "(one whole-DAG row per worker count, workload=pipeline in the "
+        "JSON artifact)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     args = parser.parse_args(argv)
     records: list[dict] | None = [] if args.json else None
@@ -177,6 +257,18 @@ def main(argv: list[str] | None = None) -> int:
         "\n reassembly tail after grid results stream into the tournament)"
     )
     report("parallelism_scaling", text)
+    if args.pipeline:
+        pipeline_rows = run_pipeline(
+            args.n, args.workers, args.shards, args.seed, records=records
+        )
+        report(
+            "parallelism_pipeline",
+            fmt_table(PIPELINE_HEADER, pipeline_rows)
+            + "\n\n(one compiled DAG per chain; the sharded rows stream the"
+            "\n inter-operator edges — downstream shard tasks dispatch as"
+            "\n upstream blocks complete — against the vector engine running"
+            "\n the same chain operator-at-a-time)",
+        )
     if args.json:
         payload = {
             "bench": "parallelism",
@@ -246,6 +338,21 @@ def test_sharded_scaling_smoke(benchmark):
     benchmark(lambda: sharded_oblivious_join(
         balanced_output(256, seed=1).left, balanced_output(256, seed=1).right,
         shards=2, workers=1))
+
+
+def test_pipeline_smoke_mode():
+    """--pipeline emits one end-to-end chain row per worker count, streamed
+    against the vector engine running the same chain, and its artifact
+    records carry workload=pipeline with the same-run reference."""
+    records: list[dict] = []
+    rows = run_pipeline(256, [1, 2], shards=None, seed=3, records=records)
+    assert len(rows) == 3 and rows[0][0] == "vector"
+    assert all(row[4] == "filter->join" for row in rows[1:])
+    assert all(
+        r["workload"] == "pipeline" and r["reference_seconds"] > 0
+        for r in records
+    )
+    report("parallelism_pipeline_smoke", fmt_table(PIPELINE_HEADER, rows))
 
 
 def test_executor_sweep_mode():

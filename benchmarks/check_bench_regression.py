@@ -141,6 +141,20 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline, encoding="utf-8") as handle:
         baseline = json.load(handle)
 
+    # Relative costs normalise out single-core speed, but not *core
+    # count*: parallelism records measured on a different number of CPUs
+    # than the committed baseline shift for structural reasons (real
+    # pool/async overlap vs none).  That provenance mismatch deserves a
+    # loud warning, not a failure.
+    current_cpus, baseline_cpus = current.get("cpus"), baseline.get("cpus")
+    if current_cpus != baseline_cpus:
+        print(
+            f"WARNING: artifact measured on cpus={current_cpus} but baseline "
+            f"was recorded on cpus={baseline_cpus}; relative-cost ratios may "
+            "shift for structural (not regression) reasons",
+            file=sys.stderr,
+        )
+
     regressions, rows = compare(current, baseline, args.factor)
     for phase_key, ratio, cost, status in rows:
         key, phase = phase_key[:-1], phase_key[-1]

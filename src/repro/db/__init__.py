@@ -2,7 +2,7 @@
 
 from .distinct import oblivious_distinct, oblivious_union
 from .encoding import DictionaryEncoder
-from .query import ObliviousEngine
+from .query import ObliviousEngine, PipelineQueryResult
 from .schema import COLUMN_TYPES, Column, Schema
 from .table import DBTable
 
@@ -11,6 +11,7 @@ __all__ = [
     "oblivious_union",
     "DictionaryEncoder",
     "ObliviousEngine",
+    "PipelineQueryResult",
     "COLUMN_TYPES",
     "Column",
     "Schema",

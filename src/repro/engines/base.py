@@ -24,11 +24,13 @@ from typing import Protocol, runtime_checkable
 from ..core.aggregate import GroupAggregate
 from ..core.join import JoinResult
 from ..core.multiway import MultiwayResult
-from ..core.padding import check_padding, join_bound
+from ..core.padding import check_padding, compact_pairs, join_bound
 from ..errors import InputError
 from ..memory.tracer import Tracer
+from ..plan.compile import compile_pipeline
 from ..plan.compile import compile_workload
 from ..plan.ir import Plan
+from ..shard.pipeline import PipelineResult, PipelineStats, check_pipeline_stages
 
 #: A table in the paper's model: a list of ``(join_value, data_value)`` pairs.
 Pairs = list[tuple[int, int]]
@@ -90,6 +92,94 @@ class PaddingOptionsMixin:
         if shapes["padding"] == "revealed":
             shapes["bound"] = None  # a cap is meaningless without padding
         return compile_workload(workload, engine=self.name, **shapes)
+
+    def compile_pipeline(self, ops, **overrides) -> Plan:
+        """Compile the public plan of a whole operator chain.
+
+        ``ops`` are the shape-only stage descriptors
+        (:data:`repro.plan.compile.PIPELINE_OPS`); the engine's own
+        configuration fills in padding, bound and shard count unless
+        overridden.  The resulting DAG — every stage's sub-plan joined by
+        ``channel`` edge nodes — is a pure function of the stage shapes and
+        those options, never of the data flowing through the chain.
+        """
+        padding = overrides.get("padding", self.padding)
+        bound = overrides.get("bound", self.bound)
+        shards = overrides.get("shards", getattr(self, "shards", None))
+        if padding == "revealed" or padding is None:
+            bound = None
+        return compile_pipeline(
+            ops, engine=self.name, shards=shards, padding=padding, bound=bound
+        )
+
+    def pipeline(self, stages, tracer: Tracer | None = None) -> PipelineResult:
+        """Run a whole operator chain, one operator at a time.
+
+        This is the *reference* pipeline semantics every engine shares:
+        each stage materialises fully before the next starts, calling the
+        engine's own operator entry points, so the output is whatever the
+        single-operator differential suite already guarantees.  The sharded
+        engine overrides this with a streaming execution in revealed mode
+        and falls back here otherwise; ``tests/test_pipeline.py`` pins the
+        two paths bit-identical.
+
+        ``stages`` is a list of data-carrying stage tuples — see
+        :func:`repro.shard.pipeline.check_pipeline_stages` for the
+        vocabulary.  Returns a :class:`~repro.shard.pipeline.PipelineResult`
+        whose ``stats.plan`` is the full compiled DAG.
+        """
+        ops = check_pipeline_stages(stages)
+        stats = PipelineStats()
+        stats.plan = self.compile_pipeline(ops)
+        rows = [tuple(row) for row in stages[0][1]]
+        stats.sizes.append(len(rows))
+        groups: list[GroupAggregate] | None = None
+        for stage in list(stages)[1:]:
+            name = stage[0]
+            if name == "filter":
+                kept = self.filter_indices(
+                    [bool(flag) for flag in stage[1]], tracer=tracer
+                )
+                rows = [rows[index] for index in kept]
+            elif name == "join":
+                result = self.join(
+                    rows, [tuple(pair) for pair in stage[1]], tracer=tracer
+                )
+                # Padded joins append tagged dummies; the chain continues
+                # with the real rows (the final output size is public in
+                # the paper's model, and so is every stage's true size
+                # here — stats.sizes is exactly that reveal).
+                pairs = (
+                    result.pairs
+                    if self.padding == "revealed"
+                    else compact_pairs(result.pairs)
+                )
+                rows = [tuple(pair) for pair in pairs]
+            elif name == "multiway":
+                result = self.multiway_join(
+                    [rows] + [[tuple(row) for row in table] for table in stage[1]],
+                    list(stage[2]),
+                    tracer=tracer,
+                )
+                rows = [tuple(row) for row in result.rows]
+            elif name == "group_by":
+                groups = self.group_by(rows, tracer=tracer)
+                stats.sizes.append(len(groups))
+                continue
+            else:  # order_by
+                key_columns = [
+                    ([row[column] for row in rows], ascending)
+                    for column, ascending in stage[1]
+                ]
+                permutation = self.order_permutation(key_columns, tracer=tracer)
+                rows = [rows[index] for index in permutation]
+            stats.sizes.append(len(rows))
+        return PipelineResult(
+            rows=None if groups is not None else rows,
+            groups=groups,
+            sizes=list(stats.sizes),
+            stats=stats,
+        )
 
 
 @runtime_checkable
@@ -163,6 +253,12 @@ class Engine(Protocol):
     ) -> list[int]: ...
 
     def compile_plan(self, workload: str = "join", **shapes) -> Plan: ...
+
+    def compile_pipeline(self, ops, **overrides) -> Plan: ...
+
+    def pipeline(
+        self, stages, tracer: Tracer | None = None
+    ) -> PipelineResult: ...
 
 
 _REGISTRY: dict[str, Engine] = {}

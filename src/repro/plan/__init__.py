@@ -34,12 +34,14 @@ Usage::
 """
 
 from .compile import (
+    PIPELINE_OPS,
     WORKLOADS,
     compile_aggregate,
     compile_filter,
     compile_join,
     compile_multiway,
     compile_order_by,
+    compile_pipeline,
     compile_workload,
 )
 from .executors import (
@@ -67,6 +69,7 @@ __all__ = [
     "InlineExecutor",
     "MergeNode",
     "OpNode",
+    "PIPELINE_OPS",
     "Plan",
     "PlanBuilder",
     "PoolExecutor",
@@ -79,6 +82,7 @@ __all__ = [
     "compile_join",
     "compile_multiway",
     "compile_order_by",
+    "compile_pipeline",
     "compile_workload",
     "completion_stream",
     "get_executor",

@@ -46,6 +46,16 @@ WORKLOADS = (
 #: Engines whose plans are a single-process primitive pipeline.
 _INLINE_ENGINES = ("traced", "vector")
 
+#: Stage names `compile_pipeline` accepts (``source`` must come first).
+PIPELINE_OPS = (
+    "source",
+    "filter",
+    "join",
+    "multiway",
+    "group_by",
+    "order_by",
+)
+
 
 # -- merge tournaments -------------------------------------------------------
 
@@ -458,6 +468,190 @@ def compile_order_by(
     if engine not in _INLINE_ENGINES:
         raise InputError(f"no plan compiler for engine {engine!r}")
     return inline_order_plan(engine, n)
+
+
+# -- pipeline DAGs -----------------------------------------------------------
+
+
+def _deferred_stage_plan(workload: str, engine: str, op: str, **attrs) -> Plan:
+    """A one-node sub-plan standing in for a stage whose input size is only
+    revealed at run time (the ``"revealed"`` padding mode mid-chain)."""
+    builder = PlanBuilder(workload, engine)
+    builder.add(op, **attrs)
+    return builder.build()
+
+
+def compile_pipeline(
+    ops,
+    engine: str = "traced",
+    *,
+    shards: int | None = None,
+    padding: str | None = None,
+    bound=None,
+) -> Plan:
+    """Compile a whole query DAG into one Plan with streaming channel edges.
+
+    ``ops`` is a sequence of ``(name, params)`` stage descriptors:
+    ``("source", {"n": n})`` (always first), then any chain of
+    ``("filter", {})``, ``("join", {"n2": m})``,
+    ``("multiway", {"sizes": [...]})`` (sizes of the *remaining* cascade
+    tables), ``("group_by", {})`` and ``("order_by", {})``.
+
+    Each operator stage is the per-workload compiler's sub-plan embedded
+    verbatim (``stage=s`` merged into every node), and consecutive stages
+    are connected by a ``channel`` node — the streaming block edge.  A
+    channel's attributes are the *public* block layout of the data crossing
+    it (``blocks``/``capacity``/``counts``/``rows``), straight from the
+    partition planner, so the whole DAG — including when a downstream
+    shard task may dispatch — is a pure function of
+    ``(stage shapes, k, bounds)``.  ``rows=None`` marks a size revealed at
+    run time (only ever downstream of a revealed-mode filter/join), which
+    is the same deliberate leak the operator-at-a-time path makes.
+    """
+    mode = check_padding(padding)
+    padded = mode != "revealed"
+    stages = [(name, dict(params)) for name, params in ops]
+    if not stages:
+        raise InputError("a pipeline needs at least a source stage")
+    for name, _ in stages:
+        if name not in PIPELINE_OPS:
+            raise InputError(
+                f"unknown pipeline stage {name!r}; expected one of {PIPELINE_OPS}"
+            )
+    if stages[0][0] != "source" or any(
+        name == "source" for name, _ in stages[1:]
+    ):
+        raise InputError(
+            "a pipeline starts with one ('source', {'n': ...}) stage"
+        )
+    if len(stages) < 2:
+        raise InputError("a pipeline needs at least one operator stage")
+
+    k = check_shards(shards if shards is not None else 2) if engine == "sharded" else None
+    if engine != "sharded" and engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+
+    stage_shapes: list[tuple] = []
+    for name, params in stages:
+        if name == "source":
+            stage_shapes.append((name, int(params["n"])))
+        elif name == "join":
+            if "n2" not in params:
+                raise InputError("pipeline join stages need n2")
+            stage_shapes.append((name, int(params["n2"])))
+        elif name == "multiway":
+            sizes = tuple(int(s) for s in params.get("sizes", ()))
+            if not sizes:
+                raise InputError(
+                    "pipeline multiway stages need sizes (one per extra table)"
+                )
+            stage_shapes.append((name, sizes))
+        else:
+            stage_shapes.append((name,))
+
+    shapes: dict = {"stages": tuple(stage_shapes), "padding": mode}
+    if engine == "sharded":
+        shapes["k"] = k
+    if bound is not None:
+        shapes["bound"] = bound
+    builder = PlanBuilder("pipeline", engine, **shapes)
+
+    current: int | None = int(stages[0][1]["n"])
+    prev = builder.add("input", side="pipeline", rows=current, stage=0)
+    for stage_index, (name, params) in enumerate(stages[1:], start=1):
+        if current is None:
+            blocks = k if engine == "sharded" else 1
+            capacity, counts = None, None
+        elif engine == "sharded":
+            blocks = k
+            capacity, counts = partition_plan(current, k)
+        else:
+            blocks, capacity, counts = 1, current, (current,)
+        prev = builder.add(
+            "channel",
+            inputs=(prev,),
+            stage=stage_index,
+            blocks=blocks,
+            capacity=capacity,
+            counts=counts,
+            rows=current,
+        )
+        if name == "filter":
+            if current is None:
+                sub = _deferred_stage_plan(
+                    "filter", engine, "block_filter_deferred", n=None, k=k
+                )
+            elif engine == "sharded":
+                sub = sharded_filter_plan(current, k, padded)
+            else:
+                sub = inline_filter_plan(engine, current)
+            # A padded filter's output occupies its full input bound; a
+            # revealed filter's survivor count is a run-time leak.
+            current = current if padded else None
+        elif name == "join":
+            n2 = int(params["n2"])
+            if current is None:
+                if engine == "sharded":
+                    sub = _deferred_stage_plan(
+                        "join",
+                        engine,
+                        "grid_join_deferred",
+                        n1=None,
+                        n2=n2,
+                        k=k,
+                        target=None,
+                    )
+                else:
+                    sub = _deferred_stage_plan(
+                        "join", engine, "join_deferred", n1=None, n2=n2, target=None
+                    )
+                current = None
+            else:
+                target = join_bound(current, n2, mode, bound)
+                if engine == "sharded":
+                    sub = sharded_join_plan(current, n2, k, target)
+                else:
+                    sub = inline_join_plan(engine, current, n2, target)
+                current = target
+        elif name == "multiway":
+            rest = [int(s) for s in params["sizes"]]
+            if current is None:
+                sub = _deferred_stage_plan(
+                    "multiway",
+                    engine,
+                    "cascade_deferred",
+                    sizes=(None, *rest),
+                    k=k,
+                )
+                current = None
+            else:
+                sizes = [current, *rest]
+                bounds = cascade_bounds(list(sizes), mode, bound)
+                sub = multiway_plan(sizes, engine, bounds=bounds, k=k)
+                current = bounds[-1] if bounds else None
+        elif name == "group_by":
+            if current is None:
+                sub = _deferred_stage_plan(
+                    "group_by", engine, "partial_aggregate_deferred", n=None, k=k
+                )
+            elif engine == "sharded":
+                sub = sharded_aggregate_plan("group_by", current, 0, k, padded)
+            else:
+                sub = inline_aggregate_plan(engine, "group_by", current, 0)
+            current = None  # group count is always revealed on output
+        else:  # order_by
+            if current is None:
+                sub = _deferred_stage_plan(
+                    "order_by", engine, "shard_sort_deferred", n=None, k=k
+                )
+            elif engine == "sharded":
+                sub = sharded_order_plan(current, k)
+            else:
+                sub = inline_order_plan(engine, current)
+        embedded = builder.embed(sub, stage=stage_index)
+        prev = embedded[-1]
+    builder.add("output", inputs=(prev,), rows=current)
+    return builder.build()
 
 
 def compile_workload(

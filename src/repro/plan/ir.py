@@ -38,7 +38,9 @@ from dataclasses import dataclass
 from ..errors import InputError
 
 #: Serialization format tag, bumped on any change to the byte layout.
-PLAN_FORMAT = 2
+#: Format 3 adds pipeline plans: ``channel`` edge nodes carrying public
+#: per-block capacities between embedded per-operator sub-plans.
+PLAN_FORMAT = 3
 
 
 def _freeze(value, context: str):

@@ -19,6 +19,11 @@ The subsystem behind the ``sharded`` engine (:mod:`repro.engines.sharded`):
     driver compiles its public plan (:mod:`repro.plan.compile`) before
     touching data and consumes the plan's node attributes for all padded
     bounds; tasks dispatch through a pluggable executor.
+:mod:`~repro.shard.pipeline`
+    Streaming query-DAG execution — whole operator chains run as one
+    compiled plan whose inter-operator edges are streaming block channels
+    (``tests/test_pipeline.py`` pins bit-identity with the
+    operator-at-a-time path).
 """
 
 from .aggregate import (
@@ -31,14 +36,23 @@ from .join import ShardedJoinStats, sharded_oblivious_join
 from .merge import bitonic_merge_two, merge_comparator_count, oblivious_merge_runs
 from .multiway import ShardedMultiwayStats, sharded_multiway_join
 from .partition import ShardPart, partition_pairs, partition_plan
+from .pipeline import (
+    PipelineResult,
+    PipelineStats,
+    check_pipeline_stages,
+    streamed_pipeline,
+)
 from .relational import sharded_filter_indices, sharded_order_permutation
 
 __all__ = [
+    "PipelineResult",
+    "PipelineStats",
     "ShardPart",
     "ShardedAggregateStats",
     "ShardedJoinStats",
     "ShardedMultiwayStats",
     "bitonic_merge_two",
+    "check_pipeline_stages",
     "merge_comparator_count",
     "oblivious_merge_runs",
     "partition_pairs",
@@ -50,4 +64,5 @@ __all__ = [
     "sharded_multiway_join",
     "sharded_oblivious_join",
     "sharded_order_permutation",
+    "streamed_pipeline",
 ]

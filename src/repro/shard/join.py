@@ -272,9 +272,34 @@ def sharded_oblivious_join(
     stats.plan = plan
 
     sorted_left = _sharded_rank_sort(left, shards, executor, stats)
-    n1 = len(sorted_left["j"])
+    # The grid's public bounds come from the plan, not from the data: one
+    # grid_join node per (i, j) cell, row-major — the same order as the
+    # payload list grid_join_payloads builds.
+    cell_targets = [node.attr("target") for node in plan.nodes_by_op("grid_join")]
+    pairs = run_join_grid(
+        sorted_left, right, shards, executor, stats, target_m, cell_targets
+    )
+    return pairs, stats
 
+
+def grid_join_payloads(
+    sorted_left: dict[str, np.ndarray],
+    right,
+    shards: int,
+    cell_targets,
+    stats: ShardedJoinStats,
+) -> list:
+    """Partition the ranked left table and the right side into the k*k grid.
+
+    ``sorted_left`` is the ``(j, d)``-sorted left table (the presort's
+    output); ranks are its positions.  Returns one ``_join_task`` payload
+    per grid cell, row-major, with the cells' public output bounds zipped
+    in from ``cell_targets`` (one per cell, ``None`` = unpadded).  This is
+    the seam the pipeline driver reuses to stream grid results into a
+    *different* consumer than the join's own output tournament.
+    """
     start = time.perf_counter()
+    n1 = len(sorted_left["j"])
     ranked_left = np.stack(
         [sorted_left["j"], np.arange(n1, dtype=_INT)], axis=1
     )
@@ -282,10 +307,6 @@ def sharded_oblivious_join(
     right_parts = partition_pairs(right, shards)
     n2 = sum(part.real for part in right_parts)
     stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
-    # The grid's public bounds come from the plan, not from the data: one
-    # grid_join node per (i, j) cell, row-major — the same order as the
-    # payload list below.
-    cell_targets = [node.attr("target") for node in plan.nodes_by_op("grid_join")]
     payloads = [
         (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real, target)
         for (lp, rp), target in zip(
@@ -293,6 +314,27 @@ def sharded_oblivious_join(
         )
     ]
     stats.seconds_by_phase["partition"] = time.perf_counter() - start
+    return payloads
+
+
+def run_join_grid(
+    sorted_left: dict[str, np.ndarray],
+    right,
+    shards: int,
+    executor: Executor,
+    stats: ShardedJoinStats,
+    target_m: int | None,
+    cell_targets,
+) -> np.ndarray:
+    """Run the k*k grid over ``executor`` and reassemble the join output.
+
+    The post-presort half of :func:`sharded_oblivious_join`, callable with
+    an externally produced ``sorted_left`` — the pipeline driver feeds it
+    the merged output of a *streamed* upstream stage (e.g. per-block
+    filtered runs) without materialising an intermediate table first.
+    Returns the ``(m, 2)`` pairs array.
+    """
+    payloads = grid_join_payloads(sorted_left, right, shards, cell_targets, stats)
 
     # Grid tasks stream into the merge tournament as they complete: the
     # bracket (and with it the comparator schedule) is fixed by the plan's
@@ -363,4 +405,4 @@ def sharded_oblivious_join(
         # back through them (client-side handle gather, as in multiway).
         pairs = np.stack([sorted_left["d"][merged["d1"]], merged["d2"]], axis=1)
     stats.seconds_by_phase["merge"] = time.perf_counter() - start + fold_seconds
-    return pairs, stats
+    return pairs

@@ -1,0 +1,717 @@
+"""Streaming query-DAG execution: operator chains without per-stage barriers.
+
+The per-operator sharded drivers each materialise their full output before
+the next operator starts.  This module executes a whole *pipeline* —
+``source -> [filter] -> join | multiway | group_by | order_by ...`` — as
+one DAG whose inter-operator edges are **streaming block channels**: the
+moment an upstream shard task's block completes, the downstream shard task
+consuming it is dispatched through the executor's ``imap``/``submit``
+seam, with the block's columns parked in shared memory
+(:func:`repro.plan.executors.publish_columns`) on remote executors so the
+rows hop worker-to-worker without a parent round-trip.
+
+Three cross-operator edges stream today, all in the ``"revealed"``
+padding mode (streaming granularity *is* the leakage granularity — a
+padded mode's whole point is that nothing finishes "early", so padded
+pipelines run the operator-at-a-time reference path; see
+``docs/leakage.md``):
+
+``filter -> *``
+    Each source block is filtered by a worker task (an in-block oblivious
+    compaction); its survivor columns feed the downstream stage's per-shard
+    task (a presort for joins/cascades, a partial aggregation for
+    group-by, a keyed block sort for order-by) as soon as the block
+    completes.  Correctness rests on the downstream consumers being
+    *partition-independent*: a merge of sorted runs depends only on the
+    row multiset, and aggregation is associative.
+``join -> group_by``
+    Each grid cell's keyed output run feeds a partial-aggregation task the
+    moment the cell completes; the join's output merge tournament is
+    skipped entirely (aggregation does not need the canonical order).
+
+Every other edge materialises between stages and runs the existing
+sharded drivers, so the pipeline's output is **bit-identical** to running
+the operators one at a time — ``tests/test_pipeline.py`` pins that across
+every engine x executor, including adversarial completion orders.
+
+The public schedule of the whole DAG is compiled up front by
+:func:`repro.plan.compile.compile_pipeline` — channel capacities, block
+counts, every embedded stage plan — as a pure function of the stage
+shapes, ``k`` and the bounds; per-block survivor counts revealed by the
+streamed filter are the same reveal the operator-at-a-time revealed-mode
+drivers already make.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.aggregate import GroupAggregate
+from ..core.multiway import check_step_columns, encode_handles, validate_cascade
+from ..errors import InputError
+from ..plan.compile import compile_pipeline
+from ..plan.executors import (
+    Executor,
+    adopt_segments,
+    completion_stream,
+    publish_columns,
+    release_segments,
+    resolve_executor,
+    submit_task,
+)
+from ..plan.ir import Plan
+from ..vector.relational import order_columns, vector_filter_indices
+from ..vector.sort import vector_bitonic_sort
+from .aggregate import (
+    ShardedAggregateStats,
+    _aggregate_task,
+    _combine_partials,
+    _overflow_guard,
+    sharded_group_by,
+)
+from .join import (
+    PRESORT_KEYS,
+    ShardedJoinStats,
+    _join_task,
+    _sharded_rank_sort,
+    _sort_task,
+    grid_join_payloads,
+    run_join_grid,
+    sharded_oblivious_join,
+)
+from .merge import StreamingTournament
+from .multiway import sharded_multiway_join
+from .partition import partition_columns
+from .relational import sharded_order_permutation
+
+_INT = np.int64
+
+#: Stage names a pipeline driver accepts, in engine-level descriptor form.
+STAGE_NAMES = ("source", "filter", "join", "multiway", "group_by", "order_by")
+
+
+@dataclass
+class PipelineStats:
+    """Cost/schedule record of one pipeline run.
+
+    ``plan`` is the full compiled DAG (every stage's sub-plan plus the
+    channel nodes) the run consumed; ``sizes`` the revealed output size
+    after every stage (the source size first); ``streamed_edges`` which
+    inter-operator edges actually streamed (``(downstream stage index,
+    kind)``); ``stage_stats`` the per-stage driver stats objects where the
+    underlying driver produced one.
+    """
+
+    plan: Plan | None = None
+    shards: int = 1
+    sizes: list[int] = field(default_factory=list)
+    streamed_edges: list[tuple[int, str]] = field(default_factory=list)
+    stage_stats: list[object] = field(default_factory=list)
+
+
+@dataclass
+class PipelineResult:
+    """One pipeline's output: rows, or groups for group-by-terminal chains.
+
+    ``sizes`` mirrors ``stats.sizes`` (the revealed per-stage sizes —
+    the same values the operator-at-a-time path reveals one call at a
+    time); ``stats.plan`` is the executed DAG plan end to end.
+    """
+
+    rows: list[tuple] | None
+    groups: list[GroupAggregate] | None
+    sizes: list[int]
+    stats: PipelineStats
+
+    def __len__(self) -> int:
+        return len(self.groups if self.groups is not None else self.rows)
+
+
+def check_pipeline_stages(stages) -> list[tuple[str, dict]]:
+    """Validate engine-level stage descriptors; return the compile ops.
+
+    ``stages`` is a sequence of tuples: ``("source", rows)`` first, then
+    any of ``("filter", mask)`` (only immediately after the source),
+    ``("join", right_pairs)``, ``("multiway", rest_tables, keys)``,
+    ``("group_by",)`` (terminal) and ``("order_by", spec)`` where ``spec``
+    is ``[(column_index, ascending), ...]``.  Returns the shape-only
+    ``(name, params)`` descriptors :func:`repro.plan.compile.compile_pipeline`
+    consumes — every engine compiles the pipeline plan from these, so the
+    plan is a pure function of the stage *shapes*.
+    """
+    stages = list(stages)
+    if not stages or stages[0][0] != "source" or len(stages[0]) != 2:
+        raise InputError("a pipeline starts with one ('source', rows) stage")
+    if len(stages) < 2:
+        raise InputError("a pipeline needs at least one operator stage")
+    n = len(stages[0][1])
+    ops: list[tuple[str, dict]] = [("source", {"n": n})]
+    arity = 2
+    for index, stage in enumerate(stages[1:], start=1):
+        name = stage[0]
+        if name not in STAGE_NAMES or name == "source":
+            raise InputError(
+                f"unknown pipeline stage {name!r} at position {index}"
+            )
+        if ops[-1][0] == "group_by":
+            raise InputError("group_by must be the final pipeline stage")
+        if name == "filter":
+            if index != 1:
+                raise InputError(
+                    "a pipeline filter must come immediately after the source"
+                )
+            if len(stage) != 2 or len(stage[1]) != n:
+                raise InputError(
+                    f"pipeline filter needs one mask cell per source row ({n})"
+                )
+            ops.append(("filter", {}))
+        elif name == "join":
+            if len(stage) != 2:
+                raise InputError("pipeline join stages are ('join', right_rows)")
+            if arity != 2:
+                raise InputError(
+                    f"pipeline join at position {index} needs (j, d) rows, "
+                    f"current rows have {arity} columns"
+                )
+            ops.append(("join", {"n2": len(stage[1])}))
+        elif name == "multiway":
+            if len(stage) != 3:
+                raise InputError(
+                    "pipeline multiway stages are ('multiway', tables, keys)"
+                )
+            tables, keys = list(stage[1]), list(stage[2])
+            if not tables or len(keys) != len(tables):
+                raise InputError(
+                    "pipeline multiway needs one key spec per extra table"
+                )
+            if arity != 2:
+                raise InputError(
+                    f"pipeline multiway at position {index} needs (j, d) rows"
+                )
+            ops.append(("multiway", {"sizes": [len(t) for t in tables]}))
+            arity = 2 * (1 + len(tables))
+        elif name == "group_by":
+            if len(stage) != 1:
+                raise InputError("pipeline group_by stages are ('group_by',)")
+            if arity != 2:
+                raise InputError(
+                    f"pipeline group_by at position {index} needs (j, d) rows"
+                )
+            ops.append(("group_by", {}))
+        else:  # order_by
+            if len(stage) != 2 or not list(stage[1]):
+                raise InputError(
+                    "pipeline order_by stages are ('order_by', spec) with at "
+                    "least one (column, ascending) key"
+                )
+            for column, _ in stage[1]:
+                if not 0 <= column < arity:
+                    raise InputError(
+                        f"order_by column {column} out of range at position "
+                        f"{index} (rows have {arity} columns)"
+                    )
+            ops.append(("order_by", {}))
+    return ops
+
+
+# -- the filter block channel -------------------------------------------------
+
+
+def _filter_block_task(payload):
+    """Filter one source block (worker side): in-block oblivious compaction.
+
+    Returns ``(columns, segment, kept)`` — the survivor ``(j, d)`` columns
+    (published to shared memory when ``publish``, so the downstream shard
+    task attaches them without a parent round-trip), plus the block-local
+    survivor indices the parent needs for its client-side row catalogue.
+    """
+    block, real, publish = payload
+    kept = vector_filter_indices(block["mask"][:real])
+    index = np.asarray(kept, dtype=_INT)
+    columns = {"j": block["j"][index], "d": block["d"][index]}
+    if publish:
+        encoded, segment = publish_columns(columns)
+        return encoded, segment, kept
+    return columns, None, kept
+
+
+class _FilterChannel:
+    """The streaming block channel out of a filter stage.
+
+    Owns the partitioned source blocks, the adopted shared-memory segments
+    the filter workers published, and the per-block survivor bookkeeping
+    the parent needs afterwards (global source positions, kept count).
+    """
+
+    def __init__(self, rows, mask, shards: int, executor: Executor) -> None:
+        n = len(rows)
+        array = np.asarray(rows, dtype=_INT)
+        if array.size == 0:
+            array = array.reshape(0, 2)
+        flags = np.asarray(mask, dtype=bool)
+        self._executor = executor
+        self._publish = bool(getattr(executor, "remote_submit", False))
+        self.blocks = partition_columns(
+            {"j": array[:, 0], "d": array[:, 1], "mask": flags}, shards
+        )
+        self.offsets = list(
+            itertools.accumulate([0] + [real for _, real in self.blocks[:-1]])
+        )
+        self.kept: list[list[int] | None] = [None] * len(self.blocks)
+        self.segments: list[str] = []
+
+    def stream(self):
+        """Yield ``(index, columns, kept)`` as filter blocks complete.
+
+        ``columns`` may be a ref tree into a published segment — the
+        consumer passes the refs straight into its downstream task payload
+        (the executors' encode step ships refs through untouched).
+        """
+        payloads = [
+            (block, real, self._publish) for block, real in self.blocks
+        ]
+        for index, (columns, segment, kept) in completion_stream(
+            self._executor, _filter_block_task, payloads
+        ):
+            if segment is not None:
+                adopt_segments([segment])
+                self.segments.append(segment)
+            self.kept[index] = kept
+            yield index, columns, kept
+
+    def positions(self, index: int) -> np.ndarray:
+        """Global source positions of block ``index``'s survivors."""
+        offset = self.offsets[index]
+        return np.asarray(
+            [offset + local for local in self.kept[index]], dtype=_INT
+        )
+
+    def kept_positions(self) -> list[int]:
+        """All survivor source positions, in source order (after draining)."""
+        return [
+            int(position)
+            for index in range(len(self.blocks))
+            for position in self.positions(index)
+        ]
+
+    def close(self) -> None:
+        release_segments(self.segments)
+        self.segments = []
+
+
+# -- streamed edges -----------------------------------------------------------
+
+
+def _drain_presort(pending, tournament: StreamingTournament):
+    """Collect per-block sort completions into the merge tournament."""
+    try:
+        for index, completion in pending:
+            run, _ = completion.result()
+            tournament.add(index, run)
+        return tournament.result()
+    except BaseException:
+        tournament.close()
+        raise
+
+
+def _stream_filter_join(
+    channel: _FilterChannel,
+    right,
+    shards: int,
+    executor: Executor,
+    stats: PipelineStats,
+) -> list[tuple]:
+    """filter -> join: each filtered block feeds a presort task on arrival.
+
+    The presort merge is run-partition independent (equal ``(j, d)`` rows
+    are full duplicates), so merging the per-*source*-block filtered runs
+    yields the identical ranked left table the reference path gets from
+    re-partitioning the materialised filtered rows — and everything after
+    the presort is the standard grid join.
+    """
+    join_stats = ShardedJoinStats()
+    join_stats.shards = shards
+    tournament = StreamingTournament(
+        len(channel.blocks), PRESORT_KEYS, executor=executor
+    )
+    pending = []
+    try:
+        for index, columns, kept in channel.stream():
+            payload = (columns["j"], columns["d"], len(kept))
+            pending.append((index, submit_task(executor, _sort_task, payload)))
+        sorted_left = _drain_presort(pending, tournament)
+    except BaseException:
+        tournament.close()
+        channel.close()
+        raise
+    channel.close()
+    stats.sizes.append(sum(len(kept) for kept in channel.kept))
+    pairs = run_join_grid(
+        sorted_left,
+        right,
+        shards,
+        executor,
+        join_stats,
+        None,
+        [None] * (shards * shards),
+    )
+    stats.stage_stats.append(join_stats)
+    stats.sizes.append(len(pairs))
+    return [tuple(pair) for pair in pairs.tolist()]
+
+
+_EMPTY = np.zeros(0, dtype=_INT)
+
+
+def _stream_filter_group_by(
+    channel: _FilterChannel,
+    source_rows,
+    shards: int,
+    executor: Executor,
+    stats: PipelineStats,
+) -> list[GroupAggregate]:
+    """filter -> group_by: each filtered block feeds a partial aggregation.
+
+    Aggregation is associative, so partial tables over the per-source-block
+    survivor runs combine to the same groups as partials over the
+    reference path's re-partitioned blocks.
+    """
+    aggregate_stats = ShardedAggregateStats()
+    aggregate_stats.shards = shards
+    pending: list = [None] * len(channel.blocks)
+    for index, columns, kept in channel.stream():
+        payload = (columns["j"], columns["d"], len(kept), _EMPTY, _EMPTY, 0, None)
+        pending[index] = submit_task(executor, _aggregate_task, payload)
+    results = [completion.result() for completion in pending]
+    channel.close()
+    positions = channel.kept_positions()
+    stats.sizes.append(len(positions))
+    # Same guard, same n, same values as the reference path — it just runs
+    # once the survivor count is known (the partial sums cannot have
+    # wrapped if the guard passes: each has at most n_kept terms).
+    _overflow_guard(
+        [np.asarray([source_rows[p][1] for p in positions], dtype=_INT)],
+        len(positions),
+    )
+    groups = _combine_partials(
+        [partials for partials, _ in results], left_only=True, stats=aggregate_stats
+    )
+    stats.stage_stats.append(aggregate_stats)
+    stats.sizes.append(len(groups))
+    return groups
+
+
+def _stream_filter_order(
+    channel: _FilterChannel,
+    source_rows,
+    spec,
+    shards: int,
+    executor: Executor,
+    stats: PipelineStats,
+) -> list[tuple]:
+    """filter -> order_by: each filtered block is sort-keyed on arrival.
+
+    Blocks sort by ``(keys..., source position)``; source position is
+    monotone in filtered position (the filter preserves order), so the
+    merged run is the reference's stable sort of the filtered rows, and the
+    parent gathers output rows straight from its source catalogue.
+    """
+    merge_keys = [(f"k{i}", ascending) for i, (_, ascending) in enumerate(spec)]
+    merge_keys.append(("pos", True))
+    tournament = StreamingTournament(
+        len(channel.blocks), merge_keys, executor=executor
+    )
+    pending = []
+    try:
+        for index, columns, kept in channel.stream():
+            payload = (columns, list(spec), channel.positions(index))
+            pending.append(
+                (index, submit_task(executor, _order_block_task, payload))
+            )
+        for index, completion in pending:
+            tournament.add(index, completion.result())
+        merged = tournament.result()
+    except BaseException:
+        tournament.close()
+        channel.close()
+        raise
+    channel.close()
+    kept_count = sum(len(kept) for kept in channel.kept)
+    stats.sizes.extend([kept_count, kept_count])
+    order = merged["pos"].tolist() if merged else []
+    return [tuple(source_rows[position]) for position in order]
+
+
+def _order_block_task(payload):
+    """Sort one filtered block by its order-by keys (worker side)."""
+    columns, spec, positions = payload
+    values = (columns["j"], columns["d"])
+    work, keys = order_columns(
+        [(values[column], ascending) for column, ascending in spec],
+        len(positions),
+    )
+    work["pos"] = np.asarray(positions, dtype=_INT)
+    return vector_bitonic_sort(work, keys)
+
+
+def _stream_filter_multiway(
+    channel: _FilterChannel,
+    source_rows,
+    tables,
+    keys,
+    shards: int,
+    executor: Executor,
+    stats: PipelineStats,
+) -> list[tuple]:
+    """filter -> multiway: the cascade's first presort streams per block.
+
+    Step 0's left handles are *source* positions instead of filtered
+    indices (the filter preserves order, so the two rank identically under
+    the ``(key, handle)`` presort), which lets each block's presort start
+    before the filter finishes; the parent's row catalogue is indexed by
+    source position, so no remap is ever needed.  Later steps run the
+    standard materialised sharded cascade.
+    """
+    tables = [list(table) for table in tables]
+    keys = list(keys)
+    validate_cascade([list(source_rows)] + tables, keys)
+    left_col, right_col = keys[0]
+    check_step_columns(0, list(source_rows), tables[0], left_col, right_col)
+
+    join_stats = ShardedJoinStats()
+    join_stats.shards = shards
+    tournament = StreamingTournament(
+        len(channel.blocks), PRESORT_KEYS, executor=executor
+    )
+    pending = []
+    try:
+        for index, columns, kept in channel.stream():
+            key_column = columns["j"] if left_col == 0 else columns["d"]
+            payload = (key_column, channel.positions(index), len(kept))
+            pending.append((index, submit_task(executor, _sort_task, payload)))
+        sorted_left = _drain_presort(pending, tournament)
+    except BaseException:
+        tournament.close()
+        channel.close()
+        raise
+    channel.close()
+    stats.sizes.append(sum(len(kept) for kept in channel.kept))
+
+    handles = run_join_grid(
+        sorted_left,
+        encode_handles(tables[0], right_col),
+        shards,
+        executor,
+        join_stats,
+        None,
+        [None] * (shards * shards),
+    )
+    stats.stage_stats.append(join_stats)
+    accumulated = [
+        tuple(source_rows[left_position]) + tuple(tables[0][right_index])
+        for left_position, right_index in handles.tolist()
+    ]
+    for step in range(1, len(tables)):
+        next_table = tables[step]
+        step_left, step_right = keys[step]
+        check_step_columns(step, accumulated, next_table, step_left, step_right)
+        step_stats = ShardedJoinStats()
+        step_handles, step_stats = sharded_oblivious_join(
+            encode_handles(accumulated, step_left),
+            encode_handles(next_table, step_right),
+            shards=shards,
+            stats=step_stats,
+            executor=executor,
+        )
+        stats.stage_stats.append(step_stats)
+        accumulated = [
+            accumulated[left_index] + tuple(next_table[right_index])
+            for left_index, right_index in step_handles.tolist()
+        ]
+    stats.sizes.append(len(accumulated))
+    return accumulated
+
+
+def _stream_join_group_by(
+    rows,
+    right,
+    shards: int,
+    executor: Executor,
+    stats: PipelineStats,
+) -> list[GroupAggregate]:
+    """join -> group_by: grid cells feed partial aggregations on completion.
+
+    The join's output merge tournament is skipped entirely — aggregation
+    needs the joined multiset, not the canonical order — so each cell's
+    keyed run becomes a partial-aggregation payload the moment it lands.
+    """
+    join_stats = ShardedJoinStats()
+    join_stats.shards = shards
+    aggregate_stats = ShardedAggregateStats()
+    aggregate_stats.shards = shards
+    sorted_left = _sharded_rank_sort(rows, shards, executor, join_stats)
+    payloads = grid_join_payloads(
+        sorted_left, right, shards, [None] * (shards * shards), join_stats
+    )
+    join_stats.task_comparisons = [{} for _ in payloads]
+    join_stats.task_m = [0] * len(payloads)
+    pending: list = [None] * len(payloads)
+    d2_columns: list = [None] * len(payloads)
+    for index, (keyed, comparisons) in completion_stream(
+        executor, _join_task, payloads
+    ):
+        join_stats.task_comparisons[index] = comparisons
+        join_stats.task_m[index] = len(keyed)
+        # The merged d1 column holds left ranks; gather the data values
+        # parent-side (same handle gather the join's own tail performs).
+        d1 = sorted_left["d"][keyed[:, 1]] if len(keyed) else _EMPTY
+        d2 = keyed[:, 2] if len(keyed) else _EMPTY
+        d2_columns[index] = d2
+        payload = (d1, d2, len(keyed), _EMPTY, _EMPTY, 0, None)
+        pending[index] = submit_task(executor, _aggregate_task, payload)
+    results = [completion.result() for completion in pending]
+    join_stats.m = sum(join_stats.task_m)
+    stats.sizes.append(join_stats.m)
+    _overflow_guard([column for column in d2_columns if len(column)], join_stats.m)
+    groups = _combine_partials(
+        [partials for partials, _ in results], left_only=True, stats=aggregate_stats
+    )
+    stats.stage_stats.extend([join_stats, aggregate_stats])
+    stats.sizes.append(len(groups))
+    return groups
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+def streamed_pipeline(
+    stages,
+    shards: int = 2,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    stats: PipelineStats | None = None,
+) -> PipelineResult:
+    """Execute a revealed-mode pipeline with streaming inter-operator edges.
+
+    Compiles the full DAG plan up front (``stats.plan``), then walks the
+    stages, streaming the edges listed in the module docstring and
+    materialising the rest through the per-operator sharded drivers.  The
+    output — rows or groups — is bit-identical to running the operators
+    one at a time on any engine.
+    """
+    executor = resolve_executor(executor, workers=workers)
+    stats = stats if stats is not None else PipelineStats()
+    stats.shards = shards
+    ops = check_pipeline_stages(stages)
+    stats.plan = compile_pipeline(ops, "sharded", shards=shards, padding="revealed")
+
+    stages = list(stages)
+    rows: list[tuple] = [tuple(row) for row in stages[0][1]]
+    stats.sizes.append(len(rows))
+    groups: list[GroupAggregate] | None = None
+
+    index = 1
+    while index < len(stages):
+        stage = stages[index]
+        name = stage[0]
+        downstream = stages[index + 1] if index + 1 < len(stages) else None
+        if name == "filter":
+            channel = _FilterChannel(rows, stage[1], shards, executor)
+            if downstream is not None and downstream[0] == "join":
+                stats.streamed_edges.append((index + 1, "filter->join"))
+                rows = _stream_filter_join(
+                    channel, list(downstream[1]), shards, executor, stats
+                )
+                index += 2
+            elif downstream is not None and downstream[0] == "group_by":
+                stats.streamed_edges.append((index + 1, "filter->group_by"))
+                groups = _stream_filter_group_by(
+                    channel, rows, shards, executor, stats
+                )
+                index += 2
+            elif downstream is not None and downstream[0] == "order_by":
+                stats.streamed_edges.append((index + 1, "filter->order_by"))
+                rows = _stream_filter_order(
+                    channel, rows, list(downstream[1]), shards, executor, stats
+                )
+                index += 2
+            elif downstream is not None and downstream[0] == "multiway":
+                stats.streamed_edges.append((index + 1, "filter->multiway"))
+                rows = _stream_filter_multiway(
+                    channel,
+                    rows,
+                    downstream[1],
+                    downstream[2],
+                    shards,
+                    executor,
+                    stats,
+                )
+                index += 2
+            else:
+                # Terminal filter: drain the channel, gather survivors.
+                for _ in channel.stream():
+                    pass
+                channel.close()
+                rows = [rows[position] for position in channel.kept_positions()]
+                stats.sizes.append(len(rows))
+                index += 1
+        elif name == "join":
+            if downstream is not None and downstream[0] == "group_by":
+                stats.streamed_edges.append((index + 1, "join->group_by"))
+                groups = _stream_join_group_by(
+                    rows, list(stage[1]), shards, executor, stats
+                )
+                index += 2
+            else:
+                join_stats = ShardedJoinStats()
+                pairs, join_stats = sharded_oblivious_join(
+                    rows,
+                    list(stage[1]),
+                    shards=shards,
+                    stats=join_stats,
+                    executor=executor,
+                )
+                stats.stage_stats.append(join_stats)
+                rows = [tuple(pair) for pair in pairs.tolist()]
+                stats.sizes.append(len(rows))
+                index += 1
+        elif name == "multiway":
+            result = sharded_multiway_join(
+                [rows] + [list(table) for table in stage[1]],
+                list(stage[2]),
+                shards=shards,
+                executor=executor,
+            )
+            rows = [tuple(row) for row in result.rows]
+            stats.sizes.append(len(rows))
+            index += 1
+        elif name == "group_by":
+            aggregate_stats = ShardedAggregateStats()
+            groups = sharded_group_by(
+                rows, shards=shards, stats=aggregate_stats, executor=executor
+            )
+            stats.stage_stats.append(aggregate_stats)
+            stats.sizes.append(len(groups))
+            index += 1
+        else:  # order_by
+            spec = list(stage[1])
+            key_columns = [
+                ([row[column] for row in rows], ascending)
+                for column, ascending in spec
+            ]
+            permutation = sharded_order_permutation(
+                key_columns, len(rows), shards=shards, executor=executor
+            )
+            rows = [rows[position] for position in permutation]
+            stats.sizes.append(len(rows))
+            index += 1
+
+    return PipelineResult(
+        rows=None if groups is not None else rows,
+        groups=groups,
+        sizes=list(stats.sizes),
+        stats=stats,
+    )

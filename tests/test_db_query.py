@@ -145,6 +145,54 @@ def test_engine_operations_share_one_tracer():
     assert sink.count > 0
 
 
+def test_pipeline_runs_chain_and_exposes_full_dag_plan():
+    """Regression: ``stats.plan`` must expose the *executed* DAG end to
+    end — every stage's operator nodes plus the streaming channel edges —
+    not just the final operator's sub-plan."""
+    source = DBTable.from_rows(
+        ["k:int", "v:int"], [(1, 10), (2, 20), (1, 30), (3, 40), (2, 50)]
+    )
+    right = DBTable.from_rows(["k:int", "w:int"], [(1, 5), (2, 6), (1, 7)])
+    for name in ("traced", "vector", "sharded"):
+        engine = ObliviousEngine(engine=name)
+        result = engine.pipeline(
+            source,
+            [("filter", lambda row: row[1] >= 20), ("join", right), ("group_by",)],
+        )
+        by_key = {row[0]: row for row in result.table.rows}
+        # Survivors (2,20), (1,30), (3,40), (2,50) join 1 + 2 + 0 + 1 ways.
+        assert by_key[30] == (30, 2, 12, 5, 7)
+        assert by_key[20][1] == 1 and by_key[50][1] == 1
+        assert result.sizes == [5, 4, 4, 3]
+        assert result.table.schema.names() == [
+            "l_v", "count", "sum_r_w", "min_r_w", "max_r_w",
+        ]
+        plan = result.stats.plan
+        assert plan.workload == "pipeline"
+        stages = plan.shape("stages")
+        assert len(stages) == 4 and stages[0] == ("source", 5)
+        ops = {node.op for node in plan.nodes}
+        assert "channel" in ops  # the streaming edges are first-class nodes
+        staged = {
+            node.attr("stage")
+            for node in plan.nodes
+            if node.attr("stage") is not None
+        }
+        # Every operator stage contributed nodes to the one DAG.
+        assert {1, 2, 3} <= staged, (name, staged, ops)
+
+
+def test_pipeline_rejects_wide_stage_tables():
+    engine = ObliviousEngine()
+    wide = DBTable.from_rows(["a:int", "b:int", "c:int"], [(1, 2, 3)])
+    with pytest.raises(SchemaError):
+        engine.pipeline(wide, [("group_by",)])
+    narrow = DBTable.from_rows(["k:int", "v:int"], [(1, 2)])
+    strings = DBTable.from_rows(["k:int", "s:str"], [(1, "x")])
+    with pytest.raises(SchemaError):
+        engine.pipeline(narrow, [("join", strings)])
+
+
 def test_query_trace_independent_of_data():
     """End-to-end §6.1 experiment at the SQL layer."""
 

@@ -1,0 +1,245 @@
+"""Cross-engine differential suite for streaming pipeline execution.
+
+The streamed query-DAG path (:mod:`repro.shard.pipeline`) must be
+*bit-identical* to running the operators one at a time on any engine —
+including when blocks complete in adversarial order (the ``shuffle``
+executor) and when they travel between workers through shared memory (the
+``pool``/``async`` executors).  Hypothesis drives whole chains —
+filter -> join, join -> group_by, filter -> multiway -> order_by — through
+every engine x executor configuration against the traced reference, and a
+seed sweep pins that the shuffled completion order changes neither the
+output nor the compiled plan.
+
+``REPRO_ENGINES`` / ``REPRO_EXECUTORS`` restrict the configuration list
+exactly as in ``test_engine_properties.py`` — the CI matrix reuses them to
+parametrise the pipeline differential job per (engine, executor).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.engines import ShardedEngine, available_engines, get_engine
+from repro.plan import ShuffleExecutor, available_executors
+
+ENGINES = [
+    name
+    for name in available_engines()
+    if name in os.environ.get("REPRO_ENGINES", ",".join(available_engines())).split(",")
+]
+
+EXECUTORS = [
+    name
+    for name in available_executors()
+    if name
+    in os.environ.get("REPRO_EXECUTORS", ",".join(available_executors())).split(",")
+]
+
+REFERENCE = "traced"
+
+#: Registry defaults, a lopsided shard count, one sharded configuration per
+#: non-default executor, and a padded configuration exercising the
+#: operator-at-a-time fallback ShardedEngine.pipeline takes outside
+#: revealed mode.
+CONFIGURATIONS = ENGINES + (
+    [
+        pytest.param(ShardedEngine(shards=5), id="sharded[shards=5]"),
+        pytest.param(
+            ShardedEngine(shards=3, padding="worst_case"),
+            id="sharded[padding=worst_case]",
+        ),
+    ]
+    + [
+        pytest.param(
+            ShardedEngine(shards=3, workers=2, executor=name),
+            id=f"sharded[executor={name}]",
+        )
+        for name in EXECUTORS
+        if name != "inline"
+    ]
+    if "sharded" in ENGINES
+    else []
+)
+
+
+@st.composite
+def masked_table(draw, max_rows: int = 16):
+    """A (j, d) table plus a same-length filter mask, biased nasty.
+
+    Tiny key/payload spaces force duplicate rows and heavy groups; the
+    mask is drawn independently so all-kept, all-dropped and ragged
+    survivor patterns (including survivor-free shard blocks) all occur.
+    """
+    key_space = draw(st.sampled_from([1, 2, 3, 40]))
+    data_space = draw(st.sampled_from([2, 5, 1000]))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=key_space - 1),
+                st.integers(min_value=0, max_value=data_space - 1),
+            ),
+            max_size=max_rows,
+        )
+    )
+    mask = draw(
+        st.lists(st.booleans(), min_size=len(rows), max_size=len(rows))
+    )
+    return rows, mask
+
+
+@st.composite
+def table(draw, max_rows: int = 16):
+    key_space = draw(st.sampled_from([1, 2, 3, 40]))
+    data_space = draw(st.sampled_from([2, 5, 1000]))
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=key_space - 1),
+                st.integers(min_value=0, max_value=data_space - 1),
+            ),
+            max_size=max_rows,
+        )
+    )
+
+
+def _assert_pipelines_agree(configuration, stages):
+    engine = get_engine(configuration)
+    reference = get_engine(REFERENCE).pipeline(stages)
+    result = engine.pipeline(stages)
+    assert result.rows == reference.rows
+    assert result.groups == reference.groups
+    assert result.sizes == reference.sizes
+
+
+# -- streamed chains vs the operator-at-a-time reference ---------------------
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(source=masked_table(), right=table())
+@settings(max_examples=15, deadline=None)
+@example(source=([], []), right=[])
+@example(source=([(0, 0)], [False]), right=[(0, 0)])
+@example(source=([(0, 1), (0, 1), (0, 2)], [True, True, False]), right=[(0, 3), (0, 4)])
+def test_filter_join_pipeline(configuration, source, right):
+    rows, mask = source
+    _assert_pipelines_agree(
+        configuration, [("source", rows), ("filter", mask), ("join", right)]
+    )
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(source=table(), right=table())
+@settings(max_examples=15, deadline=None)
+@example(source=[], right=[])
+@example(source=[(0, 1), (0, 1), (1, 2)], right=[(0, 3), (1, 4), (1, 4)])
+def test_join_group_by_pipeline(configuration, source, right):
+    _assert_pipelines_agree(
+        configuration, [("source", source), ("join", right), ("group_by",)]
+    )
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(source=masked_table())
+@settings(max_examples=15, deadline=None)
+@example(source=([], []))
+@example(source=([(1, 5), (0, 5), (1, 5), (0, 2)], [True, True, True, True]))
+def test_filter_group_by_pipeline(configuration, source):
+    rows, mask = source
+    _assert_pipelines_agree(
+        configuration, [("source", rows), ("filter", mask), ("group_by",)]
+    )
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(source=masked_table())
+@settings(max_examples=15, deadline=None)
+@example(source=([], []))
+@example(source=([(0, 1), (1, 1), (0, 1), (2, 0)], [True, False, True, True]))
+def test_filter_order_by_pipeline(configuration, source):
+    rows, mask = source
+    _assert_pipelines_agree(
+        configuration,
+        [("source", rows), ("filter", mask), ("order_by", [(1, False), (0, True)])],
+    )
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@given(source=masked_table(max_rows=8), mid=table(max_rows=6), last=table(max_rows=4))
+@settings(max_examples=10, deadline=None)
+@example(source=([], []), mid=[], last=[])
+@example(
+    source=([(0, 0), (0, 1)], [True, True]), mid=[(0, 0), (0, 1)], last=[(0, 7)]
+)
+def test_filter_multiway_order_by_pipeline(configuration, source, mid, last):
+    rows, mask = source
+    _assert_pipelines_agree(
+        configuration,
+        [
+            ("source", rows),
+            ("filter", mask),
+            ("multiway", [mid, last], [(0, 0), (0, 0)]),
+            ("order_by", [(1, True), (3, False), (5, True)]),
+        ],
+    )
+
+
+# -- arrival-order independence ----------------------------------------------
+
+#: A fixed adversarial chain: skewed keys, duplicate rows, a survivor-free
+#: middle block at shards=3.
+_SWEEP_SOURCE = [(0, 1), (0, 1), (1, 2), (0, 1), (2, 2), (1, 0), (0, 0), (1, 1), (0, 2)]
+_SWEEP_MASK = [True, True, True, False, False, False, True, True, True]
+_SWEEP_RIGHT = [(0, 5), (1, 6), (0, 5), (3, 7), (1, 6)]
+
+
+@pytest.mark.parametrize(
+    "chain",
+    [
+        pytest.param(
+            [("source", _SWEEP_SOURCE), ("filter", _SWEEP_MASK), ("join", _SWEEP_RIGHT)],
+            id="filter-join",
+        ),
+        pytest.param(
+            [("source", _SWEEP_SOURCE), ("join", _SWEEP_RIGHT), ("group_by",)],
+            id="join-group_by",
+        ),
+        pytest.param(
+            [
+                ("source", _SWEEP_SOURCE),
+                ("filter", _SWEEP_MASK),
+                ("order_by", [(1, True), (0, False)]),
+            ],
+            id="filter-order_by",
+        ),
+    ],
+)
+def test_shuffle_seed_sweep_is_arrival_order_independent(chain):
+    """Ten adversarial completion orders: same bits, same compiled plan."""
+    if "sharded" not in ENGINES:
+        pytest.skip("sharded engine excluded by REPRO_ENGINES")
+    reference = get_engine(REFERENCE).pipeline(chain)
+    digests = set()
+    for seed in range(10):
+        engine = ShardedEngine(shards=3, executor=ShuffleExecutor(seed=seed))
+        result = engine.pipeline(chain)
+        assert result.rows == reference.rows
+        assert result.groups == reference.groups
+        assert result.sizes == reference.sizes
+        digests.add(result.stats.plan.digest())
+    assert len(digests) == 1
+
+
+def test_streamed_edges_recorded():
+    """The streamed path reports which edges streamed; the fallback none."""
+    if "sharded" not in ENGINES:
+        pytest.skip("sharded engine excluded by REPRO_ENGINES")
+    chain = [("source", _SWEEP_SOURCE), ("filter", _SWEEP_MASK), ("join", _SWEEP_RIGHT)]
+    streamed = ShardedEngine(shards=3).pipeline(chain)
+    assert streamed.stats.streamed_edges == [(2, "filter->join")]
+    padded = ShardedEngine(shards=3, padding="worst_case").pipeline(chain)
+    assert padded.stats.streamed_edges == []
+    assert padded.rows == streamed.rows

@@ -377,6 +377,162 @@ def test_padded_filter_via_engine_matches_reference():
     ).filter_indices(mask)
 
 
+# -- pipeline DAG plans --------------------------------------------------------
+
+#: Same-shape chains over very differently distributed data: skewed keys,
+#: all-duplicate keys, empty right side of the mask, ragged survivors.
+PIPELINE_DATASETS = [
+    (DATASET_A[0], [True] * 8, DATASET_A[1]),
+    (DATASET_B[0], [False] * 8, DATASET_B[1]),
+    ([(0, 0)] * 8, [True, False] * 4, [(0, 0)] * 8),
+]
+
+
+def _pipeline_chain(source, mask, right):
+    return [("source", source), ("filter", mask), ("join", right), ("group_by",)]
+
+
+def test_pipeline_plan_bytes_identical_across_adversarial_data():
+    """The executed DAG plan is a pure function of (shapes, k) — skew,
+    all-dup keys, and survivor patterns (mask content) change nothing."""
+    from repro.engines import ShardedEngine
+    from repro.shard.pipeline import check_pipeline_stages
+
+    serialized = {
+        ShardedEngine(shards=3)
+        .pipeline(_pipeline_chain(source, mask, right))
+        .stats.plan.serialize()
+        for source, mask, right in PIPELINE_DATASETS
+    }
+    assert len(serialized) == 1
+    # ... identical to the plan compiled with no data in sight.
+    ops = check_pipeline_stages(_pipeline_chain(*PIPELINE_DATASETS[0]))
+    compiled = get_engine("sharded", shards=3).compile_pipeline(ops)
+    assert serialized == {compiled.serialize()}
+
+
+def test_pipeline_plan_bytes_survive_adversarial_completion_orders():
+    from repro.engines import ShardedEngine
+    from repro.plan import ShuffleExecutor
+
+    source, mask, right = PIPELINE_DATASETS[0]
+    chain = _pipeline_chain(source, mask, right)
+    reference = ShardedEngine(shards=3).pipeline(chain).stats.plan.serialize()
+    for seed in range(4):
+        engine = ShardedEngine(shards=3, executor=ShuffleExecutor(seed=seed))
+        assert engine.pipeline(chain).stats.plan.serialize() == reference
+
+
+def test_pipeline_plan_digest_depends_on_shapes_k_and_bounds():
+    engine = get_engine("sharded", shards=3)
+    base = [("source", {"n": 8}), ("filter", {}), ("join", {"n2": 8})]
+    one = engine.compile_pipeline(base)
+    assert one.serialize() == engine.compile_pipeline(base).serialize()
+    bigger = [("source", {"n": 9}), ("filter", {}), ("join", {"n2": 8})]
+    assert one.digest() != engine.compile_pipeline(bigger).digest()
+    assert (
+        one.digest()
+        != get_engine("sharded", shards=4).compile_pipeline(base).digest()
+    )
+    padded = get_engine("sharded", shards=3, padding="worst_case")
+    assert one.digest() != padded.compile_pipeline(base).digest()
+
+
+def test_pipeline_plan_has_channel_nodes_between_every_stage():
+    engine = get_engine("sharded", shards=3)
+    plan = engine.compile_pipeline(
+        [("source", {"n": 10}), ("filter", {}), ("join", {"n2": 4}), ("group_by", {})]
+    )
+    channels = plan.nodes_by_op("channel")
+    assert len(channels) == 3  # one per operator stage
+    assert channels[0].attr("blocks") == 3
+    # The source channel's per-block capacities come from the partition
+    # plan; post-filter channels carry run-time (revealed) sizes.
+    capacity, counts = partition_plan(10, 3)
+    assert channels[0].attr("capacity") == capacity
+    assert channels[0].attr("counts") == tuple(counts)
+    assert channels[1].attr("capacity") is None
+
+
+# -- streaming dispatch overlap ------------------------------------------------
+
+
+class RecordingExecutor:
+    """Inline lazy executor recording dispatch order across task kinds.
+
+    ``imap`` yields one completion at a time, so anything the consuming
+    driver dispatches per completion lands in ``events`` between
+    completions — making the streamed (no-barrier) schedule observable.
+    """
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, str]] = []
+
+    def map(self, task, payloads):
+        return [task(payload) for payload in payloads]
+
+    def imap(self, task, payloads):
+        for index, payload in enumerate(list(payloads)):
+            result = task(payload)
+            self.events.append(("complete", task.__name__))
+            yield index, result
+
+    def submit(self, task, payload):
+        self.events.append(("submit", task.__name__))
+        from repro.plan.executors import _Immediate
+
+        return _Immediate(task(payload))
+
+
+def test_downstream_tasks_dispatch_before_upstream_finishes():
+    """The tentpole property: >= 1 downstream shard task is dispatched
+    *before* the upstream operator publishes its final block — the edge is
+    a streaming channel, not a barrier."""
+    from repro.shard.pipeline import streamed_pipeline
+
+    source, mask, right = PIPELINE_DATASETS[0]
+    executor = RecordingExecutor()
+    streamed_pipeline(
+        _pipeline_chain(source, mask, right), shards=3, executor=executor
+    )
+    events = executor.events
+    filter_completions = [
+        i for i, (kind, task) in enumerate(events)
+        if kind == "complete" and task == "_filter_block_task"
+    ]
+    sort_submits = [
+        i for i, (kind, task) in enumerate(events)
+        if kind == "submit" and task == "_sort_task"
+    ]
+    assert len(filter_completions) == 3
+    assert sort_submits and sort_submits[0] < filter_completions[-1]
+
+
+def test_join_group_by_edge_streams_partials_per_grid_cell():
+    from repro.shard.pipeline import streamed_pipeline
+
+    source, _, right = PIPELINE_DATASETS[0]
+    executor = RecordingExecutor()
+    streamed_pipeline(
+        [("source", source), ("join", right), ("group_by",)],
+        shards=3,
+        executor=executor,
+    )
+    events = executor.events
+    join_completions = [
+        i for i, (kind, task) in enumerate(events)
+        if kind == "complete" and task == "_join_task"
+    ]
+    aggregate_submits = [
+        i for i, (kind, task) in enumerate(events)
+        if kind == "submit" and task == "_aggregate_task"
+    ]
+    assert len(join_completions) == 9  # the full 3x3 grid
+    assert aggregate_submits and aggregate_submits[0] < join_completions[-1]
+
+
 # -- the CLI plan command -----------------------------------------------------
 
 
