@@ -124,6 +124,103 @@ def run_scaling(
     return rows
 
 
+EXPAND_HEADER = [
+    "engine", "shards", "workers", "segments", "executor", "join", "expand",
+    "vs vector",
+]
+
+
+def skewed_tables(n: int) -> tuple[list, list]:
+    """One hot key holding half of each side: a single grid cell owns
+    almost all of the padded output, which is exactly the shape whose
+    whole-cell expansion serialises the join."""
+    hot = max(n // 2, 1)
+    left = [(0, i) for i in range(hot)] + [(1 + i, i) for i in range(n - hot)]
+    right = [(0, n + i) for i in range(hot)] + [(1 + i, n + i) for i in range(n - hot)]
+    return left, right
+
+
+def run_expand_segments(
+    n: int,
+    workers_list: list[int],
+    shards: int | None,
+    segments_list: list[int],
+    records: list[dict] | None = None,
+) -> list[list]:
+    """Time the padded skewed-cell join per (workers, expand_segments).
+
+    The workload is one maximally skewed cell (``skewed_tables``) run under
+    ``worst_case`` padding, so the distribute-expand dominates; the sweep
+    shows what splitting it into ``expand_segment`` tasks buys.  Rows (and
+    the ``BENCH_parallelism.json`` records, ``padding=worst_case`` with a
+    ``segments`` key and the ``expand_seconds`` phase — the grid-task time
+    of the segmented expansion) are normalised by the padded vector join
+    measured in the same run.
+    """
+    left, right = skewed_tables(n)
+    target = len(left) * len(right)
+
+    start = time.perf_counter()
+    expected, _ = vector_oblivious_join(left, right, target_m=target)
+    t_vector = time.perf_counter() - start
+
+    baseline_pairs = None
+    rows = [["vector", "-", "-", "-", "-", f"{t_vector:.3f}s", "-", "1.00x"]]
+    for workers in workers_list:
+        k = shards if shards is not None else max(2, workers)
+        warm_pool(workers)
+        executor = resolve_executor(None, workers=workers)
+        for segments in segments_list:
+            start = time.perf_counter()
+            pairs, stats = sharded_oblivious_join(
+                left,
+                right,
+                shards=k,
+                workers=workers,
+                executor=executor,
+                target_m=target,
+                expand_segments=segments,
+            )
+            t_sharded = time.perf_counter() - start
+            if baseline_pairs is None:
+                baseline_pairs = pairs
+            assert pairs.tolist() == baseline_pairs.tolist(), (
+                "segmented expansion diverges across segment counts"
+            )
+            t_expand = stats.seconds_by_phase.get("tasks", 0.0)
+            rows.append(
+                [
+                    "sharded",
+                    k,
+                    workers,
+                    segments,
+                    executor.name,
+                    f"{t_sharded:.3f}s",
+                    f"{t_expand:.3f}s",
+                    f"{t_vector / t_sharded:.2f}x",
+                ]
+            )
+            if records is not None:
+                records.append(
+                    {
+                        "engine": "sharded",
+                        "workload": "join",
+                        "padding": "worst_case",
+                        "n": n,
+                        "seed": 0,
+                        "shards": k,
+                        "workers": workers,
+                        "executor": executor.name,
+                        "transport": executor.transport,
+                        "segments": segments,
+                        "seconds": t_sharded,
+                        "expand_seconds": t_expand,
+                        "reference_seconds": t_vector,
+                    }
+                )
+    return rows
+
+
 PIPELINE_HEADER = [
     "engine", "shards", "workers", "chain", "streamed edges", "seconds",
     "vs vector",
@@ -240,6 +337,25 @@ def main(argv: list[str] | None = None) -> int:
         "(one whole-DAG row per worker count, workload=pipeline in the "
         "JSON artifact)",
     )
+    parser.add_argument(
+        "--expand-segments",
+        type=int,
+        nargs="+",
+        default=None,
+        dest="expand_segments",
+        metavar="SEGMENTS",
+        help="also sweep the padded skewed-cell join at these per-cell "
+        "expansion segment counts (e.g. --expand-segments 1 4; emits "
+        "padding=worst_case records with an expand_seconds phase column)",
+    )
+    parser.add_argument(
+        "--expand-n",
+        type=int,
+        default=256,
+        dest="expand_n",
+        help="rows per input for the --expand-segments sweep (default: 256 "
+        "— the worst_case bound is quadratic, so this stays small)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     args = parser.parse_args(argv)
     records: list[dict] | None = [] if args.json else None
@@ -257,6 +373,22 @@ def main(argv: list[str] | None = None) -> int:
         "\n reassembly tail after grid results stream into the tournament)"
     )
     report("parallelism_scaling", text)
+    if args.expand_segments:
+        expand_rows = run_expand_segments(
+            args.expand_n, args.workers, args.shards, args.expand_segments,
+            records=records,
+        )
+        report(
+            "parallelism_expand_segments",
+            fmt_table(
+                EXPAND_HEADER[:5] + [f"join n={args.expand_n}", "expand", "vs vector"],
+                expand_rows,
+            )
+            + "\n\n(one maximally skewed cell under worst_case padding; the"
+            "\n expand column is the grid-task phase — the distribute-expand"
+            "\n split into plan-bounded expand_segment tasks — whose segment"
+            "\n windows are pure functions of (n1, n2, k, target))",
+        )
     if args.pipeline:
         pipeline_rows = run_pipeline(
             args.n, args.workers, args.shards, args.seed, records=records
@@ -338,6 +470,25 @@ def test_sharded_scaling_smoke(benchmark):
     benchmark(lambda: sharded_oblivious_join(
         balanced_output(256, seed=1).left, balanced_output(256, seed=1).right,
         shards=2, workers=1))
+
+
+def test_expand_segments_sweep_mode():
+    """--expand-segments sweeps the padded skewed-cell join: identical
+    output at every segment count, and each artifact record carries the
+    expand_seconds phase plus the segments key the gate disambiguates on."""
+    records: list[dict] = []
+    rows = run_expand_segments(64, [1, 2], shards=2, segments_list=[1, 3], records=records)
+    assert len(rows) == 1 + 2 * 2 and rows[0][0] == "vector"
+    assert [row[3] for row in rows[1:]] == [1, 3, 1, 3]
+    assert all(
+        r["padding"] == "worst_case"
+        and r["expand_seconds"] >= 0
+        and r["reference_seconds"] > 0
+        and r["segments"] in (1, 3)
+        for r in records
+    )
+    report("parallelism_expand_smoke", fmt_table(
+        EXPAND_HEADER[:5] + ["join n=64", "expand", "vs vector"], rows))
 
 
 def test_pipeline_smoke_mode():

@@ -106,6 +106,8 @@ def engine_options(args: argparse.Namespace) -> dict:
         options["shards"] = args.shards
     if getattr(args, "executor", None) is not None:
         options["executor"] = args.executor
+    if getattr(args, "expand_segments", None) is not None:
+        options["expand_segments"] = args.expand_segments
     if getattr(args, "padding", None) not in (None, "revealed"):
         options["padding"] = args.padding
     if getattr(args, "bound", None) is not None:
@@ -298,6 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
         "streaming merge); default: inline at --workers 1, pool above",
     )
     join.add_argument(
+        "--expand-segments",
+        type=int,
+        default=None,
+        dest="expand_segments",
+        help="sharded engine, padded modes: split each grid cell's "
+        "distribute-expand into this many plan-bounded segment tasks "
+        "(default: shape-driven — only output-heavy cells split)",
+    )
+    join.add_argument(
         "--padding",
         default="revealed",
         choices=PADDING_MODES,
@@ -356,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="sharded engine: partitions per input (default: 2)",
+    )
+    plan.add_argument(
+        "--expand-segments",
+        type=int,
+        default=None,
+        dest="expand_segments",
+        help="sharded engine, padded modes: per-cell expansion segment "
+        "count shown as expand_segment plan nodes (default: shape-driven)",
     )
     plan.add_argument(
         "--padding",

@@ -58,7 +58,7 @@ from ..core.multiway import MultiwayResult
 from ..errors import InputError
 from ..memory.tracer import Tracer
 from ..plan.executors import check_workers, resolve_executor
-from ..plan.partition import check_shards
+from ..plan.partition import check_expand_segments, check_shards
 from ..shard.aggregate import sharded_group_by, sharded_join_aggregate
 from ..shard.join import sharded_oblivious_join
 from ..shard.multiway import sharded_multiway_join
@@ -72,7 +72,14 @@ class ShardedEngine(PaddingOptionsMixin):
     """Sharded multi-process engine: padded partitions, identical outputs."""
 
     name = "sharded"
-    OPTIONS = ("shards", "workers", "executor", "padding", "bound")
+    OPTIONS = (
+        "shards",
+        "workers",
+        "executor",
+        "padding",
+        "bound",
+        "expand_segments",
+    )
 
     def __init__(
         self,
@@ -81,12 +88,18 @@ class ShardedEngine(PaddingOptionsMixin):
         executor: str | None = None,
         padding: str | None = None,
         bound=None,
+        expand_segments: int | None = None,
     ) -> None:
         self.workers = check_workers(workers)
         self._shards = None if shards is None else check_shards(shards)
         self._executor_name = executor
         # Resolve eagerly so an unknown name fails at configuration time.
         self.executor = resolve_executor(executor, workers=self.workers)
+        self.expand_segments = (
+            None
+            if expand_segments is None
+            else check_expand_segments(expand_segments)
+        )
         self._init_padding(padding, bound)
 
     @property
@@ -103,6 +116,7 @@ class ShardedEngine(PaddingOptionsMixin):
             executor=options.get("executor", self._executor_name),
             padding=options.get("padding", self.padding),
             bound=options.get("bound", self.bound),
+            expand_segments=options.get("expand_segments", self.expand_segments),
         )
 
     def join(
@@ -118,6 +132,7 @@ class ShardedEngine(PaddingOptionsMixin):
             shards=self.shards,
             target_m=self._join_target(left, right, target_m),
             executor=self.executor,
+            expand_segments=self.expand_segments,
         )
         return JoinResult(
             pairs=[tuple(p) for p in pairs.tolist()],
@@ -142,6 +157,7 @@ class ShardedEngine(PaddingOptionsMixin):
             padding=padding,
             bound=bound,
             executor=self.executor,
+            expand_segments=self.expand_segments,
         )
 
     def aggregate(

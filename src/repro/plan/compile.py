@@ -31,7 +31,7 @@ from __future__ import annotations
 from ..core.padding import cascade_bounds, check_padding, join_bound
 from ..errors import InputError
 from .ir import Plan, PlanBuilder, tournament_schedule
-from .partition import check_shards, partition_plan
+from .partition import check_shards, expand_segment_plan, partition_plan
 
 #: Workload names `compile_workload` accepts.
 WORKLOADS = (
@@ -130,17 +130,38 @@ def inline_join_plan(engine: str, n1: int, n2: int, target: int | None) -> Plan:
     return builder.build()
 
 
-def sharded_join_plan(n1: int, n2: int, k: int, target: int | None) -> Plan:
+def sharded_join_plan(
+    n1: int,
+    n2: int,
+    k: int,
+    target: int | None,
+    expand_segments: int | None = None,
+) -> Plan:
     """The sharded join's full public schedule: presort, grid, merge.
 
     Everything here — the partition plans, each grid cell's input sizes and
-    padded output bound, the merge tournament's run lengths, the output
-    truncation point — is derived from ``(n1, n2, k, target)`` only.  The
-    driver (:func:`repro.shard.join.sharded_oblivious_join`) *consumes*
-    this plan: its per-task bounds come from the ``grid_join`` nodes.
+    padded output bound, the expansion segment windows, the merge
+    tournament's run lengths, the output truncation point — is derived from
+    ``(n1, n2, k, target)`` only.  The driver
+    (:func:`repro.shard.join.sharded_oblivious_join`) *consumes* this plan:
+    its per-task bounds come from the ``grid_join`` nodes and their child
+    ``expand_segment`` nodes.
+
+    Under padded modes every grid cell's distribute-expand is split into
+    ``expand_segment`` nodes — contiguous output windows ``[lo, hi)`` from
+    :func:`~repro.plan.partition.expand_segment_plan`, each a separately
+    dispatchable task whose sorted sub-run is a leaf of the output merge
+    tournament.  ``expand_segments`` overrides the per-cell segment count
+    (``None`` = the default shape-driven policy, which splits only
+    output-heavy cells).  Unpadded (``target is None``) cells reveal their
+    output size at run time, so they stay whole: a data-dependent split
+    point would itself be a leak.
     """
     check_shards(k)
-    builder = PlanBuilder("join", "sharded", n1=n1, n2=n2, k=k, target=target)
+    shapes: dict = {"n1": n1, "n2": n2, "k": k, "target": target}
+    if expand_segments is not None:
+        shapes["segments"] = expand_segments
+    builder = PlanBuilder("join", "sharded", **shapes)
     cap1, counts1 = partition_plan(n1, k)
     cap2, counts2 = partition_plan(n2, k)
 
@@ -169,26 +190,45 @@ def sharded_join_plan(n1: int, n2: int, k: int, target: int | None) -> Plan:
     right_part = builder.add(
         "partition", side="right", n=n2, k=k, capacity=cap2, counts=counts2
     )
-    cells = []
+    leaves: list[int] = []
+    leaf_lengths: list[int] = []
     for i in range(k):
         for j in range(k):
-            cells.append(
-                builder.add(
-                    "grid_join",
-                    inputs=(left_part, right_part),
-                    cell=(i, j),
-                    n1=counts1[i],
-                    n2=counts2[j],
-                    target=None if target is None else counts1[i] * counts2[j],
-                )
+            cell_target = None if target is None else counts1[i] * counts2[j]
+            cell = builder.add(
+                "grid_join",
+                inputs=(left_part, right_part),
+                cell=(i, j),
+                n1=counts1[i],
+                n2=counts2[j],
+                target=cell_target,
             )
-    run_lengths = (
-        None
-        if target is None
-        else tuple(ci * cj for ci in counts1 for cj in counts2)
-    )
+            if cell_target is None:
+                # Revealed mode: the cell's output size is a run-time leak,
+                # so it executes whole — a split point would leak more.
+                leaves.append(cell)
+                continue
+            _, seg_rows = expand_segment_plan(
+                cell_target, counts1[i], counts2[j], expand_segments
+            )
+            offset = 0
+            for s, rows in enumerate(seg_rows):
+                leaves.append(
+                    builder.add(
+                        "expand_segment",
+                        inputs=(cell,),
+                        cell=(i, j),
+                        segment=s,
+                        lo=offset,
+                        hi=offset + rows,
+                        rows=rows,
+                    )
+                )
+                leaf_lengths.append(rows)
+                offset += rows
+    run_lengths = None if target is None else tuple(leaf_lengths)
     output_root = _add_merge_tournament(
-        builder, tuple(cells), run_lengths, target, "output"
+        builder, tuple(leaves), run_lengths, target, "output"
     )
     merge = builder.add(
         "merge",
@@ -342,6 +382,7 @@ def multiway_plan(
     engine: str,
     bounds: tuple[int, ...] = (),
     k: int | None = None,
+    expand_segments: int | None = None,
 ) -> Plan:
     """A whole cascade's public schedule: one embedded join plan per step.
 
@@ -377,7 +418,9 @@ def multiway_plan(
                 )
                 sub = step_plan.build()
             else:
-                sub = sharded_join_plan(left, right, shapes["k"], target)
+                sub = sharded_join_plan(
+                    left, right, shapes["k"], target, expand_segments
+                )
         else:
             if left is None:
                 step_plan = PlanBuilder("join", engine)
@@ -402,11 +445,14 @@ def compile_join(
     padding: str | None = None,
     bound=None,
     target_m: int | None = None,
+    expand_segments: int | None = None,
 ) -> Plan:
     """Compile a binary join's plan, resolving ``padding`` into a bound."""
     target = target_m if target_m is not None else join_bound(n1, n2, padding, bound)
     if engine == "sharded":
-        return sharded_join_plan(n1, n2, shards if shards is not None else 2, target)
+        return sharded_join_plan(
+            n1, n2, shards if shards is not None else 2, target, expand_segments
+        )
     if engine not in _INLINE_ENGINES:
         raise InputError(f"no plan compiler for engine {engine!r}")
     return inline_join_plan(engine, n1, n2, target)
@@ -419,11 +465,15 @@ def compile_multiway(
     shards: int | None = None,
     padding: str | None = None,
     bound=None,
+    expand_segments: int | None = None,
 ) -> Plan:
     bounds = cascade_bounds(list(sizes), padding, bound)
     if engine != "sharded" and engine not in _INLINE_ENGINES:
         raise InputError(f"no plan compiler for engine {engine!r}")
-    return multiway_plan(list(sizes), engine, bounds=bounds, k=shards)
+    return multiway_plan(
+        list(sizes), engine, bounds=bounds, k=shards,
+        expand_segments=expand_segments,
+    )
 
 
 def compile_aggregate(
@@ -488,6 +538,7 @@ def compile_pipeline(
     shards: int | None = None,
     padding: str | None = None,
     bound=None,
+    expand_segments: int | None = None,
 ) -> Plan:
     """Compile a whole query DAG into one Plan with streaming channel edges.
 
@@ -609,7 +660,9 @@ def compile_pipeline(
             else:
                 target = join_bound(current, n2, mode, bound)
                 if engine == "sharded":
-                    sub = sharded_join_plan(current, n2, k, target)
+                    sub = sharded_join_plan(
+                        current, n2, k, target, expand_segments
+                    )
                 else:
                     sub = inline_join_plan(engine, current, n2, target)
                 current = target
@@ -627,7 +680,10 @@ def compile_pipeline(
             else:
                 sizes = [current, *rest]
                 bounds = cascade_bounds(list(sizes), mode, bound)
-                sub = multiway_plan(sizes, engine, bounds=bounds, k=k)
+                sub = multiway_plan(
+                    sizes, engine, bounds=bounds, k=k,
+                    expand_segments=expand_segments,
+                )
                 current = bounds[-1] if bounds else None
         elif name == "group_by":
             if current is None:
@@ -665,6 +721,7 @@ def compile_workload(
     shards: int | None = None,
     padding: str | None = None,
     bound=None,
+    expand_segments: int | None = None,
 ) -> Plan:
     """Dispatch to the right compiler from CLI-shaped arguments."""
     if workload not in WORKLOADS:
@@ -675,13 +732,15 @@ def compile_workload(
         if n1 is None or n2 is None:
             raise InputError("join plans need n1 and n2")
         return compile_join(
-            n1, n2, engine, shards=shards, padding=padding, bound=bound
+            n1, n2, engine, shards=shards, padding=padding, bound=bound,
+            expand_segments=expand_segments,
         )
     if workload == "multiway":
         if not sizes:
             raise InputError("multiway plans need sizes (one per table)")
         return compile_multiway(
-            sizes, engine, shards=shards, padding=padding, bound=bound
+            sizes, engine, shards=shards, padding=padding, bound=bound,
+            expand_segments=expand_segments,
         )
     if workload == "aggregate":
         if n1 is None or n2 is None:

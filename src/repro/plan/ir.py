@@ -40,7 +40,10 @@ from ..errors import InputError
 #: Serialization format tag, bumped on any change to the byte layout.
 #: Format 3 adds pipeline plans: ``channel`` edge nodes carrying public
 #: per-block capacities between embedded per-operator sub-plans.
-PLAN_FORMAT = 3
+#: Format 4 adds ``expand_segment`` nodes under padded sharded joins: each
+#: grid cell's distribute-expand is split into plan-bounded output windows
+#: whose caps are a pure function of ``(n1, n2, k, target)``.
+PLAN_FORMAT = 4
 
 
 def _freeze(value, context: str):

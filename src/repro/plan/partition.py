@@ -49,3 +49,45 @@ def partition_plan(n: int, k: int) -> tuple[int, tuple[int, ...]]:
     inputs of the same size.
     """
     return shard_capacity(n, k), shard_counts(n, k)
+
+
+#: Default floor on one expansion segment's output rows.  Every segment
+#: re-runs its cell's ``O((n1 + n2) log^2)`` augment sorts, so segments far
+#: smaller than the cell's input would be all overhead and no parallelism.
+EXPAND_SEGMENT_MIN_ROWS = 4096
+
+
+def check_expand_segments(segments: int) -> int:
+    """Validate an explicit per-cell segment count; returns it for chaining."""
+    if not isinstance(segments, int) or isinstance(segments, bool) or segments < 1:
+        raise InputError(
+            f"expand_segments must be an int >= 1, got {segments!r}"
+        )
+    return segments
+
+
+def expand_segment_plan(
+    target: int, n1: int, n2: int, segments: int | None = None
+) -> tuple[int, tuple[int, ...]]:
+    """One padded grid cell's expansion split: ``(capacity, per-segment rows)``.
+
+    A pure function of the cell's public shapes ``(target, n1, n2)`` and the
+    optional explicit ``segments`` override — never of the data, which is
+    what lets the plan compiler emit the windows as ``expand_segment``
+    nodes.  The default policy floors each segment at
+    ``max(EXPAND_SEGMENT_MIN_ROWS, 4 * (n1 + n2 + 2))`` output rows (the
+    ``+ 2`` counts the padded anchor rows), so small cells compile to a
+    single segment and only output-heavy (skewed) cells split.  An explicit
+    ``segments`` asks for that many per cell, clamped so no segment is
+    empty.  The split itself reuses :func:`partition_plan`: windows are
+    contiguous and differ by at most one row.
+    """
+    if not isinstance(target, int) or isinstance(target, bool) or target < 0:
+        raise InputError(f"segment plan needs a target >= 0, got {target!r}")
+    if segments is None:
+        floor = max(EXPAND_SEGMENT_MIN_ROWS, 4 * (n1 + n2 + 2))
+        segments = max(1, target // floor)
+    else:
+        check_expand_segments(segments)
+    segments = min(segments, max(target, 1))
+    return partition_plan(target, segments)

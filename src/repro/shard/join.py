@@ -71,9 +71,14 @@ from ..core.padding import (
 )
 from ..errors import InputError
 from ..plan.compile import sharded_join_plan
-from ..plan.executors import Executor, completion_stream, resolve_executor
+from ..plan.executors import (
+    Executor,
+    completion_stream,
+    publish_columns,
+    resolve_executor,
+)
 from ..plan.ir import Plan
-from ..vector.join import vector_oblivious_join
+from ..vector.join import vector_join_segment, vector_oblivious_join
 from ..vector.sort import vector_bitonic_sort
 from .merge import StreamingTournament, truncate_run
 from .partition import partition_pairs, partition_plan
@@ -176,6 +181,37 @@ def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
     return keyed, dict(stats.comparisons_by_phase)
 
 
+def _expand_segment_task(payload):
+    """One ``expand_segment`` plan node as an executor task (worker side).
+
+    Like :func:`_join_task` but producing only the cell's output window
+    ``[lo, hi)`` via :func:`~repro.vector.join.vector_join_segment` — a
+    contiguous slice of the cell's sorted keyed run, so it is a valid
+    tournament leaf as-is.  The worker applies the fused expand-truncate
+    bound *before* publishing (the parent cannot truncate a ref tree), and
+    counts the window's real rows pre-truncation so the parent's bound
+    check sees every over-bound row even though the merge truncates early.
+    Returns ``(run_or_refs, segment_name, comparisons, real_rows)`` with
+    the same publish contract as :func:`repro.shard.merge.merge_pair_task`.
+    """
+    lj, ld, lreal, rj, rd, rreal, task_target, lo, hi, truncate, publish = payload
+    left = np.stack([lj[:lreal], ld[:lreal]], axis=1)
+    right = np.stack([rj[:rreal], rd[:rreal]], axis=1)
+    keyed, stats = vector_join_segment(left, right, task_target, lo, hi)
+    real_rows = int(np.count_nonzero(keyed[:, 1] >= 0))
+    run = {
+        "j": keyed[:, 0].copy(),
+        "d1": keyed[:, 1].copy(),
+        "d2": keyed[:, 2].copy(),
+    }
+    run = truncate_run(run, truncate)
+    comparisons = dict(stats.comparisons_by_phase)
+    if publish:
+        encoded, segment = publish_columns(run)
+        return encoded, segment, comparisons, real_rows
+    return run, None, comparisons, real_rows
+
+
 def _sharded_rank_sort(
     pairs, shards: int, executor: Executor, stats: ShardedJoinStats
 ) -> dict[str, np.ndarray]:
@@ -206,7 +242,15 @@ def _sharded_rank_sort(
         tournament.close()
         raise
     stats.presort_merge_comparisons = counter[0]
-    stats.seconds_by_phase["presort"] = time.perf_counter() - start
+    # Same split as run_join_grid's tasks/merge: merge work the tournament
+    # executed eagerly inside add() (inline submits) is reassembly time,
+    # not shard-sort time — without the subtraction the inline executor
+    # would double-attribute it and the phase totals would not partition
+    # the wall clock.
+    fold_seconds = tournament.seconds
+    elapsed = time.perf_counter() - start
+    stats.seconds_by_phase["presort"] = max(elapsed - fold_seconds, 0.0)
+    stats.seconds_by_phase["presort_merge"] = fold_seconds
     return merged
 
 
@@ -229,6 +273,7 @@ def sharded_oblivious_join(
     target_m: int | None = None,
     executor: str | Executor | None = None,
     plan: Plan | None = None,
+    expand_segments: int | None = None,
 ) -> tuple[np.ndarray, ShardedJoinStats]:
     """Sharded Algorithm 1; returns ``(pairs, stats)``.
 
@@ -247,6 +292,14 @@ def sharded_oblivious_join(
     ``plan`` is the compiled public plan to consume; ``None`` compiles it
     here from the same public values (``sharded_join_plan``) — passing one
     in (as the multiway cascade does per step) is exactly equivalent.
+
+    Under padded execution each grid cell's distribute-expand runs as the
+    plan's ``expand_segment`` tasks — independent executor tasks over
+    contiguous output windows whose caps come from
+    :func:`~repro.plan.partition.expand_segment_plan` (a pure function of
+    ``(n1, n2, k, target_m)``), each feeding the streaming output
+    tournament directly.  ``expand_segments`` overrides the per-cell
+    segment count (``None`` = the shape-driven default).
     """
     executor = resolve_executor(executor, workers=workers)
     stats = stats if stats is not None else ShardedJoinStats()
@@ -256,30 +309,58 @@ def sharded_oblivious_join(
         _check_padded_input(left)
         _check_padded_input(right)
     if plan is None:
-        plan = sharded_join_plan(len(left), len(right), shards, target_m)
+        plan = sharded_join_plan(
+            len(left), len(right), shards, target_m, expand_segments
+        )
     else:
         # A caller-supplied plan compiled for other shapes would silently
         # mis-drive the grid (the payload/cell zip truncates); fail loudly.
         supplied = tuple(
-            plan.shape(name) for name in ("n1", "n2", "k", "target")
+            plan.shape(name)
+            for name in ("n1", "n2", "k", "target", "segments")
         )
-        expected = (len(left), len(right), shards, target_m)
+        expected = (len(left), len(right), shards, target_m, expand_segments)
         if supplied != expected:
             raise InputError(
-                f"plan compiled for (n1, n2, k, target)={supplied} cannot "
-                f"drive a join at {expected}"
+                f"plan compiled for (n1, n2, k, target, segments)="
+                f"{supplied} cannot drive a join at {expected}"
             )
     stats.plan = plan
 
     sorted_left = _sharded_rank_sort(left, shards, executor, stats)
     # The grid's public bounds come from the plan, not from the data: one
     # grid_join node per (i, j) cell, row-major — the same order as the
-    # payload list grid_join_payloads builds.
+    # payload list grid_join_payloads builds — and, under padded modes,
+    # that cell's expand_segment windows.
     cell_targets = [node.attr("target") for node in plan.nodes_by_op("grid_join")]
+    segment_windows = (
+        expand_segment_windows(plan, shards) if target_m is not None else None
+    )
     pairs = run_join_grid(
-        sorted_left, right, shards, executor, stats, target_m, cell_targets
+        sorted_left,
+        right,
+        shards,
+        executor,
+        stats,
+        target_m,
+        cell_targets,
+        segment_windows,
     )
     return pairs, stats
+
+
+def expand_segment_windows(plan: Plan, shards: int) -> list[list[tuple[int, int]]]:
+    """Per-cell ``[lo, hi)`` expansion windows from the plan, row-major.
+
+    The plan emits ``expand_segment`` nodes in cell order, segments in
+    window order within each cell, so appending preserves the contiguous
+    ``lo`` ordering the driver relies on.
+    """
+    windows: list[list[tuple[int, int]]] = [[] for _ in range(shards * shards)]
+    for node in plan.nodes_by_op("expand_segment"):
+        i, j = node.attr("cell")
+        windows[i * shards + j].append((node.attr("lo"), node.attr("hi")))
+    return windows
 
 
 def grid_join_payloads(
@@ -325,6 +406,7 @@ def run_join_grid(
     stats: ShardedJoinStats,
     target_m: int | None,
     cell_targets,
+    segment_windows=None,
 ) -> np.ndarray:
     """Run the k*k grid over ``executor`` and reassemble the join output.
 
@@ -333,8 +415,29 @@ def run_join_grid(
     the merged output of a *streamed* upstream stage (e.g. per-block
     filtered runs) without materialising an intermediate table first.
     Returns the ``(m, 2)`` pairs array.
+
+    ``segment_windows`` (per cell, row-major, from
+    :func:`expand_segment_windows`) switches the padded grid to segmented
+    expansion: every window dispatches as its own ``_expand_segment_task``
+    and its sorted sub-run is one tournament leaf, so no whole-cell
+    barrier exists between a skewed cell's expansion and the merge.
+    ``None`` (or unpadded execution, whose revealed cell sizes must not be
+    split at data-dependent points) runs whole cells.
     """
     payloads = grid_join_payloads(sorted_left, right, shards, cell_targets, stats)
+    segmented = segment_windows is not None and target_m is not None
+    if segmented:
+        # Workers publish their sub-runs on remote executors, exactly like
+        # the merge rounds: only ref trees cross back to the parent.
+        publish = bool(getattr(executor, "remote_submit", False))
+        task_payloads = []
+        windows_flat = []
+        for cell_payload, windows in zip(payloads, segment_windows):
+            for lo, hi in windows:
+                task_payloads.append((*cell_payload, lo, hi, target_m, publish))
+                windows_flat.append((lo, hi))
+    else:
+        task_payloads = payloads
 
     # Grid tasks stream into the merge tournament as they complete: the
     # bracket (and with it the comparator schedule) is fixed by the plan's
@@ -343,38 +446,56 @@ def run_join_grid(
     # jitter, not schedule.  Pairwise merges run as executor tasks too,
     # overlapping reassembly with still-running grid cells.
     start = time.perf_counter()
-    stats.task_comparisons = [{} for _ in payloads]
-    stats.task_m = [0] * len(payloads)
+    stats.task_comparisons = [{} for _ in task_payloads]
+    stats.task_m = [0] * len(task_payloads)
     real_rows = 0
     counter = [0]
     tournament = StreamingTournament(
-        len(payloads),
+        len(task_payloads),
         MERGE_KEYS,
         executor=executor,
         counter=counter,
         truncate=target_m,
     )
     try:
-        for index, (keyed, comparisons) in completion_stream(
-            executor, _join_task, payloads
-        ):
-            stats.task_comparisons[index] = comparisons
-            stats.task_m[index] = len(keyed)
-            if target_m is not None:
-                # Client-side bound check input (no trace impact): every
-                # real row carries a rank >= 0, dummies carry -1.  Counted
-                # from the untruncated grid outputs, so streaming the
-                # (truncating) merge early cannot hide over-bound rows.
-                real_rows += int(np.count_nonzero(keyed[:, 1] >= 0))
-            tournament.add(
-                index, {"j": keyed[:, 0], "d1": keyed[:, 1], "d2": keyed[:, 2]}
-            )
+        if segmented:
+            for index, (run, segment, comparisons, task_real) in completion_stream(
+                executor, _expand_segment_task, task_payloads
+            ):
+                stats.task_comparisons[index] = comparisons
+                lo, hi = windows_flat[index]
+                stats.task_m[index] = min(hi - lo, target_m)
+                # Bound-check input: counted worker-side from the window
+                # *before* the fused truncation, so streaming the merge
+                # early cannot hide over-bound rows (see _join_task's
+                # branch below).
+                real_rows += task_real
+                tournament.add_published(index, run, segment)
+        else:
+            for index, (keyed, comparisons) in completion_stream(
+                executor, _join_task, task_payloads
+            ):
+                stats.task_comparisons[index] = comparisons
+                stats.task_m[index] = len(keyed)
+                if target_m is not None:
+                    # Client-side bound check input (no trace impact):
+                    # every real row carries a rank >= 0, dummies carry
+                    # -1.  Counted from the untruncated grid outputs, so
+                    # streaming the (truncating) merge early cannot hide
+                    # over-bound rows.
+                    real_rows += int(np.count_nonzero(keyed[:, 1] >= 0))
+                tournament.add(
+                    index,
+                    {"j": keyed[:, 0], "d1": keyed[:, 1], "d2": keyed[:, 2]},
+                )
         # Merge work executed eagerly inside add() (inline submits) is
         # tournament time, not grid time — split it out so the reported
         # merge phase covers the reassembly on every executor, not just
         # the drain tail of the remote ones.
         fold_seconds = tournament.seconds
-        stats.seconds_by_phase["tasks"] = time.perf_counter() - start - fold_seconds
+        stats.seconds_by_phase["tasks"] = max(
+            time.perf_counter() - start - fold_seconds, 0.0
+        )
         stats.m = sum(stats.task_m) if target_m is None else target_m
 
         start = time.perf_counter()

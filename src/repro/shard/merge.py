@@ -315,6 +315,37 @@ class StreamingTournament:
         self._place(0, index, run)
         self.seconds += time.perf_counter() - start
 
+    def add_published(self, index: int, run, segment: str | None) -> None:
+        """Fold a leaf whose columns a worker parked in shared memory.
+
+        The producer task (an ``expand_segment``) already applied the
+        ``truncate`` bound before publishing, so ``run`` — the encoded ref
+        tree — is placed as-is, and ``segment`` is booked for release
+        exactly like a merge round's published output: it feeds the next
+        pairwise merge by name, and :meth:`close` unlinks it on any abort
+        (including a mid-grid :class:`~repro.errors.BoundError`) while it
+        is still waiting for its bracket mate.  ``segment=None`` (an
+        all-empty run, or a non-publishing executor) falls back to the
+        plain :meth:`add`.
+        """
+        if segment is None:
+            self.add(index, run)
+            return
+        if not 0 <= index < self.runs:
+            raise InputError(
+                f"tournament over {self.runs} runs got leaf index {index}"
+            )
+        if index in self._added:
+            raise InputError(f"tournament leaf {index} was already added")
+        start = time.perf_counter()
+        # Book with the resource tracker immediately: a parent crash
+        # between here and release must still reclaim the segment.
+        adopt_segments([segment])
+        self._added.add(index)
+        self._borne[id(run)] = segment
+        self._place(0, index, run)
+        self.seconds += time.perf_counter() - start
+
     def _place(self, rnd: int, slot: int, value) -> None:
         node = self._up.get((rnd, slot))
         if node is None:

@@ -357,6 +357,10 @@ def _stream_filter_join(
         join_stats,
         None,
         [None] * (shards * shards),
+        # Revealed mode: cell outputs are data-dependent sizes, so there
+        # are no public expand_segment windows to dispatch (see
+        # plan.compile.sharded_join_plan).
+        segment_windows=None,
     )
     stats.stage_stats.append(join_stats)
     stats.sizes.append(len(pairs))
@@ -508,6 +512,10 @@ def _stream_filter_multiway(
         join_stats,
         None,
         [None] * (shards * shards),
+        # Revealed mode: cell outputs are data-dependent sizes, so there
+        # are no public expand_segment windows to dispatch (see
+        # plan.compile.sharded_join_plan).
+        segment_windows=None,
     )
     stats.stage_stats.append(join_stats)
     accumulated = [

@@ -159,6 +159,53 @@ def test_sharded_plans_embed_the_merge_tournament_bracket():
             assert node.attr("rows") is None
 
 
+def test_expand_segment_windows_are_pure_functions_of_shapes():
+    """The byte-pin: segment caps, windows, and the plan digest come from
+    ``expand_segment_plan`` alone — recompiling at the same shapes yields
+    identical bytes, and every node's window is reproducible from the
+    public ``(n1, n2, k, target, segments)`` with no data in sight."""
+    from repro.plan.partition import expand_segment_plan
+
+    n1, n2, k, segments = 10, 7, 3, 4
+    plan = sharded_join_plan(n1, n2, k, n1 * n2, segments)
+    assert plan.serialize() == sharded_join_plan(
+        n1, n2, k, n1 * n2, segments
+    ).serialize()
+    payload = json.loads(plan.serialize())
+    assert payload["shapes"] == {
+        "n1": n1, "n2": n2, "k": k, "target": n1 * n2, "segments": segments,
+    }
+    _, counts1 = partition_plan(n1, k)
+    _, counts2 = partition_plan(n2, k)
+    expected = []
+    for i, c1 in enumerate(counts1):
+        for j, c2 in enumerate(counts2):
+            _, seg_rows = expand_segment_plan(c1 * c2, c1, c2, segments)
+            offset = 0
+            for s, rows in enumerate(seg_rows):
+                expected.append(((i, j), s, offset, offset + rows, rows))
+                offset += rows
+            assert offset == c1 * c2  # windows tile the cell exactly
+    assert [
+        (n.attr("cell"), n.attr("segment"), n.attr("lo"), n.attr("hi"),
+         n.attr("rows"))
+        for n in plan.nodes_by_op("expand_segment")
+    ] == expected
+    # The tournament's leaves are the segment runs, not whole cells: the
+    # output merge's run lengths are exactly the window rows, in order.
+    merge = plan.nodes_by_op("merge")[-1]
+    assert merge.attr("run_lengths") == tuple(rows for *_, rows in expected)
+    # The shape-driven default omits the segments shape (and so keeps the
+    # historical plan bytes distinct from an explicit override).
+    default = sharded_join_plan(n1, n2, k, n1 * n2)
+    assert "segments" not in json.loads(default.serialize())["shapes"]
+    assert default.digest() != plan.digest()
+    # Revealed mode has no public windows to emit.
+    assert sharded_join_plan(n1, n2, k, None, None).nodes_by_op(
+        "expand_segment"
+    ) == []
+
+
 def test_revealed_plans_mark_runtime_sizes_as_null():
     plan = sharded_join_plan(6, 6, 2, None)
     assert all(n.attr("target") is None for n in plan.nodes_by_op("grid_join"))

@@ -5,6 +5,7 @@ the output bits nor the comparator schedule may depend on arrival order.
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
@@ -207,17 +208,36 @@ def test_padded_join_streams_identically_across_substrates():
         ]
 
 
-def test_bounded_abort_still_raises_while_merges_are_in_flight():
+def _shm_segments() -> set[str]:
+    """Names of the live POSIX shared-memory segments (empty off-POSIX)."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return set()
+
+
+@pytest.mark.parametrize("expand_segments", [None, 2])
+def test_bounded_abort_still_raises_while_merges_are_in_flight(expand_segments):
     """The bound check counts untruncated grid outputs, so a too-small
     bound aborts even though the streaming merge already started; the
-    tournament's close() path reclaims the in-flight worker merges."""
+    tournament's close() path reclaims the in-flight worker merges AND
+    the published expand-segment leaf runs — a BoundError mid-grid must
+    not leak the sub-runs workers parked in shared memory."""
     left = [(0, value) for value in range(8)]
     right = [(0, value) for value in range(8)]
     for executor in (ShuffleExecutor(seed=0), PoolExecutor(workers=2)):
+        before = _shm_segments()
         with pytest.raises(BoundError, match="exceeds the public padding bound"):
             sharded_oblivious_join(
-                left, right, shards=2, target_m=16, executor=executor
+                left,
+                right,
+                shards=2,
+                target_m=16,
+                executor=executor,
+                expand_segments=expand_segments,
             )
+        leaked = _shm_segments() - before
+        assert not leaked, (executor.name, expand_segments, leaked)
 
 
 def test_merge_keys_are_the_documented_total_order():
