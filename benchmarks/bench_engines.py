@@ -15,6 +15,14 @@ Runs three ways:
 * ``python benchmarks/bench_engines.py --n 256 --json BENCH_engines.json``
   — the CI perf artifact: every engine x padding mode x workload, one JSON
   record each, so the performance trajectory is tracked run over run.
+
+A fourth mode, ``--join-tree``, sweeps the Yannakakis-style join tree
+against the binary cascade on 3- and 4-table skewed queries: per engine
+and padding mode it times both and — on the bounded records — carries the
+headline comparison (one final-output bound vs compounded per-step bounds,
+and the matching merge-comparator counts), asserted strictly in the tree's
+favour.  ``--join-tree --json BENCH_join_tree.json`` writes the CI
+artifact gated by ``check_bench_regression.py``.
 """
 
 from __future__ import annotations
@@ -134,6 +142,120 @@ _WORST_CASE_CAPS = {"traced": 16}
 _WORST_CASE_DEFAULT_CAP = 64
 
 
+def _tree_query(n: int, tables_count: int):
+    """The canonical skewed acyclic query of the join-tree bench.
+
+    Keys ``k % 3`` on the wide tables, every row of the hot child in the
+    heaviest group — the worst shape for the cascade's compounded
+    per-step padding.  Returns ``(tables, tree edges, cascade keys)``
+    expressing the identical star query both ways.
+    """
+    t0 = [(k % 3, k) for k in range(n)]
+    t1 = [(k % 3, k) for k in range(n)]
+    t2 = [(0, k) for k in range(max(n // 2, 1))]
+    tables = [t0, t1, t2]
+    edges = [(0, 1, 0, 0), (0, 2, 0, 0)]
+    keys = [(0, 0), (0, 0)]
+    if tables_count == 4:
+        tables.append([(k % 3, k) for k in range(max(n // 2, 1))])
+        edges.append((0, 3, 0, 0))
+        keys.append((0, 0))
+    return tables, edges, keys
+
+
+def collect_join_tree_records(n: int, seed: int = 0) -> dict:
+    """The ``BENCH_join_tree.json`` payload: join tree vs binary cascade.
+
+    One record per engine x padding x query (3- and 4-table, keyed as
+    workloads ``join_tree3`` / ``join_tree4`` so the regression checker's
+    record keys stay unique).  The ``bounded`` cap is the query's true
+    output size — the tightest public bound that cannot abort — and those
+    records carry the headline comparison fields, asserted strictly in
+    the tree's favour before anything is written:
+    ``padded_rows_tree`` < ``padded_rows_cascade`` (one target vs the sum
+    of compounded step bounds) and ``merge_comparators_tree`` <
+    ``merge_comparators_cascade`` (both pure functions of the public
+    schedules, measured on the sharded path).
+    """
+    from repro.shard.join_tree import ShardedJoinTreeStats, sharded_join_tree
+    from repro.shard.multiway import ShardedMultiwayStats, sharded_multiway_join
+
+    records: list[dict] = []
+    for tables_count in (3, 4):
+        tables, edges, keys = _tree_query(n, tables_count)
+        workload = f"join_tree{tables_count}"
+        oracle = sorted(get_engine("vector").multiway_join(tables, keys).rows)
+        bound = max(len(oracle), 1)
+
+        tree_stats = ShardedJoinTreeStats()
+        _, tree_stats = sharded_join_tree(
+            tables, edges, shards=2, stats=tree_stats,
+            padding="bounded", bound=bound,
+        )
+        cascade_stats = ShardedMultiwayStats()
+        cascade = sharded_multiway_join(
+            tables, keys, shards=2, stats=cascade_stats,
+            padding="bounded", bound=bound,
+        )
+        comparison = {
+            "padded_rows_tree": tree_stats.target,
+            "padded_rows_cascade": cascade.total_padded_rows,
+            "merge_comparators_tree": tree_stats.merge_comparisons,
+            "merge_comparators_cascade": sum(
+                s.merge_comparisons for s in cascade_stats.step_stats
+            ),
+        }
+        assert comparison["padded_rows_tree"] < comparison["padded_rows_cascade"], (
+            f"{workload}: tree target {comparison['padded_rows_tree']} not "
+            f"below cascade total {comparison['padded_rows_cascade']}"
+        )
+        assert (
+            comparison["merge_comparators_tree"]
+            < comparison["merge_comparators_cascade"]
+        ), f"{workload}: tree merges not below cascade merges"
+
+        for padding in ("revealed", "bounded"):
+            options: dict = (
+                {} if padding == "revealed" else {"padding": padding, "bound": bound}
+            )
+            start = time.perf_counter()
+            expected = get_engine("traced", **options).join_tree(tables, edges)
+            t_traced = time.perf_counter() - start
+            assert sorted(expected.rows) == oracle, (
+                f"traced join tree diverges from the cascade on {workload}"
+            )
+            for engine_name in available_engines():
+                engine = get_engine(engine_name, **options)
+                start = time.perf_counter()
+                result = engine.join_tree(tables, edges)
+                t_engine = time.perf_counter() - start
+                assert result.rows == expected.rows, (
+                    f"{engine_name} join tree diverges on {workload}/{padding}"
+                )
+                record = {
+                    "engine": engine_name,
+                    "workload": workload,
+                    "padding": padding,
+                    "n": n,
+                    "seed": seed,
+                    "seconds": t_engine,
+                    "traced_seconds": t_traced,
+                    "speedup": t_traced / t_engine,
+                }
+                if padding == "bounded":
+                    record.update(comparison)
+                records.append(record)
+    return {
+        "bench": "join_tree",
+        "n": n,
+        "seed": seed,
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": records,
+    }
+
+
 def collect_json_records(n: int, seed: int = 0) -> dict:
     """The ``BENCH_engines.json`` payload: every engine x padding mode.
 
@@ -228,7 +350,63 @@ def main(argv: list[str] | None = None) -> int:
         "write the machine-readable records to PATH (the BENCH_engines.json "
         "CI artifact); worst_case sweeps run at capped sizes",
     )
+    parser.add_argument(
+        "--join-tree",
+        action="store_true",
+        dest="join_tree",
+        help="run the join-tree-vs-cascade sweep instead: 3- and 4-table "
+        "skewed queries per engine x padding, with the tree's padded rows "
+        "and merge comparators asserted strictly below the cascade's; "
+        "with --json, writes the BENCH_join_tree.json CI artifact",
+    )
     args = parser.parse_args(argv)
+    if args.join_tree:
+        # The join-tree sweep fixes its own query/engine/padding grid too.
+        if (
+            args.engine is not None
+            or args.workers is not None
+            or args.shards is not None
+            or args.padding != "revealed"
+            or args.bound is not None
+        ):
+            parser.error(
+                "--join-tree sweeps every engine over its own query grid; "
+                "--engine/--workers/--shards/--padding/--bound do not apply"
+            )
+        payload = collect_join_tree_records(args.n, seed=args.seed)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {len(payload['records'])} records to {args.json}")
+            return 0
+        rows = [
+            [
+                r["workload"],
+                r["engine"],
+                r["padding"],
+                r["n"],
+                f"{r['traced_seconds']:.3f}s",
+                f"{r['seconds']:.4f}s",
+                f"{r['speedup']:.1f}x",
+                r.get("padded_rows_tree", "-"),
+                r.get("padded_rows_cascade", "-"),
+                r.get("merge_comparators_tree", "-"),
+                r.get("merge_comparators_cascade", "-"),
+            ]
+            for r in payload["records"]
+        ]
+        report(
+            "join_tree_sweep",
+            fmt_table(
+                [
+                    "workload", "engine", "padding", "n", "traced", "engine_s",
+                    "speedup", "pad_tree", "pad_cascade", "mrg_tree",
+                    "mrg_cascade",
+                ],
+                rows,
+            ),
+        )
+        return 0
     if args.json:
         # The JSON matrix fixes its own engine/padding grid; accepting (and
         # ignoring) the single-sweep knobs would record a configuration the
@@ -327,6 +505,23 @@ def test_json_artifact(tmp_path):
     combos = {(r["engine"], r["padding"]) for r in payload["records"]}
     assert len(combos) == len(available_engines()) * len(PADDING_MODES)
     assert all(r["seconds"] > 0 for r in payload["records"])
+
+
+def test_join_tree_artifact(tmp_path):
+    """The join-tree artifact must carry the tree-vs-cascade comparison on
+    every bounded record, with the tree strictly ahead on both counts."""
+    path = tmp_path / "BENCH_join_tree.json"
+    assert main(["--n", "12", "--join-tree", "--json", str(path)]) == 0
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["bench"] == "join_tree"
+    workloads = {r["workload"] for r in payload["records"]}
+    assert workloads == {"join_tree3", "join_tree4"}
+    assert all(r["seconds"] > 0 for r in payload["records"])
+    bounded = [r for r in payload["records"] if r["padding"] == "bounded"]
+    assert bounded
+    for record in bounded:
+        assert record["padded_rows_tree"] < record["padded_rows_cascade"]
+        assert record["merge_comparators_tree"] < record["merge_comparators_cascade"]
 
 
 def test_hash_sink_overhead(benchmark):

@@ -2,7 +2,9 @@
 
 Commands
 --------
-``join``     oblivious equi-join of two CSV files
+``join``     oblivious equi-join of two CSV files — or, with ``--join-tree
+             EDGE ...``, an acyclic multiway join of three or more CSVs in
+             one Yannakakis-style pass
              (``--engine traced|vector|sharded``, ``--workers``/``--shards``/
              ``--executor inline|pool|async|shuffle``,
              ``--padding revealed|bounded|worst_case`` with ``--bound``)
@@ -115,13 +117,54 @@ def engine_options(args: argparse.Namespace) -> dict:
     return options
 
 
+def _parse_tree_edge(text: str, numeric: bool = False):
+    """One join-tree edge token: ``PARENT:CHILD:PCOL:CCOL[:BAND]``.
+
+    Tables are numbered by position (0 = first CSV / the root); columns are
+    names on the ``join`` command and integer indices on ``plan``
+    (``numeric=True``); ``BAND=w`` matches ``|parent - child| <= w``.
+    """
+    parts = text.split(":")
+    if len(parts) not in (4, 5):
+        raise SystemExit(
+            f"join-tree edges are PARENT:CHILD:PCOL:CCOL[:BAND], got {text!r}"
+        )
+    try:
+        parent, child = int(parts[0]), int(parts[1])
+        band = int(parts[4]) if len(parts) == 5 else 0
+        pcol = int(parts[2]) if numeric else parts[2]
+        ccol = int(parts[3]) if numeric else parts[3]
+    except ValueError:
+        raise SystemExit(
+            f"join-tree edge {text!r}: table indices"
+            f"{' and columns' if numeric else ''} and BAND must be integers"
+        )
+    return (parent, child, pcol, ccol, band)
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     check_padding_args(args.padding, args.bound)
-    left = _infer_table(args.left)
-    right = _infer_table(args.right)
     engine = ObliviousEngine(engine=args.engine, **engine_options(args))
     try:
-        result = engine.join(left, right, on=(args.left_on, args.right_on))
+        if args.join_tree:
+            tables = [
+                _infer_table(path)
+                for path in [args.left, args.right, *args.tables]
+            ]
+            edges = [_parse_tree_edge(token) for token in args.join_tree]
+            result = engine.join_tree(tables, edges)
+        else:
+            if args.tables:
+                raise SystemExit(
+                    "extra table arguments need --join-tree edge specs"
+                )
+            if args.left_on is None or args.right_on is None:
+                raise SystemExit(
+                    "--left-on and --right-on are required without --join-tree"
+                )
+            left = _infer_table(args.left)
+            right = _infer_table(args.right)
+            result = engine.join(left, right, on=(args.left_on, args.right_on))
     except BoundError as error:
         # The documented bounded-mode abort (a deliberate one-bit leak, see
         # docs/leakage.md) — a clean message, not a traceback.
@@ -214,6 +257,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         shapes["n"] = args.n
     if args.sizes is not None:
         shapes["sizes"] = args.sizes
+    if getattr(args, "edges", None) is not None:
+        shapes["edges"] = [
+            _parse_tree_edge(token, numeric=True) for token in args.edges
+        ]
     try:
         engine = get_engine(args.engine, **engine_options(args))
         if args.stages:
@@ -266,8 +313,24 @@ def build_parser() -> argparse.ArgumentParser:
     join = sub.add_parser("join", help="oblivious equi-join of two CSV files")
     join.add_argument("left")
     join.add_argument("right")
-    join.add_argument("--left-on", required=True, help="left join column")
-    join.add_argument("--right-on", required=True, help="right join column")
+    join.add_argument(
+        "tables",
+        nargs="*",
+        help="additional CSV tables (indices 2, 3, ... for --join-tree)",
+    )
+    join.add_argument("--left-on", default=None, help="left join column")
+    join.add_argument("--right-on", default=None, help="right join column")
+    join.add_argument(
+        "--join-tree",
+        nargs="+",
+        default=None,
+        metavar="EDGE",
+        dest="join_tree",
+        help="acyclic multiway join: tree edges PARENT:CHILD:PCOL:CCOL[:BAND] "
+        "over the tables by position (0 = first CSV, the root); column names "
+        "from each table's header; BAND=w matches |parent - child| <= w; "
+        "replaces --left-on/--right-on",
+    )
     join.add_argument("--output", default="-", help="output CSV ('-' = stdout)")
     join.add_argument(
         "--engine",
@@ -351,6 +414,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="table sizes of a multiway cascade (one per table)",
+    )
+    plan.add_argument(
+        "--edges",
+        nargs="+",
+        default=None,
+        metavar="EDGE",
+        help="join-tree edges PARENT:CHILD:PCOL:CCOL[:BAND] with integer "
+        "column indices (--workload join_tree, together with --sizes)",
     )
     plan.add_argument(
         "--stages",

@@ -49,6 +49,13 @@ class MultiwayResult:
     def __len__(self) -> int:
         return len(self.rows)
 
+    @property
+    def total_padded_rows(self) -> int:
+        """Total rows the padded cascade materialises: the sum of every
+        step's public bound (0 when unpadded).  This is the compounded
+        cost a join tree avoids — it pads the *final* output once."""
+        return sum(self.bounds or ())
+
 
 def encode_handles(rows: list[tuple], key_column: int) -> list[tuple[int, int]]:
     """Project ``rows`` to ``(join_key, row_handle)`` pairs for one join step.

@@ -247,6 +247,95 @@ class ObliviousEngine:
             )
         return current
 
+    def join_tree(self, tables: list[DBTable], tree) -> DBTable:
+        """Acyclic multi-table join via the Yannakakis-style join tree.
+
+        ``tree`` is the edge list: ``(parent, child, parent_col, child_col
+        [, band])`` with tables indexed by position (table 0 the root) and
+        key columns named (or given as indices).  ``band=w`` matches rows
+        with ``|parent_key - child_key| <= w`` — the band/inequality
+        predicate class the cascade cannot express.
+
+        Unlike :meth:`multiway_join`, the engine pays **one** padding bound
+        for the final output instead of one per binary step, and no
+        intermediate relation is ever materialised; the result folds every
+        table's full row in table order (same ``t<k>`` prefixing as the
+        cascade), in the canonical join-tree slot order.
+        """
+        if len(tables) < 2:
+            raise SchemaError("a join tree needs at least two tables")
+        edges = []
+        encoded: set[tuple[int, int]] = set()  # (table index, column index)
+        for edge in tree:
+            parts = tuple(edge)
+            if len(parts) == 4:
+                parts = parts + (0,)
+            if len(parts) != 5:
+                raise SchemaError(
+                    "join-tree edges are (parent, child, parent_col, "
+                    f"child_col[, band]) tuples, got {edge!r}"
+                )
+            parent, child, pcol, ccol, band = parts
+            for node in (parent, child):
+                if not 0 <= node < len(tables):
+                    raise SchemaError(
+                        f"join-tree edge references table {node}; "
+                        f"only {len(tables)} tables were given"
+                    )
+            p_index = (
+                tables[parent].schema.index(pcol) if isinstance(pcol, str) else pcol
+            )
+            c_index = (
+                tables[child].schema.index(ccol) if isinstance(ccol, str) else ccol
+            )
+            if band and (
+                tables[parent].schema.columns[p_index].type == "str"
+                or tables[child].schema.columns[c_index].type == "str"
+            ):
+                raise SchemaError(
+                    "band predicates need int key columns; a distance over "
+                    "dictionary codes has no meaning"
+                )
+            edges.append((parent, child, p_index, c_index, band))
+        # The join-tree engines carry whole rows as int arrays (no opaque
+        # payload handles like the cascade), so *every* str column is
+        # dictionary-encoded — in base-table row order, which keeps the
+        # codes and with them the canonical output order deterministic.
+        for index, table in enumerate(tables):
+            for col, column in enumerate(table.schema.columns):
+                if column.type == "str":
+                    encoded.add((index, col))
+        rows_per_table: list[list[tuple]] = []
+        for index, table in enumerate(tables):
+            str_cols = {col for owner, col in encoded if owner == index}
+            if not str_cols:
+                rows_per_table.append(list(table.rows))
+            else:
+                rows_per_table.append(
+                    [
+                        tuple(
+                            self.encoder.encode(value) if col in str_cols else value
+                            for col, value in enumerate(row)
+                        )
+                        for row in table.rows
+                    ]
+                )
+        result = self.engine.join_tree(rows_per_table, edges, tracer=self.tracer)
+        offsets = [0]
+        folded = tables[0].schema
+        for index, table in enumerate(tables[1:], start=1):
+            offsets.append(offsets[-1] + len(tables[index - 1].schema.columns))
+            folded = folded.concat(table.schema, (f"t{index - 1}", f"t{index}"))
+        decode_positions = {offsets[owner] + col for owner, col in encoded}
+        rows = [
+            tuple(
+                self.encoder.decode(value) if pos in decode_positions else value
+                for pos, value in enumerate(row)
+            )
+            for row in result.rows
+        ]
+        return DBTable(folded, rows)
+
     def pipeline(self, source: DBTable, steps) -> PipelineQueryResult:
         """Run a whole operator chain as one compiled streaming query DAG.
 

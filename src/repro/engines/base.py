@@ -23,6 +23,7 @@ from typing import Protocol, runtime_checkable
 
 from ..core.aggregate import GroupAggregate
 from ..core.join import JoinResult
+from ..core.join_tree import JoinTreeResult
 from ..core.multiway import MultiwayResult
 from ..core.padding import check_padding, compact_pairs, join_bound
 from ..errors import InputError
@@ -244,6 +245,15 @@ class Engine(Protocol):
         padding: str | None = None,
         bound=None,
     ) -> MultiwayResult: ...
+
+    def join_tree(
+        self,
+        tables: list[list[tuple]],
+        edges,
+        tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
+    ) -> JoinTreeResult: ...
 
     def aggregate(
         self, left: Pairs, right: Pairs, tracer: Tracer | None = None

@@ -59,8 +59,10 @@ from ..errors import InputError
 from ..memory.tracer import Tracer
 from ..plan.executors import check_workers, resolve_executor
 from ..plan.partition import check_expand_segments, check_shards
+from ..core.join_tree import JoinTreeResult
 from ..shard.aggregate import sharded_group_by, sharded_join_aggregate
 from ..shard.join import sharded_oblivious_join
+from ..shard.join_tree import sharded_join_tree
 from ..shard.multiway import sharded_multiway_join
 from ..shard.pipeline import PipelineResult, PipelineStats, streamed_pipeline
 from ..shard.relational import sharded_filter_indices, sharded_order_permutation
@@ -159,6 +161,27 @@ class ShardedEngine(PaddingOptionsMixin):
             executor=self.executor,
             expand_segments=self.expand_segments,
         )
+
+    def join_tree(
+        self,
+        tables: list[list[tuple]],
+        edges,
+        tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
+    ) -> JoinTreeResult:
+        padding, bound = self._cascade_padding(padding, bound)
+        result, _stats = sharded_join_tree(
+            tables,
+            edges,
+            shards=self.shards,
+            workers=self.workers,
+            executor=self.executor,
+            padding=padding,
+            bound=bound,
+            expand_segments=self.expand_segments,
+        )
+        return result
 
     def aggregate(
         self, left: Pairs, right: Pairs, tracer: Tracer | None = None

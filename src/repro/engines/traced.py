@@ -14,6 +14,7 @@ from ..core.aggregate import (
     oblivious_join_aggregate,
 )
 from ..core.join import JoinResult, oblivious_join
+from ..core.join_tree import JoinTreeResult, oblivious_join_tree
 from ..core.multiway import MultiwayResult, oblivious_multiway_join
 from ..memory.public import PublicArray
 from ..memory.tracer import Tracer
@@ -103,6 +104,19 @@ class TracedEngine(PaddingOptionsMixin):
         padding, bound = self._cascade_padding(padding, bound)
         return oblivious_multiway_join(
             tables, keys, tracer=tracer, padding=padding, bound=bound
+        )
+
+    def join_tree(
+        self,
+        tables: list[list[tuple]],
+        edges,
+        tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
+    ) -> JoinTreeResult:
+        padding, bound = self._cascade_padding(padding, bound)
+        return oblivious_join_tree(
+            tables, edges, tracer=tracer, padding=padding, bound=bound
         )
 
     def aggregate(

@@ -16,7 +16,9 @@ from ..core.multiway import MultiwayResult
 from ..errors import InputError
 from ..memory.tracer import Tracer
 from ..vector.aggregate import vector_group_by, vector_join_aggregate
+from ..core.join_tree import JoinTreeResult
 from ..vector.join import vector_oblivious_join
+from ..vector.join_tree import vector_join_tree
 from ..vector.multiway import vector_multiway_join
 from ..vector.relational import vector_filter_indices, vector_order_permutation
 from .base import PaddingOptionsMixin, Pairs
@@ -66,6 +68,20 @@ class VectorEngine(PaddingOptionsMixin):
     ) -> MultiwayResult:
         padding, bound = self._cascade_padding(padding, bound)
         return vector_multiway_join(tables, keys, padding=padding, bound=bound)
+
+    def join_tree(
+        self,
+        tables: list[list[tuple]],
+        edges,
+        tracer: Tracer | None = None,
+        padding: str | None = None,
+        bound=None,
+    ) -> JoinTreeResult:
+        padding, bound = self._cascade_padding(padding, bound)
+        result, _stats = vector_join_tree(
+            tables, edges, padding=padding, bound=bound
+        )
+        return result
 
     def aggregate(
         self, left: Pairs, right: Pairs, tracer: Tracer | None = None

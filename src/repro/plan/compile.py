@@ -28,15 +28,27 @@ serialized plan — and therefore the execution schedule — is a function of
 
 from __future__ import annotations
 
+from ..core.join_tree import (
+    child_edge_indices,
+    join_tree_bound,
+    topdown_edge_order,
+    validate_join_tree,
+)
 from ..core.padding import cascade_bounds, check_padding, join_bound
 from ..errors import InputError
 from .ir import Plan, PlanBuilder, tournament_schedule
-from .partition import check_shards, expand_segment_plan, partition_plan
+from .partition import (
+    check_shards,
+    expand_segment_plan,
+    join_tree_window_plan,
+    partition_plan,
+)
 
 #: Workload names `compile_workload` accepts.
 WORKLOADS = (
     "join",
     "multiway",
+    "join_tree",
     "aggregate",
     "group_by",
     "filter",
@@ -433,6 +445,270 @@ def multiway_plan(
     return builder.build()
 
 
+# -- join tree ---------------------------------------------------------------
+
+
+def join_tree_sizes(tables) -> tuple[int, ...]:
+    """Public per-table sizes from either a table list or a size list."""
+    sizes = []
+    for entry in tables:
+        if isinstance(entry, bool):
+            raise InputError(f"join-tree sizes must be ints, got {entry!r}")
+        if isinstance(entry, int):
+            if entry < 0:
+                raise InputError(f"table sizes must be >= 0, got {entry}")
+            sizes.append(entry)
+        else:
+            sizes.append(len(entry))
+    return tuple(sizes)
+
+
+def _plan_tree(sizes, edges):
+    """Validate a tree given only sizes; returns ``(edges, children, order)``.
+
+    The plan layer never sees table widths, so key columns are validated
+    against the widest width any edge implies — the table-level drivers
+    re-validate against the real widths.
+    """
+    from ..core.join_tree import normalize_edges
+
+    edges = normalize_edges(edges)
+    count = len(sizes)
+    widths = [1] * count
+    for edge in edges:
+        if 0 <= edge.parent < count:
+            widths[edge.parent] = max(widths[edge.parent], edge.parent_col + 1)
+        if 0 <= edge.child < count:
+            widths[edge.child] = max(widths[edge.child], edge.child_col + 1)
+    edges = validate_join_tree(widths, edges)
+    return edges, child_edge_indices(edges), topdown_edge_order(edges, count)
+
+
+def _edge_shapes(edges) -> tuple:
+    return tuple(
+        (e.parent, e.child, e.parent_col, e.child_col, e.band) for e in edges
+    )
+
+
+def inline_join_tree_plan(engine: str, sizes, edges, target: int | None) -> Plan:
+    """A join tree's single-process schedule at public sizes.
+
+    One ``multiplicity`` node per edge (bottom-up, deepest first — size
+    ``2 * n_parent + n_child``: two band endpoints per parent row plus the
+    child markers), one ``finalize`` per internal node, one
+    ``distribute_expand`` stab per node over the slot space, and the final
+    ``align_concat``.  ``target=None`` (revealed mode) leaves the
+    slot-space sizes to be revealed at run time (``rows=None``).
+    """
+    sizes = tuple(int(n) for n in sizes)
+    edges, children, order = _plan_tree(sizes, edges)
+    builder = PlanBuilder(
+        "join_tree",
+        engine,
+        sizes=sizes,
+        edges=_edge_shapes(edges),
+        target=target,
+    )
+    inputs = tuple(
+        builder.add("input", table=v, rows=sizes[v]) for v in range(len(sizes))
+    )
+    mult: dict[int, int] = {}
+    for e in reversed(order):
+        edge = edges[e]
+        mult[e] = builder.add(
+            "multiplicity",
+            inputs=(inputs[edge.parent], inputs[edge.child])
+            + tuple(mult[e2] for e2 in children.get(edge.child, ())),
+            edge=e,
+            band=edge.band,
+            rows=2 * sizes[edge.parent] + sizes[edge.child],
+        )
+    fin: dict[int, int] = {}
+    for v in range(len(sizes)):
+        kids = children.get(v, ())
+        if kids:
+            fin[v] = builder.add(
+                "finalize",
+                inputs=tuple(mult[e] for e in kids),
+                node=v,
+                rows=sizes[v],
+            )
+    extra = 0 if target is None else 1  # the root's padding anchor
+    expand: dict[int, int] = {}
+    expand[0] = builder.add(
+        "distribute_expand",
+        inputs=(inputs[0],) + ((fin[0],) if 0 in fin else ()),
+        node=0,
+        rows=None if target is None else target + sizes[0] + extra,
+    )
+    for e in order:
+        edge = edges[e]
+        expand[edge.child] = builder.add(
+            "distribute_expand",
+            inputs=(expand[edge.parent], inputs[edge.child])
+            + ((fin[edge.child],) if edge.child in fin else ()),
+            node=edge.child,
+            edge=e,
+            rows=None if target is None else target + sizes[edge.child],
+        )
+    builder.add(
+        "align_concat",
+        inputs=tuple(expand[v] for v in range(len(sizes))),
+        rows=target,
+    )
+    return builder.build()
+
+
+def sharded_join_tree_plan(
+    sizes,
+    edges,
+    k: int,
+    target: int | None,
+    expand_segments: int | None = None,
+) -> Plan:
+    """The sharded join tree's full public schedule.
+
+    Bottom-up ``multiplicity`` nodes are per-edge worker tasks (grouped by
+    child depth: same-depth edges have no data dependency and dispatch
+    concurrently); ``finalize`` and the ``markers`` catalogues are
+    client-side vector passes; the top-down phase fans out as
+    ``join_tree_window`` tasks — contiguous slot windows from
+    :func:`~repro.plan.partition.join_tree_window_plan` (``expand_segments``
+    overrides the window count; default ``k``, one window per shard slot) —
+    whose sorted sub-runs feed the output merge tournament exactly like the
+    binary join's expansion segments.  Revealed mode (``target=None``)
+    keeps the slot space whole: window boundaries would be a function of
+    the secret ``M``.
+    """
+    check_shards(k)
+    sizes = tuple(int(n) for n in sizes)
+    edges, children, order = _plan_tree(sizes, edges)
+    shapes: dict = {
+        "sizes": sizes,
+        "edges": _edge_shapes(edges),
+        "k": k,
+        "target": target,
+    }
+    if expand_segments is not None:
+        shapes["segments"] = expand_segments
+    builder = PlanBuilder("join_tree", "sharded", **shapes)
+    inputs = tuple(
+        builder.add("input", table=v, rows=sizes[v]) for v in range(len(sizes))
+    )
+    mult: dict[int, int] = {}
+    for e in reversed(order):
+        edge = edges[e]
+        mult[e] = builder.add(
+            "multiplicity",
+            inputs=(inputs[edge.parent], inputs[edge.child])
+            + tuple(mult[e2] for e2 in children.get(edge.child, ())),
+            edge=e,
+            band=edge.band,
+            rows=2 * sizes[edge.parent] + sizes[edge.child],
+        )
+    fin: dict[int, int] = {}
+    for v in range(len(sizes)):
+        kids = children.get(v, ())
+        if kids:
+            fin[v] = builder.add(
+                "finalize",
+                inputs=tuple(mult[e] for e in kids),
+                node=v,
+                rows=sizes[v],
+            )
+    extra = 0 if target is None else 1
+    markers: list[int] = [
+        builder.add(
+            "markers",
+            inputs=(inputs[0],) + ((fin[0],) if 0 in fin else ()),
+            node=0,
+            rows=sizes[0] + extra,
+        )
+    ]
+    for e in order:
+        edge = edges[e]
+        markers.append(
+            builder.add(
+                "markers",
+                inputs=(inputs[edge.child],)
+                + ((fin[edge.child],) if edge.child in fin else ()),
+                node=edge.child,
+                edge=e,
+                rows=sizes[edge.child],
+            )
+        )
+    if target is None:
+        # Revealed mode: the slot space is the run-time-revealed M, so the
+        # expansion executes whole — a window split would leak more.
+        whole = builder.add(
+            "join_tree_expand", inputs=tuple(markers), rows=None
+        )
+        merge = builder.add(
+            "merge", inputs=(whole,), stage="output", run_lengths=None
+        )
+        builder.add("gather", inputs=(merge,), rows=None)
+        return builder.build()
+    _, win_rows = join_tree_window_plan(
+        target, sizes, expand_segments if expand_segments is not None else k
+    )
+    leaves = []
+    offset = 0
+    for s, rows in enumerate(win_rows):
+        leaves.append(
+            builder.add(
+                "join_tree_window",
+                inputs=tuple(markers),
+                window=s,
+                lo=offset,
+                hi=offset + rows,
+                rows=rows,
+            )
+        )
+        offset += rows
+    root = _add_merge_tournament(builder, tuple(leaves), win_rows, target, "output")
+    merge = builder.add(
+        "merge",
+        inputs=(root,),
+        stage="output",
+        run_lengths=win_rows,
+        truncate=target,
+    )
+    builder.add("gather", inputs=(merge,), rows=target)
+    return builder.build()
+
+
+def compile_join_tree(
+    tables,
+    tree,
+    engine: str = "vector",
+    *,
+    shards: int | None = None,
+    padding: str | None = None,
+    bound=None,
+    expand_segments: int | None = None,
+) -> Plan:
+    """Compile a join tree's plan, resolving ``padding`` into one bound.
+
+    ``tables`` may be the tables themselves or just their sizes — only the
+    sizes enter the plan, which is a pure function of
+    ``(sizes, tree, k, padding, bound)``.  ``tree`` is the edge list
+    (``(parent, child, parent_col, child_col[, band])``).
+    """
+    sizes = join_tree_sizes(tables)
+    target = join_tree_bound(sizes, padding, bound)
+    if engine == "sharded":
+        return sharded_join_tree_plan(
+            sizes,
+            tree,
+            shards if shards is not None else 2,
+            target,
+            expand_segments,
+        )
+    if engine not in _INLINE_ENGINES:
+        raise InputError(f"no plan compiler for engine {engine!r}")
+    return inline_join_tree_plan(engine, sizes, tree, target)
+
+
 # -- mode-resolving front door ----------------------------------------------
 
 
@@ -718,6 +994,7 @@ def compile_workload(
     n2: int | None = None,
     n: int | None = None,
     sizes: list[int] | None = None,
+    edges=None,
     shards: int | None = None,
     padding: str | None = None,
     bound=None,
@@ -727,6 +1004,18 @@ def compile_workload(
     if workload not in WORKLOADS:
         raise InputError(
             f"unknown workload {workload!r}; expected one of {WORKLOADS}"
+        )
+    if workload == "join_tree":
+        if not sizes:
+            raise InputError("join_tree plans need sizes (one per table)")
+        if not edges:
+            raise InputError(
+                "join_tree plans need edges "
+                "((parent, child, parent_col, child_col[, band]) per edge)"
+            )
+        return compile_join_tree(
+            list(sizes), edges, engine, shards=shards, padding=padding,
+            bound=bound, expand_segments=expand_segments,
         )
     if workload == "join":
         if n1 is None or n2 is None:

@@ -43,7 +43,12 @@ from ..errors import InputError
 #: Format 4 adds ``expand_segment`` nodes under padded sharded joins: each
 #: grid cell's distribute-expand is split into plan-bounded output windows
 #: whose caps are a pure function of ``(n1, n2, k, target)``.
-PLAN_FORMAT = 4
+#: Format 5 adds ``join_tree`` plans: bottom-up ``multiplicity`` nodes (one
+#: per tree edge), per-node ``finalize``/``markers`` nodes, one
+#: ``distribute_expand`` stab per node (sharded: ``join_tree_window``
+#: slot-space tasks feeding the merge bracket) and a final ``align_concat``
+#: — every attribute a pure function of ``(sizes, edges, k, padding, bound)``.
+PLAN_FORMAT = 5
 
 
 def _freeze(value, context: str):

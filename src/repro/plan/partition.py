@@ -91,3 +91,29 @@ def expand_segment_plan(
         check_expand_segments(segments)
     segments = min(segments, max(target, 1))
     return partition_plan(target, segments)
+
+
+def join_tree_window_plan(
+    target: int, sizes, segments: int | None = None
+) -> tuple[int, tuple[int, ...]]:
+    """A join tree's slot-space split: ``(capacity, per-window rows)``.
+
+    The top-down distribute-expand of a join tree runs over the public slot
+    space ``[0, target)`` and every window's output is independent of every
+    other (each stabs the same per-node marker catalogues), so the split is
+    the unit of sharded dispatch.  A pure function of ``(target, sizes)``
+    plus the optional explicit ``segments`` override.  Each window re-stabs
+    all ``sum(sizes)`` markers, so the default policy floors windows at
+    ``max(EXPAND_SEGMENT_MIN_ROWS, 4 * (sum(sizes) + 1))`` rows (the
+    ``+ 1`` counts the padded root anchor) — small queries compile to one
+    window and only output-heavy targets split.
+    """
+    if not isinstance(target, int) or isinstance(target, bool) or target < 0:
+        raise InputError(f"window plan needs a target >= 0, got {target!r}")
+    if segments is None:
+        floor = max(EXPAND_SEGMENT_MIN_ROWS, 4 * (sum(sizes) + 1))
+        segments = max(1, target // floor)
+    else:
+        check_expand_segments(segments)
+    segments = min(segments, max(target, 1))
+    return partition_plan(target, segments)

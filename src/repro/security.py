@@ -185,22 +185,31 @@ KNOWN_PROFILES: dict[str, ProgramProfile] = {
 #: revealed in *every* mode — the paper's model accepts that — so every
 #: profile lists them.
 LEAKAGE_PROFILES: dict[tuple[str, str], tuple[str, ...]] = {
-    ("traced", "revealed"): ("n1", "n2", "m", "step_sizes", "m_final", "g"),
-    ("traced", "bounded"): ("n1", "n2", "bound", "bounds", "m_final", "g"),
-    ("traced", "worst_case"): ("n1", "n2", "m_final", "g"),
-    ("vector", "revealed"): ("n1", "n2", "m", "step_sizes", "m_final", "g"),
-    ("vector", "bounded"): ("n1", "n2", "bound", "bounds", "m_final", "g"),
-    ("vector", "worst_case"): ("n1", "n2", "m_final", "g"),
+    ("traced", "revealed"): (
+        "n1", "n2", "m", "step_sizes", "tree", "m_final", "g",
+    ),
+    ("traced", "bounded"): (
+        "n1", "n2", "bound", "bounds", "tree", "target", "m_final", "g",
+    ),
+    ("traced", "worst_case"): ("n1", "n2", "tree", "m_final", "g"),
+    ("vector", "revealed"): (
+        "n1", "n2", "m", "step_sizes", "tree", "m_final", "g",
+    ),
+    ("vector", "bounded"): (
+        "n1", "n2", "bound", "bounds", "tree", "target", "m_final", "g",
+    ),
+    ("vector", "worst_case"): ("n1", "n2", "tree", "m_final", "g"),
     ("sharded", "revealed"): (
         "n1", "n2", "k", "partition_plan", "m", "step_sizes",
         "m_ij_grid", "partial_group_counts", "filter_block_counts",
-        "m_final", "g",
+        "tree", "windows", "m_final", "g",
     ),
     ("sharded", "bounded"): (
-        "n1", "n2", "k", "partition_plan", "bound", "bounds", "m_final", "g",
+        "n1", "n2", "k", "partition_plan", "bound", "bounds",
+        "tree", "target", "windows", "m_final", "g",
     ),
     ("sharded", "worst_case"): (
-        "n1", "n2", "k", "partition_plan", "m_final", "g",
+        "n1", "n2", "k", "partition_plan", "tree", "windows", "m_final", "g",
     ),
 }
 

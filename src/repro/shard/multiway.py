@@ -43,6 +43,10 @@ class ShardedMultiwayStats:
 
     step_stats: list[ShardedJoinStats] = field(default_factory=list)
     intermediate_sizes: list[int] = field(default_factory=list)
+    #: Per-step public output bounds of a padded run (empty when revealed) —
+    #: the adversary-visible sizes, one per join step, so comparison tests
+    #: can read the cascade's compounded padding straight off the stats.
+    step_bounds: list[int] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -80,6 +84,7 @@ def sharded_multiway_join(
     if padding != "revealed":
         sizes = [len(t) for t in tables]
         bounds = cascade_bounds(sizes, padding, bound)
+        stats.step_bounds = list(bounds)
         # The cascade's public schedule, fixed before any data moves: one
         # compiled join plan per step at (previous bound, n_s, bound_s).
         step_plans = [

@@ -1,0 +1,475 @@
+"""Vectorised join-tree multiway joins (numpy struct-of-arrays engine).
+
+Phase-for-phase the same algorithm as :mod:`repro.core.join_tree` — one
+bottom-up ``multiplicity`` pass per edge, a ``finalize`` suffix-product
+pass, one ``distribute_expand`` stab per node, and an ``align_concat`` —
+with every pass a whole-array numpy operation whose index patterns depend
+only on ``(sizes, tree, target)``.  Outputs are bit-identical to the
+traced engine (pinned by ``tests/test_join_tree.py``).
+
+The module is organised as kernels around a :class:`JoinTreeCatalogue`:
+
+* :func:`edge_multiplicity` — one bottom-up edge pass (also the sharded
+  engine's per-edge worker task);
+* :func:`build_catalogue` — bottom-up + finalize + marker preparation,
+  producing the per-node marker tables every slot window stabs against;
+* :func:`expand_window` — the top-down stabs for a contiguous slot window
+  ``[lo, hi)`` (also the sharded engine's window worker task): each
+  window's cost is ``O((win + n) log^2)`` per node and its output is
+  independent of every other window, which is what lets the sharded
+  driver fan the slot space out as plan-bounded tasks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.join_tree import (
+    JoinTreeResult,
+    child_edge_indices,
+    join_tree_bound,
+    topdown_edge_order,
+    validate_join_tree_tables,
+)
+from ..core.padding import DUMMY_HANDLE, check_padding, exceeds_bound
+from ..errors import InputError
+from .sort import vector_bitonic_sort
+
+_INT = np.int64
+
+#: Sort keys of every stab: coordinate, marker-before-query tag, position.
+_STAB_KEYS = [("x", True), ("t", True), ("i", True)]
+_UNSTAB_KEYS = [("t", True), ("i", True)]
+
+
+@dataclass
+class VectorJoinTreeStats:
+    """Per-phase wall time and comparator counts of one join-tree run."""
+
+    seconds_by_phase: dict[str, float] = field(default_factory=dict)
+    comparisons_by_phase: dict[str, int] = field(default_factory=dict)
+    m: int = 0
+    target: int | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_phase.values())
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(self.comparisons_by_phase.values())
+
+
+def _table_array(table, width: int) -> np.ndarray:
+    array = np.asarray([tuple(row) for row in table], dtype=_INT)
+    if array.size == 0:
+        array = array.reshape(0, width)
+    if array.ndim != 2:
+        raise InputError("join-tree tables must be sequences of row tuples")
+    return array
+
+
+def edge_multiplicity(
+    parent_key: np.ndarray,
+    child_key: np.ndarray,
+    child_alpha: np.ndarray,
+    band: int,
+    counter: list,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One bottom-up edge pass: per parent row, ``(beta, start)``.
+
+    ``beta`` is the total child ``alpha``-mass matching the parent's key
+    within ``band``; ``start`` the exclusive prefix mass strictly below the
+    band — the base coordinate of the matching run in the child's
+    ``(key, index)``-sorted mass space.  Three oblivious sorts, all of
+    public size: the child prefix sort at ``n_c`` and the combined
+    lo/hi stabbing pass at ``2 * n_v + n_c``.
+    """
+    n_v = len(parent_key)
+    n_c = len(child_key)
+    sc = vector_bitonic_sort(
+        {
+            "x": np.asarray(child_key, dtype=_INT),
+            "i": np.arange(n_c, dtype=_INT),
+            "a": np.asarray(child_alpha, dtype=_INT),
+        },
+        [("x", True), ("i", True)],
+        counter=counter,
+    )
+    acc = np.cumsum(sc["a"], dtype=_INT)
+    parent_key = np.asarray(parent_key, dtype=_INT)
+    combined = {
+        "x": np.concatenate([parent_key - band, sc["x"], parent_key + band]),
+        "t": np.concatenate(
+            [
+                np.zeros(n_v, dtype=_INT),
+                np.ones(n_c, dtype=_INT),
+                np.full(n_v, 2, dtype=_INT),
+            ]
+        ),
+        "i": np.concatenate(
+            [
+                np.arange(n_v, dtype=_INT),
+                np.arange(n_c, dtype=_INT),
+                np.arange(n_v, dtype=_INT),
+            ]
+        ),
+        "acc": np.concatenate(
+            [np.zeros(n_v, dtype=_INT), acc, np.zeros(n_v, dtype=_INT)]
+        ),
+    }
+    combined = vector_bitonic_sort(combined, _STAB_KEYS, counter=counter)
+    size = 2 * n_v + n_c
+    src = np.where(combined["t"] == 1, np.arange(size, dtype=_INT), -1)
+    np.maximum.accumulate(src, out=src)
+    filled = np.where(src >= 0, combined["acc"][np.maximum(src, 0)], 0)
+    combined["acc"] = filled.astype(_INT)
+    combined = vector_bitonic_sort(combined, _UNSTAB_KEYS, counter=counter)
+    lo = combined["acc"][:n_v]
+    hi = combined["acc"][size - n_v :]
+    return (hi - lo).astype(_INT), lo.astype(_INT)
+
+
+def stab_markers(
+    markers: dict[str, np.ndarray],
+    coords: np.ndarray,
+    defaults: dict[str, int],
+    counter: list,
+) -> dict[str, np.ndarray]:
+    """Fill each query coordinate with the last marker at or before it.
+
+    ``markers`` carries the coordinate column ``"x"`` (ascending) plus
+    arbitrary payload columns; queries whose coordinate precedes every
+    marker (the dummy ``-1`` convention) receive ``defaults``.  Two
+    oblivious sorts of public size ``len(markers) + len(coords)``; returns
+    the payload columns in query order.
+    """
+    n = len(markers["x"])
+    q = len(coords)
+    names = [name for name in markers if name != "x"]
+    combined = {
+        "x": np.concatenate([markers["x"], np.asarray(coords, dtype=_INT)]),
+        "t": np.concatenate([np.zeros(n, dtype=_INT), np.ones(q, dtype=_INT)]),
+        "i": np.concatenate(
+            [np.arange(n, dtype=_INT), np.arange(q, dtype=_INT)]
+        ),
+    }
+    for name in names:
+        fill = defaults.get(name, 0)
+        combined[name] = np.concatenate(
+            [np.asarray(markers[name], dtype=_INT), np.full(q, fill, dtype=_INT)]
+        )
+    combined = vector_bitonic_sort(combined, _STAB_KEYS, counter=counter)
+    src = np.where(combined["t"] == 0, np.arange(n + q, dtype=_INT), -1)
+    np.maximum.accumulate(src, out=src)
+    has = src >= 0
+    idx = np.maximum(src, 0)
+    for name in names:
+        fill = defaults.get(name, 0)
+        combined[name] = np.where(has, combined[name][idx], fill).astype(_INT)
+    combined = vector_bitonic_sort(combined, _UNSTAB_KEYS, counter=counter)
+    return {name: combined[name][n:].copy() for name in names}
+
+
+@dataclass
+class JoinTreeCatalogue:
+    """Everything the top-down stabs need, per node — the shippable unit.
+
+    ``root_markers`` / ``edge_markers[e]`` are marker tables (coordinate
+    column ``"x"``, handle ``"h"``, start ``"a"``, data columns
+    ``"d0"..``, and per child edge ``j`` of the marked node the
+    ``"b{j}"/"s{j}"/"q{j}"`` decomposition params).  A window task stabs
+    slot coordinates against these tables and nothing else, so the
+    catalogue is exactly the state the sharded driver broadcasts.
+    """
+
+    sizes: tuple[int, ...]
+    widths: tuple[int, ...]
+    edges: tuple
+    order: tuple[int, ...]
+    children: dict[int, tuple[int, ...]]
+    root_markers: dict[str, np.ndarray]
+    edge_markers: list
+    m: int
+    target: int
+
+
+def _payload_columns(
+    node: int,
+    rows: np.ndarray,
+    widths,
+    children,
+    edge_bs: dict,
+) -> dict[str, np.ndarray]:
+    """A node's marker payload in input order: data + (beta, start, Q)."""
+    n = len(rows)
+    cols: dict[str, np.ndarray] = {
+        f"d{c}": rows[:, c].copy() for c in range(widths[node])
+    }
+    kids = children.get(node, ())
+    suffix = np.ones(n, dtype=_INT)
+    weights = [None] * len(kids)
+    for j in range(len(kids) - 1, -1, -1):
+        weights[j] = suffix
+        suffix = suffix * edge_bs[kids[j]][0]
+    for j, e in enumerate(kids):
+        beta, start = edge_bs[e]
+        cols[f"b{j}"] = beta
+        cols[f"s{j}"] = start
+        cols[f"q{j}"] = weights[j]
+    return cols
+
+
+def _marker_defaults(node: int, widths, children) -> dict[str, int]:
+    defaults = {"h": DUMMY_HANDLE, "a": 0}
+    for c in range(widths[node]):
+        defaults[f"d{c}"] = DUMMY_HANDLE
+    for j in range(len(children.get(node, ()))):
+        defaults[f"b{j}"] = 0
+        defaults[f"s{j}"] = 0
+        defaults[f"q{j}"] = 0
+    return defaults
+
+
+@dataclass
+class JoinTreeInputs:
+    """Validated, array-backed inputs shared by the inline/sharded drivers."""
+
+    arrays: list
+    widths: tuple[int, ...]
+    edges: tuple
+    sizes: tuple[int, ...]
+    children: dict[int, tuple[int, ...]]
+    order: tuple[int, ...]
+
+
+def prepare_tables(tables, edges, padding: str) -> JoinTreeInputs:
+    """Validate and load a join-tree query into numpy arrays."""
+    tables = [[tuple(row) for row in table] for table in tables]
+    widths, edges = validate_join_tree_tables(tables, edges, padding)
+    sizes = tuple(len(table) for table in tables)
+    return JoinTreeInputs(
+        arrays=[_table_array(table, widths[v]) for v, table in enumerate(tables)],
+        widths=tuple(widths),
+        edges=edges,
+        sizes=sizes,
+        children=child_edge_indices(edges),
+        order=topdown_edge_order(edges, len(tables)),
+    )
+
+
+def build_catalogue(
+    tables,
+    edges,
+    padding: str | None = None,
+    bound=None,
+    stats: VectorJoinTreeStats | None = None,
+) -> JoinTreeCatalogue:
+    """Bottom-up + finalize + marker preparation; returns the catalogue."""
+    stats = stats if stats is not None else VectorJoinTreeStats()
+    padding = check_padding(padding)
+    inputs = prepare_tables(tables, edges, padding)
+
+    start_time = time.perf_counter()
+    counter = [0]
+    alpha = [np.ones(n, dtype=_INT) for n in inputs.sizes]
+    edge_bs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for e in reversed(inputs.order):
+        edge = inputs.edges[e]
+        beta, start = edge_multiplicity(
+            inputs.arrays[edge.parent][:, edge.parent_col],
+            inputs.arrays[edge.child][:, edge.child_col],
+            alpha[edge.child],
+            edge.band,
+            counter,
+        )
+        edge_bs[e] = (beta, start)
+        alpha[edge.parent] = alpha[edge.parent] * beta
+    stats.seconds_by_phase["multiplicity"] = time.perf_counter() - start_time
+    stats.comparisons_by_phase["multiplicity"] = counter[0]
+
+    m = int(alpha[0].sum())
+    target = join_tree_bound(inputs.sizes, padding, bound)
+    if target is None:
+        target = m
+    else:
+        exceeds_bound(m, target)
+    stats.m = m
+    stats.target = target
+
+    start_time = time.perf_counter()
+    counter = [0]
+    catalogue = finalize_catalogue(
+        inputs, alpha, edge_bs, m, target, padding != "revealed", counter
+    )
+    stats.seconds_by_phase["finalize"] = time.perf_counter() - start_time
+    stats.comparisons_by_phase["finalize"] = counter[0]
+    return catalogue
+
+
+def finalize_catalogue(
+    inputs: JoinTreeInputs,
+    alpha,
+    edge_bs: dict,
+    m: int,
+    target: int,
+    padded: bool,
+    counter: list,
+) -> JoinTreeCatalogue:
+    """Finalize + marker prep from completed bottom-up results.
+
+    The root's markers sit at the exclusive prefix of ``alpha`` in input
+    order (plus the anchor owning ``[m, target)`` under padded modes); each
+    edge's markers at the exclusive prefix of alpha-mass in
+    ``(key, index)``-sorted child order.  The sharded driver calls this
+    directly after running the bottom-up edge passes as executor tasks.
+    """
+    arrays, widths, edges = inputs.arrays, inputs.widths, inputs.edges
+    sizes, children, order = inputs.sizes, inputs.children, inputs.order
+    payload0 = _payload_columns(0, arrays[0], widths, children, edge_bs)
+    prefix = np.cumsum(alpha[0], dtype=_INT) - alpha[0]
+    root_markers = {
+        "x": prefix.copy(),
+        "h": np.arange(sizes[0], dtype=_INT),
+        "a": prefix.copy(),
+    }
+    root_markers.update(payload0)
+    if padded:
+        anchor = _marker_defaults(0, widths, children)
+        anchor["a"] = m
+        root_markers = {
+            name: np.append(
+                col, np.asarray([m if name == "x" else anchor[name]], dtype=_INT)
+            )
+            for name, col in root_markers.items()
+        }
+
+    edge_markers: list = [None] * len(edges)
+    for e in order:
+        edge = edges[e]
+        c = edge.child
+        payload = _payload_columns(c, arrays[c], widths, children, edge_bs)
+        prep = {
+            "x": arrays[c][:, edge.child_col].copy(),
+            "i": np.arange(sizes[c], dtype=_INT),
+            "al": alpha[c].copy(),
+        }
+        prep.update(payload)
+        prep = vector_bitonic_sort(prep, [("x", True), ("i", True)], counter=counter)
+        mass = np.cumsum(prep["al"], dtype=_INT) - prep["al"]
+        markers = {"x": mass.copy(), "h": prep["i"].copy(), "a": mass.copy()}
+        for name in payload:
+            markers[name] = prep[name]
+        edge_markers[e] = markers
+
+    return JoinTreeCatalogue(
+        sizes=sizes,
+        widths=tuple(widths),
+        edges=edges,
+        order=order,
+        children=children,
+        root_markers=root_markers,
+        edge_markers=edge_markers,
+        m=m,
+        target=target,
+    )
+
+
+def expand_window(
+    catalogue: JoinTreeCatalogue, lo: int, hi: int, counter: list
+) -> list[dict[str, np.ndarray]]:
+    """Top-down stabs for slots ``[lo, hi)``; per-node slot columns.
+
+    Pure in ``(catalogue, lo, hi)`` and independent of every other window
+    — the property that makes windows valid executor tasks whose results
+    can arrive in any order.  Returns one column dict per node holding
+    ``"h"`` (matched row handle, :data:`DUMMY_HANDLE` on pad slots),
+    ``"sg"`` (the slot's residual index inside that row's block) and the
+    node's data columns ``"d0"..``.
+    """
+    if not 0 <= lo <= hi <= catalogue.target:
+        raise InputError(
+            f"join-tree window [{lo}, {hi}) outside the slot space "
+            f"[0, {catalogue.target})"
+        )
+    widths, children = catalogue.widths, catalogue.children
+    slots: list = [None] * len(catalogue.sizes)
+    coords = np.arange(lo, hi, dtype=_INT)
+    stabbed = stab_markers(
+        catalogue.root_markers,
+        coords,
+        _marker_defaults(0, widths, children),
+        counter,
+    )
+    real = stabbed["h"] != DUMMY_HANDLE
+    stabbed["sg"] = np.where(real, coords - stabbed["a"], 0).astype(_INT)
+    slots[0] = stabbed
+    for e in catalogue.order:
+        edge = catalogue.edges[e]
+        parent = slots[edge.parent]
+        j = children[edge.parent].index(e)
+        beta = parent[f"b{j}"]
+        weight = parent[f"q{j}"]
+        digit = (parent["sg"] // np.maximum(weight, 1)) % np.maximum(beta, 1)
+        real = parent["h"] != DUMMY_HANDLE
+        coords = np.where(real, parent[f"s{j}"] + digit, -1).astype(_INT)
+        stabbed = stab_markers(
+            catalogue.edge_markers[e],
+            coords,
+            _marker_defaults(edge.child, widths, children),
+            counter,
+        )
+        real = stabbed["h"] != DUMMY_HANDLE
+        stabbed["sg"] = np.where(real, coords - stabbed["a"], 0).astype(_INT)
+        slots[edge.child] = stabbed
+    return slots
+
+
+def window_rows(catalogue: JoinTreeCatalogue, slots) -> np.ndarray:
+    """Align-concat: zip per-node slot data columns into output rows."""
+    columns = []
+    for v in range(len(catalogue.sizes)):
+        for c in range(catalogue.widths[v]):
+            columns.append(slots[v][f"d{c}"])
+    if not columns:
+        return np.zeros((0, 0), dtype=_INT)
+    return np.stack(columns, axis=1)
+
+
+def vector_join_tree(
+    tables,
+    edges,
+    padding: str | None = None,
+    bound=None,
+    stats: VectorJoinTreeStats | None = None,
+) -> tuple[JoinTreeResult, VectorJoinTreeStats]:
+    """The vectorised join tree; returns ``(result, stats)``.
+
+    ``result.rows`` are bit-identical (values and order) to
+    :func:`repro.core.join_tree.oblivious_join_tree`'s.
+    """
+    stats = stats if stats is not None else VectorJoinTreeStats()
+    padding = check_padding(padding)
+    catalogue = build_catalogue(tables, edges, padding, bound, stats)
+
+    start_time = time.perf_counter()
+    counter = [0]
+    slots = expand_window(catalogue, 0, catalogue.target, counter)
+    stats.seconds_by_phase["distribute_expand"] = time.perf_counter() - start_time
+    stats.comparisons_by_phase["distribute_expand"] = counter[0]
+
+    start_time = time.perf_counter()
+    padded = window_rows(catalogue, slots)
+    rows = [tuple(row) for row in padded[: catalogue.m].tolist()]
+    stats.seconds_by_phase["align_concat"] = time.perf_counter() - start_time
+    result = JoinTreeResult(
+        rows=rows,
+        m=catalogue.m,
+        padding=padding,
+        target=catalogue.target if padding != "revealed" else None,
+        sizes=catalogue.sizes,
+    )
+    return result, stats

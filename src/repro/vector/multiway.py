@@ -42,6 +42,10 @@ class VectorMultiwayStats:
 
     step_stats: list[VectorJoinStats] = field(default_factory=list)
     intermediate_sizes: list[int] = field(default_factory=list)
+    #: Per-step public output bounds of a padded run (empty when revealed) —
+    #: the adversary-visible sizes, one per join step, so comparison tests
+    #: can read the cascade's compounded padding straight off the stats.
+    step_bounds: list[int] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -95,6 +99,7 @@ def vector_multiway_join(
             [len(t) for t in tables], "vector", padding=padding, bound=bound
         )
         bounds = plan.shape("bounds")
+        stats.step_bounds = list(bounds)
 
         def run_step(step, left_pairs, right_pairs, target):
             handles, join_stats = vector_oblivious_join(

@@ -82,6 +82,62 @@ def test_table3_rows_have_all_components():
     assert all(r.exact >= 0 for r in rows)
 
 
+def test_join_tree_beats_cascade_compounded_bounds():
+    """PR 8's headline claim on a canonical 3-table skewed bounded query:
+    the cascade pays a padding bound at *every* step (surfaced per step in
+    ``stats.step_bounds``), the join tree pays one bound for the final
+    output — so the tree's total padded rows and its merge comparator
+    count both land strictly below the cascade's, read from stats on both
+    sides rather than re-derived."""
+    from repro.shard.join_tree import ShardedJoinTreeStats, sharded_join_tree
+    from repro.shard.merge import merge_comparator_count
+    from repro.shard.multiway import ShardedMultiwayStats, sharded_multiway_join
+
+    # Skewed: keys 0..2 on both wide tables, every t2 row in the heaviest
+    # group — the worst shape for compounded per-step padding.
+    t0 = [(i % 3, i) for i in range(12)]
+    t1 = [(i % 3, i) for i in range(12)]
+    t2 = [(0, i) for i in range(8)]
+    tables, bound = [t0, t1, t2], 200
+
+    cascade_stats = ShardedMultiwayStats()
+    cascade = sharded_multiway_join(
+        tables,
+        [(0, 0), (0, 0)],
+        shards=3,
+        stats=cascade_stats,
+        padding="bounded",
+        bound=bound,
+    )
+    tree_stats = ShardedJoinTreeStats()
+    tree, tree_stats = sharded_join_tree(
+        tables,
+        [(0, 1, 0, 0), (0, 2, 0, 0)],
+        shards=3,
+        stats=tree_stats,
+        padding="bounded",
+        bound=bound,
+    )
+    # Same query, bit-equal real rows as a multiset.
+    assert sorted(tree.rows) == sorted(cascade.rows)
+
+    # Bounds: one per cascade step vs one for the whole tree.
+    assert cascade_stats.step_bounds == [144, 200]
+    assert cascade.total_padded_rows == sum(cascade_stats.step_bounds) == 344
+    assert tree_stats.target == bound == 200
+    assert tree_stats.target < cascade.total_padded_rows
+
+    # Merge comparators: the tree reassembles one slot space, the cascade
+    # one padded grid per step; both counts are the pure run-length
+    # formula of their public schedules.
+    cascade_merges = sum(s.merge_comparisons for s in cascade_stats.step_stats)
+    assert tree_stats.merge_comparisons == merge_comparator_count(
+        tree_stats.windows, truncate=tree_stats.target
+    )
+    assert tree_stats.merge_comparisons < cascade_merges
+    assert tree_stats.total_comparisons < cascade_stats.total_comparisons
+
+
 def test_route_share_is_small():
     """Table 3: routing is ~3% of work at paper scale — check the analytic
     counts reproduce the orders of magnitude."""
