@@ -1,0 +1,254 @@
+"""The service layer's reason to exist, measured: cold vs warm, and QPS.
+
+A *cold* query pays the full shape-determined setup — dictionary-encoding
+the key columns, building the pairs arrays, compiling plans/schedules,
+and (sharded) partitioning, publishing columns to shared memory, and
+forking a pool.  A *warm* query on the same :class:`ServiceEngine` hits
+the cross-query caches for all of it and pays only the oblivious operator
+itself.  This bench measures both, per engine configuration, against the
+same-run direct-engine reference, plus a throughput sweep: QPS through
+``ServiceEngine.submit`` at admission concurrency 1 / 4 / 16 (queries
+serialize on the engine — obliviousness is per-schedule — so concurrency
+buys admission overlap, not operator parallelism).
+
+For pooled configurations cold is *true* cold: the process-global pools
+are shut down before each cold repetition, so the fork + worker attach
+are inside the timing — exactly the cost every query pays without the
+service layer, and the bulk of what the warm pool amortises.  The
+sharded/pool configuration is the gated one (``warm_gate``): its
+warm-vs-cold margin is structural (pool fork, shm publish, plans) and
+stays decisive on a noisy box.  The vector rows are reported for context
+but not gated — a plain vector join's only cacheable setup is the key
+scan, a few percent of the operator, within timing jitter on 1 CPU.
+
+``--json PATH`` writes the ``BENCH_service.json`` CI artifact:
+per-query latency records keyed by ``(engine, mode, concurrency)`` with
+the same-run ``reference_seconds`` denominator, gated by
+``check_bench_regression.py`` — which additionally enforces the
+structural invariant that on ``warm_gate`` rows the warm path is
+strictly faster than the cold one at concurrency 1.  The same invariant
+is asserted in-bench, so a cache regression fails the bench run itself,
+baseline or not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import random
+import statistics
+import time
+
+from repro.db.query import ObliviousEngine
+from repro.db.table import DBTable
+from repro.plan.executors import shutdown_pools, shutdown_warm_executors
+from repro.service import ServiceEngine
+
+from bench_common import fmt_table, report
+
+HEADER = [
+    "engine", "n", "mode", "conc", "latency", "qps", "vs direct",
+]
+
+JOIN_SPEC = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+
+#: ``(engine, options, warm_gate)`` configurations the latency sweep
+#: measures.  The sharded/pool row is the gated one — it has the full warm
+#: story (pool fork, worker attach caches, parent-published pinned columns
+#: all persist across queries) and therefore a structural margin; the
+#: vector row is context only (see module docstring).
+CONFIGS = [
+    ("vector", {}, False),
+    ("sharded", {"shards": 2, "workers": 2, "executor": "pool"}, True),
+]
+
+
+def make_tables(n: int, seed: int) -> tuple[DBTable, DBTable]:
+    """Two str-keyed tables with a sparse join (setup-dominated shapes)."""
+    rng = random.Random(seed)
+    keys = [f"key_{value:06d}" for value in range(4 * n)]
+    left = DBTable.from_rows(
+        ["k:str", "v:int"], [(rng.choice(keys), i) for i in range(n)]
+    )
+    right = DBTable.from_rows(
+        ["k:str", "w:int"], [(rng.choice(keys), i) for i in range(n)]
+    )
+    return left, right
+
+
+def direct_reference(left: DBTable, right: DBTable, reps: int) -> float:
+    """Same-run denominator: the plain vector engine running the join."""
+    times = []
+    for _ in range(reps):
+        engine = ObliviousEngine(engine="vector")
+        started = time.perf_counter()
+        engine.join(left, right, ("k", "k"))
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+def cold_latency(engine: str, options: dict, tables, reps: int) -> float:
+    """Best per-query latency with a *fresh* service per query.
+
+    Fresh caches every time, and the process-global executor pools are
+    shut down before each repetition, so a pooled config's fork + worker
+    attach land inside the timing — cold means "first query of a cold
+    service process", which is the state every query pays without the
+    service layer.  The minimum over reps is the comparison statistic for
+    both paths: warm does a strict subset of cold's work, so best-observed
+    latencies separate even when scheduler noise blurs the medians.
+    """
+    left, right = tables
+    times = []
+    for _ in range(reps):
+        shutdown_warm_executors()
+        shutdown_pools()
+        with ServiceEngine(engine=engine, **options) as service:
+            service.register_table("l", left)
+            service.register_table("r", right)
+            started = time.perf_counter()
+            service.query(JOIN_SPEC)
+            times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def warm_latency(engine: str, options: dict, tables, reps: int) -> float:
+    """Best per-query latency on one service after a warm-up query."""
+    left, right = tables
+    with ServiceEngine(engine=engine, **options) as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        result = service.query(JOIN_SPEC)  # warm-up: populate the caches
+        assert not result.stats.warm or result.stats.plan_cache["misses"] == 0
+        times = []
+        for _ in range(reps):
+            started = time.perf_counter()
+            result = service.query(JOIN_SPEC)
+            times.append(time.perf_counter() - started)
+        assert result.stats.warm, "warm sweep never hit the caches"
+    return min(times)
+
+
+def warm_qps(
+    engine: str, options: dict, tables, concurrency: int, batch: int
+) -> tuple[float, float]:
+    """(queries/second, mean per-query wall) at bounded admission concurrency."""
+    left, right = tables
+
+    async def drive(service: ServiceEngine) -> float:
+        gate = asyncio.Semaphore(concurrency)
+
+        async def one() -> None:
+            async with gate:
+                await service.submit(JOIN_SPEC)
+
+        started = time.perf_counter()
+        await asyncio.gather(*(one() for _ in range(batch)))
+        return time.perf_counter() - started
+
+    with ServiceEngine(engine=engine, **options) as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        service.query(JOIN_SPEC)  # warm-up
+        elapsed = asyncio.run(drive(service))
+    return batch / elapsed, elapsed / batch
+
+
+def run_bench(
+    n: int, reps: int, batch: int, seed: int, records: list | None
+) -> list[list]:
+    tables = make_tables(n, seed)
+    reference = direct_reference(*tables, reps=reps)
+    rows = []
+
+    def record(engine, mode, concurrency, seconds, qps, warm_gate=False):
+        rows.append([
+            engine, n, mode, concurrency, f"{seconds * 1e3:8.2f} ms",
+            "-" if qps is None else f"{qps:7.1f}",
+            f"{seconds / reference:5.2f}x",
+        ])
+        if records is not None:
+            records.append({
+                "engine": engine,
+                "workload": "service_join",
+                "padding": "revealed",
+                "n": n,
+                "seed": seed,
+                "mode": mode,
+                "concurrency": concurrency,
+                "seconds": seconds,
+                "qps": qps,
+                "reference_seconds": reference,
+                "warm_gate": warm_gate,
+            })
+
+    for engine, options, warm_gate in CONFIGS:
+        cold = cold_latency(engine, options, tables, reps)
+        warm = warm_latency(engine, options, tables, reps)
+        record(engine, "cold", 1, cold, None, warm_gate)
+        record(engine, "warm", 1, warm, None, warm_gate)
+        # The in-bench gate: if warm is not strictly faster, the caches
+        # are broken — fail here, no baseline needed.
+        assert not warm_gate or warm < cold, (
+            f"warm path must beat cold ({engine}: "
+            f"warm {warm * 1e3:.2f} ms >= cold {cold * 1e3:.2f} ms)"
+        )
+    for concurrency in (1, 4, 16):
+        qps, seconds = warm_qps("vector", {}, tables, concurrency, batch)
+        record("vector", "warm", concurrency, seconds, qps)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=2048, help="rows per table")
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument(
+        "--batch", type=int, default=32, help="queries per QPS measurement"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, help="write the CI artifact here")
+    args = parser.parse_args(argv)
+
+    records: list | None = [] if args.json else None
+    rows = run_bench(args.n, args.reps, args.batch, args.seed, records)
+    report(
+        "service",
+        fmt_table(HEADER, rows)
+        + "\n\n(cold = first query of a cold service process — caches empty,"
+        "\n pools not yet forked; warm = repeat query on one service —"
+        "\n plan/encoding caches hot, executor pool warm; conc > 1 ="
+        "\n admission concurrency through ServiceEngine.submit,"
+        f"\n best of {args.reps} reps vs the direct vector engine)",
+    )
+    if args.json:
+        payload = {
+            "bench": "service",
+            "n": args.n,
+            "seed": args.seed,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "records": records,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(records)} records to {args.json}")
+    return 0
+
+
+def test_service_bench_smoke(benchmark=None):
+    """Tier-2 smoke: tiny sweep, records well-formed, warm beats cold."""
+    records: list = []
+    run_bench(256, 3, 8, 0, records)
+    modes = {(r["engine"], r["mode"], r["concurrency"]) for r in records}
+    assert ("vector", "cold", 1) in modes and ("vector", "warm", 1) in modes
+    assert any(r["warm_gate"] for r in records), "no gated warm/cold pair"
+    assert all(r["reference_seconds"] > 0 for r in records)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

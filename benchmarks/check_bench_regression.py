@@ -24,6 +24,13 @@ streaming-merge change) are additionally gated on the **merge phase**
 alone: a reassembly-tail regression fails CI even when faster grid tasks
 hide it in the end-to-end number.
 
+Service records (``BENCH_service.json``, keyed additionally by
+``(mode, concurrency)``) are also checked for the structural warm-path
+invariant: on ``warm_gate`` rows at concurrency 1 the warm per-query
+latency must be strictly below the cold one *within the current
+artifact* — the caches' reason to exist — independent of any baseline
+ratio.
+
 Sub-5ms timings are too noisy to judge at the smoke sizes CI runs; such
 records are reported as skipped rather than gated.  A phase whose
 *current* value is sub-noise is skipped; a phase whose *baseline* is
@@ -52,7 +59,41 @@ def record_key(record: dict) -> tuple:
         key += (record.get("executor", "-"), record.get("workers", "-"))
     if "segments" in record:
         key += (record["segments"],)
+    if "mode" in record or "concurrency" in record:
+        # Service records: the same query measured cold vs warm, and the
+        # warm path again under concurrent admission.
+        key += (record.get("mode", "-"), record.get("concurrency", 1))
     return key
+
+
+def service_warm_regressions(current: dict) -> list:
+    """The service artifact's structural invariant: warm beats cold.
+
+    The whole point of the service layer is that a warm engine answers a
+    repeated query faster than a cold one; if that inverts, the caches
+    regressed even when every relative cost stayed under the factor.
+    Compared per (engine, workload, n) at concurrency 1, current artifact
+    only (the invariant must hold per run, not vs a baseline).  Only
+    records the bench marks ``warm_gate`` are bound: those are the
+    configurations whose margin is structural (pool fork, shm publish,
+    plan compile) rather than timing jitter; ungated rows (plain vector,
+    whose only cacheable setup is the key scan) are context only.
+    """
+    by_mode: dict[tuple, dict[str, float]] = {}
+    for record in current.get("records", []):
+        if "mode" not in record or record.get("concurrency", 1) != 1:
+            continue
+        if not record.get("warm_gate", True):
+            continue
+        group = (record["engine"], record["workload"], record["n"])
+        by_mode.setdefault(group, {})[record["mode"]] = record["seconds"]
+    violations = []
+    for group, modes in sorted(by_mode.items()):
+        if "cold" in modes and "warm" in modes and modes["warm"] >= modes["cold"]:
+            violations.append(
+                group + (f"warm {modes['warm']:.4f}s >= cold {modes['cold']:.4f}s",)
+            )
+    return violations
 
 
 def reference_seconds(record: dict) -> float:
@@ -179,6 +220,12 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     regressions, rows = compare(current, baseline, args.factor, cpus_match)
+    for violation in service_warm_regressions(current):
+        print(
+            f"WARM-PATH REGRESSION: {violation}",
+            file=sys.stderr,
+        )
+        regressions.append(violation)
     for phase_key, ratio, cost, status in rows:
         key, phase = phase_key[:-1], phase_key[-1]
         label = " ".join(str(part) for part in key)

@@ -17,6 +17,15 @@ Commands
 ``trace``    print a Figure-7-style access-pattern raster for a small join
 ``predict``  Figure-8 enclave cost predictions for a given input size
 ``engines``  list the registered execution engines and their options
+``serve``    start the query service: one warm engine + cross-query plan/
+             encoding caches behind a JSON-lines TCP server
+             (``python -m repro serve --engine sharded --workers 4
+             --table orders=orders.csv``); prints ``listening on
+             HOST:PORT`` once bound (``--port 0`` picks a free port)
+``client``   talk to a running server: ``--register NAME=CSV``,
+             ``--query '{"op": "join", ...}'``, ``--stats``,
+             ``--shutdown`` (results as CSV on stdout, per-query cache
+             stats on stderr)
 
 Every engine produces identical results; ``traced`` is the per-access-traced
 reference implementation, ``vector`` the numpy fast path (~10^3x faster),
@@ -292,6 +301,64 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    check_padding_args(args.padding, args.bound)
+    from .service import ServiceEngine, run_server
+
+    try:
+        service = ServiceEngine(engine=args.engine, **engine_options(args))
+        for token in args.table or []:
+            name, _, path = token.partition("=")
+            if not name or not path:
+                raise SystemExit(f"--table takes NAME=CSV, got {token!r}")
+            service.register_table(name, _infer_table(path))
+    except InputError as error:
+        raise SystemExit(str(error)) from None
+    run_server(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            for token in args.register or []:
+                name, _, path = token.partition("=")
+                if not name or not path:
+                    raise SystemExit(f"--register takes NAME=CSV, got {token!r}")
+                rows = client.register_table(name, _infer_table(path))
+                print(f"registered {name}: {rows} rows", file=sys.stderr)
+            if args.query is not None:
+                try:
+                    spec = json.loads(args.query)
+                except json.JSONDecodeError as error:
+                    raise SystemExit(f"--query is not valid JSON: {error}")
+                table, stats = client.query(spec)
+                writer = csv.writer(sys.stdout)
+                writer.writerow(table.schema.names())
+                for row in table.rows:
+                    writer.writerow(row)
+                print(json.dumps(stats), file=sys.stderr)
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2))
+            if args.shutdown:
+                client.shutdown()
+                print("server shut down", file=sys.stderr)
+            if not (args.register or args.query or args.stats or args.shutdown):
+                client.ping()
+                print("pong", file=sys.stderr)
+    except ServiceError as error:
+        raise SystemExit(f"server error ({error.kind}): {error}") from None
+    except OSError as error:
+        raise SystemExit(
+            f"cannot reach {args.host}:{args.port}: {error}"
+        ) from None
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     model = EnclaveCostModel()
     point = model.figure8_point(args.n)
@@ -486,6 +553,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     engines = sub.add_parser("engines", help="list registered execution engines")
     engines.set_defaults(func=_cmd_engines)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the query service (warm engine + cross-query caches)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free one; the chosen port is "
+        "printed as 'listening on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--engine",
+        default="vector",
+        choices=available_engines(),
+        help="engine every query runs on (default: vector)",
+    )
+    serve.add_argument(
+        "--table",
+        action="append",
+        default=None,
+        metavar="NAME=CSV",
+        help="preload a table (repeatable); clients can also register "
+        "tables over the wire",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--shards", type=int, default=None)
+    serve.add_argument(
+        "--executor", default=None, choices=available_executors()
+    )
+    serve.add_argument(
+        "--expand-segments", type=int, default=None, dest="expand_segments"
+    )
+    serve.add_argument("--padding", default="revealed", choices=PADDING_MODES)
+    serve.add_argument("--bound", type=int, default=None)
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running query server (register/query/stats/shutdown)",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument(
+        "--register",
+        action="append",
+        default=None,
+        metavar="NAME=CSV",
+        help="register a CSV as a named table (repeatable)",
+    )
+    client.add_argument(
+        "--query",
+        default=None,
+        metavar="JSON",
+        help="a query spec, e.g. "
+        '\'{"op": "join", "left": "a", "right": "b", "on": ["k", "k"]}\'',
+    )
+    client.add_argument(
+        "--stats", action="store_true", help="print service-level stats"
+    )
+    client.add_argument(
+        "--shutdown", action="store_true", help="stop the server"
+    )
+    client.set_defaults(func=_cmd_client)
 
     return parser
 

@@ -2,6 +2,7 @@
 
 from .distinct import oblivious_distinct, oblivious_union
 from .encoding import DictionaryEncoder
+from .encoding_cache import EncodingCache
 from .query import ObliviousEngine, PipelineQueryResult
 from .schema import COLUMN_TYPES, Column, Schema
 from .table import DBTable
@@ -10,6 +11,7 @@ __all__ = [
     "oblivious_distinct",
     "oblivious_union",
     "DictionaryEncoder",
+    "EncodingCache",
     "ObliviousEngine",
     "PipelineQueryResult",
     "COLUMN_TYPES",

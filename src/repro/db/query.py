@@ -38,6 +38,7 @@ from ..errors import SchemaError
 from ..memory.tracer import Tracer
 from ..shard.pipeline import PipelineStats
 from .encoding import DictionaryEncoder
+from .encoding_cache import EncodingCache
 from .schema import Schema
 from .table import DBTable, require_int_column
 
@@ -78,20 +79,21 @@ class ObliviousEngine:
         self,
         tracer: Tracer | None = None,
         engine: str | Engine = "traced",
+        encoding_cache: EncodingCache | None = None,
         **engine_options,
     ) -> None:
         self.tracer = tracer or Tracer()
         self.encoder = DictionaryEncoder()
+        # Encoder passes (and their downstream artifacts) are memoised per
+        # (table, version); a private cache makes single queries no slower,
+        # a shared one (the service layer's) makes repeats skip the scans.
+        self.encoding = encoding_cache if encoding_cache is not None else EncodingCache()
         self.engine = get_engine(engine, **engine_options)
 
     # -- helpers -----------------------------------------------------------
 
     def _encode_key(self, table: DBTable, column: str) -> list[int]:
-        index = table.schema.index(column)
-        ctype = table.schema.column(column).type
-        if ctype == "int":
-            return [row[index] for row in table.rows]
-        return [self.encoder.encode(row[index]) for row in table.rows]
+        return self.encoding.encoded_keys(table, column, self.encoder)
 
     # -- operators ----------------------------------------------------------
 
@@ -236,8 +238,7 @@ class ObliviousEngine:
         # them (encoding is idempotent), keeping both paths' row order
         # identical even for str keys first seen mid-cascade.
         for owner, col in sorted(encoded):
-            for row in tables[owner].rows:
-                self.encoder.encode(row[col])
+            self.encoding.prewarm(tables[owner], col, self.encoder)
         if getattr(self.engine, "padding", "revealed") != "revealed":
             return self._padded_multiway_join(tables, keys, encoded, offsets, folded)
         current = tables[0]
@@ -305,21 +306,14 @@ class ObliviousEngine:
             for col, column in enumerate(table.schema.columns):
                 if column.type == "str":
                     encoded.add((index, col))
-        rows_per_table: list[list[tuple]] = []
-        for index, table in enumerate(tables):
-            str_cols = {col for owner, col in encoded if owner == index}
-            if not str_cols:
-                rows_per_table.append(list(table.rows))
-            else:
-                rows_per_table.append(
-                    [
-                        tuple(
-                            self.encoder.encode(value) if col in str_cols else value
-                            for col, value in enumerate(row)
-                        )
-                        for row in table.rows
-                    ]
-                )
+        rows_per_table = [
+            self.encoding.encoded_rows(
+                table,
+                {col for owner, col in encoded if owner == index},
+                self.encoder,
+            )
+            for index, table in enumerate(tables)
+        ]
         result = self.engine.join_tree(rows_per_table, edges, tracer=self.tracer)
         offsets = [0]
         folded = tables[0].schema
@@ -462,22 +456,14 @@ class ObliviousEngine:
         columns must be ints, so ``str`` key columns are dictionary-encoded
         in place and decoded again in the result.
         """
-        rows_per_table: list[list[tuple]] = []
-        for index, table in enumerate(tables):
-            key_cols = {col for owner, col in encoded if owner == index}
-            if not key_cols:
-                rows_per_table.append(list(table.rows))
-            else:
-                rows_per_table.append(
-                    [
-                        tuple(
-                            self.encoder.encode(value) if col in key_cols else value
-                            for col, value in enumerate(row)
-                        )
-                        for row in table.rows
-                    ]
-                )
-
+        rows_per_table = [
+            self.encoding.encoded_rows(
+                table,
+                {col for owner, col in encoded if owner == index},
+                self.encoder,
+            )
+            for index, table in enumerate(tables)
+        ]
         result = self.engine.multiway_join(rows_per_table, keys, tracer=self.tracer)
         decode_positions = {offsets[owner] + col for owner, col in encoded}
         rows = [

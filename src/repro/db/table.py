@@ -10,15 +10,44 @@ from .schema import Column, Schema
 
 
 class DBTable:
-    """An immutable-ish list of typed rows under a schema."""
+    """An immutable-ish list of typed rows under a schema.
+
+    ``version`` is the table's mutation counter: the encoding cache (and
+    anything else that memoises per-table derived state) keys on
+    ``(id(table), version)``, so going through :meth:`append_row` /
+    :meth:`extend_rows` — or calling :meth:`touch` after editing ``rows``
+    in place — invalidates every cached encoding and published column.
+    """
 
     def __init__(self, schema: Schema, rows: Iterable[tuple] = ()) -> None:
         self.schema = schema
+        self.version = 0
         self.rows: list[tuple] = []
         for row in rows:
             row = tuple(row)
             schema.validate_row(row)
             self.rows.append(row)
+
+    def append_row(self, row: tuple) -> None:
+        """Validate and append one row, bumping the mutation counter."""
+        row = tuple(row)
+        self.schema.validate_row(row)
+        self.rows.append(row)
+        self.version += 1
+
+    def extend_rows(self, rows: Iterable[tuple]) -> None:
+        """Validate and append rows, bumping the mutation counter once."""
+        staged = []
+        for row in rows:
+            row = tuple(row)
+            self.schema.validate_row(row)
+            staged.append(row)
+        self.rows.extend(staged)
+        self.version += 1
+
+    def touch(self) -> None:
+        """Declare an in-place mutation of ``rows`` (invalidates caches)."""
+        self.version += 1
 
     @classmethod
     def from_rows(cls, specs: list[str], rows: Iterable[tuple]) -> "DBTable":

@@ -52,15 +52,21 @@ from .executors import (
     ShuffleExecutor,
     available_executors,
     completion_stream,
+    executor_stats,
     get_executor,
+    host_publish_arrays,
+    host_unpublish,
     register_executor,
     resolve_executor,
     run_tasks,
     shutdown_pools,
+    shutdown_warm_executors,
     submit_task,
+    warm_executor,
     warm_pool,
 )
 from .ir import MergeNode, OpNode, Plan, PlanBuilder, tournament_schedule
+from .memo import active_plan_memo, memoised, set_plan_memo
 from .partition import check_shards, partition_plan, shard_capacity, shard_counts
 
 __all__ = [
@@ -75,6 +81,7 @@ __all__ = [
     "PoolExecutor",
     "ShuffleExecutor",
     "WORKLOADS",
+    "active_plan_memo",
     "available_executors",
     "check_shards",
     "compile_aggregate",
@@ -85,15 +92,22 @@ __all__ = [
     "compile_pipeline",
     "compile_workload",
     "completion_stream",
+    "executor_stats",
     "get_executor",
+    "host_publish_arrays",
+    "host_unpublish",
+    "memoised",
     "partition_plan",
     "register_executor",
     "resolve_executor",
     "run_tasks",
+    "set_plan_memo",
     "shard_capacity",
     "shard_counts",
     "shutdown_pools",
+    "shutdown_warm_executors",
     "submit_task",
     "tournament_schedule",
+    "warm_executor",
     "warm_pool",
 ]

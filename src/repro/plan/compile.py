@@ -37,6 +37,7 @@ from ..core.join_tree import (
 from ..core.padding import cascade_bounds, check_padding, join_bound
 from ..errors import InputError
 from .ir import Plan, PlanBuilder, tournament_schedule
+from .memo import memoised
 from .partition import (
     check_shards,
     expand_segment_plan,
@@ -121,6 +122,7 @@ def _add_merge_tournament(
 # -- join --------------------------------------------------------------------
 
 
+@memoised("plan")
 def inline_join_plan(engine: str, n1: int, n2: int, target: int | None) -> Plan:
     """Algorithm 1 as a linear pipeline at public sizes.
 
@@ -142,6 +144,7 @@ def inline_join_plan(engine: str, n1: int, n2: int, target: int | None) -> Plan:
     return builder.build()
 
 
+@memoised("plan")
 def sharded_join_plan(
     n1: int,
     n2: int,
@@ -256,6 +259,7 @@ def sharded_join_plan(
 # -- aggregate / group-by ----------------------------------------------------
 
 
+@memoised("plan")
 def inline_aggregate_plan(engine: str, workload: str, n1: int, n2: int) -> Plan:
     """Single-shot aggregation: one sort + segmented reduce at ``n1 + n2``."""
     builder = PlanBuilder(workload, engine, n1=n1, n2=n2)
@@ -266,6 +270,7 @@ def inline_aggregate_plan(engine: str, workload: str, n1: int, n2: int) -> Plan:
     return builder.build()
 
 
+@memoised("plan")
 def sharded_aggregate_plan(
     workload: str, n1: int, n2: int, k: int, padded: bool
 ) -> Plan:
@@ -309,6 +314,7 @@ def sharded_aggregate_plan(
 # -- filter ------------------------------------------------------------------
 
 
+@memoised("plan")
 def inline_filter_plan(engine: str, n: int) -> Plan:
     builder = PlanBuilder("filter", engine, n=n)
     mask = builder.add("input", side="mask", rows=n)
@@ -316,6 +322,7 @@ def inline_filter_plan(engine: str, n: int) -> Plan:
     return builder.build()
 
 
+@memoised("plan")
 def sharded_filter_plan(n: int, k: int, padded: bool) -> Plan:
     """Per-block compaction; ``padded`` ships every survivor list at the
     block capacity (tagged tail), hiding the per-shard survivor counts."""
@@ -342,6 +349,7 @@ def sharded_filter_plan(n: int, k: int, padded: bool) -> Plan:
 # -- order-by ----------------------------------------------------------------
 
 
+@memoised("plan")
 def inline_order_plan(engine: str, n: int) -> Plan:
     builder = PlanBuilder("order_by", engine, n=n)
     rows = builder.add("input", side="keys", rows=n)
@@ -349,6 +357,7 @@ def inline_order_plan(engine: str, n: int) -> Plan:
     return builder.build()
 
 
+@memoised("plan")
 def sharded_order_plan(n: int, k: int) -> Plan:
     check_shards(k)
     builder = PlanBuilder("order_by", "sharded", n=n, k=k)
@@ -389,6 +398,7 @@ def multiway_step_shapes(
     return shapes
 
 
+@memoised("plan")
 def multiway_plan(
     sizes: list[int],
     engine: str,
@@ -490,6 +500,7 @@ def _edge_shapes(edges) -> tuple:
     )
 
 
+@memoised("plan")
 def inline_join_tree_plan(engine: str, sizes, edges, target: int | None) -> Plan:
     """A join tree's single-process schedule at public sizes.
 
@@ -559,6 +570,7 @@ def inline_join_tree_plan(engine: str, sizes, edges, target: int | None) -> Plan
     return builder.build()
 
 
+@memoised("plan")
 def sharded_join_tree_plan(
     sizes,
     edges,
@@ -807,6 +819,7 @@ def _deferred_stage_plan(workload: str, engine: str, op: str, **attrs) -> Plan:
     return builder.build()
 
 
+@memoised("plan")
 def compile_pipeline(
     ops,
     engine: str = "traced",
@@ -986,6 +999,7 @@ def compile_pipeline(
     return builder.build()
 
 
+@memoised("plan")
 def compile_workload(
     workload: str,
     engine: str = "vector",

@@ -96,6 +96,17 @@ _ATTACHED_RUNS: "OrderedDict[str, object]" = OrderedDict()
 _RUN_LIMIT = 8
 _RUN_BYTES_LIMIT = 64 * 2**20
 
+#: *Pinned* table segments a worker has attached — columns the parent
+#: published once (:func:`host_publish_arrays`) so repeat queries over the
+#: same table skip the parent->worker column write entirely.  They outlive
+#: dispatches *and* queries (the service layer unpublishes on table
+#: mutation or shutdown), so they must never be evicted by a dispatch
+#: arena or a run segment; they get their own LRU with its own byte
+#: budget.
+_ATTACHED_TABLES: "OrderedDict[str, object]" = OrderedDict()
+_TABLE_LIMIT = 16
+_TABLE_BYTES_LIMIT = 256 * 2**20
+
 
 def check_workers(workers: int) -> int:
     """Validate a worker count; returns it for chaining."""
@@ -144,8 +155,9 @@ class _ArrayRef:
     """Wire stand-in for one ndarray: segment name + layout, no bytes.
 
     ``published`` marks refs into worker-published run segments (the
-    cross-dispatch cache) as opposed to a dispatch's arena — the worker
-    attach cache treats the two differently.
+    cross-dispatch cache) as opposed to a dispatch's arena; ``pinned``
+    marks refs into *parent*-published table segments (the cross-query
+    column cache).  The worker attach cache treats the three differently.
     """
 
     segment: str
@@ -153,6 +165,7 @@ class _ArrayRef:
     dtype: str
     shape: tuple[int, ...]
     published: bool = False
+    pinned: bool = False
 
 
 @contextmanager
@@ -214,6 +227,11 @@ def _encode(obj, arena: dict, chunks: list):
             return value
         if value.nbytes == 0:
             return value  # zero-size arrays ship inline (nothing to share)
+        hosted = _HOST_PUBLISHED.get(id(value))
+        if hosted is not None and hosted[0] is value:
+            # A column the parent already published cross-query: ship the
+            # pinned ref instead of re-writing the bytes into the arena.
+            return hosted[1]
         ref = arena.get(id(value))
         if ref is None:
             contiguous = np.ascontiguousarray(value)
@@ -286,23 +304,29 @@ def _rename(obj, name: str, published: bool = False):
     return _map_tree(obj, leaf)
 
 
-def _attach(name: str, published: bool = False):
+def _attach(name: str, published: bool = False, pinned: bool = False):
     """Worker side: map a segment by name, caching recent attachments.
 
     The parent owns every segment's lifecycle (it unlinks after the
     dispatch, or — for published runs — when the consuming tournament
-    finishes); a worker's mapping stays valid until closed, which is what
-    lets the tasks of one dispatch share a single attach.  Dispatch arenas
-    and published run segments cache separately: a new dispatch's first
-    task evicts (and frees) the previous dispatch's O(n) arena immediately,
-    while the small published-run segments keep a short LRU of their own —
-    so long-lived workers never pin dead arenas.
+    finishes, or — for pinned table columns — when the table mutates or
+    the service shuts down); a worker's mapping stays valid until closed,
+    which is what lets the tasks of one dispatch share a single attach.
+    Dispatch arenas, published run segments and pinned table segments
+    cache separately: a new dispatch's first task evicts (and frees) the
+    previous dispatch's O(n) arena immediately, the small published-run
+    segments keep a short LRU of their own, and pinned table columns —
+    reused query after query — keep the longest-lived LRU, so a dispatch's
+    churn can never flush the cross-query cache.
     """
     from multiprocessing import shared_memory
 
-    cache, limit = (
-        (_ATTACHED_RUNS, _RUN_LIMIT) if published else (_ATTACHED_ARENAS, _ARENA_LIMIT)
-    )
+    if pinned:
+        cache, limit, bytes_limit = _ATTACHED_TABLES, _TABLE_LIMIT, _TABLE_BYTES_LIMIT
+    elif published:
+        cache, limit, bytes_limit = _ATTACHED_RUNS, _RUN_LIMIT, _RUN_BYTES_LIMIT
+    else:
+        cache, limit, bytes_limit = _ATTACHED_ARENAS, _ARENA_LIMIT, None
     segment = cache.get(name)
     if segment is None:
         with _borrowed_segment_ownership():
@@ -312,8 +336,8 @@ def _attach(name: str, published: bool = False):
         def over_budget() -> bool:
             if len(cache) > limit:
                 return True
-            return published and len(cache) > 1 and (
-                sum(entry.size for entry in cache.values()) > _RUN_BYTES_LIMIT
+            return bytes_limit is not None and len(cache) > 1 and (
+                sum(entry.size for entry in cache.values()) > bytes_limit
             )
 
         while over_budget():
@@ -333,7 +357,7 @@ def _decode(obj):
     def leaf(value):
         if not isinstance(value, _ArrayRef):
             return value
-        segment = _attach(value.segment, value.published)
+        segment = _attach(value.segment, value.published, value.pinned)
         view = np.ndarray(
             value.shape,
             dtype=np.dtype(value.dtype),
@@ -456,6 +480,110 @@ def release_segments(names) -> None:
             pass
 
 
+# -- cross-query column cache (parent-published, pinned) ---------------------
+
+#: Parent-published table columns: ``id(array)`` -> ``(array, ref)``.  The
+#: strong array reference is the keepalive that makes ``id()`` keys safe —
+#: an entry's key can only collide after the entry itself is unpublished.
+_HOST_PUBLISHED: dict[int, tuple[np.ndarray, _ArrayRef]] = {}
+
+#: Parent-owned pinned segments by name (the parent keeps the mapping and
+#: the resource-tracker entry; workers attach borrowed).
+_HOST_SEGMENTS: dict[str, object] = {}
+
+
+def host_publish_arrays(arrays) -> str | None:
+    """Parent side: pin table columns in one long-lived shm segment.
+
+    The cross-*query* analogue of a dispatch arena: every later dispatch
+    whose payload tree references one of these exact array objects ships a
+    pinned ref instead of the bytes (:func:`_encode` checks the registry),
+    so repeat queries over the same table skip the parent->worker column
+    write entirely.  The parent owns the segment — normal resource-tracker
+    entry, unlinked by :func:`host_unpublish` — and workers keep their own
+    pinned-attach LRU, separate from the per-dispatch caches.
+
+    Arrays already registered (or empty) are skipped; returns the new
+    segment's name, or ``None`` when nothing needed publishing.
+    """
+    from multiprocessing import shared_memory
+
+    entries = []
+    offset = 0
+    for array in arrays:
+        if not isinstance(array, np.ndarray) or array.nbytes == 0:
+            continue
+        hosted = _HOST_PUBLISHED.get(id(array))
+        if hosted is not None and hosted[0] is array:
+            continue
+        contiguous = np.ascontiguousarray(array)
+        offset = -(-offset // 64) * 64
+        entries.append((array, contiguous, offset))
+        offset += contiguous.nbytes
+    if not entries:
+        return None
+    segment = shared_memory.SharedMemory(create=True, size=offset)
+    for original, contiguous, start in entries:
+        view = np.ndarray(
+            contiguous.shape,
+            dtype=contiguous.dtype,
+            buffer=segment.buf,
+            offset=start,
+        )
+        view[...] = contiguous
+        _HOST_PUBLISHED[id(original)] = (
+            original,
+            _ArrayRef(
+                segment.name,
+                start,
+                contiguous.dtype.str,
+                tuple(contiguous.shape),
+                published=False,
+                pinned=True,
+            ),
+        )
+    _HOST_SEGMENTS[segment.name] = segment
+    return segment.name
+
+
+def host_unpublish(names=None) -> None:
+    """Unpin published table segments (all of them when ``names`` is None).
+
+    Drops the registry entries (later dispatches fall back to arena
+    transport for those arrays) and unlinks the segments.  Workers that
+    still hold a mapping keep reading valid bytes until their pinned LRU
+    evicts it — the name is never reused, so there is no aliasing hazard.
+    Idempotent.
+    """
+    if names is None:
+        names = list(_HOST_SEGMENTS)
+    names = set(names)
+    stale = [
+        key
+        for key, (_, ref) in _HOST_PUBLISHED.items()
+        if ref.segment in names
+    ]
+    for key in stale:
+        del _HOST_PUBLISHED[key]
+    for name in names:
+        segment = _HOST_SEGMENTS.pop(name, None)
+        if segment is None:
+            continue
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def host_published_count() -> int:
+    """How many pinned table segments the parent currently holds."""
+    return len(_HOST_SEGMENTS)
+
+
+atexit.register(host_unpublish)
+
+
 # -- completions -------------------------------------------------------------
 
 
@@ -503,6 +631,19 @@ class _PoolCompletion:
                 self._segment = None
 
 
+def _published_result_segments(tree) -> set[str]:
+    """Worker-published (non-pinned) segment names a result tree references."""
+    names: set[str] = set()
+
+    def leaf(value):
+        if isinstance(value, _ArrayRef) and value.published and not value.pinned:
+            names.add(value.segment)
+        return value
+
+    _map_tree(tree, leaf)
+    return names
+
+
 def _pool_imap(
     pool, task: Callable, payloads: Sequence
 ) -> Iterator[tuple[int, object]]:
@@ -511,6 +652,15 @@ def _pool_imap(
     One shared-memory arena for the whole batch; per-task completion
     callbacks push into a thread-safe queue (no helper thread per pending
     result), and the arena is unlinked once every result is in.
+
+    The error path must not abandon the stragglers: a failing task aborts
+    the stream, but sibling tasks that already completed — or complete
+    while the abort propagates — may have *published* their results
+    (:func:`publish_columns`), and a published segment has no
+    resource-tracker entry until the parent adopts it.  Dropping those
+    results on the floor would leak the segments until reboot, so the
+    abort drains the remaining completions and releases every published
+    segment nobody will ever adopt before re-raising.
     """
     segment, encoded = _pack(payloads)
     results: queue_module.SimpleQueue = queue_module.SimpleQueue()
@@ -526,11 +676,29 @@ def _pool_imap(
                     (index, None, error)
                 ),
             )
-        for _ in range(len(encoded)):
+        pending = len(encoded)
+        failure: BaseException | None = None
+        while pending:
             index, value, error = results.get()
+            pending -= 1
             if error is not None:
-                raise error
+                failure = error
+                break
             yield index, value
+        if failure is not None:
+            orphaned: set[str] = set()
+            while pending:
+                try:
+                    _, value, error = results.get(timeout=60.0)
+                except queue_module.Empty:
+                    break  # a wedged worker; the tracker reclaims at exit
+                pending -= 1
+                if error is None:
+                    orphaned |= _published_result_segments(value)
+            if orphaned:
+                adopt_segments(orphaned)
+                release_segments(orphaned)
+            raise failure
     finally:
         if segment is not None:
             segment.close()
@@ -922,6 +1090,53 @@ def resolve_executor(executor: str | Executor | None, workers: int = 1) -> Execu
     if executor is None:
         executor = "inline" if workers == 1 else "pool"
     return get_executor(executor, workers=workers)
+
+
+#: Warm executor instances the service layer reuses across queries,
+#: keyed by ``(name, workers)``.
+_WARM_EXECUTORS: dict[tuple[str, int], Executor] = {}
+
+
+def warm_executor(executor: str | Executor | None, workers: int = 1) -> Executor:
+    """The cross-query warm executor registry.
+
+    Same resolution rule as :func:`resolve_executor`, but the instance is
+    cached by ``(name, workers)`` and handed out again on the next query —
+    so the executor's process pool (already persistent in :data:`_POOLS`)
+    *and* its workers' attach caches stay warm across queries, and the
+    pool is forked eagerly rather than on the first dispatch.  Instances
+    pass straight through (the caller already owns their lifetime).
+    """
+    check_workers(workers)
+    if executor is not None and not isinstance(executor, str):
+        return executor
+    name = executor if executor is not None else (
+        "inline" if workers == 1 else "pool"
+    )
+    key = (name, workers)
+    instance = _WARM_EXECUTORS.get(key)
+    if instance is None:
+        instance = get_executor(name, workers=workers)
+        _WARM_EXECUTORS[key] = instance
+        if workers > 1 and name in ("pool", "async"):
+            warm_pool(workers)
+    return instance
+
+
+def shutdown_warm_executors() -> None:
+    """Forget the warm executor instances (their pools stay in _POOLS)."""
+    _WARM_EXECUTORS.clear()
+
+
+def executor_stats() -> dict:
+    """Live substrate state, for the service layer's queue stats."""
+    return {
+        "pools": sorted(_POOLS),
+        "warm_executors": sorted(
+            f"{name}:{workers}" for name, workers in _WARM_EXECUTORS
+        ),
+        "pinned_segments": host_published_count(),
+    }
 
 
 def run_tasks(task: Callable, payloads: Sequence, workers: int = 1) -> list:

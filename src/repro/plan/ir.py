@@ -36,6 +36,7 @@ import numbers
 from dataclasses import dataclass
 
 from ..errors import InputError
+from .memo import memoised
 
 #: Serialization format tag, bumped on any change to the byte layout.
 #: Format 3 adds pipeline plans: ``channel`` edge nodes carrying public
@@ -207,6 +208,7 @@ class MergeNode:
         return self.right is None
 
 
+@memoised("schedule")
 def tournament_schedule(
     runs: int,
     run_lengths=None,

@@ -1,0 +1,75 @@
+"""The plan-memo hook: an optional cross-query cache for pure plan functions.
+
+Every compiler in :mod:`repro.plan.compile` — and the schedule functions
+they share with the runtime drivers (:func:`~repro.plan.ir.tournament_schedule`,
+:func:`~repro.plan.partition.partition_plan`, …) — is a *pure function of
+public values*, and its results (:class:`~repro.plan.ir.Plan`, tuples of
+:class:`~repro.plan.ir.MergeNode`, count tuples) are immutable.  That makes
+them safe to cache across queries: a cache hit is byte-identical to a fresh
+compile by construction, and the service layer's tests pin it.
+
+The hook is deliberately *not* a per-function ``functools.lru_cache``:
+
+* Callers bind the compile functions at import time (``from ..plan.compile
+  import sharded_join_plan``), so caching has to live *inside* the call,
+  not on the module attribute.
+* Whether to cache at all is a policy decision of the process hosting the
+  query (a one-shot CLI run gains nothing; ``repro serve`` gains the whole
+  compile), so the cache is pluggable: :func:`set_plan_memo` installs one
+  process-wide, ``None`` (the default) compiles fresh on every call.
+
+A memo object implements one method::
+
+    memo.get_or_compute(kind, fn, args, kwargs) -> result
+
+where ``kind`` is the coarse entry-point class (``"plan"`` for Plan
+compilers, ``"schedule"`` for the pure schedule helpers).  The in-tree
+implementation is :class:`repro.service.plan_cache.PlanCache`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+#: The installed memo, or ``None`` — compile fresh on every call.
+_ACTIVE = None
+
+
+def set_plan_memo(memo):
+    """Install (or, with ``None``, clear) the process-wide plan memo.
+
+    Returns the previously installed memo so callers can restore it —
+    the service layer brackets its lifetime with ``start()``/``close()``.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = memo
+    return previous
+
+
+def active_plan_memo():
+    """The currently installed memo (``None`` when caching is off)."""
+    return _ACTIVE
+
+
+def memoised(kind: str) -> Callable:
+    """Decorate a pure plan function with the memo hook.
+
+    With no memo installed the wrapper is a single global read plus the
+    call — the one-shot CLI path stays untouched.  The undecorated
+    function stays reachable as ``fn.__wrapped__`` (tests use it to pin
+    cache hits byte-identical to fresh compiles).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            memo = _ACTIVE
+            if memo is None:
+                return fn(*args, **kwargs)
+            return memo.get_or_compute(kind, fn, args, kwargs)
+
+        return wrapper
+
+    return decorate

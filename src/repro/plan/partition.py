@@ -17,6 +17,7 @@ the first ``n mod k`` shards carry ``ceil(n / k)`` rows, the rest
 from __future__ import annotations
 
 from ..errors import InputError
+from .memo import memoised
 
 
 def check_shards(shards: int) -> int:
@@ -41,6 +42,7 @@ def shard_counts(n: int, k: int) -> tuple[int, ...]:
     return tuple(base + (1 if i < rem else 0) for i in range(k))
 
 
+@memoised("schedule")
 def partition_plan(n: int, k: int) -> tuple[int, tuple[int, ...]]:
     """The public partition plan ``(capacity, per-shard real counts)``.
 
@@ -66,6 +68,7 @@ def check_expand_segments(segments: int) -> int:
     return segments
 
 
+@memoised("schedule")
 def expand_segment_plan(
     target: int, n1: int, n2: int, segments: int | None = None
 ) -> tuple[int, tuple[int, ...]]:
@@ -93,6 +96,7 @@ def expand_segment_plan(
     return partition_plan(target, segments)
 
 
+@memoised("schedule")
 def join_tree_window_plan(
     target: int, sizes, segments: int | None = None
 ) -> tuple[int, tuple[int, ...]]:

@@ -214,6 +214,27 @@ LEAKAGE_PROFILES: dict[tuple[str, str], tuple[str, ...]] = {
 }
 
 
+#: What serving a *series* of queries from one warm process
+#: (``repro serve``) reveals beyond the per-query engine profiles above.
+#: Every symbol is derived from values the single-query profiles already
+#: treat as public — the caches key on public shapes by construction —
+#: but repetition makes their *reuse* observable: ``query_shape`` the
+#: per-query (op, table identities, shape) tuple behind every cache key,
+#: ``shape_reuse`` the fact that two queries shared plan/encoding cache
+#: entries (equal public shapes / same table version), ``warm_timing``
+#: the cold-vs-warm latency difference a timing observer can use to infer
+#: that reuse, and ``queue_depth`` the admission queue length reported in
+#: (and observable through) per-query stats under concurrency.  The prose
+#: twin is the "What repetition reveals" section of ``docs/leakage.md``;
+#: a test keeps the two in sync.
+SERVICE_LEAKAGE: tuple[str, ...] = (
+    "query_shape",
+    "shape_reuse",
+    "warm_timing",
+    "queue_depth",
+)
+
+
 def leakage_profile(engine: str, padding: str = "revealed") -> tuple[str, ...]:
     """Public values the (engine, padding) adversary view may depend on.
 

@@ -1,0 +1,77 @@
+"""A small synchronous client for the ``repro serve`` JSON-lines protocol.
+
+One persistent socket per client; requests and responses are one JSON
+object per line (see :mod:`repro.service.server` for the protocol).  Server
+-side errors surface as :class:`ServiceError` carrying the server's error
+kind, so callers can distinguish a bad spec from a down server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..db.table import DBTable
+from ..errors import ReproError
+from .server import payload_table, table_payload
+
+
+class ServiceError(ReproError):
+    """The server answered ``ok: false``; ``kind`` is its error class."""
+
+    def __init__(self, message: str, kind: str = "ReproError") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class ServiceClient:
+    """Talk to a running query server over one persistent connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    def request(self, payload: dict) -> dict:
+        """One round trip; raises :class:`ServiceError` on ``ok: false``."""
+        self._socket.sendall(json.dumps(payload).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection", "ConnectionError")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unknown server error"),
+                response.get("kind", "ReproError"),
+            )
+        return response
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def register_table(self, name: str, table: DBTable) -> int:
+        payload = {"op": "register", "name": name, **table_payload(table)}
+        return self.request(payload)["rows"]
+
+    def tables(self) -> list[str]:
+        return self.request({"op": "tables"})["tables"]
+
+    def query(self, spec: dict) -> tuple[DBTable, dict]:
+        """Run one query spec; returns ``(result table, stats dict)``."""
+        response = self.request({"op": "query", "spec": spec})
+        return payload_table(response["table"]), response["stats"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        self._reader.close()
+        self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

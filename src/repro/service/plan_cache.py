@@ -1,0 +1,106 @@
+"""The cross-query plan cache behind :mod:`repro.plan.memo`.
+
+Plan compilation is deterministic: every compiler and schedule function in
+:mod:`repro.plan` is a pure function of *public shapes* — ``(workload,
+sizes, k, shards, padding, bound, engine options)`` — which is exactly the
+paper's obliviousness contract (plan bytes depend on nothing secret).  That
+purity is what makes a cache sound: a hit returns the very object a fresh
+compile would build, byte-identical under ``Plan.serialize()`` (pinned by
+``tests/test_service.py``), so caching can never change a schedule, only
+skip re-deriving it.
+
+:class:`PlanCache` implements the memo protocol
+(:meth:`~PlanCache.get_or_compute`) that :func:`repro.plan.memo.memoised`
+wrappers consult when the service layer installs it via
+:func:`repro.plan.memo.set_plan_memo`.  Keys are ``(kind, function
+identity, frozen arguments)``; arguments that cannot be canonically frozen
+(anything but ints/strs/bools/None and nests of them) bypass the cache —
+counted, never guessed at.  Entries are LRU-evicted beyond ``max_entries``
+and the cache is thread-safe (compute runs outside the lock; on a race the
+first stored value wins, which is safe because values are byte-identical
+by purity).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class _Unfreezable(Exception):
+    """An argument with no canonical hashable form — bypass the cache."""
+
+
+def _freeze_key(value):
+    """A canonical hashable form of a compile argument, or raise.
+
+    Plan compilers take shapes: ints, strings, bools, ``None``, and nested
+    sequences/dicts of them (``compile_pipeline`` op descriptors).  Floats
+    are deliberately excluded — the plan IR itself rejects them.
+    """
+    if value is None or type(value) in (bool, int, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_key(item) for item in value)
+    if isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:
+            raise _Unfreezable(str(exc)) from None
+        return ("__dict__",) + tuple((k, _freeze_key(v)) for k, v in items)
+    raise _Unfreezable(f"cannot freeze {type(value).__name__}")
+
+
+class PlanCache:
+    """Keyed cache of compiled plans and materialized schedules."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "uncacheable": 0}
+
+    def get_or_compute(self, kind: str, fn, args, kwargs):
+        """The memo protocol: return the cached value or compute-and-store.
+
+        ``kind`` partitions the key space ("plan" for compilers, "schedule"
+        for partition/tournament schedules) so stats stay interpretable.
+        """
+        try:
+            key = (
+                kind,
+                fn.__module__,
+                fn.__qualname__,
+                _freeze_key(args),
+                _freeze_key(sorted(kwargs.items())) if kwargs else (),
+            )
+        except _Unfreezable:
+            with self._lock:
+                self.stats["uncacheable"] += 1
+            return fn(*args, **kwargs)
+        with self._lock:
+            if key in self._entries:
+                self.stats["hits"] += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats["misses"] += 1
+        value = fn(*args, **kwargs)
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = value
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            return self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of the counters (per-query stats deltas)."""
+        with self._lock:
+            return dict(self.stats)

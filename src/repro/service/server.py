@@ -1,0 +1,159 @@
+"""The ``repro serve`` front end: a JSON-lines query server over TCP.
+
+One :class:`~repro.service.engine.ServiceEngine` behind an asyncio server:
+each client connection speaks newline-delimited JSON requests —
+
+``{"op": "ping"}``
+    Liveness check.
+``{"op": "register", "name": ..., "specs": [...], "rows": [...]}``
+    Register (or replace) a named table; ``specs`` are ``"name:type"``
+    column specs, rows are value lists.
+``{"op": "tables"}``
+    The registered table names.
+``{"op": "query", "spec": {...}}``
+    Run one query spec (see :data:`~repro.service.engine.QUERY_OPS`);
+    the response carries the result schema/rows and the per-query stats
+    (cache hit/miss deltas, queue depth, warm flag, seconds).
+``{"op": "stats"}``
+    Service-level counters (caches, warm executors, pinned segments).
+``{"op": "shutdown"}``
+    Acknowledge, then stop the server.
+
+Responses are one JSON object per line: ``{"ok": true, ...}`` or
+``{"ok": false, "error": ..., "kind": ...}``.  Queries from concurrent
+connections are admitted concurrently and serialized on the engine lock;
+the JSON hop is deliberately boring — all the performance lives in the
+service engine's caches, which is what ``benchmarks/bench_service.py``
+measures (the server adds one round trip).
+
+Security note: the server trusts its clients (it binds loopback by
+default).  What a *network* observer learns from serving repeated queries
+— cache-hit timing, shape-keyed reuse — is the subject of the
+"what repetition reveals" section of ``docs/leakage.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..db.schema import Schema
+from ..db.table import DBTable
+from ..errors import ReproError
+from .engine import ServiceEngine
+
+
+def table_payload(table: DBTable) -> dict:
+    """A table as wire data: column specs plus row value lists."""
+    return {
+        "specs": [f"{c.name}:{c.type}" for c in table.schema.columns],
+        "rows": [list(row) for row in table.rows],
+    }
+
+
+def payload_table(payload: dict) -> DBTable:
+    """The inverse of :func:`table_payload`."""
+    schema = Schema.of(*payload["specs"])
+    return DBTable(schema, [tuple(row) for row in payload["rows"]])
+
+
+class QueryServer:
+    """Serve one :class:`ServiceEngine` over newline-delimited JSON."""
+
+    def __init__(
+        self,
+        service: ServiceEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> "QueryServer":
+        """Bind the socket (resolving ``port=0`` to the kernel's pick)."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+        self.service.close()
+
+    def stop(self) -> None:
+        self._shutdown.set()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except ReproError as exc:
+                    response = {
+                        "ok": False,
+                        "error": str(exc),
+                        "kind": type(exc).__name__,
+                    }
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    response = {
+                        "ok": False,
+                        "error": f"malformed request: {exc}",
+                        "kind": type(exc).__name__,
+                    }
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("bye"):
+                    self.stop()
+                    break
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "register":
+            table = payload_table(request)
+            self.service.register_table(request["name"], table)
+            return {"ok": True, "name": request["name"], "rows": len(table)}
+        if op == "tables":
+            return {"ok": True, "tables": sorted(self.service.tables)}
+        if op == "query":
+            result = await self.service.submit(request["spec"])
+            return {
+                "ok": True,
+                "table": table_payload(result.table),
+                "stats": result.stats.to_dict(),
+            }
+        if op == "stats":
+            return {"ok": True, "stats": self.service.service_stats()}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}", "kind": "InputError"}
+
+
+async def _serve(service: ServiceEngine, host: str, port: int) -> None:
+    server = await QueryServer(service, host, port).start()
+    # The smoke harness and CLI clients parse this exact line for the
+    # resolved port, so keep it first and stable.
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    await server.serve_until_shutdown()
+
+
+def run_server(service: ServiceEngine, host: str = "127.0.0.1", port: int = 0) -> None:
+    """Blocking entry point used by ``python -m repro serve``."""
+    asyncio.run(_serve(service, host, port))

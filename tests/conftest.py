@@ -2,12 +2,36 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 from hypothesis import strategies as st
 
 from repro.memory.tracer import HashSink, ListSink, Tracer
+
+
+def shm_segments() -> set[str]:
+    """Names of the live POSIX shared-memory segments (empty off-POSIX)."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return set()
+
+
+@pytest.fixture
+def shm_leak_guard():
+    """Assert a test leaves no new /dev/shm segments behind.
+
+    Segments live *before* the test (warm pools, a service's pinned
+    published columns) are fine; anything the test itself created must be
+    gone by the end — including after aborts mid-dispatch.  Yields the
+    baseline set so tests can also assert mid-flight.
+    """
+    before = shm_segments()
+    yield before
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture

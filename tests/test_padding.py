@@ -24,7 +24,7 @@ from repro.db.query import ObliviousEngine
 from repro.db.table import DBTable
 from repro.engines import get_engine
 from repro.errors import BoundError, InputError
-from repro.security import LEAKAGE_PROFILES, leakage_profile
+from repro.security import LEAKAGE_PROFILES, SERVICE_LEAKAGE, leakage_profile
 from repro.shard.aggregate import ShardedAggregateStats, sharded_join_aggregate
 from repro.shard.join import ShardedJoinStats, sharded_oblivious_join
 from repro.shard.multiway import ShardedMultiwayStats, sharded_multiway_join
@@ -298,3 +298,13 @@ def test_leakage_doc_mentions_every_profile_symbol():
         assert engine in doc and mode in doc
         for symbol in symbols:
             assert f"`{symbol}`" in doc, f"docs/leakage.md missing `{symbol}`"
+
+
+def test_leakage_doc_covers_the_service_layer_symbols():
+    """The "what repetition reveals" section is SERVICE_LEAKAGE's prose twin."""
+    doc = (
+        pathlib.Path(__file__).resolve().parent.parent / "docs" / "leakage.md"
+    ).read_text(encoding="utf-8")
+    assert "What repetition reveals" in doc
+    for symbol in SERVICE_LEAKAGE:
+        assert f"`{symbol}`" in doc, f"docs/leakage.md missing `{symbol}`"

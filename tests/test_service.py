@@ -1,0 +1,483 @@
+"""Service-layer tests: plan/encoding caches, warm pools, the serve protocol.
+
+The load-bearing property is that caching is *invisible* in every output:
+a plan-cache hit is byte-identical to a fresh compile (plan bytes are the
+obliviousness contract), an encoding-cache hit changes no result row, and
+a warm engine answers exactly what a cold one would — across engines,
+executors, and concurrent admission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+from conftest import shm_segments
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.encoding_cache import EncodingCache
+from repro.db.query import ObliviousEngine
+from repro.db.table import DBTable
+from repro.errors import BoundError, InputError
+from repro.plan.compile import compile_pipeline, compile_workload
+from repro.plan.executors import executor_stats
+from repro.plan.ir import tournament_schedule
+from repro.plan.memo import active_plan_memo, set_plan_memo
+from repro.plan.partition import partition_plan
+from repro.service import (
+    PlanCache,
+    QueryServer,
+    ServiceClient,
+    ServiceEngine,
+    ServiceError,
+)
+
+
+@pytest.fixture
+def plan_memo():
+    """Install a fresh PlanCache as the process memo; restore after."""
+    memo = PlanCache()
+    previous = set_plan_memo(memo)
+    yield memo
+    set_plan_memo(previous)
+
+
+def _tables():
+    left = DBTable.from_rows(
+        ["k:str", "v:int"],
+        [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5), ("d", 6)],
+    )
+    right = DBTable.from_rows(
+        ["k:str", "w:int"],
+        [("a", 10), ("c", 20), ("a", 30), ("e", 40)],
+    )
+    return left, right
+
+
+# -- plan cache --------------------------------------------------------------
+
+
+@st.composite
+def workload_cases(draw):
+    """Adversarial (workload, engine, shapes) compile arguments."""
+    workload = draw(
+        st.sampled_from(["join", "multiway", "join_tree", "filter", "order_by"])
+    )
+    engine = draw(st.sampled_from(["traced", "vector", "sharded"]))
+    kwargs = {"shards": draw(st.integers(2, 4))} if engine == "sharded" else {}
+    padding = draw(st.sampled_from([None, "revealed", "worst_case", "bounded"]))
+    if padding == "bounded":
+        kwargs["bound"] = draw(st.integers(0, 64))
+    if padding is not None:
+        kwargs["padding"] = padding
+    if workload == "join":
+        kwargs["n1"] = draw(st.integers(0, 48))
+        kwargs["n2"] = draw(st.integers(0, 48))
+    elif workload == "multiway":
+        kwargs["sizes"] = draw(st.lists(st.integers(1, 12), min_size=2, max_size=4))
+    elif workload == "join_tree":
+        count = draw(st.integers(2, 3))
+        kwargs["sizes"] = draw(
+            st.lists(st.integers(1, 12), min_size=count, max_size=count)
+        )
+        kwargs["edges"] = [
+            (parent, parent + 1, 0, 0, draw(st.integers(0, 2)))
+            for parent in range(count - 1)
+        ]
+    else:
+        kwargs["n"] = draw(st.integers(0, 48))
+    return workload, engine, kwargs
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=workload_cases())
+def test_plan_cache_hit_is_byte_identical_to_fresh_compile(case):
+    workload, engine, kwargs = case
+    memo = PlanCache()
+    previous = set_plan_memo(memo)
+    try:
+        try:
+            first = compile_workload(workload, engine, **kwargs)
+            second = compile_workload(workload, engine, **kwargs)
+        except InputError:
+            return  # adversarial shapes may be legitimately rejected
+    finally:
+        set_plan_memo(previous)
+    # With the memo uninstalled, the same call compiles from scratch.
+    fresh = compile_workload(workload, engine, **kwargs)
+    assert second.serialize() == fresh.serialize()
+    assert second.digest() == fresh.digest()
+    assert memo.stats["hits"] > 0
+
+
+def test_pipeline_plan_cache_hit_is_byte_identical(plan_memo):
+    ops = [
+        ("source", {"n": 24}),
+        ("filter", {}),
+        ("join", {"n2": 16}),
+        ("group_by", {}),
+    ]
+    first = compile_pipeline(ops, "sharded", shards=3)
+    second = compile_pipeline(ops, "sharded", shards=3)
+    assert first is second  # the memo returns the cached object
+    set_plan_memo(None)
+    fresh = compile_pipeline(ops, "sharded", shards=3)
+    assert second.serialize() == fresh.serialize()
+
+
+def test_schedule_functions_ride_the_memo(plan_memo):
+    assert partition_plan(17, 3) == partition_plan(17, 3)
+    assert tournament_schedule(5) is tournament_schedule(5)
+    assert plan_memo.stats["hits"] > 0
+    assert active_plan_memo() is plan_memo
+
+
+def test_plan_cache_bypasses_unfreezable_arguments():
+    memo = PlanCache()
+    calls = []
+
+    def fn(value):
+        calls.append(value)
+        return len(calls)
+
+    token = object()
+    assert memo.get_or_compute("plan", fn, (token,), {}) == 1
+    assert memo.get_or_compute("plan", fn, (token,), {}) == 2  # never cached
+    assert memo.stats["uncacheable"] == 2
+    assert memo.stats["hits"] == 0
+
+
+def test_plan_cache_evicts_lru():
+    memo = PlanCache(max_entries=2)
+
+    def fn(n):
+        return n * 2
+
+    for n in (1, 2, 3):
+        memo.get_or_compute("plan", fn, (n,), {})
+    assert len(memo) == 2
+    memo.get_or_compute("plan", fn, (1,), {})  # evicted: recomputes
+    assert memo.stats["hits"] == 0
+    assert memo.stats["misses"] == 4
+
+
+# -- encoding cache ----------------------------------------------------------
+
+
+def test_multiway_prewarm_pass_runs_once_across_calls():
+    """Satellite fix: the encoder pre-warm pass used to re-scan every base
+    table on every multiway call; now it runs once per table version."""
+    tables = [
+        DBTable.from_rows(["k:str", "a:int"], [("x", 1), ("y", 2), ("z", 3)]),
+        DBTable.from_rows(["k:str", "b:int"], [("x", 4), ("y", 5)]),
+        DBTable.from_rows(["k:str", "c:int"], [("y", 6), ("w", 7)]),
+    ]
+    on = [("k", "k"), ("t0.k", "k")]
+    engine = ObliviousEngine()
+    first = engine.multiway_join(tables, on)
+    cold_passes = engine.encoding.stats["encode_passes"]
+    second = engine.multiway_join(tables, on)
+    warm_passes = engine.encoding.stats["encode_passes"] - cold_passes
+    assert first.rows == second.rows
+    # The three base-table pre-warm scans are cached; only the cascade's
+    # per-step intermediate encodings (fresh tables each call) remain.
+    assert warm_passes < cold_passes
+
+
+def test_join_tree_adds_zero_encode_passes_when_warm():
+    tables = [
+        DBTable.from_rows(["k:str", "a:int"], [("x", 1), ("y", 2)]),
+        DBTable.from_rows(["k:str", "b:int"], [("x", 3), ("y", 4), ("x", 5)]),
+    ]
+    tree = [(0, 1, "k", "k")]
+    engine = ObliviousEngine(engine="vector")
+    first = engine.join_tree(tables, tree)
+    cold_passes = engine.encoding.stats["encode_passes"]
+    assert cold_passes > 0
+    second = engine.join_tree(tables, tree)
+    assert engine.encoding.stats["encode_passes"] == cold_passes
+    assert first.rows == second.rows
+
+
+def test_padded_multiway_adds_zero_encode_passes_when_warm():
+    tables = [
+        DBTable.from_rows(["k:str", "a:int"], [("x", 1), ("y", 2)]),
+        DBTable.from_rows(["k:str", "b:int"], [("x", 3), ("y", 4)]),
+    ]
+    engine = ObliviousEngine(engine="vector", padding="worst_case")
+    first = engine.multiway_join(tables, [("k", "k")])
+    cold_passes = engine.encoding.stats["encode_passes"]
+    second = engine.multiway_join(tables, [("k", "k")])
+    assert engine.encoding.stats["encode_passes"] == cold_passes
+    assert first.rows == second.rows
+
+
+def test_table_mutation_invalidates_cached_encodings():
+    cache = EncodingCache()
+    engine = ObliviousEngine(encoding_cache=cache)
+    table = DBTable.from_rows(["k:str", "v:int"], [("a", 1), ("b", 2)])
+    assert engine._encode_key(table, "k") == engine._encode_key(table, "k")
+    passes = cache.stats["encode_passes"]
+    table.append_row(("c", 3))
+    keys = engine._encode_key(table, "k")
+    assert len(keys) == 3
+    assert cache.stats["encode_passes"] == passes + 1  # re-scanned once
+
+
+def test_encoding_cache_keys_by_table_version_not_contents():
+    cache = EncodingCache()
+    encoder = ObliviousEngine().encoder
+    table = DBTable.from_rows(["k:str"], [("a",), ("b",)])
+    first = cache.key_handle_pairs(table, "k", encoder)
+    again = cache.key_handle_pairs(table, "k", encoder)
+    assert first is again  # identity: this is what keys the parts cache
+    table.touch()
+    assert cache.key_handle_pairs(table, "k", encoder) is not first
+
+
+# -- the service engine ------------------------------------------------------
+
+
+SERVICE_CONFIGS = [
+    ("traced", {}),
+    ("vector", {}),
+    ("sharded", {"shards": 3}),
+    ("sharded", {"shards": 2, "workers": 2, "executor": "pool"}),
+]
+
+
+@pytest.mark.parametrize("engine,options", SERVICE_CONFIGS)
+def test_service_warm_results_bit_identical_to_cold(engine, options):
+    left, right = _tables()
+    reference = ObliviousEngine(engine=engine, **options).join(
+        left, right, ("k", "k")
+    )
+    spec = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+    with ServiceEngine(engine=engine, **options) as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        cold = service.query(spec)
+        warm = service.query(spec)
+    assert cold.table.schema == reference.schema
+    assert cold.table.rows == reference.rows  # exact order: bit-identical
+    assert warm.table.rows == reference.rows
+    assert warm.stats.warm
+    assert warm.stats.encoding_cache["encode_passes"] == 0
+
+
+def test_service_ops_match_direct_engine_calls():
+    left, right = _tables()
+    direct = ObliviousEngine(engine="vector")
+    with ServiceEngine(engine="vector") as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        cases = [
+            (
+                {"op": "group_by", "table": "l", "key": "k", "value": "v"},
+                direct.group_by(left, "k", "v"),
+            ),
+            (
+                {
+                    "op": "join_aggregate",
+                    "left": "l",
+                    "right": "r",
+                    "on": ["k", "k"],
+                    "values": ["v", "w"],
+                },
+                direct.join_aggregate(left, right, ("k", "k"), ("v", "w")),
+            ),
+            (
+                {
+                    "op": "order_by",
+                    "table": "l",
+                    "columns": [["v", False]],
+                },
+                direct.order_by(left, [("v", False)]),
+            ),
+            (
+                {
+                    "op": "filter",
+                    "table": "l",
+                    "column": "v",
+                    "cmp": "gt",
+                    "value": 2,
+                },
+                direct.filter(left, lambda row: row[1] > 2),
+            ),
+            (
+                {
+                    "op": "multiway_join",
+                    "tables": ["l", "r"],
+                    "on": [["k", "k"]],
+                },
+                direct.multiway_join([left, right], [("k", "k")]),
+            ),
+            (
+                {
+                    "op": "join_tree",
+                    "tables": ["l", "r"],
+                    "tree": [[0, 1, "k", "k"]],
+                },
+                direct.join_tree([left, right], [(0, 1, "k", "k")]),
+            ),
+        ]
+        for spec, expected in cases:
+            result = service.query(spec)
+            assert result.table.rows == expected.rows, spec["op"]
+
+
+def test_service_rejects_unknown_ops_and_tables():
+    with ServiceEngine() as service:
+        with pytest.raises(InputError, match="unknown query op"):
+            service.query({"op": "drop_table"})
+        with pytest.raises(InputError, match="unknown table"):
+            service.query(
+                {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+            )
+
+
+def test_concurrent_submissions_bit_identical_to_serial():
+    left, right = _tables()
+    specs = [
+        {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]},
+        {"op": "group_by", "table": "l", "key": "k", "value": "v"},
+        {"op": "order_by", "table": "r", "columns": [["w", True]]},
+        {"op": "filter", "table": "l", "column": "v", "cmp": "le", "value": 3},
+    ] * 3
+    with ServiceEngine(engine="vector") as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        serial = [service.query(spec).table.rows for spec in specs]
+
+    with ServiceEngine(engine="vector") as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+
+        async def fan_out():
+            return await asyncio.gather(
+                *(service.submit(spec) for spec in specs)
+            )
+
+        concurrent = asyncio.run(fan_out())
+        assert service.queries == len(specs)
+    assert [result.table.rows for result in concurrent] == serial
+
+
+def test_warm_pool_survives_bound_abort_without_leaking(shm_leak_guard):
+    """Satellite fix: a BoundError between publish and tournament adoption
+    must return the warm pool to a clean, reusable state — no residual
+    /dev/shm segments, and the very next query on the same pool succeeds."""
+    overlap = [("a", value) for value in range(8)]
+    left = DBTable.from_rows(["k:str", "v:int"], overlap)
+    right = DBTable.from_rows(["k:str", "w:int"], overlap)
+    spec = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+    with ServiceEngine(
+        engine="sharded",
+        shards=2,
+        workers=2,
+        executor="pool",
+        padding="bounded",
+        bound=4,
+    ) as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        with pytest.raises(BoundError):
+            service.query(spec)  # 64 matches >> bound of 4
+        small = DBTable.from_rows(["k:str", "v:int"], [("a", 1), ("b", 2)])
+        service.register_table("l", small)
+        service.register_table("r", small)
+        result = service.query(spec)
+        assert sorted(result.table.rows) == [
+            ("a", 1, "a", 1),
+            ("b", 2, "b", 2),
+        ]
+    # close() unpublished every pinned column segment
+    assert not (shm_segments() - shm_leak_guard)
+
+
+def test_sharded_service_pins_published_columns_until_close():
+    left, right = _tables()
+    spec = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+    baseline = executor_stats()["pinned_segments"]
+    with ServiceEngine(
+        engine="sharded", shards=2, workers=2, executor="pool"
+    ) as service:
+        service.register_table("l", left)
+        service.register_table("r", right)
+        service.query(spec)
+        assert executor_stats()["pinned_segments"] > baseline
+        warm = service.query(spec)
+        assert warm.stats.warm
+    assert executor_stats()["pinned_segments"] == baseline
+
+
+# -- the server/client protocol ----------------------------------------------
+
+
+class _ServerThread:
+    """Run a QueryServer on a private event loop in a daemon thread."""
+
+    def __init__(self, service: ServiceEngine) -> None:
+        self.service = service
+        self.port = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main():
+            server = await QueryServer(self.service, port=0).start()
+            self.port = server.port
+            self._ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "server never came up"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._thread.join(timeout=30)
+
+
+def test_server_roundtrip_with_warm_hit_on_second_query():
+    left, right = _tables()
+    spec = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+    reference = ObliviousEngine(engine="vector").join(left, right, ("k", "k"))
+    with _ServerThread(ServiceEngine(engine="vector")) as server:
+        with ServiceClient(port=server.port) as client:
+            assert client.ping()
+            client.register_table("l", left)
+            client.register_table("r", right)
+            assert client.tables() == ["l", "r"]
+            cold_table, cold_stats = client.query(spec)
+            warm_table, warm_stats = client.query(spec)
+            assert cold_table.rows == reference.rows
+            assert warm_table.rows == reference.rows
+            assert not cold_stats["warm"]
+            assert warm_stats["warm"]
+            stats = client.stats()
+            assert stats["queries"] == 2
+            with pytest.raises(ServiceError, match="unknown table"):
+                client.query({"op": "join", "left": "nope", "right": "r",
+                              "on": ["k", "k"]})
+            client.shutdown()
+
+
+def test_server_registration_replaces_and_invalidates():
+    left, right = _tables()
+    spec = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+    with _ServerThread(ServiceEngine(engine="vector")) as server:
+        with ServiceClient(port=server.port) as client:
+            client.register_table("l", left)
+            client.register_table("r", right)
+            first, _ = client.query(spec)
+            assert len(first) > 0
+            empty = DBTable.from_rows(["k:str", "v:int"], [])
+            client.register_table("l", empty)
+            second, _ = client.query(spec)
+            assert len(second) == 0
+            client.shutdown()

@@ -5,11 +5,11 @@ the output bits nor the comparator schedule may depend on arrival order.
 
 from __future__ import annotations
 
-import os
 import random
 
 import numpy as np
 import pytest
+from conftest import shm_segments
 
 from repro.engines import get_engine
 from repro.errors import BoundError, InputError
@@ -208,16 +208,10 @@ def test_padded_join_streams_identically_across_substrates():
         ]
 
 
-def _shm_segments() -> set[str]:
-    """Names of the live POSIX shared-memory segments (empty off-POSIX)."""
-    try:
-        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
-    except (FileNotFoundError, NotADirectoryError, PermissionError):
-        return set()
-
-
 @pytest.mark.parametrize("expand_segments", [None, 2])
-def test_bounded_abort_still_raises_while_merges_are_in_flight(expand_segments):
+def test_bounded_abort_still_raises_while_merges_are_in_flight(
+    expand_segments, shm_leak_guard
+):
     """The bound check counts untruncated grid outputs, so a too-small
     bound aborts even though the streaming merge already started; the
     tournament's close() path reclaims the in-flight worker merges AND
@@ -226,7 +220,7 @@ def test_bounded_abort_still_raises_while_merges_are_in_flight(expand_segments):
     left = [(0, value) for value in range(8)]
     right = [(0, value) for value in range(8)]
     for executor in (ShuffleExecutor(seed=0), PoolExecutor(workers=2)):
-        before = _shm_segments()
+        before = shm_segments()
         with pytest.raises(BoundError, match="exceeds the public padding bound"):
             sharded_oblivious_join(
                 left,
@@ -236,7 +230,7 @@ def test_bounded_abort_still_raises_while_merges_are_in_flight(expand_segments):
                 executor=executor,
                 expand_segments=expand_segments,
             )
-        leaked = _shm_segments() - before
+        leaked = shm_segments() - before
         assert not leaked, (executor.name, expand_segments, leaked)
 
 
