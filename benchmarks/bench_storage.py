@@ -1,0 +1,256 @@
+"""Out-of-core storage, measured: resident vs file-backed vs encrypted.
+
+The block store's promise is that a sharded join over a table *larger
+than trusted memory* still runs — streaming plan-named blocks through a
+byte-budgeted cache — and that for tables which do fit, the paged path
+costs almost nothing over the resident one.  This bench measures both
+claims:
+
+* **size sweep** — the same sharded join at growing ``n`` with a fixed
+  trusted-memory budget, as resident arrays (``resident``), a plaintext
+  ``FileStore`` (``file``), and an encrypted one (``encrypted``).  The
+  largest sizes exceed the budget, so the file rows page (the bench
+  asserts evictions actually happened — a sweep that never spills is
+  not measuring the out-of-core path).
+* **cache sweep** — one in-budget size across trusted-memory budgets
+  from one block to the whole table, showing the miss-rate/latency
+  knee the :class:`~repro.enclave.epc.EPCModel` prices.
+
+Every record carries the same-run ``resident`` median as
+``reference_seconds``, so the committed baseline gates *relative* cost.
+``storage_gate`` marks the structural-invariant rows: at small
+(in-budget) ``n`` the block-aligned file-backed join must stay within
+**1.5x** of resident — the block path's overhead is a bounded constant,
+not a rewrite of the join.  ``check_bench_regression.py`` enforces the
+invariant on the artifact itself (no baseline needed), and the bench
+asserts it in-run as well.
+
+``--json PATH`` writes the ``BENCH_storage.json`` CI artifact, gated by
+``check_bench_regression.py --baseline
+benchmarks/BENCH_storage.baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro.shard.join import sharded_oblivious_join
+from repro.store import FileStore, StorePairs, adopt, detach_all, stats_snapshot
+from repro.store.columns import write_int_column
+
+from bench_common import SCALE, fmt_table, report
+
+HEADER = ["mode", "n", "cache", "latency", "vs resident", "evictions"]
+
+#: Store layout for every file-backed row: 4 KiB blocks (one EPC page).
+BLOCK_BYTES = 4096
+
+#: Trusted-memory budget of the size sweep: 16 KiB = 4 blocks, far below
+#: the largest swept table, so the big rows must page.
+SWEEP_CACHE_BYTES = 4 * BLOCK_BYTES
+
+#: The structural gate's bound: in-budget file-backed joins within 1.5x
+#: of resident (mirrored in check_bench_regression.storage_regressions).
+GATE_FACTOR = 1.5
+
+SHARDS = 4
+
+
+def make_pairs(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    left = np.stack(
+        [rng.integers(0, n, n), np.arange(n)], axis=1
+    ).astype(np.int64)
+    right = np.stack(
+        [rng.integers(0, n, n), np.arange(n)], axis=1
+    ).astype(np.int64)
+    return left, right
+
+
+def store_inputs(
+    root: str, tag: str, left: np.ndarray, right: np.ndarray,
+    key: bytes | None, cache_bytes: int,
+) -> tuple[StorePairs, StorePairs]:
+    store = FileStore(os.path.join(root, tag), BLOCK_BYTES, key)
+    write_int_column(store, "L/j", left[:, 0])
+    write_int_column(store, "L/d", left[:, 1])
+    write_int_column(store, "R/j", right[:, 0])
+    write_int_column(store, "R/d", right[:, 1])
+    store.flush()
+    spec = adopt(store, cache_bytes=cache_bytes)
+    n1, n2 = len(left), len(right)
+    return (
+        StorePairs(spec, n1, "L/j", "L/d"),
+        StorePairs(spec, n2, "R/j", "R/d"),
+    )
+
+
+def timed_join(left, right, reps: int) -> tuple[float, np.ndarray]:
+    times, out = [], None
+    for _ in range(reps):
+        started = time.perf_counter()
+        out, _ = sharded_oblivious_join(
+            left, right, shards=SHARDS, executor="inline"
+        )
+        times.append(time.perf_counter() - started)
+    return statistics.median(times), out
+
+
+def run_bench(
+    sizes: list[int], reps: int, seed: int, root: str, records: list | None
+) -> list[list]:
+    rows = []
+
+    def record(mode, n, cache_bytes, seconds, reference, evictions, gate):
+        rows.append([
+            mode, n,
+            "-" if cache_bytes is None else f"{cache_bytes // 1024} KiB",
+            f"{seconds * 1e3:8.2f} ms",
+            f"{seconds / reference:5.2f}x",
+            "-" if evictions is None else evictions,
+        ])
+        if records is not None:
+            records.append({
+                "engine": "sharded",
+                "workload": "storage_join",
+                "padding": "revealed",
+                "n": n,
+                "seed": seed,
+                "mode": mode,
+                "cache_bytes": cache_bytes,
+                "seconds": seconds,
+                "reference_seconds": reference,
+                "evictions": evictions,
+                "storage_gate": gate,
+            })
+
+    spilled = False
+    gate_pairs: list[tuple[float, float, int]] = []
+    for n in sizes:
+        left, right = make_pairs(n, seed)
+        resident_seconds, expected = timed_join(left, right, reps)
+        record("resident", n, None, resident_seconds, resident_seconds,
+               None, False)
+        # One column = n * 8 bytes; 4 columns stream through the cache.
+        footprint = 4 * n * 8
+        in_budget = footprint <= SWEEP_CACHE_BYTES
+        for mode, key in (("file", None), ("encrypted", b"bench-key-16byte")):
+            detach_all()
+            pairs = store_inputs(
+                root, f"{mode}-{n}", left, right, key, SWEEP_CACHE_BYTES
+            )
+            seconds, out = timed_join(*pairs, reps=reps)
+            assert np.array_equal(out, expected), (
+                f"{mode} join diverged from resident at n={n}"
+            )
+            evictions = stats_snapshot()["evictions"]
+            spilled = spilled or evictions > 0
+            gate = mode == "file" and in_budget
+            record(mode, n, SWEEP_CACHE_BYTES, seconds, resident_seconds,
+                   evictions, gate)
+            if gate:
+                gate_pairs.append((seconds, resident_seconds, n))
+    assert spilled, (
+        "size sweep never evicted: raise the sizes or shrink the budget"
+    )
+    # The in-run structural gate (the checker re-enforces it on the
+    # artifact): in-budget block-aligned joins within GATE_FACTOR of
+    # resident, judged above the noise floor only.
+    for seconds, reference, n in gate_pairs:
+        assert seconds <= GATE_FACTOR * reference or reference < 0.005, (
+            f"file-backed join at n={n} took {seconds * 1e3:.2f} ms, over "
+            f"{GATE_FACTOR}x the resident {reference * 1e3:.2f} ms"
+        )
+
+    # Cache sweep at the largest size: budget from one block to the table.
+    n = sizes[-1]
+    left, right = make_pairs(n, seed)
+    resident_seconds, expected = timed_join(left, right, reps)
+    footprint = 4 * n * 8
+    for budget in (BLOCK_BYTES, footprint // 4, 2 * footprint):
+        detach_all()
+        pairs = store_inputs(
+            root, f"cachesweep-{budget}", left, right, None, budget
+        )
+        seconds, out = timed_join(*pairs, reps=reps)
+        assert np.array_equal(out, expected)
+        record(
+            f"file[cache={budget // 1024}KiB]", n, budget, seconds,
+            resident_seconds, stats_snapshot()["evictions"], False,
+        )
+    detach_all()
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[s * SCALE for s in (512, 2048, 8192)],
+        help="table sizes to sweep (the last ones should exceed the budget)",
+    )
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--root", default=None,
+        help="directory for the bench stores (default: a temp dir)",
+    )
+    parser.add_argument("--json", default=None, help="write the CI artifact here")
+    args = parser.parse_args(argv)
+
+    records: list | None = [] if args.json else None
+    if args.root is None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-storage-") as root:
+            rows = run_bench(args.sizes, args.reps, args.seed, root, records)
+    else:
+        rows = run_bench(args.sizes, args.reps, args.seed, args.root, records)
+    report(
+        "storage",
+        fmt_table(HEADER, rows)
+        + "\n\n(resident = ndarray inputs; file/encrypted = StorePairs over"
+        "\n a FileStore with a "
+        f"{SWEEP_CACHE_BYTES // 1024} KiB trusted-memory budget; evictions"
+        "\n count cache spills — non-zero rows ran out-of-core;"
+        f"\n median of {args.reps} reps, shards={SHARDS}, inline executor)",
+    )
+    if args.json:
+        payload = {
+            "bench": "storage",
+            "sizes": args.sizes,
+            "seed": args.seed,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "records": records,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(records)} records to {args.json}")
+    return 0
+
+
+def test_storage_bench_smoke():
+    """Tier-2 smoke: tiny sweep, records well-formed, gate rows present."""
+    import tempfile
+
+    records: list = []
+    with tempfile.TemporaryDirectory() as root:
+        run_bench([256, 1024, 4096], 1, 0, root, records)
+    modes = {r["mode"] for r in records}
+    assert {"resident", "file", "encrypted"} <= modes
+    assert any(r["storage_gate"] for r in records), "no gated in-budget row"
+    assert any((r["evictions"] or 0) > 0 for r in records), "never spilled"
+    assert all(r["reference_seconds"] > 0 for r in records)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

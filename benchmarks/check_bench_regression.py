@@ -31,6 +31,12 @@ latency must be strictly below the cold one *within the current
 artifact* — the caches' reason to exist — independent of any baseline
 ratio.
 
+Storage records (``BENCH_storage.json``) carry their own structural
+invariant on ``storage_gate`` rows: an in-budget block-aligned
+file-backed join must stay within 1.5x of the same-run resident join —
+the paged path's overhead is a bounded constant, independent of any
+baseline ratio.
+
 Sub-5ms timings are too noisy to judge at the smoke sizes CI runs; such
 records are reported as skipped rather than gated.  A phase whose
 *current* value is sub-noise is skipped; a phase whose *baseline* is
@@ -93,6 +99,43 @@ def service_warm_regressions(current: dict) -> list:
             violations.append(
                 group + (f"warm {modes['warm']:.4f}s >= cold {modes['cold']:.4f}s",)
             )
+    return violations
+
+
+#: The storage artifact's structural bound: in-budget file-backed joins
+#: within this factor of the same-run resident join (mirrors
+#: bench_storage.GATE_FACTOR).
+STORAGE_FACTOR = 1.5
+
+
+def storage_regressions(current: dict) -> list:
+    """The storage artifact's structural invariant: paging is bounded.
+
+    ``bench_storage.py`` marks ``storage_gate`` on the plaintext
+    file-backed rows whose table fits the trusted-memory budget: for
+    those, the block path adds only constant per-block bookkeeping, so
+    the join must land within ``STORAGE_FACTOR`` of the same-run
+    resident median.  Enforced on the current artifact alone (the bound
+    is structural, not a baseline ratio); resident references under the
+    noise floor are skipped — at CI smoke sizes a ratio over jitter
+    means nothing.
+    """
+    violations = []
+    for record in current.get("records", []):
+        if not record.get("storage_gate"):
+            continue
+        reference = record.get("reference_seconds") or 0.0
+        if reference < MIN_SECONDS:
+            continue
+        if record["seconds"] > STORAGE_FACTOR * reference:
+            violations.append((
+                record["engine"],
+                record["workload"],
+                record["n"],
+                record["mode"],
+                f"{record['seconds']:.4f}s > {STORAGE_FACTOR}x "
+                f"resident {reference:.4f}s",
+            ))
     return violations
 
 
@@ -223,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
     for violation in service_warm_regressions(current):
         print(
             f"WARM-PATH REGRESSION: {violation}",
+            file=sys.stderr,
+        )
+        regressions.append(violation)
+    for violation in storage_regressions(current):
+        print(
+            f"STORAGE-GATE REGRESSION: {violation}",
             file=sys.stderr,
         )
         regressions.append(violation)

@@ -116,7 +116,14 @@ class EncodingCache:
 
     def _entry(self, table: DBTable) -> _TableEntry:
         key = id(table)
-        version = getattr(table, "version", 0)
+        # Store-backed tables never bump `version` (they are read-only
+        # views) but the *store* can be rewritten underneath them; folding
+        # the store generation into the entry version makes a rewrite
+        # invalidate cached encodings exactly like a touch().
+        version = (
+            getattr(table, "version", 0),
+            getattr(table, "store_generation", None),
+        )
         entry = self._tables.get(key)
         if entry is not None:
             held = entry.ref()
@@ -158,12 +165,15 @@ class EncodingCache:
                 self.stats["hits"] += 1
                 return list(cached)
             self.stats["misses"] += 1
-            index = table.schema.index(column)
+            # column() instead of a row scan: resident tables build the
+            # same list either way, store-backed tables stream the one
+            # column's blocks without materialising the whole table.
+            values = table.column(column)
             if table.schema.column(column).type == "int":
-                keys = [row[index] for row in table.rows]
+                keys = list(values)
             else:
                 self.stats["encode_passes"] += 1
-                keys = [encoder.encode(row[index]) for row in table.rows]
+                keys = [encoder.encode(value) for value in values]
             entry.values[key] = keys
             return list(keys)
 
@@ -286,7 +296,11 @@ class EncodingCache:
                 return
             self.stats["misses"] += 1
             entry.values[("parts", id(array), k)] = list(parts)
-            if self.publish:
+            if self.publish and all(
+                isinstance(part.j, np.ndarray) for part in parts
+            ):
+                # Store-backed parts are block refs, not arrays — workers
+                # fault them in themselves, so there is nothing to pin.
                 columns = [part.j for part in parts] + [part.d for part in parts]
                 segment = host_publish_arrays(columns)
                 if segment is not None:

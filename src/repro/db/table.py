@@ -56,18 +56,69 @@ class DBTable:
 
     @classmethod
     def from_csv(cls, path: str, specs: list[str]) -> "DBTable":
-        """Load a headered CSV, coercing columns per the schema."""
+        """Load a headered CSV, coercing columns per the schema.
+
+        A schema column missing from the CSV header (or misnamed in it)
+        raises :class:`~repro.errors.SchemaError` naming the column and
+        the file, not a bare ``KeyError``.
+        """
         schema = Schema.of(*specs)
         rows = []
         with open(path, newline="", encoding="utf-8") as handle:
             reader = csv.DictReader(handle)
             for record in reader:
-                row = tuple(
-                    int(record[c.name]) if c.type == "int" else str(record[c.name])
-                    for c in schema.columns
-                )
-                rows.append(row)
+                row = []
+                for c in schema.columns:
+                    try:
+                        value = record[c.name]
+                    except KeyError:
+                        raise SchemaError(
+                            f"CSV file {path!r} has no column {c.name!r}; "
+                            f"header: {reader.fieldnames}"
+                        ) from None
+                    row.append(int(value) if c.type == "int" else str(value))
+                rows.append(tuple(row))
         return cls(schema, rows)
+
+    @classmethod
+    def open(
+        cls,
+        store,
+        name: str,
+        specs: list[str] | None = None,
+        key: bytes | None = None,
+        cache_bytes: int | None = None,
+    ) -> "DBTable":
+        """Open a store-backed table: a block store (or path) plus a name.
+
+        Returns a read-only :class:`~repro.db.stored.StoredTable` whose
+        columns stream block-wise from the store through a trusted-memory
+        cache of ``cache_bytes``; see :meth:`to_store` for the writer.
+        ``key`` decrypts an encrypted store; ``specs`` optionally asserts
+        the stored schema.
+        """
+        from .stored import DEFAULT_CACHE_BYTES, open_table
+
+        return open_table(
+            store,
+            name,
+            specs=specs,
+            key=key,
+            cache_bytes=(
+                cache_bytes if cache_bytes is not None else DEFAULT_CACHE_BYTES
+            ),
+        )
+
+    def to_store(self, store, name: str, key: bytes | None = None):
+        """Write this table's columns into a block store; returns the store.
+
+        ``store`` is a :class:`~repro.store.BlockStore` or a directory
+        path (which becomes a :class:`~repro.store.FileStore`, encrypted
+        when ``key`` is given).  Read it back with :meth:`open`.
+        """
+        from .stored import save_table
+
+        return save_table(self, store, name, key=key)
 
     def column(self, name: str) -> list:
         """All values of one column."""
@@ -75,13 +126,29 @@ class DBTable:
         return [row[index] for row in self.rows]
 
     def project(self, names: list[str]) -> "DBTable":
-        """Keep only the named columns (in the given order)."""
+        """Keep only the named columns (in the given order).
+
+        The result is an independent **snapshot**, not a view: it copies
+        the row tuples into a fresh table with its own ``version`` counter
+        and shares no lineage with the source.  Mutating or ``touch()``-ing
+        the source afterwards neither changes the derived table nor
+        invalidates encoding-cache entries keyed on it — which is correct,
+        because the derived table's contents did not change.  The cache
+        contract is per-table: invalidate a derived table by mutating *it*
+        (tests pin this in ``tests/test_db_table.py``).
+        """
         indices = [self.schema.index(n) for n in names]
         schema = Schema([self.schema.columns[i] for i in indices])
         return DBTable(schema, [tuple(row[i] for i in indices) for row in self.rows])
 
     def rename(self, mapping: dict[str, str]) -> "DBTable":
-        """A copy with columns renamed per ``mapping``."""
+        """A copy with columns renamed per ``mapping``.
+
+        Same snapshot/invalidation contract as :meth:`project`: the copy
+        has independent rows and an independent ``version``; a later
+        source ``touch()`` does not (and need not) invalidate caches for
+        the derived table.
+        """
         columns = [
             Column(mapping.get(c.name, c.name), c.type) for c in self.schema.columns
         ]

@@ -39,10 +39,12 @@ from ..errors import InputError
 from .ir import Plan, PlanBuilder, tournament_schedule
 from .memo import memoised
 from .partition import (
+    block_aligned_partition_plan,
     check_shards,
     expand_segment_plan,
     join_tree_window_plan,
     partition_plan,
+    shard_block_ids,
 )
 
 #: Workload names `compile_workload` accepts.
@@ -151,6 +153,7 @@ def sharded_join_plan(
     k: int,
     target: int | None,
     expand_segments: int | None = None,
+    block_rows: tuple[int | None, int | None] | None = None,
 ) -> Plan:
     """The sharded join's full public schedule: presort, grid, merge.
 
@@ -176,22 +179,55 @@ def sharded_join_plan(
     shapes: dict = {"n1": n1, "n2": n2, "k": k, "target": target}
     if expand_segments is not None:
         shapes["segments"] = expand_segments
+    # Store-backed inputs: `block_rows` is the per-side block-alignment
+    # unit ((left, right), None per resident side).  A store-backed side's
+    # *input* partition is block-aligned — whole blocks per shard, so each
+    # worker faults in only its own blocks, whose ids become `blocks`
+    # attrs on the partition node.  The ranked-left partition (the
+    # presort's output, always parent-resident) stays row-aligned.  All of
+    # it remains a pure function of the shapes dict: block_rows is public
+    # store configuration, and omitting it keeps resident plans
+    # byte-identical to before.
+    b1, b2 = block_rows if block_rows is not None else (None, None)
+    if block_rows is not None:
+        shapes["block_rows"] = block_rows
     builder = PlanBuilder("join", "sharded", **shapes)
     cap1, counts1 = partition_plan(n1, k)
-    cap2, counts2 = partition_plan(n2, k)
+    if b1 is not None:
+        in_cap1, in_counts1 = block_aligned_partition_plan(n1, k, b1)
+        left_blocks = shard_block_ids(n1, k, b1)
+    else:
+        in_cap1, in_counts1, left_blocks = cap1, counts1, None
+    if b2 is not None:
+        cap2, counts2 = block_aligned_partition_plan(n2, k, b2)
+        right_blocks = shard_block_ids(n2, k, b2)
+    else:
+        cap2, counts2 = partition_plan(n2, k)
+        right_blocks = None
 
+    presort_attrs: dict = {}
+    if left_blocks is not None:
+        presort_attrs = {"block_rows": b1, "blocks": left_blocks}
     presort_part = builder.add(
-        "partition", side="left", n=n1, k=k, capacity=cap1, counts=counts1
+        "partition",
+        side="left",
+        n=n1,
+        k=k,
+        capacity=in_cap1,
+        counts=in_counts1,
+        **presort_attrs,
     )
     sorts = tuple(
         builder.add(
-            "shard_sort", inputs=(presort_part,), shard=i, rows=counts1[i]
+            "shard_sort", inputs=(presort_part,), shard=i, rows=in_counts1[i]
         )
         for i in range(k)
     )
-    presort_root = _add_merge_tournament(builder, sorts, counts1, None, "presort")
+    presort_root = _add_merge_tournament(
+        builder, sorts, in_counts1, None, "presort"
+    )
     presort_merge = builder.add(
-        "merge", inputs=(presort_root,), stage="presort", run_lengths=counts1
+        "merge", inputs=(presort_root,), stage="presort", run_lengths=in_counts1
     )
     left_part = builder.add(
         "partition",
@@ -202,8 +238,17 @@ def sharded_join_plan(
         capacity=cap1,
         counts=counts1,
     )
+    right_attrs: dict = {}
+    if right_blocks is not None:
+        right_attrs = {"block_rows": b2, "blocks": right_blocks}
     right_part = builder.add(
-        "partition", side="right", n=n2, k=k, capacity=cap2, counts=counts2
+        "partition",
+        side="right",
+        n=n2,
+        k=k,
+        capacity=cap2,
+        counts=counts2,
+        **right_attrs,
     )
     leaves: list[int] = []
     leaf_lengths: list[int] = []

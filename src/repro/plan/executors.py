@@ -376,6 +376,45 @@ def _run_encoded(call):
     return task(_decode(payload))
 
 
+# -- store-handle payload resolvers ------------------------------------------
+
+#: leaf type -> resolver: how a worker turns a storage ref (e.g. a
+#: :class:`repro.store.runtime.StoreBlocksRef`) into its column array.
+_PAYLOAD_RESOLVERS: dict[type, Callable] = {}
+
+
+def register_payload_resolver(leaf_type: type, resolve: Callable) -> None:
+    """Teach tasks to resolve a custom payload leaf type worker-side.
+
+    Storage refs are plain picklable dataclasses, so they pass through
+    :func:`_encode`/:func:`_decode` untouched and cross to pool/async
+    workers as a few hundred bytes; the *task* then calls
+    :func:`resolve_payload` and each ref faults in its own blocks through
+    a store handle attached in the worker process — the parent never
+    materialises (or ships) the columns.  Registration happens at the
+    ref module's import time, and unpickling a ref imports that module,
+    so any process that can receive a ref can resolve it.
+    """
+    _PAYLOAD_RESOLVERS[leaf_type] = resolve
+
+
+def resolve_payload(tree):
+    """Resolve every registered storage-ref leaf of a payload tree.
+
+    Idempotent (resolved leaves are plain arrays) and free for ref-less
+    payloads beyond the tree walk; every shard task calls it first so
+    inline and remote substrates see identical inputs.
+    """
+    if not _PAYLOAD_RESOLVERS:
+        return tree
+
+    def leaf(value):
+        resolve = _PAYLOAD_RESOLVERS.get(type(value))
+        return resolve(value) if resolve is not None else value
+
+    return _map_tree(tree, leaf)
+
+
 # -- cross-dispatch column cache ---------------------------------------------
 
 

@@ -53,6 +53,72 @@ def partition_plan(n: int, k: int) -> tuple[int, tuple[int, ...]]:
     return shard_capacity(n, k), shard_counts(n, k)
 
 
+def check_block_rows(block_rows: int) -> int:
+    """Validate a store block's row count; returns it for chaining."""
+    if (
+        not isinstance(block_rows, int)
+        or isinstance(block_rows, bool)
+        or block_rows < 1
+    ):
+        raise InputError(f"block_rows must be an int >= 1, got {block_rows!r}")
+    return block_rows
+
+
+def block_count(n: int, block_rows: int) -> int:
+    """Blocks a stored column of ``n`` rows occupies: ``ceil(n / B)``."""
+    check_block_rows(block_rows)
+    if n < 0:
+        raise InputError(f"table size must be >= 0, got {n}")
+    return -(-n // block_rows)
+
+
+@memoised("schedule")
+def block_aligned_partition_plan(
+    n: int, k: int, block_rows: int
+) -> tuple[int, tuple[int, ...]]:
+    """The partition plan for a store-backed input: whole blocks per shard.
+
+    Shard ``i`` receives the ``i``-th contiguous run of *blocks* (the same
+    positional rule as :func:`partition_plan`, lifted from rows to blocks),
+    so a worker faults in exactly its own blocks — no block is shared
+    between two shards.  Row counts follow: every block contributes
+    ``block_rows`` rows except the final partial one.  Still a pure
+    function of ``(n, k, block_rows)`` — ``block_rows`` is public store
+    configuration — so the obliviousness-by-plan-equality story is
+    unchanged.
+    """
+    check_shards(k)
+    nblocks = block_count(n, block_rows)
+    counts = []
+    offset = 0
+    for blocks in shard_counts(nblocks, k):
+        rows = min(blocks * block_rows, n - offset)
+        counts.append(rows)
+        offset += rows
+    capacity = max(counts) if counts else 0
+    return capacity, tuple(counts)
+
+
+@memoised("schedule")
+def shard_block_ids(
+    n: int, k: int, block_rows: int
+) -> tuple[tuple[int, ...], ...]:
+    """Per-shard block-id tuples of the block-aligned partition.
+
+    These are the attrs the plan compiler stamps onto ``partition`` nodes:
+    the complete, public statement of which store blocks each shard worker
+    is allowed to touch — a pure function of ``(n, k, block_rows)``.
+    """
+    check_shards(k)
+    nblocks = block_count(n, block_rows)
+    ids = []
+    offset = 0
+    for blocks in shard_counts(nblocks, k):
+        ids.append(tuple(range(offset, offset + blocks)))
+        offset += blocks
+    return tuple(ids)
+
+
 #: Default floor on one expansion segment's output rows.  Every segment
 #: re-runs its cell's ``O((n1 + n2) log^2)`` augment sorts, so segments far
 #: smaller than the cell's input would be all overhead and no parallelism.

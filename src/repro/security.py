@@ -183,7 +183,12 @@ KNOWN_PROFILES: dict[str, ProgramProfile] = {
 #: output size (always revealed — the paper's model accepts it).
 #: ``m_final`` and ``g`` (final output / group count after compaction) are
 #: revealed in *every* mode — the paper's model accepts that — so every
-#: profile lists them.
+#: profile lists them.  Store-backed (out-of-core) inputs add
+#: ``block_rows`` (the store's fixed rows-per-block layout constant) and
+#: ``block_ids`` (which block ids each shard faults in — the
+#: block-aligned partition plan, a pure function of
+#: ``(n, k, block_rows)``); see the block-access-pattern section of
+#: ``docs/leakage.md``.
 LEAKAGE_PROFILES: dict[tuple[str, str], tuple[str, ...]] = {
     ("traced", "revealed"): (
         "n1", "n2", "m", "step_sizes", "tree", "m_final", "g",
@@ -202,14 +207,16 @@ LEAKAGE_PROFILES: dict[tuple[str, str], tuple[str, ...]] = {
     ("sharded", "revealed"): (
         "n1", "n2", "k", "partition_plan", "m", "step_sizes",
         "m_ij_grid", "partial_group_counts", "filter_block_counts",
-        "tree", "windows", "m_final", "g",
+        "tree", "windows", "block_rows", "block_ids", "m_final", "g",
     ),
     ("sharded", "bounded"): (
         "n1", "n2", "k", "partition_plan", "bound", "bounds",
-        "tree", "target", "windows", "m_final", "g",
+        "tree", "target", "windows", "block_rows", "block_ids",
+        "m_final", "g",
     ),
     ("sharded", "worst_case"): (
-        "n1", "n2", "k", "partition_plan", "tree", "windows", "m_final", "g",
+        "n1", "n2", "k", "partition_plan", "tree", "windows",
+        "block_rows", "block_ids", "m_final", "g",
     ),
 }
 
@@ -232,6 +239,29 @@ SERVICE_LEAKAGE: tuple[str, ...] = (
     "shape_reuse",
     "warm_timing",
     "queue_depth",
+)
+
+
+#: What an observer of the *untrusted block store* (the disk under a
+#: :class:`~repro.store.FileStore`, or the bus it travels) learns when a
+#: store-backed query runs.  Every symbol is a pure function of values
+#: the engine profiles above already treat as public: ``block_bytes`` the
+#: store's fixed block size (a layout constant), ``num_blocks`` each
+#: column's block count ``ceil(n / block_rows)`` (a function of the
+#: public ``n``), ``block_access_order`` the sequence of ``(column,
+#: block id)`` reads — exactly the plan's block-aligned partition, a
+#: pure function of ``(n, k, block_rows)`` — and ``write_pattern`` which
+#: slots were rewritten (each rewrite under a fresh nonce, so two
+#: ciphertexts of one block are unlinkable; the *fact* of the write is
+#: visible).  Cache hit/miss/eviction and residency counters never leave
+#: trusted memory — they are local diagnostics, not part of this view.
+#: The prose twin is the block-access-pattern section of
+#: ``docs/leakage.md``; a test keeps the two in sync.
+STORE_LEAKAGE: tuple[str, ...] = (
+    "block_bytes",
+    "num_blocks",
+    "block_access_order",
+    "write_pattern",
 )
 
 

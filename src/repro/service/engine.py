@@ -48,6 +48,7 @@ from ..errors import InputError, SchemaError
 from ..plan.executors import executor_stats, warm_executor
 from ..plan.memo import set_plan_memo
 from ..shard.partition import set_partition_cache
+from ..store.runtime import residency_snapshot, stats_snapshot
 from .plan_cache import PlanCache
 
 #: Spec ops the service understands (the ``repro serve`` wire surface).
@@ -83,6 +84,12 @@ class QueryStats:
     warm: bool
     plan_cache: dict = field(default_factory=dict)
     encoding_cache: dict = field(default_factory=dict)
+    #: Block-store IO this query drove *in this process* (reads, cache
+    #: hits/misses/evictions, decryptions — deltas of the attached
+    #: handles' counters).  All zeros when no store-backed table was
+    #: touched or the IO happened in worker processes.  Local-only
+    #: diagnostics: never part of any plan or wire-visible schedule.
+    store: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -92,6 +99,7 @@ class QueryStats:
             "warm": self.warm,
             "plan_cache": dict(self.plan_cache),
             "encoding_cache": dict(self.encoding_cache),
+            "store": dict(self.store),
         }
 
 
@@ -206,6 +214,7 @@ class ServiceEngine:
             with self._lock:
                 plans_before = self.plans.snapshot()
                 encoding_before = self.encoding.snapshot()
+                store_before = stats_snapshot()
                 started = time.perf_counter()
                 table = getattr(self, f"_run_{op}")(spec)
                 seconds = time.perf_counter() - started
@@ -213,6 +222,7 @@ class ServiceEngine:
                 encoding_delta = _delta(
                     encoding_before, self.encoding.snapshot()
                 )
+                store_delta = _delta(store_before, stats_snapshot())
                 self.queries += 1
         finally:
             with self._admitted:
@@ -234,6 +244,7 @@ class ServiceEngine:
                 warm=warm,
                 plan_cache=plan_delta,
                 encoding_cache=encoding_delta,
+                store=store_delta,
             ),
         )
 
@@ -251,13 +262,31 @@ class ServiceEngine:
             "plan_cache": self.plans.snapshot(),
             "encoding_cache": self.encoding.snapshot(),
             "executors": executor_stats(),
+            "store": stats_snapshot(),
+            # Per-store trusted-memory residency plus the EPC-modeled
+            # paging slowdown; local operator diagnostics only.
+            "store_residency": residency_snapshot(),
         }
 
     # -- per-op runners ------------------------------------------------------
 
     def _join_pairs(self, table: DBTable, column: str):
-        """A table's join input, in the engine's preferred pairs form."""
+        """A table's join input, in the engine's preferred pairs form.
+
+        A store-backed table joining on an int column hands the sharded
+        engine a :class:`~repro.store.StorePairs` descriptor instead of a
+        materialised array — the partitioner then ships block refs and
+        the workers fault in only their plan-named blocks.  ``str`` key
+        columns still need the dictionary encoder, so they take the
+        resident (encoding-cache) path.
+        """
         encoder = self.oblivious.encoder
+        if (
+            self.engine_name == "sharded"
+            and hasattr(table, "store_pairs")
+            and table.schema.column(column).type == "int"
+        ):
+            return table.store_pairs(column)
         if self._array_pairs:
             return self.encoding.key_handle_pairs(table, column, encoder)
         keys = self.encoding.encoded_keys(table, column, encoder)

@@ -76,12 +76,14 @@ from ..plan.executors import (
     completion_stream,
     publish_columns,
     resolve_executor,
+    resolve_payload,
 )
 from ..plan.ir import Plan
+from ..store.runtime import StorePairs, store_pairs_block_rows
 from ..vector.join import vector_join_segment, vector_oblivious_join
 from ..vector.sort import vector_bitonic_sort
 from .merge import StreamingTournament, truncate_run
-from .partition import partition_pairs, partition_plan
+from .partition import pairs_partition_plan, partition_pairs
 
 _INT = np.int64
 
@@ -152,8 +154,12 @@ class ShardedJoinStats:
 
 
 def _sort_task(payload) -> tuple[dict[str, np.ndarray], int]:
-    """Sort one padded shard's real rows by ``(j, d)`` (worker side)."""
-    j, d, real = payload
+    """Sort one padded shard's real rows by ``(j, d)`` (worker side).
+
+    Store-backed shards arrive as block refs; ``resolve_payload`` faults
+    their plan-named blocks in through this process's store handle.
+    """
+    j, d, real = resolve_payload(payload)
     counter = [0]
     columns = vector_bitonic_sort(
         {"j": j[:real].copy(), "d": d[:real].copy()}, PRESORT_KEYS, counter=counter
@@ -172,7 +178,7 @@ def _join_task(payload) -> tuple[np.ndarray, dict[str, int]]:
     ``lreal * rreal`` (a ``grid_join`` plan node) and the run comes back
     padded to exactly that size.
     """
-    lj, ld, lreal, rj, rd, rreal, task_target = payload
+    lj, ld, lreal, rj, rd, rreal, task_target = resolve_payload(payload)
     left = np.stack([lj[:lreal], ld[:lreal]], axis=1)
     right = np.stack([rj[:rreal], rd[:rreal]], axis=1)
     keyed, stats = vector_oblivious_join(
@@ -194,7 +200,9 @@ def _expand_segment_task(payload):
     Returns ``(run_or_refs, segment_name, comparisons, real_rows)`` with
     the same publish contract as :func:`repro.shard.merge.merge_pair_task`.
     """
-    lj, ld, lreal, rj, rd, rreal, task_target, lo, hi, truncate, publish = payload
+    lj, ld, lreal, rj, rd, rreal, task_target, lo, hi, truncate, publish = (
+        resolve_payload(payload)
+    )
     left = np.stack([lj[:lreal], ld[:lreal]], axis=1)
     right = np.stack([rj[:rreal], rd[:rreal]], axis=1)
     keyed, stats = vector_join_segment(left, right, task_target, lo, hi)
@@ -256,6 +264,14 @@ def _sharded_rank_sort(
 
 def _check_padded_input(pairs) -> None:
     """Key- and payload-headroom validation for one padded input table."""
+    if isinstance(pairs, StorePairs):
+        # Stream the reductions block-wise instead of materialising the
+        # whole column in trusted memory; same checks, same error text.
+        if len(pairs) == 0:
+            return
+        check_anchor_headroom((pairs.max_j(),))
+        check_payload_headroom((pairs.min_d(),))
+        return
     array = np.asarray(pairs, dtype=_INT)
     if array.size == 0:
         return
@@ -308,21 +324,29 @@ def sharded_oblivious_join(
         target_m = check_target_m(target_m, len(left), len(right))
         _check_padded_input(left)
         _check_padded_input(right)
+    # Store-backed inputs partition block-aligned; the block size is part
+    # of the public shapes the plan is compiled from (it is a store-layout
+    # constant, not data), and (None, None) — the all-resident case —
+    # collapses to the historical plan bytes.
+    blocks = (store_pairs_block_rows(left), store_pairs_block_rows(right))
+    block_rows = None if blocks == (None, None) else blocks
     if plan is None:
         plan = sharded_join_plan(
-            len(left), len(right), shards, target_m, expand_segments
+            len(left), len(right), shards, target_m, expand_segments, block_rows
         )
     else:
         # A caller-supplied plan compiled for other shapes would silently
         # mis-drive the grid (the payload/cell zip truncates); fail loudly.
         supplied = tuple(
             plan.shape(name)
-            for name in ("n1", "n2", "k", "target", "segments")
+            for name in ("n1", "n2", "k", "target", "segments", "block_rows")
         )
-        expected = (len(left), len(right), shards, target_m, expand_segments)
+        expected = (
+            len(left), len(right), shards, target_m, expand_segments, block_rows,
+        )
         if supplied != expected:
             raise InputError(
-                f"plan compiled for (n1, n2, k, target, segments)="
+                f"plan compiled for (n1, n2, k, target, segments, block_rows)="
                 f"{supplied} cannot drive a join at {expected}"
             )
     stats.plan = plan
@@ -387,7 +411,13 @@ def grid_join_payloads(
     left_parts = partition_pairs(ranked_left, shards)
     right_parts = partition_pairs(right, shards)
     n2 = sum(part.real for part in right_parts)
-    stats.partition = (partition_plan(n1, shards), partition_plan(n2, shards))
+    # ranked_left is always resident (the presort materialised it), so its
+    # plan is the standard row-aligned one; the right side reports the
+    # block-aligned plan when it is store-backed.
+    stats.partition = (
+        pairs_partition_plan(ranked_left, shards),
+        pairs_partition_plan(right, shards),
+    )
     payloads = [
         (lp.j, lp.d, lp.real, rp.j, rp.d, rp.real, target)
         for (lp, rp), target in zip(

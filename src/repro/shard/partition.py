@@ -30,11 +30,13 @@ import numpy as np
 
 from ..errors import InputError
 from ..plan.partition import (  # noqa: F401 (re-exports: the pure plan half)
+    block_aligned_partition_plan,
     check_shards,
     partition_plan,
     shard_capacity,
     shard_counts,
 )
+from ..store.runtime import StorePairs
 
 _INT = np.int64
 
@@ -102,6 +104,19 @@ def set_partition_cache(cache):
     return previous
 
 
+def pairs_partition_plan(pairs, k: int) -> tuple[int, tuple[int, ...]]:
+    """The public partition plan actually used for this pairs input.
+
+    Store-backed inputs partition block-aligned (whole blocks per shard,
+    f(n, k, block_rows)); resident inputs row-aligned (f(n, k)).  The
+    driver reports this plan in its stats so the pinned schedule matches
+    what ran.
+    """
+    if isinstance(pairs, StorePairs):
+        return block_aligned_partition_plan(len(pairs), k, pairs.block_rows)
+    return partition_plan(len(pairs), k)
+
+
 def partition_pairs(pairs, k: int) -> list[ShardPart]:
     """Split a ``(j, d)`` pairs table into ``k`` equal, padded shards.
 
@@ -110,7 +125,20 @@ def partition_pairs(pairs, k: int) -> list[ShardPart]:
     registered source array are computed once per ``(array, k)`` and reused
     across queries — the parts are never mutated by consumers (tasks copy
     before sorting), so reuse cannot change any output.
+
+    A :class:`~repro.store.StorePairs` input takes the out-of-core path:
+    the shards come back as **block-aligned** parts whose ``j``/``d`` are
+    :class:`~repro.store.StoreBlocksRef` leaves naming exactly the plan's
+    block ids — no column bytes are read here; the task that receives a
+    part faults its blocks in through its own store handle.  Such parts
+    are cheap on-demand descriptors, so the partition cache is bypassed.
     """
+    if isinstance(pairs, StorePairs):
+        check_shards(k)
+        return [
+            ShardPart(j=j_ref, d=d_ref, real=real)
+            for j_ref, d_ref, real in pairs.shard_parts(k)
+        ]
     array = np.asarray(pairs, dtype=_INT)
     if array.size == 0:
         array = array.reshape(0, 2)

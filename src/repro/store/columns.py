@@ -1,0 +1,113 @@
+"""Column <-> block serialization for store-backed tables.
+
+A stored table is one store key per column (``"<table>/<column>"``) plus a
+meta entry recording the schema, row count and rows-per-block, written by
+:func:`write_table` and consumed by :class:`~repro.db.stored.StoredTable`.
+
+``int`` columns pack ``block_rows`` little-endian int64 values per block —
+``block_rows = block_bytes // 8`` is fixed by the store's block size, so a
+block id maps to a row range by arithmetic alone.  ``str`` columns pack the
+same row count per block as length-prefixed UTF-8; a block whose strings
+overflow ``block_bytes`` raises :class:`~repro.errors.CapacityError` (pick
+a larger block size).  Either way every block is padded to the full
+``block_bytes``, so transfer sizes never depend on the values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CapacityError, InputError
+
+_INT = np.int64
+
+
+def block_rows_of(block_bytes: int) -> int:
+    """Rows per block: fixed by the store's block size (8 bytes per int)."""
+    return block_bytes // 8
+
+
+def column_key(table: str, column: str) -> str:
+    return f"{table}/{column}"
+
+
+def meta_key(table: str) -> str:
+    return f"{table}"
+
+
+def write_int_column(store, key: str, values) -> int:
+    """Write an int column block-wise; returns the block count."""
+    array = np.asarray(values, dtype=_INT)
+    block_rows = block_rows_of(store.block_bytes)
+    nblocks = -(-len(array) // block_rows)
+    for index in range(nblocks):
+        chunk = array[index * block_rows : (index + 1) * block_rows]
+        store.write_block(key, index, chunk.tobytes())
+    return nblocks
+
+
+def read_int_block(store_read, key: str, index: int) -> np.ndarray:
+    """One int block as a full-width int64 array (tail blocks zero-padded)."""
+    return np.frombuffer(store_read(key, index), dtype=_INT)
+
+
+def write_str_column(store, key: str, values: list[str]) -> int:
+    """Write a str column block-wise; returns the block count."""
+    block_rows = block_rows_of(store.block_bytes)
+    nblocks = -(-len(values) // block_rows)
+    for index in range(nblocks):
+        chunk = values[index * block_rows : (index + 1) * block_rows]
+        parts = []
+        for value in chunk:
+            data = str(value).encode("utf-8")
+            parts.append(len(data).to_bytes(4, "little") + data)
+        payload = b"".join(parts)
+        if len(payload) > store.block_bytes:
+            raise CapacityError(
+                f"str block {index} of {key!r} needs {len(payload)} bytes "
+                f"but the store's block_bytes is {store.block_bytes}; "
+                "rebuild the store with a larger block size"
+            )
+        store.write_block(key, index, payload)
+    return nblocks
+
+
+def read_str_block(store_read, key: str, index: int, count: int) -> list[str]:
+    """One str block's first ``count`` values (``count`` from row math)."""
+    payload = store_read(key, index)
+    values, offset = [], 0
+    for _ in range(count):
+        length = int.from_bytes(payload[offset : offset + 4], "little")
+        offset += 4
+        values.append(payload[offset : offset + length].decode("utf-8"))
+        offset += length
+    return values
+
+
+def write_table(store, name: str, schema, rows: list[tuple]) -> dict:
+    """Write a whole table column-wise; returns (and stores) its meta.
+
+    ``schema`` is a :class:`~repro.db.schema.Schema`; the meta entry is
+    what :meth:`DBTable.open <repro.db.table.DBTable.open>` reads back.
+    """
+    n = len(rows)
+    block_rows = block_rows_of(store.block_bytes)
+    if block_rows < 1:
+        raise InputError(
+            f"block_bytes={store.block_bytes} holds no rows; need >= 8"
+        )
+    for index, column in enumerate(schema.columns):
+        key = column_key(name, column.name)
+        values = [row[index] for row in rows]
+        if column.type == "int":
+            write_int_column(store, key, values)
+        else:
+            write_str_column(store, key, values)
+    meta = {
+        "name": name,
+        "columns": [[c.name, c.type] for c in schema.columns],
+        "n": n,
+        "block_rows": block_rows,
+    }
+    store.put_meta(meta_key(name), meta)
+    return meta

@@ -68,3 +68,58 @@ def test_require_int_column(people):
     assert require_int_column(people, "age") == 2
     with pytest.raises(SchemaError, match="must be int"):
         require_int_column(people, "name")
+
+
+def test_from_csv_missing_column_names_column_and_file(tmp_path):
+    path = tmp_path / "people.csv"
+    path.write_text("id,name\n1,ana\n")
+    with pytest.raises(SchemaError) as excinfo:
+        DBTable.from_csv(str(path), ["id:int", "name:str", "age:int"])
+    message = str(excinfo.value)
+    assert "'age'" in message and "people.csv" in message
+    assert "header" in message
+
+
+def test_project_and_rename_are_independent_snapshots(people):
+    """The documented lineage contract: derived tables share no version.
+
+    ``project``/``rename`` copy rows into a fresh table with its own
+    ``version``; mutating or touching the source afterwards must neither
+    change the derived table nor be needed to invalidate caches keyed on
+    it — per-table invalidation means mutating the *derived* table is
+    what bumps the derived table's version.
+    """
+    projected = people.project(["id", "age"])
+    renamed = people.rename({"id": "person_id"})
+    assert projected.version == 0 and renamed.version == 0
+    before_projected = list(projected.rows)
+    before_renamed = list(renamed.rows)
+    people.append_row((4, "di", 55))
+    people.touch()
+    assert people.version == 2
+    # Source mutation: derived contents and versions are untouched.
+    assert projected.rows == before_projected
+    assert renamed.rows == before_renamed
+    assert projected.version == 0 and renamed.version == 0
+    # Derived mutation bumps only the derived version.
+    projected.append_row((9, 99))
+    assert projected.version == 1 and people.version == 2
+
+
+def test_derived_table_cache_invalidation_is_per_table(people):
+    from repro.db.encoding import DictionaryEncoder
+    from repro.db.encoding_cache import EncodingCache
+
+    cache = EncodingCache()
+    encoder = DictionaryEncoder()
+    projected = people.project(["id", "age"])
+    assert cache.encoded_keys(projected, "id", encoder) == [1, 2, 3]
+    # Touching the source does not (and need not) invalidate the derived
+    # table's entry: its contents did not change.
+    people.touch()
+    cache.encoded_keys(projected, "id", encoder)
+    assert cache.stats["hits"] == 1
+    # Mutating the derived table does invalidate it.
+    projected.append_row((4, 50))
+    assert cache.encoded_keys(projected, "id", encoder) == [1, 2, 3, 4]
+    assert cache.stats["hits"] == 1

@@ -15,11 +15,18 @@ that.
 ``REPRO_ENGINES`` (comma-separated names) restricts the engine list and
 ``REPRO_EXECUTORS`` the executor list — the CI matrix uses them to
 parametrise the differential job per (engine, executor).
+``REPRO_STORE=file`` additionally re-routes every binary join's inputs
+through an encrypted, file-backed block store
+(:class:`~repro.store.StorePairs` over per-example ``FileStore``
+directories), so the same differential suite pins the out-of-core path
+bit-identical to the resident one on every engine and executor.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import tempfile
 from collections import defaultdict
 
 import pytest
@@ -94,6 +101,44 @@ def _engines(configuration):
     return get_engine(configuration)
 
 
+#: "file" re-routes binary-join inputs through a file-backed block store.
+REPRO_STORE = os.environ.get("REPRO_STORE", "")
+
+_STORE_DIR = (
+    tempfile.TemporaryDirectory(prefix="repro-store-differential-")
+    if REPRO_STORE == "file"
+    else None
+)
+_STORE_SEQ = itertools.count()
+
+
+def join_inputs(left, right):
+    """The suite's join inputs, per the ``REPRO_STORE`` storage mode.
+
+    Default: the generated lists, unchanged.  Under ``REPRO_STORE=file``
+    both tables are written into a fresh encrypted ``FileStore`` (tiny
+    blocks and a tiny trusted-memory budget, so even 16-row examples
+    span multiple blocks and evict) and come back as ``StorePairs`` —
+    the engines must produce bit-identical output either way.
+    """
+    if REPRO_STORE != "file":
+        return left, right
+    from repro.store import FileStore, StorePairs, adopt
+    from repro.store.columns import write_int_column
+
+    path = os.path.join(_STORE_DIR.name, f"case{next(_STORE_SEQ)}")
+    store = FileStore(path, block_bytes=32, key=b"differential-key")
+    for name, rows in (("L", left), ("R", right)):
+        write_int_column(store, f"{name}/j", [j for j, _ in rows])
+        write_int_column(store, f"{name}/d", [d for _, d in rows])
+    store.flush()
+    spec = adopt(store, cache_bytes=64)
+    return (
+        StorePairs(spec, len(left), "L/j", "L/d"),
+        StorePairs(spec, len(right), "R/j", "R/d"),
+    )
+
+
 # -- join --------------------------------------------------------------------
 
 
@@ -106,7 +151,7 @@ def _engines(configuration):
 @example(left=[(0, 1), (0, 1), (0, 2)], right=[(0, 3), (0, 4)])
 def test_join_matches_oracle_and_reference(configuration, left, right):
     engine = _engines(configuration)
-    result = engine.join(left, right)
+    result = engine.join(*join_inputs(left, right))
     assert sorted(result.pairs) == join_multiset(left, right)
     assert result.m == len(result.pairs)
     assert (result.n1, result.n2) == (len(left), len(right))
@@ -116,7 +161,10 @@ def test_join_matches_oracle_and_reference(configuration, left, right):
 @given(left=table(), right=table())
 @settings(max_examples=25, deadline=None)
 def test_all_engines_join_bit_identically(left, right):
-    results = [get_engine(name).join(left, right).pairs for name in ENGINES]
+    results = [
+        get_engine(name).join(*join_inputs(left, right)).pairs
+        for name in ENGINES
+    ]
     for other in results[1:]:
         assert other == results[0]
 
@@ -243,7 +291,7 @@ def test_padded_join_prefix_matches_unpadded(configuration, left, right):
     engine = _engines(configuration)
     reference = get_engine(REFERENCE).join(left, right)
     target = len(left) * len(right)
-    padded = engine.join(left, right, target_m=target)
+    padded = engine.join(*join_inputs(left, right), target_m=target)
     assert padded.m == target
     assert padded.pairs[: reference.m] == reference.pairs
     assert all(pair == (-1, -1) for pair in padded.pairs[reference.m :])

@@ -481,3 +481,44 @@ def test_server_registration_replaces_and_invalidates():
             second, _ = client.query(spec)
             assert len(second) == 0
             client.shutdown()
+
+
+def test_service_reports_store_io_for_stored_tables(tmp_path):
+    from repro.store.runtime import detach_all
+
+    detach_all()
+    try:
+        left, right = _tables()
+        stored = left.to_store(str(tmp_path / "db"), "l", key=b"k" * 16)
+        right.to_store(stored, "r")
+        sleft = DBTable.open(stored, "l", cache_bytes=2048)
+        sright = DBTable.open(stored, "r", cache_bytes=2048)
+        spec = {"op": "join", "left": "l", "right": "r", "on": ["k", "k"]}
+        with ServiceEngine(engine="sharded", shards=2) as resident_service:
+            resident_service.register_table("l", left)
+            resident_service.register_table("r", right)
+            expected = resident_service.query(spec).table
+        with ServiceEngine(engine="sharded", shards=2) as service:
+            service.register_table("l", sleft)
+            service.register_table("r", sright)
+            result = service.query(spec)
+            # Bit-identical to the resident service, with store IO on the
+            # query's stats delta and residency in the service stats.
+            assert result.table.rows == expected.rows
+            assert result.stats.store["reads"] > 0
+            assert result.stats.store["decryptions"] > 0
+            assert result.stats.to_dict()["store"]["reads"] > 0
+            stats = service.service_stats()
+            assert stats["store"]["reads"] >= result.stats.store["reads"]
+            residency = stats["store_residency"]
+            assert len(residency) == 1
+            assert residency[0]["kind"] == "file"
+            assert residency[0]["budget_bytes"] == 2048
+        with ServiceEngine(engine="vector") as vector_service:
+            # Non-sharded engines take the resident fall-back and still
+            # produce the same table.
+            vector_service.register_table("l", sleft)
+            vector_service.register_table("r", sright)
+            assert vector_service.query(spec).table.rows == expected.rows
+    finally:
+        detach_all()
